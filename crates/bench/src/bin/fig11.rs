@@ -1,0 +1,70 @@
+//! Regenerates Fig. 9/10/11: the planar and folded floorplans and the
+//! Logic+Logic thermal comparison.
+
+use stacksim_bench::{banner, emit};
+use stacksim_core::logic_logic::{fig11, folded_p4};
+use stacksim_core::{fmt_f, TextTable};
+use stacksim_floorplan::p4::pentium4_147w;
+use stacksim_floorplan::wire::fig9_paths;
+
+fn main() {
+    banner(
+        "Figures 9-11",
+        "planar vs 3D floorplan of the P4-class core and peak temperatures",
+    );
+
+    let planar = pentium4_147w();
+    println!(
+        "Fig. 9 planar: {:.0} x {:.0} mm, {:.0} W, {} blocks (hottest: scheduler)",
+        planar.width(),
+        planar.height(),
+        planar.total_power(),
+        planar.blocks().len()
+    );
+    for path in fig9_paths(&planar) {
+        println!(
+            "  wire route {:<28}: {:.1} mm planar -> {:.1} mm stacked ({:.0}%)",
+            path.name,
+            path.planar_mm,
+            path.stacked_mm,
+            100.0 * path.ratio()
+        );
+    }
+    let folded = folded_p4();
+    let d0 = &folded.dies()[0];
+    println!(
+        "Fig. 10 3D: two dies of {:.1} x {:.1} mm ({:.0}% footprint), {:.1} W total \
+         ({} + {} blocks), peak stacked density {:.2}x planar",
+        d0.width(),
+        d0.height(),
+        100.0 * d0.area() / planar.area(),
+        folded.total_power(),
+        folded.dies()[0].blocks().len(),
+        folded.dies()[1].blocks().len(),
+        folded.peak_stacked_density(48, 40) / planar.power_grid(48, 40).peak_density(),
+    );
+    println!();
+
+    let points = match fig11() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("thermal solve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = TextTable::new([
+        "configuration",
+        "power W",
+        "peak C (ours)",
+        "peak C (paper)",
+    ]);
+    for p in &points {
+        t.row([
+            p.label.to_string(),
+            fmt_f(p.power_w, 1),
+            fmt_f(p.peak_c, 2),
+            fmt_f(p.paper_c, 2),
+        ]);
+    }
+    emit(&t);
+}

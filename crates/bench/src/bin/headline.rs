@@ -1,0 +1,85 @@
+//! Regenerates the paper's abstract/conclusion headline numbers:
+//!
+//! * "a 32MB 3D stacked DRAM cache can reduce the cycles per memory access
+//!   ... on average by 13% and as much as 55% while increasing the peak
+//!   temperature by a negligible 0.08ºC. Off-die BW and power are also
+//!   reduced by 66% on average."
+//! * "a 3D floorplan ... can simultaneously reduce power 15% and increase
+//!   performance 15% with a small 14ºC increase in peak temperature.
+//!   Voltage scaling can reach neutral thermals with a simultaneous 34%
+//!   power reduction and 8% performance improvement."
+//!
+//! `--test-scale` shrinks the Fig. 5 run for smoke testing.
+
+use stacksim_bench::banner;
+use stacksim_core::logic_logic::{fig11, table4, table5};
+use stacksim_core::memory_logic::{fig5, fig8};
+use stacksim_workloads::WorkloadParams;
+
+fn main() {
+    banner("Headline numbers", "abstract / conclusions of the paper");
+    let quick = std::env::args().any(|a| a == "--test-scale");
+
+    // --- Memory+Logic ---
+    let params = if quick {
+        WorkloadParams::test()
+    } else {
+        WorkloadParams::paper()
+    };
+    let data = fig5(&params);
+    let h = data.headline();
+    println!("Memory+Logic (32 MB stacked DRAM):");
+    println!(
+        "  mean CPMA reduction   : {:>6.1}%   (paper: 13%)",
+        100.0 * h.mean_cpma_reduction
+    );
+    println!(
+        "  peak CPMA reduction   : {:>6.1}%   (paper: as much as 55%)",
+        100.0 * h.peak_cpma_reduction
+    );
+    println!(
+        "  off-die BW reduction  : {:>6.2}x   (paper: 3x)",
+        h.bandwidth_reduction_factor
+    );
+    println!(
+        "  bus power saving      : {:>6.2} W ({:.0}%)  (paper: ~0.5 W, 66%)",
+        h.bus_power_saving_w,
+        100.0 * h.bus_power_reduction()
+    );
+    match fig8() {
+        Ok(points) => {
+            let delta = points[2].peak_c - points[0].peak_c;
+            println!("  peak temp delta @32MB : {delta:>+6.2} C  (paper: +0.08 C)");
+        }
+        Err(e) => eprintln!("  fig8 thermal solve failed: {e}"),
+    }
+    println!();
+
+    // --- Logic+Logic ---
+    println!("Logic+Logic (3D floorplan of the P4-class core):");
+    let t4 = table4(if quick { 8_000 } else { 60_000 }, 7);
+    println!(
+        "  performance gain      : {:>6.2}%  (paper: ~15%) at 15% lower power",
+        t4.total_pct
+    );
+    match fig11() {
+        Ok(points) => {
+            println!(
+                "  peak temp increase    : {:>6.2} C  (paper: +14 C, at 1.3x power density)",
+                points[1].peak_c - points[0].peak_c
+            );
+        }
+        Err(e) => eprintln!("  fig11 thermal solve failed: {e}"),
+    }
+    match table5() {
+        Ok(rows) => {
+            let st = rows.iter().find(|r| r.label == "Same Temp").expect("row");
+            println!(
+                "  thermal-neutral scale : {:>6.0}% power, {:+.0}% perf  (paper: -34% power, +8% perf)",
+                st.power_pct - 100.0,
+                st.perf_pct - 100.0
+            );
+        }
+        Err(e) => eprintln!("  table5 thermal solve failed: {e}"),
+    }
+}

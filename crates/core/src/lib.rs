@@ -1,0 +1,40 @@
+//! Study orchestration: every table and figure of *Die Stacking (3D)
+//! Microarchitecture* (Black et al., MICRO 2006) as a callable experiment.
+//!
+//! | Paper artefact | Entry point |
+//! |---|---|
+//! | Fig. 3 (conductivity sensitivity) | [`sensitivity::fig3`] |
+//! | Fig. 5 (RMS CPMA + bandwidth)     | [`memory_logic::fig5`] |
+//! | Fig. 6 (baseline power/thermal map) | [`memory_logic::fig6`] |
+//! | Fig. 7 (stack options)            | [`StackOption`] |
+//! | Fig. 8 (stacked-cache thermals)   | [`memory_logic::fig8`] |
+//! | Fig. 9/10 (floorplans)            | `stacksim_floorplan::{p4, fold}` |
+//! | Fig. 11 (Logic+Logic thermals)    | [`logic_logic::fig11`] |
+//! | Table 4 (per-path gains)          | [`logic_logic::table4`] |
+//! | Table 5 (V/f scaling)             | [`logic_logic::table5`] |
+//! | §3 headline numbers               | [`memory_logic::Fig5Data::headline`] |
+//!
+//! # Example
+//!
+//! ```
+//! use stacksim_core::memory_logic::run_benchmark;
+//! use stacksim_workloads::{RmsBenchmark, WorkloadParams};
+//!
+//! let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test());
+//! assert!(row.cpma.iter().all(|&c| c > 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod logic_logic;
+pub mod memory_logic;
+pub mod report;
+pub mod sensitivity;
+pub mod stacking;
+
+pub use logic_logic::{Fig11Point, Table4, Table4Row, Table5Row};
+pub use memory_logic::{Fig5Data, Fig5Row, Headline, ThermalPoint};
+pub use report::{fmt_f, TextTable};
+pub use sensitivity::Fig3Data;
+pub use stacking::StackOption;

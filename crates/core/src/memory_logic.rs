@@ -1,0 +1,294 @@
+//! The Memory+Logic study (§3): Fig. 5 performance/bandwidth, Fig. 6/8
+//! thermals, and the headline numbers.
+
+use stacksim_floorplan::PowerGrid;
+use stacksim_mem::{Engine, EngineConfig, MemoryHierarchy};
+use stacksim_power::bus_power_w;
+use stacksim_thermal::{solve, Boundary, LayerStack, SolveError, SolverConfig, TemperatureField};
+use stacksim_workloads::{RmsBenchmark, WorkloadParams};
+
+use crate::stacking::StackOption;
+
+/// Fraction of each trace treated as cache warm-up (excluded from metrics).
+pub const WARMUP_FRACTION: f64 = 0.4;
+
+/// One Fig. 5 bar group: a benchmark's CPMA and off-die bandwidth across
+/// the four capacity options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// The benchmark.
+    pub benchmark: RmsBenchmark,
+    /// CPMA per option, in [`StackOption::all`] order.
+    pub cpma: [f64; 4],
+    /// Off-die bandwidth (GB/s) per option.
+    pub bandwidth: [f64; 4],
+}
+
+impl Fig5Row {
+    /// CPMA reduction of option `i` relative to the 4 MB baseline
+    /// (positive = better).
+    pub fn cpma_reduction(&self, i: usize) -> f64 {
+        1.0 - self.cpma[i] / self.cpma[0]
+    }
+}
+
+/// The full Fig. 5 data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Data {
+    /// Per-benchmark rows, in Table 1 order.
+    pub rows: Vec<Fig5Row>,
+}
+
+impl Fig5Data {
+    /// Arithmetic-mean CPMA per option (the Fig. 5 "Avg" group).
+    pub fn mean_cpma(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for r in &self.rows {
+            for (o, c) in out.iter_mut().zip(&r.cpma) {
+                *o += c;
+            }
+        }
+        for o in &mut out {
+            *o /= self.rows.len() as f64;
+        }
+        out
+    }
+
+    /// Arithmetic-mean bandwidth per option.
+    pub fn mean_bandwidth(&self) -> [f64; 4] {
+        let mut out = [0.0; 4];
+        for r in &self.rows {
+            for (o, b) in out.iter_mut().zip(&r.bandwidth) {
+                *o += b;
+            }
+        }
+        for o in &mut out {
+            *o /= self.rows.len() as f64;
+        }
+        out
+    }
+
+    /// The §3 headline numbers at the 32 MB option (index 2): mean CPMA
+    /// reduction, peak per-benchmark reduction, bandwidth reduction factor
+    /// and bus-power saving in watts.
+    pub fn headline(&self) -> Headline {
+        let mean = self.mean_cpma();
+        let bw = self.mean_bandwidth();
+        let peak = self
+            .rows
+            .iter()
+            .map(|r| r.cpma_reduction(2))
+            .fold(f64::NEG_INFINITY, f64::max);
+        Headline {
+            mean_cpma_reduction: 1.0 - mean[2] / mean[0],
+            peak_cpma_reduction: peak,
+            bandwidth_reduction_factor: if bw[2] > 0.0 {
+                bw[0] / bw[2]
+            } else {
+                f64::INFINITY
+            },
+            bus_power_saving_w: bus_power_w(bw[0]) - bus_power_w(bw[2]),
+            baseline_bus_power_w: bus_power_w(bw[0]),
+        }
+    }
+}
+
+/// The §3 headline summary (paper: 13% mean, ~50–55% peak, 3× bandwidth,
+/// ~0.5 W bus power).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Headline {
+    /// Mean CPMA reduction at 32 MB vs the 4 MB baseline.
+    pub mean_cpma_reduction: f64,
+    /// Largest per-benchmark CPMA reduction at 32 MB.
+    pub peak_cpma_reduction: f64,
+    /// Mean bandwidth reduction factor at 32 MB.
+    pub bandwidth_reduction_factor: f64,
+    /// Bus power saved at 32 MB, in watts.
+    pub bus_power_saving_w: f64,
+    /// Baseline bus power, in watts.
+    pub baseline_bus_power_w: f64,
+}
+
+impl Headline {
+    /// Fractional bus-power reduction.
+    pub fn bus_power_reduction(&self) -> f64 {
+        if self.baseline_bus_power_w > 0.0 {
+            self.bus_power_saving_w / self.baseline_bus_power_w
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one benchmark across all four options.
+pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Fig5Row {
+    let trace = benchmark.generate(params);
+    let mut cpma = [0.0; 4];
+    let mut bandwidth = [0.0; 4];
+    for (i, option) in StackOption::all().into_iter().enumerate() {
+        let mut engine = Engine::new(
+            MemoryHierarchy::new(option.hierarchy()),
+            EngineConfig::default(),
+        );
+        let result = engine.run_warmed(&trace, WARMUP_FRACTION);
+        cpma[i] = result.cpma;
+        bandwidth[i] = result.offdie_gb_per_sec;
+    }
+    Fig5Row {
+        benchmark,
+        cpma,
+        bandwidth,
+    }
+}
+
+/// Runs the full Fig. 5 study: all twelve RMS benchmarks across the four
+/// Fig. 7 options. At paper scale this simulates ~130 M references.
+pub fn fig5(params: &WorkloadParams) -> Fig5Data {
+    Fig5Data {
+        rows: RmsBenchmark::all()
+            .iter()
+            .map(|b| run_benchmark(*b, params))
+            .collect(),
+    }
+}
+
+/// The thermal result for one Fig. 8 bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalPoint {
+    /// The option.
+    pub option: StackOption,
+    /// Peak stack temperature in °C.
+    pub peak_c: f64,
+    /// Total stack power in watts.
+    pub power_w: f64,
+    /// The solved field (for thermal-map rendering, Fig. 6(b)/8(b)).
+    pub field: TemperatureField,
+}
+
+/// Builds the thermal stack for one option.
+pub fn thermal_stack(option: StackOption, grid: usize) -> LayerStack {
+    let cpu = option.cpu_floorplan();
+    let (w, h) = (cpu.width(), cpu.height());
+    let ny = (grid * 17 / 20).max(1);
+    let power: PowerGrid = cpu.power_grid(grid, ny);
+    match option.stacked_floorplan() {
+        None => LayerStack::planar(w, h, power),
+        Some(top) => LayerStack::two_die(
+            w,
+            h,
+            power,
+            top.power_grid(grid, ny),
+            option.stacked_die_is_dram(),
+        ),
+    }
+}
+
+/// Solves the Fig. 8 thermal comparison across all four options.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig8() -> Result<Vec<ThermalPoint>, SolveError> {
+    let cfg = SolverConfig::default();
+    let bc = Boundary::desktop();
+    StackOption::all()
+        .into_iter()
+        .map(|option| {
+            let stack = thermal_stack(option, cfg.nx);
+            let field = solve(&stack, bc, cfg)?;
+            Ok(ThermalPoint {
+                option,
+                peak_c: field.peak(),
+                power_w: option.total_power(),
+                field,
+            })
+        })
+        .collect()
+}
+
+/// Solves the baseline planar thermal map of Fig. 6: returns the power
+/// grid and the temperature field of the active layer.
+///
+/// # Errors
+///
+/// Propagates solver failure.
+pub fn fig6() -> Result<(PowerGrid, TemperatureField), SolveError> {
+    let cfg = SolverConfig::default();
+    let option = StackOption::Planar4M;
+    let cpu = option.cpu_floorplan();
+    let ny = (cfg.nx * 17 / 20).max(1);
+    let grid = cpu.power_grid(cfg.nx, ny);
+    let stack = thermal_stack(option, cfg.nx);
+    let field = solve(&stack, Boundary::desktop(), cfg)?;
+    Ok((grid, field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_matches_paper_within_a_degree() {
+        let pts = fig8().unwrap();
+        let paper = [88.35, 92.85, 88.43, 90.27];
+        for (p, target) in pts.iter().zip(paper) {
+            assert!(
+                (p.peak_c - target).abs() < 1.2,
+                "{}: {:.2} vs paper {target}",
+                p.option,
+                p.peak_c
+            );
+        }
+        // the 32 MB DRAM option is thermally near-free (paper: +0.08 C)
+        let delta = pts[2].peak_c - pts[0].peak_c;
+        assert!(delta.abs() < 0.6, "32 MB delta {delta:.2}");
+        // SRAM stacking heats the most
+        assert!(pts[1].peak_c > pts[3].peak_c && pts[3].peak_c > pts[2].peak_c);
+    }
+
+    #[test]
+    fn fig6_baseline_map_shape() {
+        let (grid, field) = fig6().unwrap();
+        assert!((grid.total() - 92.0).abs() < 1e-6);
+        let peak = field.peak();
+        assert!((peak - 88.35).abs() < 1.0, "peak {peak:.2}");
+        // the die's coolest spot sits over the L2 (bottom half);
+        // paper: 59 C with the epoxy-fillet edge effect we do not model
+        let active = field.layer_by_name("active 1").expect("active layer");
+        let min = active.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > 55.0 && min < 70.0, "coolest {min:.2}");
+    }
+
+    #[test]
+    fn test_scale_fig5_shows_capacity_separation() {
+        // at test scale only shape sanity is checked: valid metrics and
+        // capacity-insensitive benchmarks staying flat
+        let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test());
+        for c in row.cpma {
+            assert!(c > 0.0 && c < 100.0);
+        }
+    }
+
+    #[test]
+    fn headline_math() {
+        let data = Fig5Data {
+            rows: vec![
+                Fig5Row {
+                    benchmark: RmsBenchmark::Gauss,
+                    cpma: [4.0, 4.0, 2.0, 2.0],
+                    bandwidth: [12.0, 12.0, 4.0, 4.0],
+                },
+                Fig5Row {
+                    benchmark: RmsBenchmark::Conj,
+                    cpma: [1.0, 1.0, 1.0, 1.0],
+                    bandwidth: [0.0, 0.0, 0.0, 0.0],
+                },
+            ],
+        };
+        let h = data.headline();
+        assert!((h.mean_cpma_reduction - 0.4).abs() < 1e-9);
+        assert!((h.peak_cpma_reduction - 0.5).abs() < 1e-9);
+        assert!((h.bandwidth_reduction_factor - 3.0).abs() < 1e-9);
+        assert!((h.bus_power_reduction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

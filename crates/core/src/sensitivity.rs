@@ -1,0 +1,101 @@
+//! The Fig. 3 thermal-sensitivity study: peak temperature of a stacked
+//! microprocessor as the Cu metal layer or bonding layer conductivity is
+//! swept from 60 down to 3 W/mK.
+
+use stacksim_thermal::sweep::{
+    conductivity_sweep, conductivity_sweep_multi, fig3_conductivities, SweepPoint,
+};
+use stacksim_thermal::{Boundary, LayerStack, SolveError, SolverConfig};
+
+use crate::logic_logic::folded_p4;
+
+/// The two Fig. 3 curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Data {
+    /// Peak temperature vs Cu metal layer conductivity.
+    pub cu_metal: Vec<SweepPoint>,
+    /// Peak temperature vs bonding layer conductivity.
+    pub bond: Vec<SweepPoint>,
+}
+
+impl Fig3Data {
+    /// Temperature increase along a curve from its best (60 W/mK) to its
+    /// worst (3 W/mK) point.
+    pub fn span(points: &[SweepPoint]) -> f64 {
+        let lo = points
+            .iter()
+            .map(|p| p.peak_c)
+            .fold(f64::INFINITY, f64::min);
+        let hi = points
+            .iter()
+            .map(|p| p.peak_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        hi - lo
+    }
+}
+
+/// Runs the Fig. 3 sweep on the Logic+Logic two-die stack (the "stacked
+/// microprocessor" of the figure): the far die's heat crosses both metal
+/// stacks and the bond, which is what makes the metal curve dominate.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig3() -> Result<Fig3Data, SolveError> {
+    let folded = folded_p4();
+    let d0 = &folded.dies()[0];
+    let d1 = &folded.dies()[1];
+    let cfg = SolverConfig::default();
+    let ny = (cfg.nx * 17 / 20).max(1);
+    let planar_area = stacksim_floorplan::p4::pentium4_147w().area();
+    let bc = Boundary::performance().scaled_to_area(planar_area, d0.area());
+    let stack = LayerStack::two_die(
+        d0.width(),
+        d0.height(),
+        d0.power_grid(cfg.nx, ny),
+        d1.power_grid(cfg.nx, ny),
+        false,
+    );
+    let ks = fig3_conductivities();
+    Ok(Fig3Data {
+        // "the traditional metal stack on the two die": both metal layers
+        cu_metal: conductivity_sweep_multi(&stack, &["cu metal 1", "cu metal 2"], &ks, bc, cfg)?,
+        bond: conductivity_sweep(&stack, "bond", &ks, bc, cfg)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_the_paper() {
+        let data = fig3().unwrap();
+        // both curves rise monotonically as conductivity falls
+        for curve in [&data.cu_metal, &data.bond] {
+            for w in curve.windows(2) {
+                assert!(w[0].k > w[1].k, "grid is descending");
+                assert!(
+                    w[1].peak_c >= w[0].peak_c - 1e-6,
+                    "peak rises as k falls: {:?}",
+                    curve
+                );
+            }
+        }
+        // the metal layer has the stronger temperature impact (Fig. 3's
+        // conclusion: "the metal layer has a more significant temperature
+        // impact")
+        let metal_span = Fig3Data::span(&data.cu_metal);
+        let bond_span = Fig3Data::span(&data.bond);
+        assert!(
+            metal_span > bond_span,
+            "metal span {metal_span:.2} vs bond span {bond_span:.2}"
+        );
+        // the paper's Fig. 3 y-axis spans roughly 82..90 C: a few degrees
+        // of sensitivity, not tens
+        assert!(
+            metal_span > 0.5 && metal_span < 20.0,
+            "span {metal_span:.2}"
+        );
+    }
+}

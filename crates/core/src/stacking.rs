@@ -1,0 +1,186 @@
+//! The four Fig. 7 stacking options as one study handle.
+
+use stacksim_floorplan::core2::core2_duo_92w;
+use stacksim_floorplan::{uniform_die, Floorplan};
+use stacksim_mem::HierarchyConfig;
+
+/// One of the memory-stacking options of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackOption {
+    /// (a) The planar baseline: 4 MB on-die SRAM L2.
+    Planar4M,
+    /// (b) 8 MB SRAM stacked for a 12 MB L2.
+    Sram12M,
+    /// (c) 32 MB stacked DRAM, on-die SRAM L2 removed (tags on die).
+    Dram32M,
+    /// (d) 64 MB stacked DRAM, the old L2 array holds the tags.
+    Dram64M,
+}
+
+impl StackOption {
+    /// All four options in Fig. 5 / Fig. 8 order.
+    pub fn all() -> [StackOption; 4] {
+        [
+            StackOption::Planar4M,
+            StackOption::Sram12M,
+            StackOption::Dram32M,
+            StackOption::Dram64M,
+        ]
+    }
+
+    /// Last-level-cache capacity label in MB.
+    pub fn capacity_mb(&self) -> u32 {
+        match self {
+            StackOption::Planar4M => 4,
+            StackOption::Sram12M => 12,
+            StackOption::Dram32M => 32,
+            StackOption::Dram64M => 64,
+        }
+    }
+
+    /// Fig. 8 bar label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StackOption::Planar4M => "2D 4MB",
+            StackOption::Sram12M => "3D 12MB",
+            StackOption::Dram32M => "3D 32MB",
+            StackOption::Dram64M => "3D 64MB",
+        }
+    }
+
+    /// The memory-hierarchy configuration simulated for Fig. 5.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        match self {
+            StackOption::Planar4M => HierarchyConfig::core2_baseline(),
+            StackOption::Sram12M => HierarchyConfig::stacked_sram_12mb(),
+            StackOption::Dram32M => HierarchyConfig::stacked_dram_32mb(),
+            StackOption::Dram64M => HierarchyConfig::stacked_dram_64mb(),
+        }
+    }
+
+    /// Power of the stacked (top) die in watts, per the Fig. 7 block
+    /// diagrams: 8 MB SRAM = 14 W, 32 MB DRAM = 3.1 W, 64 MB DRAM = 6.2 W.
+    pub fn stacked_die_power(&self) -> f64 {
+        match self {
+            StackOption::Planar4M => 0.0,
+            StackOption::Sram12M => stacksim_power::sram_power_w(8.0),
+            StackOption::Dram32M => stacksim_power::dram_power_w(32.0),
+            StackOption::Dram64M => stacksim_power::dram_power_w(64.0),
+        }
+    }
+
+    /// Whether the stacked die is DRAM (Al metal stack) rather than SRAM.
+    pub fn stacked_die_is_dram(&self) -> bool {
+        matches!(self, StackOption::Dram32M | StackOption::Dram64M)
+    }
+
+    /// The CPU-die floorplan for the thermal study. In option (c) the 4 MB
+    /// SRAM array shrinks to the stacked-DRAM tag store (~2 MB of tags on
+    /// the same footprint); in (d) the old L2 array serves as the tag store
+    /// at its full 7 W.
+    pub fn cpu_floorplan(&self) -> Floorplan {
+        let base = core2_duo_92w();
+        match self {
+            StackOption::Dram32M => {
+                let mut f = Floorplan::new("core2-32m", base.width(), base.height());
+                for b in base.blocks() {
+                    if b.name() == "l2" {
+                        f.push(b.with_power_scaled(3.5 / 7.0));
+                    } else {
+                        f.push(b.clone());
+                    }
+                }
+                f
+            }
+            _ => base,
+        }
+    }
+
+    /// The stacked (top) die floorplan, if any. Cache dies are uniform
+    /// ("the cache-only die in the stack has uniform power").
+    pub fn stacked_floorplan(&self) -> Option<Floorplan> {
+        if *self == StackOption::Planar4M {
+            return None;
+        }
+        let base = core2_duo_92w();
+        let name = match self {
+            StackOption::Sram12M => "sram8",
+            StackOption::Dram32M => "dram32",
+            StackOption::Dram64M => "dram64",
+            StackOption::Planar4M => unreachable!(),
+        };
+        Some(uniform_die(
+            name,
+            base.width(),
+            base.height(),
+            self.stacked_die_power(),
+        ))
+    }
+
+    /// Total stack power (CPU die + stacked die) in watts.
+    pub fn total_power(&self) -> f64 {
+        self.cpu_floorplan().total_power()
+            + self.stacked_floorplan().map_or(0.0, |f| f.total_power())
+    }
+}
+
+impl std::fmt::Display for StackOption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_fig7() {
+        let caps: Vec<u32> = StackOption::all().iter().map(|o| o.capacity_mb()).collect();
+        assert_eq!(caps, vec![4, 12, 32, 64]);
+    }
+
+    #[test]
+    fn stacked_die_powers_match_fig7() {
+        assert_eq!(StackOption::Planar4M.stacked_die_power(), 0.0);
+        assert!((StackOption::Sram12M.stacked_die_power() - 14.0).abs() < 1e-9);
+        assert!((StackOption::Dram32M.stacked_die_power() - 3.1).abs() < 1e-9);
+        assert!((StackOption::Dram64M.stacked_die_power() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_power_ordering_matches_the_paper() {
+        // 12 MB SRAM: 106 W (92 + 14); 32 MB is *below* baseline + DRAM
+        // because the on-die L2 shrank to tags
+        let p4 = StackOption::Planar4M.total_power();
+        let p12 = StackOption::Sram12M.total_power();
+        let p32 = StackOption::Dram32M.total_power();
+        let p64 = StackOption::Dram64M.total_power();
+        assert!((p4 - 92.0).abs() < 1e-9);
+        assert!((p12 - 106.0).abs() < 1e-9);
+        assert!(p32 < p4 + 3.2, "32 MB option saves SRAM power: {p32}");
+        assert!((p64 - 98.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hierarchies_validate() {
+        for o in StackOption::all() {
+            o.hierarchy().validate().unwrap();
+            assert_eq!(
+                o.hierarchy().llc_capacity(),
+                u64::from(o.capacity_mb()) << 20
+            );
+        }
+    }
+
+    #[test]
+    fn floorplans_validate() {
+        for o in StackOption::all() {
+            o.cpu_floorplan().validate().unwrap();
+            if let Some(top) = o.stacked_floorplan() {
+                top.validate().unwrap();
+                assert_eq!(o.stacked_die_is_dram(), top.name().starts_with("dram"));
+            }
+        }
+    }
+}

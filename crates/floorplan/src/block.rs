@@ -1,0 +1,143 @@
+//! Named functional blocks with power budgets.
+
+use crate::geom::Rect;
+
+/// A functional block of the microarchitecture: a named rectangle with a
+/// power budget, e.g. the FP unit, the scheduler, or the L2 array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    name: String,
+    rect: Rect,
+    power: f64,
+}
+
+impl Block {
+    /// Creates a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power` is negative or not finite.
+    pub fn new(name: impl Into<String>, rect: Rect, power: f64) -> Self {
+        assert!(
+            power >= 0.0 && power.is_finite(),
+            "block power must be non-negative"
+        );
+        Block {
+            name: name.into(),
+            rect,
+            power,
+        }
+    }
+
+    /// The block's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The block's placement.
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// The block's power in watts.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Power density in W/mm².
+    pub fn power_density(&self) -> f64 {
+        self.power / self.rect.area()
+    }
+
+    /// Returns the block moved to a new position (same size, name, power).
+    pub fn placed_at(&self, x: f64, y: f64) -> Block {
+        Block {
+            rect: Rect::new(x, y, self.rect.w, self.rect.h),
+            ..self.clone()
+        }
+    }
+
+    /// Returns the block with its power scaled by `factor` (e.g. voltage
+    /// scaling or the 3D wire-power reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn with_power_scaled(&self, factor: f64) -> Block {
+        assert!(factor >= 0.0, "power scale factor must be non-negative");
+        Block {
+            power: self.power * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Splits the block horizontally at fraction `f` of its height,
+    /// returning the bottom and top parts with power split by area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not strictly between 0 and 1.
+    pub fn split_at(&self, f: f64) -> (Block, Block) {
+        assert!(f > 0.0 && f < 1.0, "split fraction must be in (0, 1)");
+        let bottom_h = self.rect.h * f;
+        let bottom = Block {
+            name: format!("{}.lo", self.name),
+            rect: Rect::new(self.rect.x, self.rect.y, self.rect.w, bottom_h),
+            power: self.power * f,
+        };
+        let top = Block {
+            name: format!("{}.hi", self.name),
+            rect: Rect::new(
+                self.rect.x,
+                self.rect.y + bottom_h,
+                self.rect.w,
+                self.rect.h - bottom_h,
+            ),
+            power: self.power * (1.0 - f),
+        };
+        (bottom, top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_power_over_area() {
+        let b = Block::new("fp", Rect::new(0.0, 0.0, 2.0, 2.0), 8.0);
+        assert_eq!(b.power_density(), 2.0);
+    }
+
+    #[test]
+    fn split_conserves_power_and_area() {
+        let b = Block::new("dcache", Rect::new(1.0, 1.0, 4.0, 2.0), 6.0);
+        let (lo, hi) = b.split_at(0.25);
+        assert!((lo.power() + hi.power() - 6.0).abs() < 1e-12);
+        assert!((lo.rect().area() + hi.rect().area() - 8.0).abs() < 1e-12);
+        assert_eq!(lo.rect().y1(), hi.rect().y);
+        assert!(lo.name().ends_with(".lo"));
+        assert!(hi.name().ends_with(".hi"));
+    }
+
+    #[test]
+    fn power_scaling() {
+        let b = Block::new("alu", Rect::new(0.0, 0.0, 1.0, 1.0), 10.0);
+        assert_eq!(b.with_power_scaled(0.85).power(), 8.5);
+    }
+
+    #[test]
+    fn placed_at_moves_without_resizing() {
+        let b = Block::new("rs", Rect::new(0.0, 0.0, 2.0, 3.0), 5.0);
+        let m = b.placed_at(4.0, 5.0);
+        assert_eq!(m.rect().x, 4.0);
+        assert_eq!(m.rect().w, 2.0);
+        assert_eq!(m.power(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_panics() {
+        let _ = Block::new("bad", Rect::new(0.0, 0.0, 1.0, 1.0), -1.0);
+    }
+}

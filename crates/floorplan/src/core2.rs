@@ -1,0 +1,159 @@
+//! The Intel Core 2 Duo–class baseline floorplan of Fig. 4 / Fig. 6.
+//!
+//! Die: 13 × 11 mm (143 mm²). The shared 4 MB L2 occupies the bottom half
+//! (the paper: "the 4MB L2 cache in the baseline occupies approximately 50%
+//! of the total die size"); two mirrored cores sit on the top half. The
+//! hottest blocks are the FP units, reservation stations and load/store
+//! units, as called out in Fig. 6(b).
+
+use crate::block::Block;
+use crate::floorplan::Floorplan;
+use crate::geom::Rect;
+
+/// Die width in mm.
+pub const DIE_W: f64 = 13.0;
+/// Die height in mm.
+pub const DIE_H: f64 = 11.0;
+/// Power of the 4 MB SRAM L2 (§3: "4MB of SRAM consume 7W").
+pub const L2_POWER: f64 = 7.0;
+/// Power of the off-die bus interface block.
+pub const BUS_POWER: f64 = 1.0;
+
+/// Relative power weights of the per-core blocks (name, x, y, w, h, weight),
+/// in core-local coordinates on a 6.5 × 5.5 mm core.
+const CORE_BLOCKS: &[(&str, f64, f64, f64, f64, f64)] = &[
+    // bottom row (y 0..1.8): memory pipeline
+    ("ldst", 0.0, 0.0, 2.2, 1.8, 6.0),
+    ("l1d", 2.2, 0.0, 2.3, 1.8, 2.0),
+    ("tlb", 4.5, 0.0, 2.0, 1.8, 1.0),
+    // middle row (y 1.8..3.5): execution
+    ("rs", 0.0, 1.8, 1.5, 1.7, 5.5),
+    ("alu", 1.5, 1.8, 1.5, 1.7, 4.5),
+    ("fp", 3.0, 1.8, 1.8, 1.7, 7.5),
+    ("simd", 4.8, 1.8, 1.7, 1.7, 3.5),
+    // top row (y 3.5..5.5): front end
+    ("l1i", 0.0, 3.5, 2.0, 2.0, 1.5),
+    ("decode", 2.0, 3.5, 1.5, 2.0, 3.0),
+    ("bpu", 3.5, 3.5, 1.0, 2.0, 1.2),
+    ("rob", 4.5, 3.5, 2.0, 2.0, 2.8),
+];
+
+/// Builds the baseline dual-core floorplan with the given total die power.
+/// The L2 consumes its fixed 7 W and the bus interface 1 W; the remainder is
+/// distributed over the two cores according to the per-block weights.
+///
+/// # Panics
+///
+/// Panics if `total_power` does not leave positive power for the cores.
+pub fn core2_duo(total_power: f64) -> Floorplan {
+    let core_power = total_power - L2_POWER - BUS_POWER;
+    assert!(
+        core_power > 0.0,
+        "total power must exceed the cache and bus power"
+    );
+    let weight_sum: f64 = CORE_BLOCKS.iter().map(|b| b.5).sum::<f64>() * 2.0;
+
+    let mut f = Floorplan::new("core2-duo", DIE_W, DIE_H);
+    // bottom half: L2 (12 mm wide) + bus interface (1 mm)
+    f.push(Block::new("l2", Rect::new(0.0, 0.0, 12.0, 5.5), L2_POWER));
+    f.push(Block::new(
+        "busif",
+        Rect::new(12.0, 0.0, 1.0, 5.5),
+        BUS_POWER,
+    ));
+    // two mirrored cores on the top half
+    for core in 0..2 {
+        for &(name, x, y, w, h, weight) in CORE_BLOCKS {
+            let (gx, gy) = if core == 0 {
+                (x, 5.5 + y)
+            } else {
+                // mirror across the vertical centre line
+                (DIE_W - x - w, 5.5 + y)
+            };
+            let power = core_power * weight / weight_sum;
+            f.push(Block::new(
+                format!("core{core}.{name}"),
+                Rect::new(gx, gy, w, h),
+                power,
+            ));
+        }
+    }
+    debug_assert!(f.validate().is_ok());
+    f
+}
+
+/// The 92 W skew used for the Fig. 6 / Fig. 8 thermal analysis.
+pub fn core2_duo_92w() -> Floorplan {
+    core2_duo(92.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_legal_and_sums_to_total() {
+        let f = core2_duo_92w();
+        f.validate().unwrap();
+        assert!((f.total_power() - 92.0).abs() < 1e-9);
+        assert_eq!(f.width(), 13.0);
+        assert_eq!(f.height(), 11.0);
+    }
+
+    #[test]
+    fn l2_occupies_about_half_the_die() {
+        let f = core2_duo_92w();
+        let l2 = f.block("l2").unwrap();
+        let frac = l2.rect().area() / f.area();
+        assert!(frac > 0.45 && frac < 0.5, "L2 fraction {frac}");
+    }
+
+    #[test]
+    fn hotspots_are_fp_rs_ldst() {
+        let f = core2_duo_92w();
+        let mut by_density: Vec<_> = f.blocks().iter().collect();
+        by_density.sort_by(|a, b| b.power_density().partial_cmp(&a.power_density()).unwrap());
+        let top: Vec<&str> = by_density[..6]
+            .iter()
+            .map(|b| b.name().split('.').next_back().unwrap())
+            .collect();
+        for hot in ["fp", "rs"] {
+            assert!(
+                top.contains(&hot),
+                "{hot} must be among the hottest, got {top:?}"
+            );
+        }
+        // load/store is hotter than any cache array
+        let ldst = f.block("core0.ldst").unwrap().power_density();
+        let l2 = f.block("l2").unwrap().power_density();
+        assert!(ldst > 5.0 * l2);
+    }
+
+    #[test]
+    fn cores_are_mirrored() {
+        let f = core2_duo_92w();
+        let fp0 = f.block("core0.fp").unwrap().rect().center().0;
+        let fp1 = f.block("core1.fp").unwrap().rect().center().0;
+        assert!(
+            (fp0 + fp1 - DIE_W).abs() < 1e-9,
+            "mirrored about the centre line"
+        );
+    }
+
+    #[test]
+    fn die_is_fully_tiled() {
+        let f = core2_duo_92w();
+        assert!(
+            (f.utilisation() - 1.0).abs() < 1e-9,
+            "utilisation {}",
+            f.utilisation()
+        );
+    }
+
+    #[test]
+    fn cache_is_much_cooler_than_cores() {
+        let g = core2_duo_92w().power_grid(26, 22);
+        // peak density (in a core) must far exceed the mean
+        assert!(g.peak_density() > 2.0 * g.mean_density());
+    }
+}

@@ -1,0 +1,251 @@
+//! A single die's floorplan: a frame plus non-overlapping blocks.
+
+use std::fmt;
+
+use crate::block::Block;
+use crate::geom::Rect;
+use crate::grid::PowerGrid;
+
+const EPS_AREA: f64 = 1e-6;
+
+/// A planar floorplan: die dimensions plus placed blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    name: String,
+    width: f64,
+    height: f64,
+    blocks: Vec<Block>,
+}
+
+/// A floorplan legality violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FloorplanError {
+    /// A block extends beyond the die frame.
+    OutOfBounds {
+        /// The offending block's name.
+        block: String,
+    },
+    /// Two blocks overlap.
+    Overlap {
+        /// First block name.
+        a: String,
+        /// Second block name.
+        b: String,
+        /// Overlap area in mm².
+        area: f64,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::OutOfBounds { block } => {
+                write!(f, "block '{block}' extends beyond the die frame")
+            }
+            FloorplanError::Overlap { a, b, area } => {
+                write!(f, "blocks '{a}' and '{b}' overlap by {area:.3} mm^2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+impl Floorplan {
+    /// Creates an empty floorplan of the given die size (mm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is not positive.
+    pub fn new(name: impl Into<String>, width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "die dimensions must be positive"
+        );
+        Floorplan {
+            name: name.into(),
+            width,
+            height,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The floorplan's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die width in mm.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Die height in mm.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Die area in mm².
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Adds a block.
+    pub fn push(&mut self, block: Block) {
+        self.blocks.push(block);
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Looks a block up by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name() == name)
+    }
+
+    /// Total power of all blocks in watts.
+    pub fn total_power(&self) -> f64 {
+        self.blocks.iter().map(Block::power).sum()
+    }
+
+    /// Checks that every block is inside the frame and no two overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), FloorplanError> {
+        let frame = Rect::new(0.0, 0.0, self.width, self.height);
+        for b in &self.blocks {
+            if !frame.contains(b.rect(), 1e-6) {
+                return Err(FloorplanError::OutOfBounds {
+                    block: b.name().to_string(),
+                });
+            }
+        }
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                let area = a.rect().overlap_area(b.rect());
+                if area > EPS_AREA {
+                    return Err(FloorplanError::Overlap {
+                        a: a.name().to_string(),
+                        b: b.name().to_string(),
+                        area,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rasterises the block powers into an `nx × ny` power grid, spreading
+    /// each block's power uniformly over its area.
+    pub fn power_grid(&self, nx: usize, ny: usize) -> PowerGrid {
+        let mut g = PowerGrid::zero(nx, ny, self.width, self.height);
+        let (dx, dy) = g.cell_dims();
+        for b in &self.blocks {
+            let r = b.rect();
+            let density = b.power() / r.area();
+            let i0 = (r.x / dx).floor().max(0.0) as usize;
+            let j0 = (r.y / dy).floor().max(0.0) as usize;
+            let i1 = ((r.x1() / dx).ceil() as usize).min(nx);
+            let j1 = ((r.y1() / dy).ceil() as usize).min(ny);
+            for j in j0..j1 {
+                for i in i0..i1 {
+                    let cell = Rect::new(i as f64 * dx, j as f64 * dy, dx, dy);
+                    let ov = r.overlap_area(&cell);
+                    if ov > 0.0 {
+                        g.add(i, j, density * ov);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The fraction of the die area covered by blocks.
+    pub fn utilisation(&self) -> f64 {
+        self.blocks.iter().map(|b| b.rect().area()).sum::<f64>() / self.area()
+    }
+
+    /// A copy with every block's power scaled by `factor`.
+    pub fn with_power_scaled(&self, factor: f64) -> Floorplan {
+        Floorplan {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| b.with_power_scaled(factor))
+                .collect(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Floorplan {
+        let mut f = Floorplan::new("test", 10.0, 10.0);
+        f.push(Block::new("a", Rect::new(0.0, 0.0, 5.0, 10.0), 50.0));
+        f.push(Block::new("b", Rect::new(5.0, 0.0, 5.0, 10.0), 10.0));
+        f
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert!(simple().validate().is_ok());
+        assert_eq!(simple().total_power(), 60.0);
+        assert!((simple().utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut f = Floorplan::new("test", 10.0, 10.0);
+        f.push(Block::new("big", Rect::new(5.0, 5.0, 6.0, 6.0), 1.0));
+        assert!(matches!(
+            f.validate(),
+            Err(FloorplanError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut f = Floorplan::new("test", 10.0, 10.0);
+        f.push(Block::new("a", Rect::new(0.0, 0.0, 5.0, 5.0), 1.0));
+        f.push(Block::new("b", Rect::new(4.0, 4.0, 5.0, 5.0), 1.0));
+        match f.validate() {
+            Err(FloorplanError::Overlap { area, .. }) => assert!((area - 1.0).abs() < 1e-9),
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_grid_conserves_power() {
+        let g = simple().power_grid(7, 13);
+        assert!((g.total() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_grid_reflects_density_difference() {
+        let g = simple().power_grid(10, 10);
+        // block a: 50 W over 50 mm² = 1 W/mm²; block b: 0.2 W/mm²
+        assert!((g.get(0, 0) - 1.0).abs() < 1e-9);
+        assert!((g.get(9, 9) - 0.2).abs() < 1e-9);
+        assert!((g.peak_density() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_lookup() {
+        let f = simple();
+        assert_eq!(f.block("a").unwrap().power(), 50.0);
+        assert!(f.block("zz").is_none());
+    }
+
+    #[test]
+    fn power_scaling_applies_to_all_blocks() {
+        let f = simple().with_power_scaled(0.5);
+        assert_eq!(f.total_power(), 30.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! 2D → 3D floorplan folding: re-placing a planar design onto two stacked
+//! dies of half the footprint, with iterative hotspot repair.
+//!
+//! §4 of the paper: "a new 3D floorplan can be developed that requires only
+//! 50% of the original footprint ... A simple iterative process of placing
+//! blocks, observing the new power densities and repairing outliers was
+//! used in this experiment. The result is a 1.3x power density increase."
+//!
+//! The folder works at a quantised grid: blocks are placed largest-first
+//! onto whichever die and position minimises the resulting peak *stacked*
+//! power density; a repair loop then relocates contributors to the worst
+//! heat column until no single move improves the peak.
+
+use std::fmt;
+
+use crate::block::Block;
+use crate::floorplan::Floorplan;
+use crate::geom::Rect;
+use crate::stacked::StackedFloorplan;
+
+/// Folding parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldOptions {
+    /// Placement grid step in mm.
+    pub grid_step: f64,
+    /// Whitespace slack: the two dies' combined area is `area_slack` times
+    /// the planar area (rigid rectangles cannot be packed perfectly; real
+    /// floorplans carry whitespace too). 1.12 keeps the per-die footprint
+    /// at ~57% of planar, matching the paper's "approximately 50%".
+    pub area_slack: f64,
+    /// Maximum hotspot-repair iterations.
+    pub repair_iters: usize,
+    /// Power-density evaluation grid resolution (cells along x).
+    pub density_cells: usize,
+    /// Power scale applied to every block (§4: the 3D floorplan saves 15%
+    /// power from shorter wires, fewer repeaters and a smaller clock grid).
+    pub power_scale: f64,
+}
+
+impl Default for FoldOptions {
+    fn default() -> Self {
+        FoldOptions {
+            grid_step: 0.125,
+            area_slack: 1.15,
+            repair_iters: 64,
+            density_cells: 48,
+            power_scale: 0.85,
+        }
+    }
+}
+
+/// Folding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FoldError {
+    /// A block could not be placed on either die.
+    NoRoom {
+        /// Name of the block that did not fit.
+        block: String,
+    },
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::NoRoom { block } => write!(f, "no legal position for block '{block}'"),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
+/// Folds a planar floorplan onto two dies of half the total area.
+///
+/// # Errors
+///
+/// Returns [`FoldError::NoRoom`] if the packer cannot place a block; this
+/// happens when the planar plan's utilisation is so high that the quantised
+/// packing loses too much space (try a smaller `grid_step`).
+pub fn fold(planar: &Floorplan, opts: FoldOptions) -> Result<StackedFloorplan, FoldError> {
+    let s = (0.5 * opts.area_slack).sqrt();
+    let die_w = planar.width() * s;
+    let die_h = planar.height() * s;
+
+    // pre-pass: split blocks that cannot fit the smaller frame, then split
+    // the largest blocks once more so the packer has flexibility (this is
+    // the paper's "block splitting" to reduce intra-block interconnect)
+    let mut pending: Vec<Block> = Vec::new();
+    let mut queue: Vec<Block> = planar
+        .blocks()
+        .iter()
+        .map(|b| b.with_power_scaled(opts.power_scale))
+        .collect();
+    while let Some(b) = queue.pop() {
+        let r = b.rect();
+        if r.w > die_w || r.h > die_h || r.area() > 0.35 * die_w * die_h {
+            // split along the longer edge
+            let (lo, hi) = if r.w >= r.h {
+                let (bl, bt) = rotate_split(&b);
+                (bl, bt)
+            } else {
+                b.split_at(0.5)
+            };
+            queue.push(lo);
+            queue.push(hi);
+        } else {
+            pending.push(b);
+        }
+    }
+    // place largest blocks first (the worklist pops from the back)
+    pending.sort_by(|a, b| a.rect().area().partial_cmp(&b.rect().area()).unwrap());
+
+    let mut dies = [
+        Placer::new(die_w, die_h, opts),
+        Placer::new(die_w, die_h, opts),
+    ];
+    // largest-first worklist; a block that fits nowhere is split in half and
+    // its pieces retried (further "block splitting"), down to a minimum size
+    let mut work: Vec<Block> = pending;
+    while let Some(b) = work.pop() {
+        // evaluate the best position on each die against the *other* die's
+        // power map, so low-power blocks gravitate over high-power ones
+        let c0 = dies[0].best_position(&b, &dies[1]);
+        let c1 = dies[1].best_position(&b, &dies[0]);
+        match (c0, c1) {
+            (Some((p0, s0)), Some((_, s1))) if s0 <= s1 => {
+                dies[0].place(&b, p0);
+            }
+            (_, Some((p1, _))) => {
+                dies[1].place(&b, p1);
+            }
+            (Some((p0, _)), None) => {
+                dies[0].place(&b, p0);
+            }
+            (None, None) => {
+                if b.rect().area() < 0.25 {
+                    return Err(FoldError::NoRoom {
+                        block: b.name().to_string(),
+                    });
+                }
+                let (lo, hi) = if b.rect().w >= b.rect().h {
+                    rotate_split(&b)
+                } else {
+                    b.split_at(0.5)
+                };
+                work.push(lo);
+                work.push(hi);
+            }
+        }
+    }
+
+    // iterative hotspot repair: relocate a contributor to the peak column
+    for _ in 0..opts.repair_iters {
+        if !repair_once(&mut dies) {
+            break;
+        }
+    }
+
+    Ok(StackedFloorplan::new(vec![
+        dies[0].to_floorplan("die0"),
+        dies[1].to_floorplan("die1"),
+    ]))
+}
+
+/// Splits a block along x (vertical cut) into left and right halves.
+fn rotate_split(b: &Block) -> (Block, Block) {
+    let r = *b.rect();
+    let left = Block::new(
+        format!("{}.l", b.name()),
+        Rect::new(r.x, r.y, r.w / 2.0, r.h),
+        b.power() / 2.0,
+    );
+    let right = Block::new(
+        format!("{}.r", b.name()),
+        Rect::new(r.x + r.w / 2.0, r.y, r.w / 2.0, r.h),
+        b.power() / 2.0,
+    );
+    (left, right)
+}
+
+/// One repair step: find the worst stacked column and try to move one of
+/// its contributors somewhere strictly better. Returns whether it improved.
+fn repair_once(dies: &mut [Placer; 2]) -> bool {
+    let (peak, px, py) = {
+        let combined = combined_density(dies);
+        let mut best = (0.0f64, 0.0f64, 0.0f64);
+        let (nx, ny) = combined.0;
+        for j in 0..ny {
+            for i in 0..nx {
+                let d = combined.1[j * nx + i];
+                if d > best.0 {
+                    best = (
+                        d,
+                        combined.2 * (i as f64 + 0.5),
+                        combined.3 * (j as f64 + 0.5),
+                    );
+                }
+            }
+        }
+        best
+    };
+    for di in 0..2 {
+        let Some(idx) = dies[di].block_at(px, py) else {
+            continue;
+        };
+        let b = dies[di].blocks[idx].clone();
+        let (fixed, moving) = if di == 0 { (1, 0) } else { (0, 1) };
+        // temporarily remove and look for a better spot on either die
+        dies[moving].blocks.remove(idx);
+        let cand_same = dies[moving].best_position(&b, &dies[fixed]);
+        if let Some((pos, score)) = cand_same {
+            if score < peak - 1e-9 {
+                let placed = dies[moving].place(&b, pos);
+                let _ = placed;
+                let new_peak = peak_of(dies);
+                if new_peak < peak - 1e-9 {
+                    return true;
+                }
+                // revert: remove the re-placed block and restore original
+                let last = dies[moving].blocks.len() - 1;
+                dies[moving].blocks.remove(last);
+            }
+        }
+        dies[moving].blocks.insert(idx, b);
+    }
+    false
+}
+
+fn peak_of(dies: &[Placer; 2]) -> f64 {
+    let c = combined_density(dies);
+    c.1.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Combined stacked density: ((nx, ny), densities W/mm², dx, dy).
+#[allow(clippy::type_complexity)]
+fn combined_density(dies: &[Placer; 2]) -> ((usize, usize), Vec<f64>, f64, f64) {
+    let n = dies[0].opts.density_cells;
+    let nx = n;
+    let ny = ((dies[0].h / dies[0].w * n as f64).round() as usize).max(1);
+    let g0 = dies[0].to_floorplan("t0").power_grid(nx, ny);
+    let g1 = dies[1].to_floorplan("t1").power_grid(nx, ny);
+    let (dx, dy) = g0.cell_dims();
+    let cell_area = dx * dy;
+    let cells = g0
+        .cells()
+        .iter()
+        .zip(g1.cells())
+        .map(|(a, b)| (a + b) / cell_area)
+        .collect();
+    ((nx, ny), cells, dx, dy)
+}
+
+/// Greedy grid packer for one die.
+#[derive(Debug, Clone)]
+struct Placer {
+    w: f64,
+    h: f64,
+    opts: FoldOptions,
+    blocks: Vec<Block>,
+}
+
+impl Placer {
+    fn new(w: f64, h: f64, opts: FoldOptions) -> Self {
+        Placer {
+            w,
+            h,
+            opts,
+            blocks: Vec::new(),
+        }
+    }
+
+    fn legal(&self, r: &Rect) -> bool {
+        r.x >= -1e-9
+            && r.y >= -1e-9
+            && r.x1() <= self.w + 1e-9
+            && r.y1() <= self.h + 1e-9
+            && self.blocks.iter().all(|b| !b.rect().intersects(r, 1e-6))
+    }
+
+    /// Finds the legal position minimising the local stacked density
+    /// (own density at the spot + the other die's density underneath).
+    /// Among positions of similar density, prefer bottom-left placements so
+    /// free space stays contiguous instead of fragmenting.
+    fn best_position(&self, b: &Block, other: &Placer) -> Option<((f64, f64), f64)> {
+        let step = self.opts.grid_step;
+        let mut best: Option<((f64, f64), f64, i64)> = None;
+        let bw = b.rect().w;
+        let bh = b.rect().h;
+        let own_density = b.power_density();
+        let mut y = 0.0;
+        while y + bh <= self.h + 1e-9 {
+            let mut x = 0.0;
+            while x + bw <= self.w + 1e-9 {
+                let r = Rect::new(x, y, bw, bh);
+                if self.legal(&r) {
+                    // stacked density this placement would create: the
+                    // block's own density plus the densest spot of the
+                    // other die under its footprint
+                    let under = other.max_density_in(&r);
+                    let score = own_density + under;
+                    // bucket densities so near-equal scores pack compactly
+                    let bucket = (score / 0.1).round() as i64;
+                    let better = match best {
+                        None => true,
+                        Some((_, _, bb)) => bucket < bb,
+                    };
+                    if better {
+                        best = Some(((x, y), score, bucket));
+                    }
+                }
+                x += step;
+            }
+            y += step;
+        }
+        best.map(|(pos, score, _)| (pos, score))
+    }
+
+    fn max_density_in(&self, r: &Rect) -> f64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.rect().intersects(r, 1e-9))
+            .map(|b| b.power_density())
+            .fold(0.0, f64::max)
+    }
+
+    fn place(&mut self, b: &Block, (x, y): (f64, f64)) -> &Block {
+        self.blocks.push(b.placed_at(x, y));
+        self.blocks.last().expect("just pushed")
+    }
+
+    fn block_at(&self, x: f64, y: f64) -> Option<usize> {
+        self.blocks.iter().position(|b| {
+            let r = b.rect();
+            x >= r.x && x < r.x1() && y >= r.y && y < r.y1()
+        })
+    }
+
+    fn to_floorplan(&self, name: &str) -> Floorplan {
+        let mut f = Floorplan::new(name, self.w, self.h);
+        for b in &self.blocks {
+            f.push(b.clone());
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p4::pentium4_147w;
+
+    #[test]
+    fn fold_halves_the_footprint_and_saves_power() {
+        let planar = pentium4_147w();
+        let folded = fold(&planar, FoldOptions::default()).unwrap();
+        folded.validate().unwrap();
+        let area: f64 = folded.dies()[0].area();
+        let frac = area / planar.area();
+        assert!(
+            frac > 0.45 && frac < 0.6,
+            "~50% footprint per die, got {frac}"
+        );
+        assert!(
+            (folded.total_power() - 147.0 * 0.85).abs() < 1e-6,
+            "15% power reduction, got {}",
+            folded.total_power()
+        );
+    }
+
+    #[test]
+    fn fold_preserves_every_watt_modulo_scaling() {
+        let planar = pentium4_147w();
+        let folded = fold(
+            &planar,
+            FoldOptions {
+                power_scale: 1.0,
+                ..FoldOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((folded.total_power() - 147.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn folded_density_is_well_below_worst_case() {
+        let planar = pentium4_147w();
+        let folded = fold(&planar, FoldOptions::default()).unwrap();
+        let planar_peak = planar.power_grid(48, 40).peak_density();
+        let folded_peak = folded.peak_stacked_density(48, 40);
+        let ratio = folded_peak / planar_peak;
+        // §4: repair achieves ~1.3x (vs 2x worst case; 0.85 power scale
+        // helps). Allow some slack around the paper's 1.3x.
+        assert!(
+            ratio < 1.75,
+            "peak density ratio {ratio:.2} must stay below worst case"
+        );
+        assert!(ratio > 0.9, "stacking cannot be free: ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn repair_does_not_break_legality() {
+        let planar = pentium4_147w();
+        let folded = fold(
+            &planar,
+            FoldOptions {
+                repair_iters: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        folded.validate().unwrap();
+    }
+
+    #[test]
+    fn both_dies_are_used() {
+        let planar = pentium4_147w();
+        let folded = fold(&planar, FoldOptions::default()).unwrap();
+        assert!(!folded.dies()[0].blocks().is_empty());
+        assert!(!folded.dies()[1].blocks().is_empty());
+        // utilisation of each die should be near 100% (area is conserved)
+        for d in folded.dies() {
+            assert!(
+                d.utilisation() > 0.8,
+                "die {} utilisation {}",
+                d.name(),
+                d.utilisation()
+            );
+        }
+    }
+}

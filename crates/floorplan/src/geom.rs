@@ -1,0 +1,149 @@
+//! Planar geometry primitives (millimetres).
+
+/// An axis-aligned rectangle in die coordinates (mm). The origin is the
+/// lower-left corner of the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Lower-left x (mm).
+    pub x: f64,
+    /// Lower-left y (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub w: f64,
+    /// Height (mm).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or height is not positive and finite.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        assert!(
+            w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite(),
+            "degenerate rectangle"
+        );
+        assert!(x.is_finite() && y.is_finite(), "non-finite position");
+        Rect { x, y, w, h }
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Right edge.
+    pub fn x1(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge.
+    pub fn y1(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Whether this rectangle fully contains `other` (within `eps`).
+    pub fn contains(&self, other: &Rect, eps: f64) -> bool {
+        other.x >= self.x - eps
+            && other.y >= self.y - eps
+            && other.x1() <= self.x1() + eps
+            && other.y1() <= self.y1() + eps
+    }
+
+    /// Overlap area with `other` (0 if disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.x1().min(other.x1()) - self.x.max(other.x)).max(0.0);
+        let h = (self.y1().min(other.y1()) - self.y.max(other.y)).max(0.0);
+        w * h
+    }
+
+    /// Whether the rectangles overlap by more than `eps` area.
+    pub fn intersects(&self, other: &Rect, eps: f64) -> bool {
+        self.overlap_area(other) > eps
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// The rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            ..*self
+        }
+    }
+
+    /// The rectangle scaled about the origin by `(sx, sy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scale factor is not positive.
+    pub fn scaled(&self, sx: f64, sy: f64) -> Rect {
+        assert!(sx > 0.0 && sy > 0.0, "scale factors must be positive");
+        Rect {
+            x: self.x * sx,
+            y: self.y * sy,
+            w: self.w * sx,
+            h: self.h * sy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.x1(), 4.0);
+        assert_eq!(r.y1(), 6.0);
+        assert_eq!(r.center(), (2.5, 4.0));
+    }
+
+    #[test]
+    fn overlap_area_cases() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert_eq!(a.overlap_area(&c), 0.0);
+        assert!(a.intersects(&b, 1e-9));
+        assert!(!a.intersects(&c, 1e-9));
+    }
+
+    #[test]
+    fn touching_rectangles_do_not_intersect() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 1.0, 1.0);
+        assert!(!a.intersects(&b, 1e-9));
+    }
+
+    #[test]
+    fn containment() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let outer = Rect::new(9.0, 9.0, 2.0, 2.0);
+        assert!(die.contains(&inner, 1e-9));
+        assert!(!die.contains(&outer, 1e-9));
+    }
+
+    #[test]
+    fn transforms() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(r.translated(1.0, -1.0), Rect::new(2.0, 0.0, 2.0, 2.0));
+        assert_eq!(r.scaled(2.0, 0.5), Rect::new(2.0, 0.5, 4.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_size_panics() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+}

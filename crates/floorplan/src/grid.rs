@@ -1,0 +1,225 @@
+//! Rasterised power maps.
+
+/// A rasterised power map: watts per cell over an `nx × ny` grid covering a
+/// `width × height` mm die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerGrid {
+    nx: usize,
+    ny: usize,
+    width: f64,
+    height: f64,
+    watts: Vec<f64>,
+}
+
+impl PowerGrid {
+    /// An all-zero grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or the die size is not positive.
+    pub fn zero(nx: usize, ny: usize, width: f64, height: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "die dimensions must be positive"
+        );
+        PowerGrid {
+            nx,
+            ny,
+            width,
+            height,
+            watts: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Grid size `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Die size in mm `(width, height)`.
+    pub fn die_dims(&self) -> (f64, f64) {
+        (self.width, self.height)
+    }
+
+    /// Cell size in mm `(dx, dy)`.
+    pub fn cell_dims(&self) -> (f64, f64) {
+        (self.width / self.nx as f64, self.height / self.ny as f64)
+    }
+
+    /// Watts in cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nx && j < self.ny, "cell index out of bounds");
+        self.watts[j * self.nx + i]
+    }
+
+    /// Adds watts to cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn add(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i < self.nx && j < self.ny, "cell index out of bounds");
+        self.watts[j * self.nx + i] += w;
+    }
+
+    /// Total power in watts.
+    pub fn total(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// Peak cell power density in W/mm².
+    pub fn peak_density(&self) -> f64 {
+        let (dx, dy) = self.cell_dims();
+        let cell_area = dx * dy;
+        self.watts.iter().cloned().fold(0.0, f64::max) / cell_area
+    }
+
+    /// Mean power density in W/mm² over the whole die.
+    pub fn mean_density(&self) -> f64 {
+        self.total() / (self.width * self.height)
+    }
+
+    /// Element-wise sum of two equally shaped grids (e.g. two stacked dies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn stacked_with(&self, other: &PowerGrid) -> PowerGrid {
+        assert_eq!(self.dims(), other.dims(), "grid shapes must match");
+        assert_eq!(self.die_dims(), other.die_dims(), "die sizes must match");
+        let watts = self
+            .watts
+            .iter()
+            .zip(&other.watts)
+            .map(|(a, b)| a + b)
+            .collect();
+        PowerGrid {
+            watts,
+            ..self.clone()
+        }
+    }
+
+    /// The grid with every cell scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> PowerGrid {
+        PowerGrid {
+            watts: self.watts.iter().map(|w| w * factor).collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Raw cell values in row-major order (row `j`, column `i`).
+    pub fn cells(&self) -> &[f64] {
+        &self.watts
+    }
+
+    /// Resamples the grid to a new resolution, conserving total power.
+    pub fn resampled(&self, nx: usize, ny: usize) -> PowerGrid {
+        let mut out = PowerGrid::zero(nx, ny, self.width, self.height);
+        // distribute each source cell's power into destination cells by
+        // fractional area overlap
+        let (sdx, sdy) = self.cell_dims();
+        let (ddx, ddy) = out.cell_dims();
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let w = self.watts[j * self.nx + i];
+                if w == 0.0 {
+                    continue;
+                }
+                let x0 = i as f64 * sdx;
+                let y0 = j as f64 * sdy;
+                let i0 = (x0 / ddx).floor() as usize;
+                let j0 = (y0 / ddy).floor() as usize;
+                let i1 = (((x0 + sdx) / ddx).ceil() as usize).min(nx);
+                let j1 = (((y0 + sdy) / ddy).ceil() as usize).min(ny);
+                for dj in j0..j1 {
+                    for di in i0..i1 {
+                        let ox = (x0 + sdx).min((di + 1) as f64 * ddx) - x0.max(di as f64 * ddx);
+                        let oy = (y0 + sdy).min((dj + 1) as f64 * ddy) - y0.max(dj as f64 * ddy);
+                        if ox > 0.0 && oy > 0.0 {
+                            out.add(di, dj, w * (ox * oy) / (sdx * sdy));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grid_is_empty() {
+        let g = PowerGrid::zero(4, 4, 10.0, 10.0);
+        assert_eq!(g.total(), 0.0);
+        assert_eq!(g.peak_density(), 0.0);
+        assert_eq!(g.cell_dims(), (2.5, 2.5));
+    }
+
+    #[test]
+    fn add_and_total() {
+        let mut g = PowerGrid::zero(2, 2, 2.0, 2.0);
+        g.add(0, 0, 1.0);
+        g.add(1, 1, 3.0);
+        assert_eq!(g.total(), 4.0);
+        assert_eq!(g.get(1, 1), 3.0);
+        // peak cell 3 W over 1 mm² cell
+        assert_eq!(g.peak_density(), 3.0);
+        assert_eq!(g.mean_density(), 1.0);
+    }
+
+    #[test]
+    fn stacking_adds_cellwise() {
+        let mut a = PowerGrid::zero(2, 1, 2.0, 1.0);
+        let mut b = PowerGrid::zero(2, 1, 2.0, 1.0);
+        a.add(0, 0, 1.0);
+        b.add(0, 0, 2.0);
+        b.add(1, 0, 5.0);
+        let s = a.stacked_with(&b);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert_eq!(s.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut g = PowerGrid::zero(1, 1, 1.0, 1.0);
+        g.add(0, 0, 10.0);
+        assert_eq!(g.scaled(0.5).total(), 5.0);
+    }
+
+    #[test]
+    fn resample_conserves_power() {
+        let mut g = PowerGrid::zero(3, 3, 9.0, 9.0);
+        g.add(0, 0, 5.0);
+        g.add(2, 1, 7.0);
+        for (nx, ny) in [(2, 2), (5, 7), (9, 9), (1, 1)] {
+            let r = g.resampled(nx, ny);
+            assert!((r.total() - 12.0).abs() < 1e-9, "{nx}x{ny}: {}", r.total());
+        }
+    }
+
+    #[test]
+    fn resample_identity_keeps_cells() {
+        let mut g = PowerGrid::zero(4, 2, 4.0, 2.0);
+        g.add(1, 0, 2.0);
+        g.add(3, 1, 4.0);
+        let r = g.resampled(4, 2);
+        assert!((r.get(1, 0) - 2.0).abs() < 1e-9);
+        assert!((r.get(3, 1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn mismatched_stack_panics() {
+        let a = PowerGrid::zero(2, 2, 1.0, 1.0);
+        let b = PowerGrid::zero(3, 2, 1.0, 1.0);
+        let _ = a.stacked_with(&b);
+    }
+}

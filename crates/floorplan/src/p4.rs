@@ -1,0 +1,129 @@
+//! The Pentium 4–class planar floorplan of Fig. 9.
+//!
+//! A deeply pipelined single-core design on a 12 × 10 mm die. The layout
+//! reproduces the two wire-delay paths the paper draws in Fig. 9:
+//!
+//! * **load-to-use**: the L1 data cache (`dcache`) sits beside the integer
+//!   functional units (`fu`) — worst-case data must cross both blocks;
+//! * **FP register read**: the SIMD unit sits *between* the FP register
+//!   file (`rf`) and the FP unit (`fp`), because the planar layout is
+//!   optimised for SIMD — costing all FP instructions two extra cycles.
+//!
+//! The hottest region is the instruction scheduler, as §4 notes
+//! ("the planar floorplan's hottest area over the instruction scheduler").
+
+use crate::block::Block;
+use crate::floorplan::Floorplan;
+use crate::geom::Rect;
+
+/// Die width in mm.
+pub const DIE_W: f64 = 12.0;
+/// Die height in mm.
+pub const DIE_H: f64 = 10.0;
+
+/// Blocks as (name, x, y, w, h, relative power weight).
+// Weights include the sizeable leakage floor of a 90 nm-era deeply
+// pipelined part, which flattens the map relative to dynamic power alone.
+const BLOCKS: &[(&str, f64, f64, f64, f64, f64)] = &[
+    // bottom row: the FP path of Fig. 9 — FP | SIMD | RF adjacency
+    ("fp", 0.0, 0.0, 3.0, 2.5, 12.0),
+    ("simd", 3.0, 0.0, 3.0, 2.5, 9.0),
+    ("rf", 6.0, 0.0, 2.0, 2.5, 7.2),
+    ("mmx", 8.0, 0.0, 4.0, 2.5, 8.4),
+    // middle row: the load-to-use path — D$ beside the functional units
+    ("dcache", 0.0, 2.5, 4.0, 3.0, 11.8),
+    ("fu", 4.0, 2.5, 3.0, 3.0, 13.9),
+    ("sched", 7.0, 2.5, 2.5, 3.0, 14.4),
+    ("ldst", 9.5, 2.5, 2.5, 3.0, 12.0),
+    // upper row: front end
+    ("tcache", 0.0, 5.5, 3.5, 2.2, 9.7),
+    ("frontend", 3.5, 5.5, 2.5, 2.2, 6.8),
+    ("rename", 6.0, 5.5, 2.0, 2.2, 6.9),
+    ("retire", 8.0, 5.5, 2.0, 2.2, 6.3),
+    ("ucode", 10.0, 5.5, 2.0, 2.2, 5.1),
+    // top: L2 and bus
+    ("l2", 0.0, 7.7, 10.0, 2.3, 16.4),
+    ("busif", 10.0, 7.7, 2.0, 2.3, 4.0),
+];
+
+/// Builds the P4-class planar floorplan with the given total power
+/// (the Fig. 11 baseline uses the 147 W skew).
+///
+/// # Panics
+///
+/// Panics if `total_power` is not positive.
+pub fn pentium4(total_power: f64) -> Floorplan {
+    assert!(total_power > 0.0, "total power must be positive");
+    let weight_sum: f64 = BLOCKS.iter().map(|b| b.5).sum();
+    let mut f = Floorplan::new("pentium4", DIE_W, DIE_H);
+    for &(name, x, y, w, h, weight) in BLOCKS {
+        f.push(Block::new(
+            name,
+            Rect::new(x, y, w, h),
+            total_power * weight / weight_sum,
+        ));
+    }
+    debug_assert!(f.validate().is_ok());
+    f
+}
+
+/// The 147 W skew used in Table 5 / Fig. 11.
+pub fn pentium4_147w() -> Floorplan {
+    pentium4(147.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_legal_and_sums_to_total() {
+        let f = pentium4_147w();
+        f.validate().unwrap();
+        assert!((f.total_power() - 147.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduler_is_the_hottest_block() {
+        let f = pentium4_147w();
+        let sched = f.block("sched").unwrap().power_density();
+        for b in f.blocks() {
+            if b.name() != "sched" {
+                assert!(
+                    b.power_density() < sched,
+                    "{} ({:.2}) must be cooler than sched ({sched:.2})",
+                    b.name(),
+                    b.power_density()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_sits_between_rf_and_fp() {
+        let f = pentium4_147w();
+        let fp = f.block("fp").unwrap().rect().center().0;
+        let simd = f.block("simd").unwrap().rect().center().0;
+        let rf = f.block("rf").unwrap().rect().center().0;
+        assert!(fp < simd && simd < rf, "Fig. 9 adjacency: FP | SIMD | RF");
+    }
+
+    #[test]
+    fn dcache_is_adjacent_to_functional_units() {
+        let f = pentium4_147w();
+        let d = f.block("dcache").unwrap().rect();
+        let fu = f.block("fu").unwrap().rect();
+        assert!((d.x1() - fu.x).abs() < 1e-9, "D$ touches the FUs");
+        assert_eq!(d.y, fu.y);
+    }
+
+    #[test]
+    fn die_is_fully_tiled() {
+        let f = pentium4_147w();
+        assert!(
+            (f.utilisation() - 1.0).abs() < 1e-9,
+            "utilisation {}",
+            f.utilisation()
+        );
+    }
+}

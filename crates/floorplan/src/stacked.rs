@@ -1,0 +1,217 @@
+//! Multi-die stacked floorplans.
+
+use std::fmt;
+
+use crate::block::Block;
+use crate::floorplan::{Floorplan, FloorplanError};
+use crate::geom::Rect;
+use crate::grid::PowerGrid;
+
+/// A vertical stack of die floorplans (die 0 is closest to the heat sink —
+/// the paper places the highest-power die there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackedFloorplan {
+    dies: Vec<Floorplan>,
+}
+
+/// A stacked-floorplan validation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StackError {
+    /// Fewer than one die.
+    Empty,
+    /// Dies have different frame dimensions.
+    MismatchedDies,
+    /// One of the dies is itself illegal.
+    Die(FloorplanError),
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::Empty => write!(f, "stack has no dies"),
+            StackError::MismatchedDies => write!(f, "stacked dies have different dimensions"),
+            StackError::Die(e) => write!(f, "illegal die floorplan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StackError::Die(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FloorplanError> for StackError {
+    fn from(e: FloorplanError) -> Self {
+        StackError::Die(e)
+    }
+}
+
+impl StackedFloorplan {
+    /// Builds a stack from dies (heat-sink side first).
+    pub fn new(dies: Vec<Floorplan>) -> Self {
+        StackedFloorplan { dies }
+    }
+
+    /// The dies, heat-sink side first.
+    pub fn dies(&self) -> &[Floorplan] {
+        &self.dies
+    }
+
+    /// Number of dies.
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// Total power across all dies.
+    pub fn total_power(&self) -> f64 {
+        self.dies.iter().map(Floorplan::total_power).sum()
+    }
+
+    /// Checks that the stack is non-empty, all dies share the same frame
+    /// and each die is individually legal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation.
+    pub fn validate(&self) -> Result<(), StackError> {
+        let first = self.dies.first().ok_or(StackError::Empty)?;
+        for d in &self.dies {
+            if (d.width() - first.width()).abs() > 1e-9
+                || (d.height() - first.height()).abs() > 1e-9
+            {
+                return Err(StackError::MismatchedDies);
+            }
+            d.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The element-wise sum of all dies' power grids: the vertical heat
+    /// column each footprint cell must dissipate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty.
+    pub fn combined_power_grid(&self, nx: usize, ny: usize) -> PowerGrid {
+        let mut it = self.dies.iter();
+        let first = it.next().expect("non-empty stack").power_grid(nx, ny);
+        it.fold(first, |acc, d| acc.stacked_with(&d.power_grid(nx, ny)))
+    }
+
+    /// Peak combined (stacked) power density in W/mm² at the given grid
+    /// resolution.
+    pub fn peak_stacked_density(&self, nx: usize, ny: usize) -> f64 {
+        self.combined_power_grid(nx, ny).peak_density()
+    }
+}
+
+/// Builds a uniform-power die (e.g. a stacked SRAM/DRAM cache die, which
+/// the paper treats as uniform: "the cache-only die in the stack has
+/// uniform power").
+pub fn uniform_die(name: impl Into<String>, width: f64, height: f64, power: f64) -> Floorplan {
+    let name = name.into();
+    let mut f = Floorplan::new(name.clone(), width, height);
+    f.push(Block::new(
+        format!("{name}.array"),
+        Rect::new(0.0, 0.0, width, height),
+        power,
+    ));
+    f
+}
+
+/// The Fig. 11 "3D Worstcase" construction: the planar die stacked on an
+/// identical copy of itself — 2× power density everywhere, no power
+/// savings.
+pub fn worst_case_stack(planar: &Floorplan) -> StackedFloorplan {
+    // the planar power (no savings) split over two half-area dies with every
+    // block sitting directly above its own copy: each footprint cell carries
+    // the same block power in half the area — exactly 2x density
+    let top = planar.with_power_scaled(0.5);
+    let bottom = planar.with_power_scaled(0.5);
+    let s = 0.5f64.sqrt();
+    let shrink = |f: &Floorplan| {
+        let mut out = Floorplan::new(f.name().to_string() + "-wc", f.width() * s, f.height() * s);
+        for b in f.blocks() {
+            out.push(Block::new(b.name(), b.rect().scaled(s, s), b.power()));
+        }
+        out
+    };
+    StackedFloorplan::new(vec![shrink(&top), shrink(&bottom)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core2::core2_duo_92w;
+    use crate::p4::pentium4_147w;
+
+    #[test]
+    fn uniform_die_has_flat_density() {
+        let d = uniform_die("dram", 13.0, 11.0, 3.1);
+        assert!((d.total_power() - 3.1).abs() < 1e-12);
+        let g = d.power_grid(8, 8);
+        let flat = 3.1 / (13.0 * 11.0);
+        assert!((g.peak_density() - flat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_plus_cache_stack_validates() {
+        let s = StackedFloorplan::new(vec![
+            core2_duo_92w(),
+            uniform_die("dram32", 13.0, 11.0, 3.1),
+        ]);
+        s.validate().unwrap();
+        assert!((s.total_power() - 95.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_dies_rejected() {
+        let s = StackedFloorplan::new(vec![core2_duo_92w(), uniform_die("odd", 10.0, 10.0, 1.0)]);
+        assert_eq!(s.validate(), Err(StackError::MismatchedDies));
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        assert_eq!(
+            StackedFloorplan::new(vec![]).validate(),
+            Err(StackError::Empty)
+        );
+    }
+
+    #[test]
+    fn uniform_top_die_barely_changes_density_shape() {
+        let cpu = core2_duo_92w();
+        let alone = StackedFloorplan::new(vec![cpu.clone()]);
+        let with_dram = StackedFloorplan::new(vec![cpu, uniform_die("dram32", 13.0, 11.0, 3.1)]);
+        let a = alone.peak_stacked_density(26, 22);
+        let b = with_dram.peak_stacked_density(26, 22);
+        assert!(b > a, "stacking adds some power");
+        assert!(b < a * 1.05, "a uniform 3.1 W die adds little to the peak");
+    }
+
+    #[test]
+    fn worst_case_doubles_peak_density() {
+        let planar = pentium4_147w();
+        let wc = worst_case_stack(&planar);
+        wc.validate().unwrap();
+        assert!(
+            (wc.total_power() - 147.0).abs() < 1e-9,
+            "no power savings in the worst case"
+        );
+        let planar_peak = planar.power_grid(24, 20).peak_density();
+        let wc_peak = wc.peak_stacked_density(24, 20);
+        assert!(
+            (wc_peak / planar_peak - 2.0).abs() < 0.05,
+            "worst case is 2x density: {wc_peak} vs {planar_peak}"
+        );
+    }
+}

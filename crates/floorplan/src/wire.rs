@@ -1,0 +1,155 @@
+//! Wire-route analysis for the Fig. 9 / Fig. 10 paths.
+//!
+//! §4 reasons about two critical routes:
+//!
+//! * **load-to-use**: planar worst case is "from the far edge of the data
+//!   cache, across the data cache to the farthest functional unit" — the
+//!   full width of both blocks. Stacking D$ over the FUs (Fig. 10) means
+//!   data travels only "to the center of the D$ ... to the other die to the
+//!   center of the functional units": half of each width, i.e. a 2× route
+//!   reduction that eliminates "one clock cycle of wire delay".
+//! * **FP register read**: the planar layout inserts the SIMD unit between
+//!   the FP register file and the FP unit, adding its full width to every
+//!   FP operand; the 3D floorplan overlaps RF and FP and removes the
+//!   detour entirely.
+//!
+//! The die-to-die hop itself is negligible: the d2d vias have "size and
+//!   electrical characteristics similar to conventional vias".
+
+use crate::block::Block;
+use crate::floorplan::Floorplan;
+
+/// Die-to-die via hop expressed as an equivalent lateral route length (mm).
+/// Face-to-face d2d vias behave like ordinary inter-layer vias, so the hop
+/// is tiny compared to block-crossing routes.
+pub const D2D_HOP_MM: f64 = 0.05;
+
+/// A route compared planar vs stacked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSaving {
+    /// Route name (e.g. "load-to-use").
+    pub name: String,
+    /// Planar worst-case route length in mm.
+    pub planar_mm: f64,
+    /// Stacked (Fig. 10) route length in mm.
+    pub stacked_mm: f64,
+}
+
+impl RouteSaving {
+    /// Stacked route as a fraction of the planar route.
+    pub fn ratio(&self) -> f64 {
+        self.stacked_mm / self.planar_mm
+    }
+}
+
+/// Worst-case planar route across two horizontally adjacent blocks: far
+/// edge of `a` to the far edge of `b` (the §4 load-to-use argument).
+pub fn planar_crossing(a: &Block, b: &Block) -> f64 {
+    a.rect().w + b.rect().w
+}
+
+/// The same route when `a` is stacked directly over `b`: to the centre of
+/// `a`, one d2d hop, then from the centre of `b` to its far edge.
+pub fn stacked_crossing(a: &Block, b: &Block) -> f64 {
+    a.rect().w / 2.0 + b.rect().w / 2.0 + D2D_HOP_MM
+}
+
+/// Planar route through a detour block `via` sitting between `a` and `b`
+/// (the FP–SIMD–RF arrangement of Fig. 9).
+pub fn planar_detour(a: &Block, via: &Block, b: &Block) -> f64 {
+    a.rect().w / 2.0 + via.rect().w + b.rect().w / 2.0
+}
+
+/// The detour route when `a` and `b` are overlapped across the two dies:
+/// the `via` block no longer sits on the path at all.
+pub fn stacked_overlap(a: &Block, b: &Block) -> f64 {
+    (a.rect().w / 2.0 + b.rect().w / 2.0) / 2.0 + D2D_HOP_MM
+}
+
+/// Analyses the two Fig. 9 paths on a P4-class floorplan (blocks `dcache`,
+/// `fu`, `fp`, `simd`, `rf` must exist).
+///
+/// # Panics
+///
+/// Panics if a required block is missing.
+pub fn fig9_paths(planar: &Floorplan) -> Vec<RouteSaving> {
+    let get = |n: &str| {
+        planar
+            .block(n)
+            .unwrap_or_else(|| panic!("block '{n}' missing"))
+    };
+    let dcache = get("dcache");
+    let fu = get("fu");
+    let fp = get("fp");
+    let simd = get("simd");
+    let rf = get("rf");
+    vec![
+        RouteSaving {
+            name: "load-to-use (D$ -> FU)".into(),
+            planar_mm: planar_crossing(dcache, fu),
+            stacked_mm: stacked_crossing(dcache, fu),
+        },
+        RouteSaving {
+            name: "FP register read (RF -> FP)".into(),
+            planar_mm: planar_detour(rf, simd, fp),
+            stacked_mm: stacked_overlap(rf, fp),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+    use crate::p4::pentium4_147w;
+
+    #[test]
+    fn stacking_halves_the_crossing_route() {
+        let a = Block::new("a", Rect::new(0.0, 0.0, 4.0, 2.0), 1.0);
+        let b = Block::new("b", Rect::new(4.0, 0.0, 4.0, 2.0), 1.0);
+        let planar = planar_crossing(&a, &b);
+        let stacked = stacked_crossing(&a, &b);
+        assert_eq!(planar, 8.0);
+        // half of each width plus the negligible d2d hop
+        assert!((stacked - 4.05).abs() < 1e-12);
+        assert!(stacked / planar < 0.52, "the paper's 2x route reduction");
+    }
+
+    #[test]
+    fn overlap_removes_the_simd_detour_entirely() {
+        let fp = Block::new("fp", Rect::new(0.0, 0.0, 3.0, 2.0), 1.0);
+        let simd = Block::new("simd", Rect::new(3.0, 0.0, 3.0, 2.0), 1.0);
+        let rf = Block::new("rf", Rect::new(6.0, 0.0, 2.0, 2.0), 1.0);
+        let planar = planar_detour(&rf, &simd, &fp);
+        let stacked = stacked_overlap(&rf, &fp);
+        assert!(planar > 5.0, "the detour crosses all of SIMD: {planar}");
+        assert!(
+            stacked < 0.4 * planar,
+            "overlap eliminates the detour: {stacked}"
+        );
+    }
+
+    #[test]
+    fn fig9_paths_on_the_p4_floorplan() {
+        let paths = fig9_paths(&pentium4_147w());
+        assert_eq!(paths.len(), 2);
+        let l2u = &paths[0];
+        // §4: stacking eliminates "one clock cycle" = half the route
+        assert!(
+            (l2u.ratio() - 0.5).abs() < 0.05,
+            "load-to-use ratio {}",
+            l2u.ratio()
+        );
+        let fpr = &paths[1];
+        // §4: the 3D floorplan eliminates both detour cycles
+        assert!(fpr.ratio() < 0.45, "FP read ratio {}", fpr.ratio());
+    }
+
+    #[test]
+    fn d2d_hop_is_negligible_compared_to_block_crossings() {
+        let paths = fig9_paths(&pentium4_147w());
+        for p in paths {
+            assert!(D2D_HOP_MM < 0.02 * p.planar_mm, "{}", p.name);
+        }
+    }
+}

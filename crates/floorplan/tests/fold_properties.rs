@@ -1,0 +1,97 @@
+//! Property tests for the 2D→3D folder: legality and power conservation on
+//! randomly generated (guillotine-cut) floorplans.
+
+use proptest::prelude::*;
+use stacksim_floorplan::{fold, Block, Floorplan, FoldOptions, Rect};
+
+/// Recursively guillotine-cuts a rectangle into blocks, always producing a
+/// legal, fully tiled floorplan.
+fn cut(rect: Rect, cuts: &[(bool, f64)], out: &mut Vec<Rect>) {
+    if cuts.is_empty() || rect.w < 2.0 || rect.h < 2.0 {
+        out.push(rect);
+        return;
+    }
+    let (vertical, frac) = cuts[0];
+    let rest = &cuts[1..];
+    let f = 0.3 + 0.4 * frac;
+    if vertical {
+        let w1 = rect.w * f;
+        cut(Rect::new(rect.x, rect.y, w1, rect.h), rest, out);
+        cut(
+            Rect::new(rect.x + w1, rect.y, rect.w - w1, rect.h),
+            rest,
+            out,
+        );
+    } else {
+        let h1 = rect.h * f;
+        cut(Rect::new(rect.x, rect.y, rect.w, h1), rest, out);
+        cut(
+            Rect::new(rect.x, rect.y + h1, rect.w, rect.h - h1),
+            rest,
+            out,
+        );
+    }
+}
+
+fn random_floorplan(cuts: Vec<(bool, f64)>, powers: Vec<f64>) -> Floorplan {
+    let mut rects = Vec::new();
+    cut(
+        Rect::new(0.0, 0.0, 12.0, 10.0),
+        &cuts[..cuts.len().min(4)],
+        &mut rects,
+    );
+    let mut f = Floorplan::new("random", 12.0, 10.0);
+    for (i, r) in rects.iter().enumerate() {
+        let p = powers[i % powers.len()].max(0.1);
+        f.push(Block::new(format!("b{i}"), *r, p * r.area()));
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Folding any legal floorplan yields two legal dies that conserve the
+    /// (scaled) power and halve the footprint.
+    #[test]
+    fn fold_is_legal_and_conserves_power(
+        cuts in prop::collection::vec((any::<bool>(), 0.0f64..1.0), 2..4),
+        powers in prop::collection::vec(0.1f64..2.5, 4..10),
+    ) {
+        let planar = random_floorplan(cuts, powers);
+        prop_assume!(planar.validate().is_ok());
+        let folded = fold(&planar, FoldOptions { power_scale: 1.0, ..FoldOptions::default() });
+        let folded = match folded {
+            Ok(f) => f,
+            // extremely skewed cuts can defeat the packer; that is a
+            // legitimate refusal, not a soundness failure
+            Err(_) => return Ok(()),
+        };
+        prop_assert!(folded.validate().is_ok());
+        prop_assert!((folded.total_power() - planar.total_power()).abs() < 1e-6);
+        let per_die = folded.dies()[0].area();
+        let frac = per_die / planar.area();
+        prop_assert!(frac > 0.4 && frac < 0.7, "footprint fraction {frac}");
+    }
+
+    /// The folded peak stacked density never exceeds the worst case (2x)
+    /// by construction of the density-aware placer.
+    #[test]
+    fn fold_density_stays_below_double(
+        cuts in prop::collection::vec((any::<bool>(), 0.0f64..1.0), 2..4),
+        powers in prop::collection::vec(0.1f64..2.5, 4..10),
+    ) {
+        let planar = random_floorplan(cuts, powers);
+        prop_assume!(planar.validate().is_ok());
+        let Ok(folded) = fold(&planar, FoldOptions { power_scale: 1.0, ..FoldOptions::default() })
+        else {
+            return Ok(());
+        };
+        let planar_peak = planar.power_grid(24, 20).peak_density();
+        let folded_peak = folded.peak_stacked_density(24, 20);
+        prop_assert!(
+            folded_peak <= 2.0 * planar_peak + 1e-6,
+            "folded {folded_peak} vs planar {planar_peak}"
+        );
+    }
+}

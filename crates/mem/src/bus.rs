@@ -1,0 +1,174 @@
+//! The off-die bus: a shared, bandwidth-limited FIFO resource.
+//!
+//! Every L2/stacked-cache miss and every off-die write-back crosses this
+//! bus. The model tracks occupancy so that bandwidth saturation shows up as
+//! queueing latency, and accumulates the byte counts behind the off-die
+//! bandwidth numbers of Fig. 5 and the bus-power estimate (§3: 20 mW/Gb/s).
+
+use crate::config::{BusConfig, Cycles};
+
+/// Timing of one bus transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusTransfer {
+    /// Cycle the transfer starts (after queueing behind earlier traffic).
+    pub start: Cycles,
+    /// Cycle the last byte is on the wire.
+    pub done: Cycles,
+}
+
+/// The off-die bus model.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    cfg: BusConfig,
+    free_at: Cycles,
+    bytes: u64,
+    transfers: u64,
+    busy_cycles: Cycles,
+    queue_cycles: Cycles,
+}
+
+impl Bus {
+    /// Builds a bus from its configuration.
+    pub fn new(cfg: BusConfig) -> Self {
+        Bus {
+            cfg,
+            free_at: 0,
+            bytes: 0,
+            transfers: 0,
+            busy_cycles: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// The configuration of this bus.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Schedules a transfer of `payload` bytes arriving at cycle `at`.
+    /// The per-transaction command overhead is added automatically.
+    pub fn transfer(&mut self, payload: u64, at: Cycles) -> BusTransfer {
+        let total = payload + self.cfg.overhead_bytes;
+        let cycles = self.cfg.transfer_cycles(total);
+        let start = at.max(self.free_at);
+        let done = start + cycles;
+        self.free_at = done;
+        self.bytes += total;
+        self.transfers += 1;
+        self.busy_cycles += cycles;
+        self.queue_cycles += start - at;
+        BusTransfer { start, done }
+    }
+
+    /// Total bytes moved (including command overhead).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of transfers performed.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Cycles the bus spent actively transferring.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.busy_cycles
+    }
+
+    /// Total cycles transfers spent queueing behind earlier traffic.
+    pub fn queue_cycles(&self) -> Cycles {
+        self.queue_cycles
+    }
+
+    /// Achieved bandwidth in bytes per second over an interval of
+    /// `elapsed_cycles` core cycles.
+    pub fn achieved_bytes_per_sec(&self, elapsed_cycles: Cycles) -> f64 {
+        if elapsed_cycles == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 * self.cfg.core_hz / elapsed_cycles as f64
+    }
+
+    /// Achieved bandwidth in GB/s (decimal gigabytes, as plotted in Fig. 5).
+    pub fn achieved_gb_per_sec(&self, elapsed_cycles: Cycles) -> f64 {
+        self.achieved_bytes_per_sec(elapsed_cycles) / 1e9
+    }
+
+    /// Bus utilisation over an interval (busy cycles / elapsed cycles).
+    pub fn utilisation(&self, elapsed_cycles: Cycles) -> f64 {
+        if elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / elapsed_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> Bus {
+        // 16 GB/s @ 3 GHz, 8 B overhead -> 72 B transfer = ceil(72*3/16)=14 cycles
+        Bus::new(BusConfig::table3())
+    }
+
+    #[test]
+    fn transfer_timing_includes_overhead() {
+        let mut b = bus();
+        let t = b.transfer(64, 0);
+        assert_eq!(t.start, 0);
+        assert_eq!(t.done, 14, "72 bytes at 16/3 B/cycle");
+        assert_eq!(b.bytes(), 72);
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut b = bus();
+        b.transfer(64, 0);
+        let t = b.transfer(64, 5);
+        assert_eq!(t.start, 14);
+        assert_eq!(t.done, 28);
+        assert_eq!(b.queue_cycles(), 9);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_queue() {
+        let mut b = bus();
+        b.transfer(64, 0);
+        let t = b.transfer(64, 100);
+        assert_eq!(t.start, 100);
+        assert_eq!(b.queue_cycles(), 0);
+    }
+
+    #[test]
+    fn achieved_bandwidth_matches_hand_calculation() {
+        let mut b = bus();
+        for i in 0..100u64 {
+            b.transfer(64, i * 1000);
+        }
+        // 7200 bytes over 100_000 cycles at 3 GHz = 216e6 B/s
+        let gbs = b.achieved_gb_per_sec(100_000);
+        assert!((gbs - 0.216).abs() < 1e-9, "got {gbs}");
+    }
+
+    #[test]
+    fn saturated_bus_reaches_peak_bandwidth() {
+        let mut b = bus();
+        let mut t = 0;
+        for _ in 0..1000 {
+            t = b.transfer(64, t).done;
+        }
+        let gbs = b.achieved_gb_per_sec(t);
+        // 72/14 bytes/cycle * 3 GHz = 15.43 GB/s ~ peak minus rounding
+        assert!(gbs > 15.0 && gbs <= 16.0, "got {gbs}");
+        assert!((b.utilisation(t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_reports_zero() {
+        let b = bus();
+        assert_eq!(b.achieved_gb_per_sec(0), 0.0);
+        assert_eq!(b.utilisation(0), 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! A set-associative, write-back, write-allocate cache model with optional
+//! sectored lines and true-LRU replacement.
+
+use crate::config::CacheConfig;
+
+/// A line evicted by an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Base address of the evicted line.
+    pub line_addr: u64,
+    /// Whether the line was dirty (needs a write-back).
+    pub dirty: bool,
+    /// Number of valid sectors the line held when evicted.
+    pub valid_sectors: u32,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Tag match and the referenced sector is valid.
+    Hit,
+    /// Tag match but the referenced sector has not been fetched yet
+    /// (only possible when `sectors > 1`). The sector is marked valid.
+    SectorMiss,
+    /// Tag mismatch; the line was allocated, possibly evicting a victim.
+    Miss(Option<Evicted>),
+}
+
+impl Lookup {
+    /// Whether the access found its data on this level.
+    pub fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Bitmap of valid sectors (bit i = sector i). For non-sectored caches
+    /// all used bits are set on allocation.
+    valid: u64,
+}
+
+/// The cache model. One instance per cache level (tags + metadata only; no
+/// data payloads are stored — this is a timing/behaviour simulator).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets * ways` lines; within a set, recency order is kept separately.
+    lines: Vec<Option<Line>>,
+    /// Recency stacks: for each set, way indices ordered MRU-first.
+    recency: Vec<Vec<u8>>,
+    set_mask: u64,
+    line_shift: u32,
+    sector_shift: u32,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not pass
+    /// [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache configuration");
+        let sets = cfg.num_sets();
+        let ways = cfg.ways as usize;
+        Cache {
+            lines: vec![None; sets as usize * ways],
+            recency: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
+            set_mask: sets - 1,
+            line_shift: cfg.line_size.trailing_zeros(),
+            sector_shift: cfg.sector_size().trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift >> self.set_mask.count_ones()
+    }
+
+    fn sector_bit(&self, addr: u64) -> u64 {
+        if self.cfg.sectors == 1 {
+            1
+        } else {
+            let idx = (addr >> self.sector_shift) & u64::from(self.cfg.sectors - 1);
+            1 << idx
+        }
+    }
+
+    /// Reconstructs a line's base address from set and tag.
+    fn line_addr(&self, set: usize, tag: u64) -> u64 {
+        ((tag << self.set_mask.count_ones()) | set as u64) << self.line_shift
+    }
+
+    fn touch(&mut self, set: usize, way: u8) {
+        let stack = &mut self.recency[set];
+        let pos = stack
+            .iter()
+            .position(|&w| w == way)
+            .expect("way in recency stack");
+        stack.remove(pos);
+        stack.insert(0, way);
+    }
+
+    /// Performs an access: looks the address up, allocates on miss (with LRU
+    /// victim selection), marks the line dirty on writes, and updates
+    /// recency.
+    ///
+    /// On a miss only the referenced sector becomes valid; further sectors
+    /// fault in individually (`Lookup::SectorMiss`).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let sector = self.sector_bit(addr);
+        let ways = self.cfg.ways as usize;
+        // look for a tag match
+        for w in 0..ways {
+            let idx = set * ways + w;
+            if let Some(line) = &mut self.lines[idx] {
+                if line.tag == tag {
+                    let had_sector = line.valid & sector != 0;
+                    line.valid |= sector;
+                    if is_write {
+                        line.dirty = true;
+                    }
+                    self.touch(set, w as u8);
+                    return if had_sector {
+                        Lookup::Hit
+                    } else {
+                        Lookup::SectorMiss
+                    };
+                }
+            }
+        }
+        // miss: pick LRU victim
+        let victim_way = *self.recency[set].last().expect("non-empty recency stack");
+        let idx = set * ways + victim_way as usize;
+        let evicted = self.lines[idx].map(|line| Evicted {
+            line_addr: self.line_addr(set, line.tag),
+            dirty: line.dirty,
+            valid_sectors: line.valid.count_ones(),
+        });
+        self.lines[idx] = Some(Line {
+            tag,
+            dirty: is_write,
+            valid: sector,
+        });
+        self.touch(set, victim_way);
+        Lookup::Miss(evicted)
+    }
+
+    /// Non-mutating lookup: whether the address (and its sector) is present.
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let sector = self.sector_bit(addr);
+        let ways = self.cfg.ways as usize;
+        (0..ways).any(|w| {
+            self.lines[set * ways + w]
+                .as_ref()
+                .is_some_and(|l| l.tag == tag && l.valid & sector != 0)
+        })
+    }
+
+    /// Invalidates a line if present, returning whether it was dirty.
+    /// Used for back-invalidation when an outer level evicts.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways as usize;
+        for w in 0..ways {
+            let idx = set * ways + w;
+            if let Some(line) = &self.lines[idx] {
+                if line.tag == tag {
+                    let dirty = line.dirty;
+                    self.lines[idx] = None;
+                    // demote to LRU so the slot is reused first
+                    let stack = &mut self.recency[set];
+                    let pos = stack.iter().position(|&x| x == w as u8).unwrap();
+                    let way = stack.remove(pos);
+                    stack.push(way);
+                    return Some(dirty);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (diagnostics/tests).
+    pub fn occupied_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B
+        Cache::new(CacheConfig {
+            capacity: 512,
+            line_size: 64,
+            ways: 2,
+            latency: 1,
+            sectors: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(matches!(c.access(0x1000, false), Lookup::Miss(None)));
+        assert!(c.access(0x1000, false).is_hit());
+        assert!(
+            c.access(0x103f, false).is_hit(),
+            "same line, different offset"
+        );
+        assert!(c.probe(0x1000));
+        assert!(!c.probe(0x2000));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // set 0 lines: addresses with (addr>>6) & 3 == 0
+        let a = 0x0000; // set 0
+        let b = 0x0100; // set 0 (0x100>>6 = 4, &3 = 0)
+        let d = 0x0200; // set 0
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is MRU, b is LRU
+        match c.access(d, false) {
+            Lookup::Miss(Some(ev)) => assert_eq!(ev.line_addr, b),
+            other => panic!("expected eviction of b, got {other:?}"),
+        }
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+    }
+
+    #[test]
+    fn dirty_bit_tracks_writes() {
+        let mut c = tiny();
+        c.access(0x0000, true); // dirty
+        c.access(0x0100, false); // clean
+        c.access(0x0200, false); // evicts 0x0000 (LRU) — dirty
+                                 // after the above, LRU in set 0 is 0x0100
+        match c.access(0x0300, false) {
+            Lookup::Miss(Some(ev)) => {
+                assert_eq!(ev.line_addr, 0x0100);
+                assert!(!ev.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_reports_dirty() {
+        let mut c = tiny();
+        c.access(0x0000, true);
+        c.access(0x0100, false);
+        // touch 0x0100 so 0x0000 becomes LRU
+        c.access(0x0100, false);
+        match c.access(0x0200, false) {
+            Lookup::Miss(Some(ev)) => {
+                assert_eq!(ev.line_addr, 0x0000);
+                assert!(ev.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x0000, false);
+        c.access(0x0000, true); // now dirty
+        c.access(0x0100, false);
+        c.access(0x0100, false);
+        match c.access(0x0200, false) {
+            Lookup::Miss(Some(ev)) => assert!(ev.dirty),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sectored_lines_fault_in_per_sector() {
+        // one set, one way, 512 B line with 8 sectors
+        let mut c = Cache::new(CacheConfig {
+            capacity: 512,
+            line_size: 512,
+            ways: 1,
+            latency: 1,
+            sectors: 8,
+        });
+        assert!(matches!(c.access(0x1000, false), Lookup::Miss(None)));
+        assert!(c.access(0x1000, false).is_hit(), "sector 0 valid");
+        assert!(
+            matches!(c.access(0x1040, false), Lookup::SectorMiss),
+            "sector 1 invalid"
+        );
+        assert!(c.access(0x1040, false).is_hit());
+        assert!(!c.probe(0x1080), "sector 2 still invalid");
+        // eviction reports how many sectors were valid
+        match c.access(0x2000, false) {
+            Lookup::Miss(Some(ev)) => {
+                assert_eq!(ev.line_addr, 0x1000);
+                assert_eq!(ev.valid_sectors, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_line_and_reports_dirtiness() {
+        let mut c = tiny();
+        c.access(0x0000, true);
+        assert_eq!(c.invalidate(0x0000), Some(true));
+        assert_eq!(c.invalidate(0x0000), None);
+        assert!(!c.probe(0x0000));
+        c.access(0x0100, false);
+        assert_eq!(c.invalidate(0x0100), Some(false));
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupied_lines(), 0);
+        c.access(0x0000, false);
+        c.access(0x0040, false); // set 1
+        assert_eq!(c.occupied_lines(), 2);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.access(i * 64, false);
+        }
+        for i in 0..4u64 {
+            assert!(c.probe(i * 64), "set {i} retained its line");
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let mut c = tiny();
+        for i in 0..100u64 {
+            c.access(i * 64, false);
+        }
+        assert_eq!(c.occupied_lines(), 8, "4 sets x 2 ways");
+    }
+}

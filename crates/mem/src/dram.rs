@@ -1,0 +1,248 @@
+//! Banked DRAM array with per-bank open-page state machines.
+//!
+//! Used for both the stacked DRAM cache data array (512 B pages, 16 banks)
+//! and the DDR main memory (4 KB pages, 16 banks). Timing follows Table 3:
+//! page open 50, precharge 54, read 50 cycles.
+
+use crate::config::{Cycles, DramConfig};
+
+/// Which page-state case a DRAM access hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOutcome {
+    /// The addressed row was already open (fast case: `read` only).
+    Hit,
+    /// The bank was idle (`open + read`).
+    Empty,
+    /// A different row was open (`precharge + open + read`).
+    Conflict,
+}
+
+/// Completion information for one DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Cycle at which the access completes.
+    pub done: Cycles,
+    /// Cycle at which the bank actually started serving it (after queueing).
+    pub start: Cycles,
+    /// Page-state case.
+    pub outcome: PageOutcome,
+    /// Bank that served the access.
+    pub bank: u32,
+}
+
+impl DramAccess {
+    /// Queueing delay spent waiting for the bank.
+    pub fn queue_cycles(&self, arrival: Cycles) -> Cycles {
+        self.start.saturating_sub(arrival)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    /// Open rows, most recently used first (bounded by
+    /// [`DramConfig::open_rows`]).
+    open_rows: Vec<u64>,
+    free_at: Cycles,
+}
+
+/// A banked DRAM array.
+#[derive(Debug, Clone)]
+pub struct DramArray {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    /// Counters per page-state case: `[hit, empty, conflict]`.
+    outcomes: [u64; 3],
+}
+
+impl DramArray {
+    /// Builds the array from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not pass [`DramConfig::validate`].
+    pub fn new(cfg: DramConfig) -> Self {
+        cfg.validate().expect("invalid DRAM configuration");
+        DramArray {
+            banks: vec![Bank::default(); cfg.banks as usize],
+            cfg,
+            outcomes: [0; 3],
+        }
+    }
+
+    /// The configuration of this array.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Maps an address to its (bank, row) pair. Pages are interleaved across
+    /// banks ("16 address interleaved banks", Table 3): consecutive pages go
+    /// to consecutive banks.
+    pub fn map(&self, addr: u64) -> (u32, u64) {
+        let page = addr / self.cfg.page_size;
+        let bank = (page % u64::from(self.cfg.banks)) as u32;
+        let row = page / u64::from(self.cfg.banks);
+        (bank, row)
+    }
+
+    /// Performs an access arriving at cycle `at` and returns its timing.
+    /// The bank is busy until the access completes; an open-page policy is
+    /// used (the row stays open afterwards).
+    pub fn access(&mut self, addr: u64, at: Cycles) -> DramAccess {
+        let (bank_idx, row) = self.map(addr);
+        let t = &self.cfg.timing;
+        let max_rows = self.cfg.open_rows as usize;
+        let bank = &mut self.banks[bank_idx as usize];
+        let start = at.max(bank.free_at);
+        let (outcome, delay) = if let Some(pos) = bank.open_rows.iter().position(|&r| r == row) {
+            bank.open_rows.remove(pos);
+            (PageOutcome::Hit, t.page_hit())
+        } else if bank.open_rows.len() < max_rows {
+            (PageOutcome::Empty, t.page_empty())
+        } else {
+            bank.open_rows.pop();
+            (PageOutcome::Conflict, t.page_conflict())
+        };
+        bank.open_rows.insert(0, row);
+        // the CAS latency is pipelined: the bank is busy for the row
+        // operations (everything beyond the `read` part of `delay`) plus
+        // one data burst, while the requester sees the full `delay`
+        bank.free_at = start + (delay - t.read) + t.burst;
+        self.outcomes[outcome as usize] += 1;
+        DramAccess {
+            done: start + delay,
+            start,
+            outcome,
+            bank: bank_idx,
+        }
+    }
+
+    /// Access counts per page-state case: `(hits, empties, conflicts)`.
+    pub fn outcome_counts(&self) -> (u64, u64, u64) {
+        (self.outcomes[0], self.outcomes[1], self.outcomes[2])
+    }
+
+    /// Fraction of accesses that were page hits (0 if no accesses yet).
+    pub fn page_hit_rate(&self) -> f64 {
+        let total: u64 = self.outcomes.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.outcomes[0] as f64 / total as f64
+        }
+    }
+
+    /// Closes all pages and idles all banks (e.g. between benchmark phases).
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = Bank::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramTiming;
+
+    fn array() -> DramArray {
+        DramArray::new(DramConfig {
+            banks: 4,
+            page_size: 512,
+            timing: DramTiming::table3(),
+            open_rows: 1,
+        })
+    }
+
+    #[test]
+    fn mapping_interleaves_pages_across_banks() {
+        let a = array();
+        assert_eq!(a.map(0), (0, 0));
+        assert_eq!(a.map(512), (1, 0));
+        assert_eq!(a.map(3 * 512), (3, 0));
+        assert_eq!(a.map(4 * 512), (0, 1));
+        assert_eq!(a.map(4 * 512 + 511), (0, 1));
+    }
+
+    #[test]
+    fn first_access_is_page_empty() {
+        let mut a = array();
+        let acc = a.access(0, 0);
+        assert_eq!(acc.outcome, PageOutcome::Empty);
+        assert_eq!(acc.done, 100, "open(50) + read(50)");
+    }
+
+    #[test]
+    fn same_row_access_is_page_hit() {
+        let mut a = array();
+        a.access(0, 0);
+        let acc = a.access(64, 200);
+        assert_eq!(acc.outcome, PageOutcome::Hit);
+        assert_eq!(acc.done, 250, "read(50) only");
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let mut a = array();
+        a.access(0, 0); // bank 0 row 0
+        let acc = a.access(4 * 512, 200); // bank 0 row 1
+        assert_eq!(acc.outcome, PageOutcome::Conflict);
+        assert_eq!(acc.done, 200 + 154);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut a = array();
+        let first = a.access(0, 0);
+        assert_eq!(first.done, 100);
+        // bank is busy for open(50) + burst(8); the CAS pipeline overlaps
+        let second = a.access(64, 10);
+        assert_eq!(second.start, 58);
+        assert_eq!(second.queue_cycles(10), 48);
+        assert_eq!(second.done, 108, "page hit: read(50) after the queue");
+    }
+
+    #[test]
+    fn open_page_streaming_is_burst_limited() {
+        let mut a = array();
+        a.access(0, 0); // opens the page, bank free at 58
+        let x = a.access(64, 1000);
+        let y = a.access(128, 1000);
+        assert_eq!(x.done, 1050);
+        assert_eq!(y.start, 1008, "second access waits one burst, not one CAS");
+        assert_eq!(y.done, 1058);
+    }
+
+    #[test]
+    fn distinct_banks_are_independent() {
+        let mut a = array();
+        let b0 = a.access(0, 0);
+        let b1 = a.access(512, 0);
+        assert_eq!(b0.done, 100);
+        assert_eq!(b1.done, 100, "no queueing across banks");
+        assert_ne!(b0.bank, b1.bank);
+    }
+
+    #[test]
+    fn outcome_counters_accumulate() {
+        let mut a = array();
+        a.access(0, 0); // empty
+        a.access(64, 200); // hit
+        a.access(4 * 512, 400); // conflict
+        assert_eq!(a.outcome_counts(), (1, 1, 1));
+        assert!((a.page_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_closes_pages() {
+        let mut a = array();
+        a.access(0, 0);
+        a.reset();
+        let acc = a.access(64, 1000);
+        assert_eq!(acc.outcome, PageOutcome::Empty);
+    }
+
+    #[test]
+    fn page_hit_rate_zero_without_accesses() {
+        assert_eq!(array().page_hit_rate(), 0.0);
+    }
+}

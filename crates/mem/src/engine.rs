@@ -1,0 +1,476 @@
+//! The dependency-driven trace issue engine.
+//!
+//! Mirrors the methodology of §2.1: the memory-hierarchy simulator "honors
+//! all the dependencies specified in the trace and issues memory accesses
+//! accordingly" — a record whose dependency has not completed may not issue.
+//! Independent records from the same CPU issue back-to-back (up to a
+//! configurable outstanding-miss window, which bounds memory-level
+//! parallelism like a set of MSHRs would).
+
+use stacksim_trace::{Trace, TraceRecord};
+
+use crate::config::Cycles;
+use crate::hierarchy::MemoryHierarchy;
+use crate::stats::{HierarchyStats, RunResult};
+
+/// Issue-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Maximum outstanding references per CPU (MSHR-like window).
+    pub window: usize,
+    /// Minimum cycles between successive issues from one CPU.
+    pub issue_interval: Cycles,
+    /// Out-of-order lookahead in cycles: younger independent references may
+    /// issue at most this far *before* the most recently issued reference.
+    /// This is the time-domain analogue of a finite reorder buffer — a
+    /// dependency stall lets younger work proceed, but only as much as the
+    /// window can hold.
+    pub rob_lookahead: Cycles,
+    /// Ablation switch: ignore dependency edges entirely (records then issue
+    /// as fast as the window allows). Used by the `ablate_deps` bench.
+    pub ignore_deps: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            window: 32,
+            issue_interval: 1,
+            rob_lookahead: 192,
+            ignore_deps: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CpuState {
+    /// Issue-bandwidth cursor: advances by `issue_interval` per record,
+    /// independent of stalls — a dependency stall delays the stalled record
+    /// only, while younger independent records keep issuing (out-of-order
+    /// issue, as in the paper's tool where only the dependent record waits).
+    cursor: Cycles,
+    /// Completion times of outstanding references, kept as a sorted
+    /// insertion min-first vector (window sizes are small).
+    outstanding: Vec<Cycles>,
+}
+
+impl CpuState {
+    fn drain_before(&mut self, t: Cycles) {
+        self.outstanding.retain(|&c| c > t);
+    }
+
+    fn insert(&mut self, done: Cycles) {
+        let pos = self.outstanding.partition_point(|&c| c < done);
+        self.outstanding.insert(pos, done);
+    }
+}
+
+/// Drives a [`MemoryHierarchy`] with a dependency-annotated trace.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+    hierarchy: MemoryHierarchy,
+}
+
+impl Engine {
+    /// Creates an engine around a hierarchy.
+    pub fn new(hierarchy: MemoryHierarchy, cfg: EngineConfig) -> Self {
+        Engine { cfg, hierarchy }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Read access to the driven hierarchy.
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// Runs a whole trace and reports metrics over all of it.
+    pub fn run(&mut self, trace: &Trace) -> RunResult {
+        self.run_warmed(trace, 0.0)
+    }
+
+    /// Runs a trace, excluding the first `warmup` fraction (0.0..1.0) of
+    /// records from the reported metrics. The excluded prefix still updates
+    /// cache, bank and bus state, so large caches are measured warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` is not within `0.0..1.0`.
+    pub fn run_warmed(&mut self, trace: &Trace, warmup: f64) -> RunResult {
+        assert!(
+            (0.0..1.0).contains(&warmup),
+            "warmup fraction must be in [0, 1)"
+        );
+        let warm_records = (trace.len() as f64 * warmup) as usize;
+        let mut completion: Vec<Cycles> = vec![0; trace.len()];
+        let mut cpus: Vec<CpuState> = vec![CpuState::default(); trace.cpu_count().max(1)];
+
+        let mut measured_from: Cycles = 0;
+        let mut stats_at_warmup = HierarchyStats::default();
+        let mut bus_bytes_at_warmup = 0u64;
+        let mut last_done: Cycles = 0;
+
+        for (i, r) in trace.iter().enumerate() {
+            if i == warm_records && i > 0 {
+                measured_from = last_done;
+                stats_at_warmup = *self.hierarchy.stats();
+                bus_bytes_at_warmup = self.hierarchy.bus().bytes();
+            }
+            let done = self.step(r, &mut cpus, &completion);
+            completion[r.id.index()] = done;
+            last_done = last_done.max(done);
+        }
+
+        let end_stats = *self.hierarchy.stats();
+        let stats = diff_stats(end_stats, stats_at_warmup);
+        let bytes = self.hierarchy.bus().bytes() - bus_bytes_at_warmup;
+        let total_cycles = last_done.saturating_sub(measured_from);
+        let references = stats.accesses;
+        let cpma = if references == 0 {
+            0.0
+        } else {
+            total_cycles as f64 / references as f64
+        };
+        let gbs = if total_cycles == 0 {
+            0.0
+        } else {
+            bytes as f64 * self.hierarchy.config().bus.core_hz / total_cycles as f64 / 1e9
+        };
+        RunResult {
+            total_cycles,
+            references,
+            cpma,
+            mean_latency: stats.mean_latency(),
+            offdie_gb_per_sec: gbs,
+            offdie_bytes: bytes,
+            stats,
+        }
+    }
+
+    /// Runs a record stream without materialising it, for paper-scale
+    /// (billions of references) runs. Dependencies must point at most
+    /// `dep_window` records back — the engine keeps only a ring of recent
+    /// completion times. Kernel-generated traces have short dependence
+    /// distances (indices feeding gathers, reduction chains), so a few
+    /// thousand is ample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dep_window` is zero, a record's dependency is further
+    /// back than `dep_window`, or the stream's ids are not dense from 0.
+    pub fn run_stream<I>(&mut self, records: I, dep_window: usize) -> RunResult
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        assert!(dep_window > 0, "dependency window must be positive");
+        let mut ring: Vec<Cycles> = vec![0; dep_window];
+        let mut cpus: Vec<CpuState> = Vec::new();
+        let mut last_done: Cycles = 0;
+        let mut n: u64 = 0;
+        for r in records {
+            assert_eq!(r.id.raw(), n, "stream ids must be dense from zero");
+            if let Some(dep) = r.dep {
+                assert!(
+                    r.id.raw() - dep.raw() <= dep_window as u64,
+                    "dependency distance {} exceeds the window {dep_window}",
+                    r.id.raw() - dep.raw()
+                );
+            }
+            if r.cpu.index() >= cpus.len() {
+                cpus.resize_with(r.cpu.index() + 1, CpuState::default);
+            }
+            let done = {
+                let cpu = &mut cpus[r.cpu.index()];
+                let mut t = cpu.cursor;
+                if !self.cfg.ignore_deps {
+                    if let Some(dep) = r.dep {
+                        t = t.max(ring[dep.index() % dep_window]);
+                    }
+                }
+                cpu.drain_before(t);
+                while cpu.outstanding.len() >= self.cfg.window {
+                    let earliest = cpu.outstanding.remove(0);
+                    t = t.max(earliest);
+                }
+                let res = self.hierarchy.access(r.cpu, r.op, r.addr, t);
+                cpu.insert(res.done);
+                cpu.cursor = cpu.cursor.max(t.saturating_sub(self.cfg.rob_lookahead))
+                    + self.cfg.issue_interval;
+                res.done
+            };
+            ring[r.id.index() % dep_window] = done;
+            last_done = last_done.max(done);
+            n += 1;
+        }
+        let stats = *self.hierarchy.stats();
+        let bytes = self.hierarchy.bus().bytes();
+        let cpma = if n == 0 {
+            0.0
+        } else {
+            last_done as f64 / n as f64
+        };
+        let gbs = if last_done == 0 {
+            0.0
+        } else {
+            bytes as f64 * self.hierarchy.config().bus.core_hz / last_done as f64 / 1e9
+        };
+        RunResult {
+            total_cycles: last_done,
+            references: n,
+            cpma,
+            mean_latency: stats.mean_latency(),
+            offdie_gb_per_sec: gbs,
+            offdie_bytes: bytes,
+            stats,
+        }
+    }
+
+    fn step(&mut self, r: &TraceRecord, cpus: &mut [CpuState], completion: &[Cycles]) -> Cycles {
+        let cpu = &mut cpus[r.cpu.index()];
+        let mut t = cpu.cursor;
+        if !self.cfg.ignore_deps {
+            if let Some(dep) = r.dep {
+                t = t.max(completion[dep.index()]);
+            }
+        }
+        cpu.drain_before(t);
+        while cpu.outstanding.len() >= self.cfg.window {
+            let earliest = cpu.outstanding.remove(0);
+            t = t.max(earliest);
+        }
+        let res = self.hierarchy.access(r.cpu, r.op, r.addr, t);
+        cpu.insert(res.done);
+        // the cursor advances at issue bandwidth, but may not lag the newest
+        // issue by more than the lookahead — younger records overlap a stall
+        // only as far as the reorder window reaches
+        cpu.cursor =
+            cpu.cursor.max(t.saturating_sub(self.cfg.rob_lookahead)) + self.cfg.issue_interval;
+        res.done
+    }
+}
+
+fn diff_stats(end: HierarchyStats, start: HierarchyStats) -> HierarchyStats {
+    HierarchyStats {
+        accesses: end.accesses - start.accesses,
+        l1_hits: end.l1_hits - start.l1_hits,
+        l2_hits: end.l2_hits - start.l2_hits,
+        stacked_hits: end.stacked_hits - start.stacked_hits,
+        stacked_sector_misses: end.stacked_sector_misses - start.stacked_sector_misses,
+        memory_accesses: end.memory_accesses - start.memory_accesses,
+        memory_served: end.memory_served - start.memory_served,
+        l1_writebacks: end.l1_writebacks - start.l1_writebacks,
+        offdie_writebacks: end.offdie_writebacks - start.offdie_writebacks,
+        fill_waits: end.fill_waits - start.fill_waits,
+        latency_sum: end.latency_sum - start.latency_sum,
+        last_completion: end.last_completion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HierarchyConfig;
+    use stacksim_trace::{CpuId, MemOp, TraceBuilder};
+
+    fn engine() -> Engine {
+        Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn pure_hit_trace_reaches_issue_throughput() {
+        // one cpu touching a single line repeatedly: after the cold miss,
+        // every access is an L1 hit and issues once per cycle
+        let mut b = TraceBuilder::new();
+        for _ in 0..1000 {
+            b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+        }
+        let t = b.build();
+        let r = engine().run(&t);
+        // elapsed ~ cold miss latency + ~1000 issue slots; cpma ~ 1.26
+        assert!(r.cpma < 1.5, "cpma = {}", r.cpma);
+        assert_eq!(r.references, 1000);
+        assert_eq!(r.stats.l1_hits, 999);
+    }
+
+    #[test]
+    fn two_cpus_halve_cpma() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..1000 {
+            b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+            b.record(CpuId::new(1), MemOp::Load, 0x9000, 0);
+        }
+        let t = b.build();
+        let r = engine().run(&t);
+        assert!(
+            r.cpma < 0.8,
+            "two independent streams overlap: cpma = {}",
+            r.cpma
+        );
+    }
+
+    #[test]
+    fn serial_dependence_chain_exposes_latency() {
+        // every load depends on the previous one and misses (distinct 4 KB
+        // pages, distinct L2 sets): CPMA approaches the memory latency
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for i in 0..200u64 {
+            prev = Some(b.record_dep(CpuId::new(0), MemOp::Load, i << 20, 0, prev));
+        }
+        let t = b.build();
+        let r = engine().run(&t);
+        assert!(
+            r.cpma > 150.0,
+            "serial misses cannot overlap: cpma = {}",
+            r.cpma
+        );
+    }
+
+    #[test]
+    fn ignoring_deps_restores_overlap() {
+        // stride 4 KB so successive misses hit different DDR banks and can
+        // genuinely overlap once dependencies are ignored
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for i in 0..200u64 {
+            prev = Some(b.record_dep(CpuId::new(0), MemOp::Load, i * 4096, 0, prev));
+        }
+        let t = b.build();
+        let mut e = Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            EngineConfig {
+                ignore_deps: true,
+                ..EngineConfig::default()
+            },
+        );
+        let overlapped = e.run(&t).cpma;
+        let mut e = Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            EngineConfig::default(),
+        );
+        let serial = e.run(&t).cpma;
+        assert!(
+            overlapped * 2.0 < serial,
+            "ignoring deps must at least halve CPMA: {overlapped} vs {serial}"
+        );
+    }
+
+    #[test]
+    fn window_bounds_outstanding_misses() {
+        // independent misses with window 1 serialize completely
+        let mut b = TraceBuilder::new();
+        for i in 0..100u64 {
+            b.record(CpuId::new(0), MemOp::Load, i << 20, 0);
+        }
+        let t = b.build();
+        let mut e = Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            EngineConfig {
+                window: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let serial = e.run(&t).cpma;
+        let parallel = engine().run(&t).cpma;
+        assert!(
+            serial > 2.0 * parallel,
+            "window=1 ({serial}) must be much slower than window=16 ({parallel})"
+        );
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses() {
+        // first half touches the working set (cold), second half re-touches
+        // it (warm); with warmup=0.5 the reported run is all hits
+        let mut b = TraceBuilder::new();
+        for rep in 0..2 {
+            for i in 0..64u64 {
+                let _ = rep;
+                b.record(CpuId::new(0), MemOp::Load, 0x1000 + i * 64, 0);
+            }
+        }
+        let t = b.build();
+        let mut e = engine();
+        let r = e.run_warmed(&t, 0.5);
+        assert_eq!(r.references, 64);
+        assert_eq!(r.stats.l1_hits, 64, "measured region is fully warm");
+    }
+
+    #[test]
+    fn empty_trace_is_a_zero_run() {
+        let r = engine().run(&Trace::new());
+        assert_eq!(r.references, 0);
+        assert_eq!(r.cpma, 0.0);
+        assert_eq!(r.offdie_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn invalid_warmup_panics() {
+        let _ = engine().run_warmed(&Trace::new(), 1.5);
+    }
+
+    #[test]
+    fn run_stream_matches_run_on_materialised_traces() {
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for i in 0..5_000u64 {
+            let dep = if i % 4 == 0 { prev } else { None };
+            prev = Some(b.record_dep(
+                CpuId::new((i % 2) as u8),
+                if i % 7 == 0 {
+                    MemOp::Store
+                } else {
+                    MemOp::Load
+                },
+                (i * 2917) % (1 << 22),
+                0,
+                dep,
+            ));
+        }
+        let t = b.build();
+        let batch = engine().run(&t);
+        let mut e = engine();
+        let stream = e.run_stream(t.iter().copied(), 64);
+        assert_eq!(batch.total_cycles, stream.total_cycles);
+        assert_eq!(batch.offdie_bytes, stream.offdie_bytes);
+        assert_eq!(batch.references, stream.references);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the window")]
+    fn run_stream_rejects_distant_dependencies() {
+        let mut b = TraceBuilder::new();
+        let first = b.record(CpuId::new(0), MemOp::Load, 0, 0);
+        for _ in 0..100 {
+            b.record(CpuId::new(0), MemOp::Load, 64, 0);
+        }
+        b.record_dep(CpuId::new(0), MemOp::Load, 128, 0, Some(first));
+        let t = b.build();
+        let _ = engine().run_stream(t.iter().copied(), 16);
+    }
+
+    #[test]
+    fn offdie_bandwidth_reported_for_streaming_misses() {
+        let mut b = TraceBuilder::new();
+        for i in 0..5000u64 {
+            b.record(CpuId::new(0), MemOp::Load, i * 64, 0);
+        }
+        let t = b.build();
+        let mut e = engine();
+        let r = e.run(&t);
+        assert!(
+            r.offdie_gb_per_sec > 1.0,
+            "streaming misses load the bus: {}",
+            r.offdie_gb_per_sec
+        );
+        assert!(r.offdie_bytes >= 5000 / 64 * 64, "every line fetched once");
+    }
+}

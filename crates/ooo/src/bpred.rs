@@ -1,0 +1,168 @@
+//! A gshare branch predictor.
+//!
+//! The workload generator emits architectural branch outcomes; the
+//! simulator runs this predictor at fetch to decide which dynamic branches
+//! mispredict, so predictability emerges from the outcome *patterns*
+//! rather than a fixed rate.
+
+/// A gshare predictor: a table of 2-bit counters indexed by
+/// `ip ⊕ global history`.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    bits: u32,
+    history_bits: u32,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `2^bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or more than 24.
+    pub fn new(bits: u32) -> Self {
+        Self::with_history(bits, bits)
+    }
+
+    /// Creates a predictor with `2^bits` counters but only `history_bits`
+    /// of global history folded into the index. Shorter histories warm up
+    /// faster and tolerate outcome noise; `history_bits = 0` degenerates to
+    /// a per-IP bimodal predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or more than 24, or `history_bits > bits`.
+    pub fn with_history(bits: u32, history_bits: u32) -> Self {
+        assert!(bits > 0 && bits <= 24, "predictor size must be 1..=24 bits");
+        assert!(
+            history_bits <= bits,
+            "history cannot exceed the index width"
+        );
+        Gshare {
+            counters: vec![1; 1 << bits], // weakly not-taken
+            history: 0,
+            bits,
+            history_bits,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self, ip: u64) -> usize {
+        let hist = if self.history_bits == 0 {
+            0
+        } else {
+            self.history & ((1 << self.history_bits) - 1)
+        };
+        ((ip >> 2) ^ hist) as usize & ((1 << self.bits) - 1)
+    }
+
+    /// Predicts and then trains on the actual outcome; returns whether the
+    /// prediction was correct.
+    pub fn predict_and_train(&mut self, ip: u64, taken: bool) -> bool {
+        let idx = self.index(ip);
+        let predicted = self.counters[idx] >= 2;
+        let counter = &mut self.counters[idx];
+        if taken {
+            *counter = (*counter + 1).min(3);
+        } else {
+            *counter = counter.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+        self.predictions += 1;
+        let correct = predicted == taken;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Fraction of predictions that were wrong (0 before any prediction).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_constant_branch() {
+        let mut p = Gshare::new(10);
+        for _ in 0..2000 {
+            p.predict_and_train(0x400, true);
+        }
+        // only history warm-up misses: each fresh history value trains once
+        assert!(
+            p.misprediction_rate() < 0.02,
+            "rate {}",
+            p.misprediction_rate()
+        );
+    }
+
+    #[test]
+    fn learns_a_short_pattern() {
+        // taken-taken-not pattern is history-predictable
+        let mut p = Gshare::new(12);
+        for i in 0..3000u64 {
+            p.predict_and_train(0x400, i % 3 != 2);
+        }
+        assert!(
+            p.misprediction_rate() < 0.15,
+            "rate {}",
+            p.misprediction_rate()
+        );
+    }
+
+    #[test]
+    fn struggles_on_random_outcomes() {
+        let mut p = Gshare::new(12);
+        // xorshift pseudo-random outcomes
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut mis = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if !p.predict_and_train(0x400, x & 1 == 1) {
+                mis += 1;
+            }
+        }
+        let rate = mis as f64 / n as f64;
+        assert!(rate > 0.3, "random branches should hurt: {rate}");
+    }
+
+    #[test]
+    fn distinct_ips_do_not_fully_alias() {
+        let mut p = Gshare::new(14);
+        for _ in 0..2000 {
+            p.predict_and_train(0x400, true);
+            p.predict_and_train(0x800, false);
+        }
+        assert!(
+            p.misprediction_rate() < 0.15,
+            "rate {}",
+            p.misprediction_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "predictor size")]
+    fn zero_bits_panics() {
+        let _ = Gshare::new(0);
+    }
+}

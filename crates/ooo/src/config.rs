@@ -1,0 +1,245 @@
+//! Machine description: core resources, latencies and the Table-4 wire
+//! paths.
+
+/// Extra pipe stages attributable to wire delay on each of the ten
+/// functional paths of Table 4. The planar machine carries the full stage
+/// counts; the 3D floorplan of Fig. 10 eliminates the fraction listed in
+/// Table 4 ("% of Stages Eliminated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Front-end pipeline stages (fetch/decode hand-offs).
+    pub front_end: u32,
+    /// Trace-cache read stages.
+    pub trace_cache: u32,
+    /// Rename/allocation stages.
+    pub rename_alloc: u32,
+    /// Extra FP source-operand bypass cycles: the planar floorplan routes
+    /// FP register reads across the SIMD unit (Fig. 9), costing all FP
+    /// instructions two cycles.
+    pub fp_bypass: u32,
+    /// Integer register-file read stages.
+    pub int_rf_read: u32,
+    /// Data-cache read stages (part of load-to-use).
+    pub dcache_read: u32,
+    /// Instruction-loop stages: branch resolve back to refetch.
+    pub instruction_loop: u32,
+    /// Retire-to-deallocation lag: cycles after retirement before an ROB
+    /// entry is recycled.
+    pub retire_dealloc: u32,
+    /// Extra stages on FP loads (D$ to the FP register file).
+    pub fp_load: u32,
+    /// Post-retirement store lifetime: cycles a retired store occupies its
+    /// store-queue entry before the entry is recycled.
+    pub store_lifetime: u32,
+}
+
+impl WireConfig {
+    /// The planar Fig. 9 machine's wire stages.
+    pub fn planar() -> Self {
+        WireConfig {
+            front_end: 8,
+            trace_cache: 5,
+            rename_alloc: 8,
+            fp_bypass: 2,
+            int_rf_read: 8,
+            dcache_read: 4,
+            instruction_loop: 18,
+            retire_dealloc: 20,
+            fp_load: 6,
+            store_lifetime: 48,
+        }
+    }
+
+    /// The 3D floorplan of Fig. 10: each path loses the Table-4 fraction of
+    /// its stages (front-end 12.5%, trace cache 20%, rename 25%, FP bypass
+    /// eliminated, int RF read 25%, D$ read 25%, instruction loop 17%,
+    /// retire-dealloc 20%, FP load 35%, store lifetime 30%).
+    pub fn folded_3d() -> Self {
+        WireConfig {
+            front_end: 7,         // -12.5%
+            trace_cache: 4,       // -20%
+            rename_alloc: 6,      // -25%
+            fp_bypass: 0,         // the Fig. 10 stack removes both cycles
+            int_rf_read: 6,       // -25%
+            dcache_read: 3,       // -25%
+            instruction_loop: 15, // -17%
+            retire_dealloc: 16,   // -20%
+            fp_load: 4,           // -35% (rounded)
+            store_lifetime: 34,   // -30%
+        }
+    }
+
+    /// Total wire stages across all paths (the Table 4 "~25%" bookkeeping).
+    pub fn total_stages(&self) -> u32 {
+        self.front_end
+            + self.trace_cache
+            + self.rename_alloc
+            + self.fp_bypass
+            + self.int_rf_read
+            + self.dcache_read
+            + self.instruction_loop
+            + self.retire_dealloc
+            + self.fp_load
+            + self.store_lifetime
+    }
+
+    /// The branch misprediction redirect penalty implied by the wire
+    /// stages: resolve → refetch → re-deliver through the front of the
+    /// machine. Added to [`CoreConfig::base_redirect`].
+    pub fn redirect_stages(&self) -> u32 {
+        self.instruction_loop
+            + self.front_end
+            + self.trace_cache
+            + self.rename_alloc
+            + self.int_rf_read
+    }
+}
+
+/// Core resources and base latencies (a deeply pipelined Pentium 4–class
+/// single-threaded machine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Uops renamed/dispatched per cycle.
+    pub rename_width: u32,
+    /// Uops issued to execution per cycle.
+    pub issue_width: u32,
+    /// Uops retired per cycle.
+    pub retire_width: u32,
+    /// Reorder-buffer capacity.
+    pub rob: usize,
+    /// Scheduler (reservation-station) capacity.
+    pub rs: usize,
+    /// Store-queue capacity.
+    pub store_queue: usize,
+    /// Physical-register / completion-resource pool: allocated at rename,
+    /// recycled `retire_dealloc` cycles after retirement (the "post
+    /// completion resource recovery" of §4).
+    pub phys_regs: usize,
+    /// Integer ALUs.
+    pub int_units: u32,
+    /// FP units.
+    pub fp_units: u32,
+    /// SIMD units.
+    pub simd_units: u32,
+    /// Load/store ports.
+    pub mem_ports: u32,
+    /// Integer op latency.
+    pub int_latency: u32,
+    /// FP op latency (before the fp_bypass wire adder).
+    pub fp_latency: u32,
+    /// SIMD op latency.
+    pub simd_latency: u32,
+    /// L1 load-to-use latency before the dcache_read wire adder.
+    pub l1_latency: u32,
+    /// L2 hit latency.
+    pub l2_latency: u32,
+    /// Main-memory latency.
+    pub mem_latency: u32,
+    /// Redirect penalty floor (in addition to the wire stages).
+    pub base_redirect: u32,
+    /// Wire-delay stage configuration.
+    pub wire: WireConfig,
+}
+
+impl CoreConfig {
+    /// The planar baseline machine.
+    pub fn planar() -> Self {
+        CoreConfig {
+            rename_width: 3,
+            issue_width: 6,
+            retire_width: 3,
+            rob: 64,
+            rs: 48,
+            store_queue: 10,
+            phys_regs: 34,
+            int_units: 3,
+            fp_units: 1,
+            simd_units: 1,
+            mem_ports: 2,
+            int_latency: 1,
+            fp_latency: 5,
+            simd_latency: 3,
+            l1_latency: 2,
+            l2_latency: 18,
+            mem_latency: 300,
+            base_redirect: 4,
+            wire: WireConfig::planar(),
+        }
+    }
+
+    /// The same machine with the Fig. 10 3D wire configuration.
+    pub fn folded_3d() -> Self {
+        CoreConfig {
+            wire: WireConfig::folded_3d(),
+            ..Self::planar()
+        }
+    }
+
+    /// Full branch misprediction penalty in cycles.
+    pub fn redirect_penalty(&self) -> u32 {
+        self.base_redirect + self.wire.redirect_stages()
+    }
+
+    /// Load-to-use latency for a given hit level, including wire stages.
+    pub fn load_latency(&self, level: crate::uop::MemLevel, fp: bool) -> u32 {
+        let base = match level {
+            crate::uop::MemLevel::L1 => self.l1_latency,
+            crate::uop::MemLevel::L2 => self.l1_latency + self.l2_latency,
+            crate::uop::MemLevel::Memory => self.l1_latency + self.l2_latency + self.mem_latency,
+        };
+        let wire = self.wire.dcache_read + if fp { self.wire.fp_load } else { 0 };
+        base + wire
+    }
+
+    /// Execution latency of an FP op including the bypass detour.
+    pub fn fp_op_latency(&self) -> u32 {
+        self.fp_latency + self.wire.fp_bypass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::MemLevel;
+
+    #[test]
+    fn planar_redirect_penalty_exceeds_30_cycles() {
+        // §4: "a branch miss-prediction penalty of more than 30 clock cycles"
+        let c = CoreConfig::planar();
+        assert!(
+            c.redirect_penalty() > 30,
+            "penalty {}",
+            c.redirect_penalty()
+        );
+    }
+
+    #[test]
+    fn folded_penalty_is_smaller() {
+        let p = CoreConfig::planar();
+        let f = CoreConfig::folded_3d();
+        assert!(f.redirect_penalty() < p.redirect_penalty());
+    }
+
+    #[test]
+    fn about_a_quarter_of_wire_stages_disappear() {
+        let p = WireConfig::planar().total_stages();
+        let f = WireConfig::folded_3d().total_stages();
+        let eliminated = 1.0 - f as f64 / p as f64;
+        assert!((eliminated - 0.25).abs() < 0.05, "eliminated {eliminated}");
+    }
+
+    #[test]
+    fn load_latency_composition() {
+        let c = CoreConfig::planar();
+        assert_eq!(c.load_latency(MemLevel::L1, false), 2 + 4);
+        assert_eq!(c.load_latency(MemLevel::L1, true), 2 + 4 + 6);
+        assert_eq!(c.load_latency(MemLevel::L2, false), 2 + 18 + 4);
+        assert!(c.load_latency(MemLevel::Memory, false) > 300);
+    }
+
+    #[test]
+    fn fp_op_pays_the_bypass_detour_only_when_planar() {
+        assert_eq!(CoreConfig::planar().fp_op_latency(), 7);
+        assert_eq!(CoreConfig::folded_3d().fp_op_latency(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Micro-operations: the unit of work in the pipeline model.
+
+/// Which memory level a load finds its data in (decided by the workload
+/// generator, which plays the role of the cache model the product
+/// simulator's traces embedded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// L1 data cache hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// Main memory.
+    Memory,
+}
+
+/// Micro-op kinds, mapped to functional-unit classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UopKind {
+    /// Integer ALU operation.
+    Int,
+    /// Scalar floating-point operation (takes the RF→FP wire path).
+    Fp,
+    /// SIMD operation.
+    Simd,
+    /// Integer-side load.
+    Load,
+    /// Floating-point load (takes the extra FP-load wire path).
+    FpLoad,
+    /// Store.
+    Store,
+    /// Conditional branch with its architectural outcome.
+    Branch {
+        /// Whether the branch is actually taken.
+        taken: bool,
+    },
+}
+
+impl UopKind {
+    /// Whether this uop reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::FpLoad)
+    }
+
+    /// Whether this uop writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, UopKind::Store)
+    }
+
+    /// Whether this uop is a branch.
+    pub fn is_branch(self) -> bool {
+        matches!(self, UopKind::Branch { .. })
+    }
+
+    /// Whether this uop executes on the FP side.
+    pub fn is_fp(self) -> bool {
+        matches!(self, UopKind::Fp | UopKind::FpLoad)
+    }
+}
+
+/// One micro-operation. Sources are given as backwards distances in the
+/// dynamic uop stream (`1` = the immediately preceding uop); the pipeline
+/// resolves them to in-flight producers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uop {
+    /// Kind / functional-unit class.
+    pub kind: UopKind,
+    /// Instruction pointer (used by the branch predictor).
+    pub ip: u64,
+    /// First source operand, as a backwards distance.
+    pub src1: Option<u32>,
+    /// Second source operand, as a backwards distance.
+    pub src2: Option<u32>,
+    /// Where a load finds its data (ignored for non-loads).
+    pub mem_level: MemLevel,
+}
+
+impl Uop {
+    /// A source-less integer uop at ip 0 (convenient in tests).
+    pub fn nop() -> Self {
+        Uop {
+            kind: UopKind::Int,
+            ip: 0,
+            src1: None,
+            src2: None,
+            mem_level: MemLevel::L1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        assert!(UopKind::Load.is_load());
+        assert!(UopKind::FpLoad.is_load());
+        assert!(UopKind::FpLoad.is_fp());
+        assert!(UopKind::Store.is_store());
+        assert!(UopKind::Branch { taken: true }.is_branch());
+        assert!(!UopKind::Int.is_load());
+        assert!(UopKind::Fp.is_fp());
+        assert!(!UopKind::Simd.is_fp());
+    }
+
+    #[test]
+    fn nop_is_independent() {
+        let u = Uop::nop();
+        assert_eq!(u.src1, None);
+        assert_eq!(u.src2, None);
+        assert_eq!(u.kind, UopKind::Int);
+    }
+}

@@ -1,0 +1,163 @@
+//! The ten Table-4 wire paths as first-class experiment handles.
+
+use crate::config::WireConfig;
+
+/// One functional path of Table 4 whose pipe stages the 3D floorplan
+/// shortens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WirePath {
+    /// Front-end pipeline (12.5% of stages eliminated).
+    FrontEnd,
+    /// Trace cache read (20%).
+    TraceCache,
+    /// Rename allocation (25%).
+    RenameAlloc,
+    /// FP instruction latency (variable; the RF–SIMD–FP detour).
+    FpLatency,
+    /// Integer register file read (25%).
+    IntRfRead,
+    /// Data cache read (25%).
+    DcacheRead,
+    /// Instruction loop (17%).
+    InstructionLoop,
+    /// Retire to de-allocation (20%).
+    RetireDealloc,
+    /// FP load latency (35%).
+    FpLoad,
+    /// Store lifetime (30%).
+    StoreLifetime,
+}
+
+impl WirePath {
+    /// All ten paths in Table 4's row order.
+    pub fn all() -> [WirePath; 10] {
+        use WirePath::*;
+        [
+            FrontEnd,
+            TraceCache,
+            RenameAlloc,
+            FpLatency,
+            IntRfRead,
+            DcacheRead,
+            InstructionLoop,
+            RetireDealloc,
+            FpLoad,
+            StoreLifetime,
+        ]
+    }
+
+    /// Table 4's "Functionality" label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WirePath::FrontEnd => "Front-end pipeline",
+            WirePath::TraceCache => "Trace cache read",
+            WirePath::RenameAlloc => "Rename allocation",
+            WirePath::FpLatency => "FP inst. latency",
+            WirePath::IntRfRead => "Int register file read",
+            WirePath::DcacheRead => "Data cache read",
+            WirePath::InstructionLoop => "Instruction loop",
+            WirePath::RetireDealloc => "Retire to de-allocation",
+            WirePath::FpLoad => "FP load latency",
+            WirePath::StoreLifetime => "Store lifetime",
+        }
+    }
+
+    /// Table 4's "% of Stages Eliminated" column.
+    pub fn paper_stage_reduction(&self) -> &'static str {
+        match self {
+            WirePath::FrontEnd => "12.5%",
+            WirePath::TraceCache => "20%",
+            WirePath::RenameAlloc => "25%",
+            WirePath::FpLatency => "Variable",
+            WirePath::IntRfRead => "25%",
+            WirePath::DcacheRead => "25%",
+            WirePath::InstructionLoop => "17%",
+            WirePath::RetireDealloc => "20%",
+            WirePath::FpLoad => "35%",
+            WirePath::StoreLifetime => "30%",
+        }
+    }
+
+    /// Table 4's reported performance gain, in percent.
+    pub fn paper_gain_pct(&self) -> f64 {
+        match self {
+            WirePath::FrontEnd => 0.2,
+            WirePath::TraceCache => 0.33,
+            WirePath::RenameAlloc => 0.66,
+            WirePath::FpLatency => 4.0,
+            WirePath::IntRfRead => 0.5,
+            WirePath::DcacheRead => 1.5,
+            WirePath::InstructionLoop => 1.0,
+            WirePath::RetireDealloc => 1.0,
+            WirePath::FpLoad => 2.0,
+            WirePath::StoreLifetime => 3.0,
+        }
+    }
+
+    /// Applies only this path's 3D improvement to a wire configuration,
+    /// leaving every other path planar — the per-row Table 4 experiment.
+    pub fn apply(&self, base: WireConfig) -> WireConfig {
+        let d3 = WireConfig::folded_3d();
+        let mut w = base;
+        match self {
+            WirePath::FrontEnd => w.front_end = d3.front_end,
+            WirePath::TraceCache => w.trace_cache = d3.trace_cache,
+            WirePath::RenameAlloc => w.rename_alloc = d3.rename_alloc,
+            WirePath::FpLatency => w.fp_bypass = d3.fp_bypass,
+            WirePath::IntRfRead => w.int_rf_read = d3.int_rf_read,
+            WirePath::DcacheRead => w.dcache_read = d3.dcache_read,
+            WirePath::InstructionLoop => w.instruction_loop = d3.instruction_loop,
+            WirePath::RetireDealloc => w.retire_dealloc = d3.retire_dealloc,
+            WirePath::FpLoad => w.fp_load = d3.fp_load,
+            WirePath::StoreLifetime => w.store_lifetime = d3.store_lifetime,
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for WirePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applying_all_paths_reaches_the_3d_config() {
+        let mut w = WireConfig::planar();
+        for p in WirePath::all() {
+            w = p.apply(w);
+        }
+        assert_eq!(w, WireConfig::folded_3d());
+    }
+
+    #[test]
+    fn each_path_changes_exactly_one_field() {
+        let planar = WireConfig::planar();
+        for p in WirePath::all() {
+            let w = p.apply(planar);
+            assert_ne!(w, planar, "{p} must change something");
+            // applying twice is idempotent
+            assert_eq!(p.apply(w), w);
+        }
+    }
+
+    #[test]
+    fn paper_gains_total_about_15_percent() {
+        let total: f64 = WirePath::all().iter().map(|p| p.paper_gain_pct()).sum();
+        assert!(
+            (total - 14.19).abs() < 0.5,
+            "Table 4 rows sum to ~15%: {total}"
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            WirePath::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 10);
+    }
+}

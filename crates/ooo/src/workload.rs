@@ -1,0 +1,431 @@
+//! Synthetic single-threaded workloads for the Logic+Logic study.
+//!
+//! The paper drives its product performance simulator with over 650
+//! proprietary traces spanning "SPECINT, SPECFP, hand written kernels,
+//! multimedia, internet, productivity, server, and workstation
+//! applications". This module substitutes parameterised uop-stream
+//! generators, one per application class, with instruction mixes,
+//! dependence distances, branch-outcome patterns and cache-hit profiles
+//! chosen to be characteristic of each class.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::uop::{MemLevel, Uop, UopKind};
+
+/// The application classes of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Integer-dominated, branchy (SPECINT-like).
+    SpecInt,
+    /// FP-dominated, loopy, long dependence chains (SPECFP-like).
+    SpecFp,
+    /// SIMD-heavy streaming kernels (multimedia).
+    Multimedia,
+    /// Pointer-chasing, cache-missing, store-heavy (server).
+    Server,
+    /// Mixed interactive integer code (productivity).
+    Productivity,
+    /// Branchy, short functions, moderate misses (internet).
+    Internet,
+    /// FP + integer mix with large data (workstation).
+    Workstation,
+    /// Hand-written math kernels: dense FP, high ILP.
+    Kernels,
+}
+
+impl WorkloadClass {
+    /// All classes, in a stable order.
+    pub fn all() -> [WorkloadClass; 8] {
+        use WorkloadClass::*;
+        [
+            SpecInt,
+            SpecFp,
+            Multimedia,
+            Server,
+            Productivity,
+            Internet,
+            Workstation,
+            Kernels,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadClass::SpecInt => "specint",
+            WorkloadClass::SpecFp => "specfp",
+            WorkloadClass::Multimedia => "multimedia",
+            WorkloadClass::Server => "server",
+            WorkloadClass::Productivity => "productivity",
+            WorkloadClass::Internet => "internet",
+            WorkloadClass::Workstation => "workstation",
+            WorkloadClass::Kernels => "kernels",
+        }
+    }
+
+    /// The class's generation parameters.
+    pub fn profile(&self) -> MixProfile {
+        match self {
+            WorkloadClass::SpecInt => MixProfile {
+                fp: 0.02,
+                simd: 0.01,
+                load: 0.24,
+                fp_load: 0.00,
+                store: 0.11,
+                branch: 0.17,
+                branch_noise: 0.10,
+                l2_rate: 0.04,
+                mem_rate: 0.003,
+                dep_mean: 3.0,
+                chain: 0.35,
+            },
+            WorkloadClass::SpecFp => MixProfile {
+                fp: 0.30,
+                simd: 0.02,
+                load: 0.14,
+                fp_load: 0.16,
+                store: 0.09,
+                branch: 0.06,
+                branch_noise: 0.02,
+                l2_rate: 0.05,
+                mem_rate: 0.006,
+                dep_mean: 4.0,
+                chain: 0.45,
+            },
+            WorkloadClass::Multimedia => MixProfile {
+                fp: 0.04,
+                simd: 0.34,
+                load: 0.20,
+                fp_load: 0.02,
+                store: 0.12,
+                branch: 0.08,
+                branch_noise: 0.03,
+                l2_rate: 0.03,
+                mem_rate: 0.002,
+                dep_mean: 5.0,
+                chain: 0.25,
+            },
+            WorkloadClass::Server => MixProfile {
+                fp: 0.01,
+                simd: 0.00,
+                load: 0.27,
+                fp_load: 0.00,
+                store: 0.16,
+                branch: 0.16,
+                branch_noise: 0.12,
+                l2_rate: 0.08,
+                mem_rate: 0.012,
+                dep_mean: 2.5,
+                chain: 0.45,
+            },
+            WorkloadClass::Productivity => MixProfile {
+                fp: 0.02,
+                simd: 0.03,
+                load: 0.23,
+                fp_load: 0.01,
+                store: 0.13,
+                branch: 0.15,
+                branch_noise: 0.08,
+                l2_rate: 0.04,
+                mem_rate: 0.004,
+                dep_mean: 3.0,
+                chain: 0.35,
+            },
+            WorkloadClass::Internet => MixProfile {
+                fp: 0.01,
+                simd: 0.02,
+                load: 0.24,
+                fp_load: 0.00,
+                store: 0.14,
+                branch: 0.18,
+                branch_noise: 0.10,
+                l2_rate: 0.05,
+                mem_rate: 0.005,
+                dep_mean: 2.8,
+                chain: 0.40,
+            },
+            WorkloadClass::Workstation => MixProfile {
+                fp: 0.16,
+                simd: 0.06,
+                load: 0.18,
+                fp_load: 0.08,
+                store: 0.10,
+                branch: 0.10,
+                branch_noise: 0.05,
+                l2_rate: 0.06,
+                mem_rate: 0.007,
+                dep_mean: 3.5,
+                chain: 0.40,
+            },
+            WorkloadClass::Kernels => MixProfile {
+                fp: 0.34,
+                simd: 0.08,
+                load: 0.12,
+                fp_load: 0.14,
+                store: 0.12,
+                branch: 0.04,
+                branch_noise: 0.01,
+                l2_rate: 0.02,
+                mem_rate: 0.002,
+                dep_mean: 6.0,
+                chain: 0.30,
+            },
+        }
+    }
+
+    /// Generates `n` uops of this class, deterministically in `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Uop> {
+        generate(self.profile(), n, seed ^ (*self as u64) << 32)
+    }
+}
+
+/// Instruction-mix parameters of one class. Fractions are of all uops; the
+/// remainder are integer ALU ops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixProfile {
+    /// Scalar FP fraction.
+    pub fp: f64,
+    /// SIMD fraction.
+    pub simd: f64,
+    /// Integer load fraction.
+    pub load: f64,
+    /// FP load fraction.
+    pub fp_load: f64,
+    /// Store fraction.
+    pub store: f64,
+    /// Branch fraction.
+    pub branch: f64,
+    /// Fraction of branches with data-dependent (unpredictable) outcomes.
+    pub branch_noise: f64,
+    /// Probability a load misses to L2.
+    pub l2_rate: f64,
+    /// Probability a load misses to memory.
+    pub mem_rate: f64,
+    /// Mean dependence distance (geometric).
+    pub dep_mean: f64,
+    /// Probability a uop chains on the immediately previous uop's result
+    /// (serial dataflow like reductions or pointer chasing).
+    pub chain: f64,
+}
+
+fn generate(p: MixProfile, n: usize, seed: u64) -> Vec<Uop> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let geo = rand_distr_geometric(p.dep_mean);
+    let mut out = Vec::with_capacity(n);
+    // a small set of static branch sites with per-site behaviour
+    let sites: Vec<(u64, BranchBehaviour)> = (0..24)
+        .map(|i| {
+            let ip = 0x40_0000 + i * 36;
+            let r: f64 = rng.gen();
+            // most static branches are loop back-edges or strongly biased;
+            // `branch_noise` controls the share of data-dependent branches
+            let b = if r < 0.45 {
+                BranchBehaviour::Loop(rng.gen_range(8..160))
+            } else if r < 0.45 + p.branch_noise {
+                BranchBehaviour::Random
+            } else {
+                BranchBehaviour::Biased(rng.gen_range(0.97..0.999))
+            };
+            (ip, b)
+        })
+        .collect();
+    let mut site_counts = vec![0u64; sites.len()];
+    let mut ip = 0x40_0000u64;
+    // store runs average 3 slots per draw; compensate the draw
+    // probabilities so the realised fractions match the profile exactly
+    let q_store = p.store / (3.0 - 2.0 * p.store);
+    let m = 1.0 + 2.0 * q_store;
+    // stores come in runs (structure copies, spills), pressuring the SQ
+    let mut store_run: u32 = 0;
+    // control flow walks the branch sites in a repeating order (a loop
+    // nest), with occasional jumps — repeatable sequences are what make
+    // global-history prediction work
+    let mut site_pos = 0usize;
+
+    for i in 0..n {
+        let r: f64 = rng.gen();
+        let kind = if store_run > 0 {
+            store_run -= 1;
+            UopKind::Store
+        } else if r < p.branch * m {
+            let s = if rng.gen_bool(0.05) {
+                site_pos = rng.gen_range(0..sites.len());
+                site_pos
+            } else {
+                site_pos = (site_pos + 1) % sites.len();
+                site_pos
+            };
+            let (bip, behaviour) = sites[s];
+            site_counts[s] += 1;
+            let taken = match behaviour {
+                BranchBehaviour::Loop(period) => !site_counts[s].is_multiple_of(u64::from(period)),
+                BranchBehaviour::Biased(prob) => rng.gen_bool(prob),
+                BranchBehaviour::Random => rng.gen_bool(0.5),
+            };
+            ip = bip;
+            UopKind::Branch { taken }
+        } else if r < (p.branch + p.fp) * m {
+            UopKind::Fp
+        } else if r < (p.branch + p.fp + p.simd) * m {
+            UopKind::Simd
+        } else if r < (p.branch + p.fp + p.simd + p.load) * m {
+            UopKind::Load
+        } else if r < (p.branch + p.fp + p.simd + p.load + p.fp_load) * m {
+            UopKind::FpLoad
+        } else if r < (p.branch + p.fp + p.simd + p.load + p.fp_load) * m + q_store {
+            // a run of 3 on average keeps the overall store fraction at
+            // `p.store` while making occupancy bursty
+            store_run = rng.gen_range(1..=3);
+            UopKind::Store
+        } else {
+            UopKind::Int
+        };
+        let mem_level = if kind.is_load() {
+            let m: f64 = rng.gen();
+            if m < p.mem_rate {
+                MemLevel::Memory
+            } else if m < p.mem_rate + p.l2_rate {
+                MemLevel::L2
+            } else {
+                MemLevel::L1
+            }
+        } else {
+            MemLevel::L1
+        };
+        let src = |rng: &mut StdRng, out: &[Uop], i: usize| -> Option<u32> {
+            if i == 0 {
+                return None;
+            }
+            let mut d = if rng.gen_bool(p.chain) { 1 } else { geo(rng) }.min(i as u32);
+            // compilers hoist loads away from their consumers; when a
+            // dependence lands on a load, usually re-draw a farther one
+            // (FP loads stay tight: they feed FP chains inside loops)
+            if out[i - d as usize].kind == UopKind::Load && rng.gen_bool(0.75) {
+                d = (d + geo(rng) + 2).min(i as u32);
+            }
+            Some(d)
+        };
+        let src1 = src(&mut rng, &out, i);
+        let src2 = if matches!(
+            kind,
+            UopKind::Int | UopKind::Fp | UopKind::Simd | UopKind::Store
+        ) && rng.gen_bool(0.6)
+        {
+            src(&mut rng, &out, i)
+        } else {
+            None
+        };
+        if !kind.is_branch() {
+            ip = ip.wrapping_add(4);
+        }
+        out.push(Uop {
+            kind,
+            ip,
+            src1,
+            src2,
+            mem_level,
+        });
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchBehaviour {
+    /// Taken except every `period`-th execution (loop back-edge).
+    Loop(u32),
+    /// Taken with a fixed probability.
+    Biased(f64),
+    /// Data-dependent, unpredictable.
+    Random,
+}
+
+/// Geometric-ish distance sampler with the given mean (min 1).
+fn rand_distr_geometric(mean: f64) -> impl Fn(&mut StdRng) -> u32 {
+    let p = 1.0 / mean.max(1.0);
+    move |rng: &mut StdRng| {
+        let mut d = 1u32;
+        while d < 64 && !rng.gen_bool(p) {
+            d += 1;
+        }
+        d
+    }
+}
+
+/// Convenience: a suite of `(class, uops)` pairs at a given length.
+pub fn suite(n_per_class: usize, seed: u64) -> Vec<(WorkloadClass, Vec<Uop>)> {
+    WorkloadClass::all()
+        .iter()
+        .map(|c| (*c, c.generate(n_per_class, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WorkloadClass::SpecInt.generate(1000, 7);
+        let b = WorkloadClass::SpecInt.generate(1000, 7);
+        let c = WorkloadClass::SpecInt.generate(1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mixes_approximate_profiles() {
+        for class in WorkloadClass::all() {
+            let uops = class.generate(40_000, 1);
+            let p = class.profile();
+            let frac = |pred: fn(&Uop) -> bool| {
+                uops.iter().filter(|u| pred(u)).count() as f64 / uops.len() as f64
+            };
+            let branches = frac(|u| u.kind.is_branch());
+            assert!(
+                (branches - p.branch).abs() < 0.02,
+                "{}: branch {branches} vs {}",
+                class.name(),
+                p.branch
+            );
+            let stores = frac(|u| u.kind.is_store());
+            assert!((stores - p.store).abs() < 0.02, "{}: stores", class.name());
+            let loads = frac(|u| u.kind.is_load());
+            assert!(
+                (loads - (p.load + p.fp_load)).abs() < 0.02,
+                "{}: loads",
+                class.name()
+            );
+        }
+    }
+
+    #[test]
+    fn specfp_is_fp_heavy_and_specint_is_not() {
+        let fp_frac = |c: WorkloadClass| {
+            let u = c.generate(20_000, 3);
+            u.iter().filter(|u| u.kind.is_fp()).count() as f64 / u.len() as f64
+        };
+        assert!(fp_frac(WorkloadClass::SpecFp) > 0.35);
+        assert!(fp_frac(WorkloadClass::SpecInt) < 0.05);
+    }
+
+    #[test]
+    fn sources_point_backwards_within_stream() {
+        let uops = WorkloadClass::Server.generate(5000, 11);
+        for (i, u) in uops.iter().enumerate() {
+            for s in [u.src1, u.src2].into_iter().flatten() {
+                assert!(s as usize <= i, "uop {i} source distance {s}");
+                assert!(s >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_classes() {
+        let s = suite(100, 5);
+        assert_eq!(s.len(), 8);
+        for (_, uops) in s {
+            assert_eq!(uops.len(), 100);
+        }
+    }
+}

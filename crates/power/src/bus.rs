@@ -1,0 +1,47 @@
+//! Off-die bus power (§3: "Assuming a bus power consumption rate of
+//! 20mW/Gb/s, 3D stacking of DRAM reduces bus power by 0.5W").
+
+/// Bus energy cost in watts per gigabit-per-second of traffic.
+pub const WATTS_PER_GBPS: f64 = 0.020;
+
+/// Bus power in watts for a given off-die bandwidth in **gigabytes** per
+/// second (decimal GB, as reported by the memory simulator).
+///
+/// # Panics
+///
+/// Panics if the bandwidth is negative.
+pub fn bus_power_w(gb_per_sec: f64) -> f64 {
+    assert!(gb_per_sec >= 0.0, "bandwidth must be non-negative");
+    WATTS_PER_GBPS * gb_per_sec * 8.0
+}
+
+/// Power saved when bandwidth drops from `before` to `after` GB/s.
+pub fn bus_power_saving_w(before_gbps: f64, after_gbps: f64) -> f64 {
+    bus_power_w(before_gbps) - bus_power_w(after_gbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_milliwatts_per_gbit() {
+        // 1 GB/s = 8 Gb/s = 160 mW
+        assert!((bus_power_w(1.0) - 0.16).abs() < 1e-12);
+        assert_eq!(bus_power_w(0.0), 0.0);
+    }
+
+    #[test]
+    fn papers_half_watt_example() {
+        // a ~4 GB/s baseline cut by 3x saves roughly half a watt, the §3
+        // figure ("reduces bus power by 0.5W")
+        let saving = bus_power_saving_w(4.2, 4.2 / 3.0);
+        assert!(saving > 0.4 && saving < 0.6, "saving {saving}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bandwidth_panics() {
+        let _ = bus_power_w(-1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Cache-array power, per the Fig. 7 design points: "4MB of SRAM consume
+//! 7W, 32MB of DRAM consume 3.1W, and 64MB of DRAM consume 6.2W"; the 8 MB
+//! of stacked SRAM add 14 W.
+
+/// Power of an on-die SRAM array, in watts per megabyte (from the 4 MB /
+/// 7 W and +8 MB / +14 W points: 1.75 W/MB).
+pub const SRAM_W_PER_MB: f64 = 1.75;
+
+/// Power of the stacked 3D DRAM, in watts per megabyte (from the 32 MB /
+/// 3.1 W point: ~0.097 W/MB — low because the die-to-die interconnect is
+/// far cheaper than off-die I/O; its RC is about a third of a full via
+/// stack).
+pub const DRAM_W_PER_MB: f64 = 3.1 / 32.0;
+
+/// SRAM array power for a capacity in MB.
+///
+/// # Panics
+///
+/// Panics if `mb` is negative.
+pub fn sram_power_w(mb: f64) -> f64 {
+    assert!(mb >= 0.0, "capacity must be non-negative");
+    SRAM_W_PER_MB * mb
+}
+
+/// Stacked-DRAM array power for a capacity in MB.
+///
+/// # Panics
+///
+/// Panics if `mb` is negative.
+pub fn dram_power_w(mb: f64) -> f64 {
+    assert!(mb >= 0.0, "capacity must be non-negative");
+    DRAM_W_PER_MB * mb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_papers_design_points() {
+        assert!((sram_power_w(4.0) - 7.0).abs() < 1e-9);
+        assert!((sram_power_w(8.0) - 14.0).abs() < 1e-9);
+        assert!((dram_power_w(32.0) - 3.1).abs() < 1e-9);
+        assert!((dram_power_w(64.0) - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_is_about_8x_denser_and_much_cooler_per_mb() {
+        // "Typically well designed DRAM is about 8X denser than an SRAM"
+        // and per-MB power is more than 10x lower
+        let ratio = SRAM_W_PER_MB / DRAM_W_PER_MB;
+        assert!(ratio > 10.0, "ratio {ratio}");
+    }
+}

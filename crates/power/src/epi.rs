@@ -1,0 +1,87 @@
+//! Energy-per-instruction accounting for the Logic+Logic fold (§4).
+//!
+//! The paper's 15% power reduction decomposes into: removed pipe stages are
+//! "dominated by long global metal", halving repeaters and repeating
+//! latches; the shared 3D clock grid has 50% less metal RC; and global wire
+//! shortens overall. This module carries that decomposition so the ablation
+//! benches can turn individual savings off.
+
+/// A breakdown of a core's power into the components the 3D fold touches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Repeaters and repeating latches on global wires (W).
+    pub repeaters: f64,
+    /// Pipe-stage latches (W).
+    pub latches: f64,
+    /// Clock grid (W).
+    pub clock: f64,
+    /// Everything else: logic, arrays, leakage (W).
+    pub logic: f64,
+}
+
+impl PowerBreakdown {
+    /// The 147 W Pentium 4–class skew: wire/clock-heavy, as the paper's
+    /// "wire can consume more than 30% of the power" observation implies.
+    pub fn p4_147w() -> Self {
+        PowerBreakdown {
+            repeaters: 18.0,
+            latches: 16.0,
+            clock: 26.0,
+            logic: 87.0,
+        }
+    }
+
+    /// Total power in watts.
+    pub fn total(&self) -> f64 {
+        self.repeaters + self.latches + self.clock + self.logic
+    }
+
+    /// Fraction of power in wire-related components (repeaters + clock).
+    pub fn wire_fraction(&self) -> f64 {
+        (self.repeaters + self.clock) / self.total()
+    }
+
+    /// Applies the 3D fold's savings: repeaters and repeating latches are
+    /// halved ("the number of repeaters and repeating latches ... is
+    /// reduced by 50%"), the clock grid loses half its metal RC, and a
+    /// quarter of the pipe-stage latches disappear with the ~25% of stages.
+    pub fn fold_3d(&self) -> PowerBreakdown {
+        PowerBreakdown {
+            repeaters: self.repeaters * 0.5,
+            latches: self.latches * 0.75,
+            clock: self.clock * 0.75,
+            logic: self.logic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p4_breakdown_totals_147() {
+        assert!((PowerBreakdown::p4_147w().total() - 147.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_power_is_about_30_percent() {
+        let b = PowerBreakdown::p4_147w();
+        let f = b.wire_fraction();
+        assert!(f > 0.25 && f < 0.35, "wire fraction {f}");
+    }
+
+    #[test]
+    fn fold_saves_about_15_percent() {
+        let b = PowerBreakdown::p4_147w();
+        let folded = b.fold_3d();
+        let saving = 1.0 - folded.total() / b.total();
+        assert!((saving - 0.15).abs() < 0.02, "saving {saving}");
+    }
+
+    #[test]
+    fn fold_never_touches_logic_power() {
+        let b = PowerBreakdown::p4_147w();
+        assert_eq!(b.fold_3d().logic, b.logic);
+    }
+}

@@ -1,0 +1,207 @@
+//! Voltage/frequency scaling (Table 5 of the paper).
+//!
+//! The paper's measured relations:
+//!
+//! * performance scales **additively**: +0.82% performance per +1%
+//!   frequency, in percentage points of the planar baseline
+//!   (Table 5's "0.82% performance for 1% frequency");
+//! * frequency tracks Vcc 1:1 within the considered range;
+//! * dynamic power scales as `V² · f`, i.e. `s³` when Vcc and frequency
+//!   scale together by `s`.
+
+/// Performance percentage points gained per frequency percentage point.
+pub const PERF_PER_FREQ: f64 = 0.82;
+
+/// One operating point of the scaled 3D design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage relative to nominal.
+    pub vcc: f64,
+    /// Frequency relative to nominal.
+    pub freq: f64,
+}
+
+impl OperatingPoint {
+    /// The nominal point (Vcc = 1, f = 1).
+    pub fn nominal() -> Self {
+        OperatingPoint {
+            vcc: 1.0,
+            freq: 1.0,
+        }
+    }
+
+    /// Vcc and frequency scaled together by `s` (the 1:1 relation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not positive.
+    pub fn scaled_together(s: f64) -> Self {
+        assert!(s > 0.0, "scale must be positive");
+        OperatingPoint { vcc: s, freq: s }
+    }
+
+    /// Dynamic-power factor `V² · f` relative to nominal.
+    pub fn power_factor(&self) -> f64 {
+        self.vcc * self.vcc * self.freq
+    }
+}
+
+/// The Logic+Logic scaling model: a design with `base_power` watts and
+/// `base_perf` performance (in % of the planar baseline) at the nominal
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingModel {
+    /// Power at Vcc = 1, f = 1 (e.g. 125 W for the 3D floorplan).
+    pub base_power: f64,
+    /// Performance at f = 1, in percent of the planar baseline (115 for
+    /// the 3D floorplan's +15%).
+    pub base_perf: f64,
+}
+
+impl ScalingModel {
+    /// The paper's 3D floorplan: 125 W (15% below the 147 W planar) at
+    /// +15% performance.
+    pub fn fig11_3d() -> Self {
+        ScalingModel {
+            base_power: 147.0 * 0.85,
+            base_perf: 115.0,
+        }
+    }
+
+    /// The planar baseline: 147 W at 100%.
+    pub fn fig11_planar() -> Self {
+        ScalingModel {
+            base_power: 147.0,
+            base_perf: 100.0,
+        }
+    }
+
+    /// Power in watts at an operating point.
+    pub fn power(&self, p: OperatingPoint) -> f64 {
+        self.base_power * p.power_factor()
+    }
+
+    /// Performance (% of planar baseline) at an operating point, using the
+    /// additive +0.82 points per +1% frequency relation.
+    pub fn perf(&self, p: OperatingPoint) -> f64 {
+        self.base_perf + PERF_PER_FREQ * (p.freq - 1.0) * 100.0
+    }
+
+    /// Frequency-only scaling (Vcc pinned at 1) reaching a power target —
+    /// Table 5's "Same Pwr" row scales frequency up at nominal voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive.
+    pub fn scale_freq_to_power(&self, target_w: f64) -> OperatingPoint {
+        assert!(target_w > 0.0, "target power must be positive");
+        OperatingPoint {
+            vcc: 1.0,
+            freq: target_w / self.base_power,
+        }
+    }
+
+    /// Joint Vcc/frequency scaling (1:1) reaching a power target:
+    /// `base · s³ = target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target is not positive.
+    pub fn scale_to_power(&self, target_w: f64) -> OperatingPoint {
+        assert!(target_w > 0.0, "target power must be positive");
+        OperatingPoint::scaled_together((target_w / self.base_power).cbrt())
+    }
+
+    /// Joint Vcc/frequency scaling reaching a performance target (percent
+    /// of the planar baseline).
+    pub fn scale_to_perf(&self, target_pct: f64) -> OperatingPoint {
+        let freq = 1.0 + (target_pct - self.base_perf) / (PERF_PER_FREQ * 100.0);
+        OperatingPoint::scaled_together(freq)
+    }
+
+    /// Joint Vcc/frequency scaling until `temperature(power)` reaches
+    /// `target_c`, by bisection on the scale factor. `temperature` must be
+    /// monotonically increasing in power (thermal solves are).
+    pub fn scale_to_temperature(
+        &self,
+        target_c: f64,
+        mut temperature: impl FnMut(f64) -> f64,
+    ) -> OperatingPoint {
+        let (mut lo, mut hi) = (0.3f64, 1.5f64);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let t = temperature(self.power(OperatingPoint::scaled_together(mid)));
+            if t > target_c {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        OperatingPoint::scaled_together(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_is_identity() {
+        let p = OperatingPoint::nominal();
+        assert_eq!(p.power_factor(), 1.0);
+        let m = ScalingModel::fig11_3d();
+        assert!((m.power(p) - 124.95).abs() < 1e-9);
+        assert_eq!(m.perf(p), 115.0);
+    }
+
+    #[test]
+    fn same_power_row_matches_table5() {
+        // "Same Pwr": 147 W, Vcc 1, freq 1.18, perf 129%
+        let m = ScalingModel::fig11_3d();
+        let p = m.scale_freq_to_power(147.0);
+        assert!((p.freq - 1.176).abs() < 0.01, "freq {}", p.freq);
+        assert_eq!(p.vcc, 1.0);
+        let perf = m.perf(p);
+        assert!((perf - 129.0).abs() < 1.5, "perf {perf}");
+    }
+
+    #[test]
+    fn same_perf_row_matches_table5() {
+        // "Same Perf.": perf 100%, Vcc/freq ~0.82, power ~68 W
+        let m = ScalingModel::fig11_3d();
+        let p = m.scale_to_perf(100.0);
+        assert!((p.freq - 0.817).abs() < 0.01, "freq {}", p.freq);
+        let w = m.power(p);
+        assert!((w - 68.2).abs() < 1.5, "power {w}");
+    }
+
+    #[test]
+    fn same_temp_row_with_linear_thermal_model() {
+        // with the paper's Fig. 11 numbers as a linear thermal model
+        // (ΔT ∝ power), the same-temperature point lands near Vcc 0.92–0.94
+        // and two-thirds power, as in Table 5
+        let m = ScalingModel::fig11_3d();
+        let r_3d = (112.5 - 40.0) / 125.0;
+        let p = m.scale_to_temperature(99.0, |w| 40.0 + r_3d * w);
+        assert!(p.vcc > 0.9 && p.vcc < 0.95, "vcc {}", p.vcc);
+        let w = m.power(p);
+        assert!(w > 92.0 && w < 105.0, "power {w}");
+        let perf = m.perf(p);
+        assert!(perf > 106.0 && perf < 111.0, "perf {perf}");
+    }
+
+    #[test]
+    fn cubic_power_law() {
+        let m = ScalingModel::fig11_3d();
+        let p = OperatingPoint::scaled_together(0.5);
+        assert!((m.power(p) - 124.95 * 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_to_power_inverts_power() {
+        let m = ScalingModel::fig11_planar();
+        let p = m.scale_to_power(73.5);
+        assert!((m.power(p) - 73.5).abs() < 1e-9);
+        assert!((p.vcc - 0.7937).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Solved temperature fields.
+
+/// The steady-state temperature solution over the whole stack:
+/// `layers × ny × nx` cell temperatures in °C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    layer_names: Vec<String>,
+    /// Temperatures, layer-major then row-major.
+    t: Vec<f64>,
+}
+
+impl TemperatureField {
+    pub(crate) fn new(nx: usize, ny: usize, layer_names: Vec<String>, t: Vec<f64>) -> Self {
+        assert_eq!(t.len(), nx * ny * layer_names.len());
+        TemperatureField {
+            nx,
+            ny,
+            layer_names,
+            t,
+        }
+    }
+
+    /// Grid resolution `(nx, ny)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layer_names.len()
+    }
+
+    /// Layer names, heat-sink side first.
+    pub fn layer_names(&self) -> &[String] {
+        &self.layer_names
+    }
+
+    /// Peak temperature anywhere in the stack (°C).
+    pub fn peak(&self) -> f64 {
+        self.t.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum temperature anywhere in the stack (°C).
+    pub fn min(&self) -> f64 {
+        self.t.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// One layer's temperature map (row-major `ny × nx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer(&self, layer: usize) -> &[f64] {
+        assert!(layer < self.layer_count(), "layer out of range");
+        &self.t[layer * self.nx * self.ny..(layer + 1) * self.nx * self.ny]
+    }
+
+    /// One layer's map by name.
+    pub fn layer_by_name(&self, name: &str) -> Option<&[f64]> {
+        self.layer_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.layer(i))
+    }
+
+    /// Peak temperature within one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_peak(&self, layer: usize) -> f64 {
+        self.layer(layer)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum temperature within one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_min(&self, layer: usize) -> f64 {
+        self.layer(layer)
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders a layer as a coarse ASCII heat map (for the Fig. 6/8 thermal
+    /// maps in terminal output). Hotter cells get denser glyphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn ascii_map(&self, layer: usize) -> String {
+        let map = self.layer(layer);
+        let lo = self.layer_min(layer);
+        let hi = self.layer_peak(layer);
+        let span = (hi - lo).max(1e-9);
+        let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let mut out = String::new();
+        // render top row (max y) first so the map is oriented naturally
+        for j in (0..self.ny).rev() {
+            for i in 0..self.nx {
+                let t = map[j * self.nx + i];
+                let g = (((t - lo) / span) * (glyphs.len() - 1) as f64).round() as usize;
+                out.push(glyphs[g.min(glyphs.len() - 1)]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> TemperatureField {
+        // 2 layers of 2x2
+        TemperatureField::new(
+            2,
+            2,
+            vec!["a".into(), "b".into()],
+            vec![50.0, 60.0, 70.0, 80.0, 41.0, 42.0, 43.0, 44.0],
+        )
+    }
+
+    #[test]
+    fn peaks_and_mins() {
+        let f = field();
+        assert_eq!(f.peak(), 80.0);
+        assert_eq!(f.min(), 41.0);
+        assert_eq!(f.layer_peak(0), 80.0);
+        assert_eq!(f.layer_min(0), 50.0);
+        assert_eq!(f.layer_peak(1), 44.0);
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let f = field();
+        assert_eq!(f.layer_by_name("b").unwrap()[0], 41.0);
+        assert!(f.layer_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn ascii_map_shape() {
+        let f = field();
+        let map = f.ascii_map(0);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        // hottest cell (80) renders the densest glyph
+        assert!(lines[0].contains('@'), "{map}");
+    }
+
+    #[test]
+    #[should_panic(expected = "layer out of range")]
+    fn bad_layer_panics() {
+        let _ = field().layer(5);
+    }
+}

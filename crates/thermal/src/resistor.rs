@@ -1,0 +1,123 @@
+//! A one-dimensional resistor-stack model: the fast, spreading-free
+//! cross-check and ablation baseline for the finite-volume solver.
+//!
+//! Each layer contributes an area resistance `t/k` (m²K/W); the boundary
+//! contributes `1/h`. Peak temperature is estimated from the peak power
+//! density flowing through the column above the source layer. The 1-D
+//! model ignores lateral spreading, so it over-predicts hotspot temperature
+//! — exactly the error the `ablations` bench quantifies.
+
+use crate::stack::{Boundary, LayerStack};
+
+/// One-dimensional vertical resistance summary of a stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResistorStack {
+    /// Area resistance from each layer's mid-plane to the heat-sink face,
+    /// indexed by layer (m²·K/W), not counting the convective film.
+    to_top: Vec<f64>,
+    /// Convective film resistance at the heat-sink face (m²·K/W).
+    film_top: f64,
+    /// Ambient temperature (°C).
+    ambient: f64,
+}
+
+impl ResistorStack {
+    /// Builds the 1-D model from a stack and its boundary.
+    pub fn new(stack: &LayerStack, bc: Boundary) -> Self {
+        let layers = stack.layers();
+        let mut to_top = Vec::with_capacity(layers.len());
+        let mut acc = 0.0;
+        for l in layers {
+            // resistance from this layer's mid-plane up to the top face
+            to_top.push(acc + l.thickness() / (2.0 * l.conductivity()));
+            acc += l.thickness() / l.conductivity();
+        }
+        ResistorStack {
+            to_top,
+            film_top: 1.0 / bc.h_top,
+            ambient: bc.ambient,
+        }
+    }
+
+    /// Area resistance (m²K/W) from layer `idx`'s mid-plane to ambient
+    /// through the heat sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn resistance_to_ambient(&self, idx: usize) -> f64 {
+        self.to_top[idx] + self.film_top
+    }
+
+    /// Estimates the temperature of layer `idx` under a local power density
+    /// `q` (W/m²) flowing entirely upwards — no lateral spreading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn temperature(&self, idx: usize, q: f64) -> f64 {
+        self.ambient + q * self.resistance_to_ambient(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Layer;
+
+    fn stack() -> LayerStack {
+        let mut s = LayerStack::new(10.0, 10.0);
+        s.push(Layer::passive("lid", 1e-3, 100.0)); // R = 1e-5
+        s.push(Layer::passive("die", 2e-3, 50.0)); // R = 4e-5
+        s
+    }
+
+    #[test]
+    fn resistances_accumulate_to_the_top() {
+        let bc = Boundary {
+            h_top: 1000.0,
+            h_bottom: 10.0,
+            ambient: 40.0,
+        };
+        let r = ResistorStack::new(&stack(), bc);
+        // layer 0 mid-plane: half its own R
+        assert!((r.resistance_to_ambient(0) - (0.5e-5 + 1e-3)).abs() < 1e-12);
+        // layer 1 mid-plane: all of layer 0 + half of layer 1
+        assert!((r.resistance_to_ambient(1) - (1e-5 + 2e-5 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_is_linear_in_flux() {
+        let bc = Boundary {
+            h_top: 1000.0,
+            h_bottom: 10.0,
+            ambient: 40.0,
+        };
+        let r = ResistorStack::new(&stack(), bc);
+        let t1 = r.temperature(1, 1e5);
+        let t2 = r.temperature(1, 2e5);
+        assert!((t2 - 40.0 - 2.0 * (t1 - 40.0)).abs() < 1e-9);
+        assert!(t1 > 40.0);
+    }
+
+    #[test]
+    fn film_dominates_weak_cooling() {
+        let weak = ResistorStack::new(
+            &stack(),
+            Boundary {
+                h_top: 10.0,
+                h_bottom: 10.0,
+                ambient: 40.0,
+            },
+        );
+        let strong = ResistorStack::new(
+            &stack(),
+            Boundary {
+                h_top: 1e5,
+                h_bottom: 10.0,
+                ambient: 40.0,
+            },
+        );
+        assert!(weak.temperature(0, 1e4) > strong.temperature(0, 1e4));
+    }
+}

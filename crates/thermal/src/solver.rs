@@ -1,0 +1,661 @@
+//! Steady-state and transient 3-D finite-volume conduction solvers.
+//!
+//! Discretises Eq. (1) of the paper (`ρc ∂T/∂t = ∇·(K∇T) + Q`) on a
+//! structured grid — one cell layer per material layer, `nx × ny` cells in
+//! plane — with the Robin boundary condition of Eq. (2) at the heat-sink
+//! and motherboard faces. The steady solver drops the time term; the
+//! transient solver integrates it with implicit Euler. Both reduce to
+//! symmetric positive-definite systems solved matrix-free with
+//! Jacobi-preconditioned conjugate gradients.
+
+use std::fmt;
+
+use crate::field::TemperatureField;
+use crate::stack::{Boundary, LayerStack};
+
+/// Solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Cells along the die width.
+    pub nx: usize,
+    /// Cells along the die height.
+    pub ny: usize,
+    /// Maximum CG iterations.
+    pub max_iters: usize,
+    /// Relative residual tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            nx: 40,
+            ny: 34,
+            max_iters: 20_000,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Solver failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The stack has no layers.
+    EmptyStack,
+    /// An active layer's power-map die size differs from the stack's.
+    PowerMapMismatch {
+        /// Offending layer name.
+        layer: String,
+    },
+    /// CG did not reach the tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iters: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::EmptyStack => write!(f, "thermal stack has no layers"),
+            SolveError::PowerMapMismatch { layer } => {
+                write!(
+                    f,
+                    "power map of layer '{layer}' does not match the stack footprint"
+                )
+            }
+            SolveError::NoConvergence { iters, residual } => {
+                write!(
+                    f,
+                    "CG did not converge after {iters} iterations (residual {residual:.2e})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// One point of a transient solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientPoint {
+    /// Time in seconds since the start of the integration.
+    pub time_s: f64,
+    /// Peak stack temperature at that time, °C.
+    pub peak_c: f64,
+}
+
+/// The assembled finite-volume system for one stack/boundary/grid triple.
+/// Build once with [`System::assemble`], then run [`System::steady`] or
+/// [`System::transient`].
+#[derive(Debug, Clone)]
+pub struct System {
+    nx: usize,
+    ny: usize,
+    nl: usize,
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    gz: Vec<f64>,
+    g_top: f64,
+    g_bot: f64,
+    diag: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Thermal mass per cell of each layer (J/K).
+    mass: Vec<f64>,
+    names: Vec<String>,
+    ambient: f64,
+    cfg: SolverConfig,
+}
+
+impl System {
+    /// Assembles conductances, sources and boundary couplings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::EmptyStack`] or
+    /// [`SolveError::PowerMapMismatch`].
+    pub fn assemble(
+        stack: &LayerStack,
+        bc: Boundary,
+        cfg: SolverConfig,
+    ) -> Result<System, SolveError> {
+        let layers = stack.layers();
+        if layers.is_empty() {
+            return Err(SolveError::EmptyStack);
+        }
+        let nl = layers.len();
+        let (nx, ny) = (cfg.nx, cfg.ny);
+        let nxy = nx * ny;
+        let n = nl * nxy;
+
+        let (die_w_mm, die_h_mm) = stack.die_dims_mm();
+        let dx = die_w_mm * 1e-3 / nx as f64;
+        let dy = die_h_mm * 1e-3 / ny as f64;
+        let cell_area = dx * dy;
+
+        let mut gx = vec![0.0f64; nl];
+        let mut gy = vec![0.0f64; nl];
+        let mut gz = vec![0.0f64; nl.saturating_sub(1)];
+        let mut mass = vec![0.0f64; nl];
+        for (l, layer) in layers.iter().enumerate() {
+            gx[l] = layer.lateral_conductivity() * layer.thickness() * dy / dx;
+            gy[l] = layer.lateral_conductivity() * layer.thickness() * dx / dy;
+            mass[l] = layer.heat_capacity() * layer.thickness() * cell_area;
+            if l + 1 < nl {
+                let a = layer.thickness() / (2.0 * layer.conductivity());
+                let b = layers[l + 1].thickness() / (2.0 * layers[l + 1].conductivity());
+                gz[l] = cell_area / (a + b);
+            }
+        }
+        let g_top =
+            cell_area / (layers[0].thickness() / (2.0 * layers[0].conductivity()) + 1.0 / bc.h_top);
+        let last = nl - 1;
+        let g_bot = cell_area
+            / (layers[last].thickness() / (2.0 * layers[last].conductivity()) + 1.0 / bc.h_bottom);
+
+        let mut rhs = vec![0.0f64; n];
+        for (l, layer) in layers.iter().enumerate() {
+            if let Some(p) = layer.power() {
+                let (pw, ph) = p.die_dims();
+                if (pw - die_w_mm).abs() > 1e-6 || (ph - die_h_mm).abs() > 1e-6 {
+                    return Err(SolveError::PowerMapMismatch {
+                        layer: layer.name().to_string(),
+                    });
+                }
+                let grid = p.resampled(nx, ny);
+                for j in 0..ny {
+                    for i in 0..nx {
+                        rhs[l * nxy + j * nx + i] += grid.get(i, j);
+                    }
+                }
+            }
+        }
+        for u in 0..nxy {
+            rhs[u] += g_top * bc.ambient;
+            rhs[last * nxy + u] += g_bot * bc.ambient;
+        }
+
+        let mut diag = vec![0.0f64; n];
+        for l in 0..nl {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let u = l * nxy + j * nx + i;
+                    let mut d = 0.0;
+                    if i > 0 {
+                        d += gx[l];
+                    }
+                    if i + 1 < nx {
+                        d += gx[l];
+                    }
+                    if j > 0 {
+                        d += gy[l];
+                    }
+                    if j + 1 < ny {
+                        d += gy[l];
+                    }
+                    if l > 0 {
+                        d += gz[l - 1];
+                    }
+                    if l + 1 < nl {
+                        d += gz[l];
+                    }
+                    if l == 0 {
+                        d += g_top;
+                    }
+                    if l == last {
+                        d += g_bot;
+                    }
+                    diag[u] = d;
+                }
+            }
+        }
+
+        Ok(System {
+            nx,
+            ny,
+            nl,
+            gx,
+            gy,
+            gz,
+            g_top,
+            g_bot,
+            diag,
+            rhs,
+            mass,
+            names: layers.iter().map(|l| l.name().to_string()).collect(),
+            ambient: bc.ambient,
+            cfg,
+        })
+    }
+
+    fn nxy(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Per-cell boundary conductances `(heat-sink face, motherboard face)`
+    /// in W/K — useful for external energy-balance checks.
+    pub fn boundary_conductances(&self) -> (f64, f64) {
+        (self.g_top, self.g_bot)
+    }
+
+    /// Applies `(A + shift·M) x` where `A` is the conduction operator and
+    /// `M` the diagonal mass matrix (shift = 0 for steady state).
+    fn apply(&self, shift: f64, x: &[f64], out: &mut [f64]) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let nxy = self.nxy();
+        for l in 0..nl {
+            let extra = shift * self.mass[l];
+            for j in 0..ny {
+                for i in 0..nx {
+                    let u = l * nxy + j * nx + i;
+                    let mut acc = (self.diag[u] + extra) * x[u];
+                    if i > 0 {
+                        acc -= self.gx[l] * x[u - 1];
+                    }
+                    if i + 1 < nx {
+                        acc -= self.gx[l] * x[u + 1];
+                    }
+                    if j > 0 {
+                        acc -= self.gy[l] * x[u - nx];
+                    }
+                    if j + 1 < ny {
+                        acc -= self.gy[l] * x[u + nx];
+                    }
+                    if l > 0 {
+                        acc -= self.gz[l - 1] * x[u - nxy];
+                    }
+                    if l + 1 < nl {
+                        acc -= self.gz[l] * x[u + nxy];
+                    }
+                    out[u] = acc;
+                }
+            }
+        }
+    }
+
+    /// Jacobi-preconditioned CG for `(A + shift·M) x = b`, warm-started at
+    /// `x0`.
+    fn cg(&self, shift: f64, b: &[f64], mut x: Vec<f64>) -> Result<Vec<f64>, SolveError> {
+        let n = x.len();
+        let mut r = vec![0.0f64; n];
+        let mut ax = vec![0.0f64; n];
+        self.apply(shift, &x, &mut ax);
+        for u in 0..n {
+            r[u] = b[u] - ax[u];
+        }
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        let nxy = self.nxy();
+        let pre = |u: usize| self.diag[u] + shift * self.mass[u / nxy];
+        let mut z: Vec<f64> = (0..n).map(|u| r[u] / pre(u)).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut ap = vec![0.0f64; n];
+        for _ in 0..self.cfg.max_iters {
+            let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rnorm / bnorm < self.cfg.tolerance {
+                return Ok(x);
+            }
+            self.apply(shift, &p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            let alpha = rz / pap;
+            for u in 0..n {
+                x[u] += alpha * p[u];
+                r[u] -= alpha * ap[u];
+            }
+            for (u, zv) in z.iter_mut().enumerate() {
+                *zv = r[u] / pre(u);
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for u in 0..n {
+                p[u] = z[u] + beta * p[u];
+            }
+        }
+        let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        Err(SolveError::NoConvergence {
+            iters: self.cfg.max_iters,
+            residual: rnorm / bnorm,
+        })
+    }
+
+    fn field(&self, t: Vec<f64>) -> TemperatureField {
+        TemperatureField::new(self.nx, self.ny, self.names.clone(), t)
+    }
+
+    /// Solves the steady-state problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoConvergence`] if CG stalls.
+    pub fn steady(&self) -> Result<TemperatureField, SolveError> {
+        let x0 = vec![self.ambient; self.rhs.len()];
+        Ok(self.field(self.cg(0.0, &self.rhs, x0)?))
+    }
+
+    /// Integrates the transient problem with implicit Euler from a uniform
+    /// start at `start_c`, taking `steps` steps of `dt_s` seconds. Returns
+    /// the peak-temperature trajectory and the final field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoConvergence`] if any step's CG stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive or `steps` is zero.
+    pub fn transient(
+        &self,
+        start_c: f64,
+        dt_s: f64,
+        steps: usize,
+    ) -> Result<(Vec<TransientPoint>, TemperatureField), SolveError> {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(steps > 0, "need at least one step");
+        let n = self.rhs.len();
+        let nxy = self.nxy();
+        let shift = 1.0 / dt_s;
+        let mut t = vec![start_c; n];
+        let mut trajectory = Vec::with_capacity(steps);
+        for step in 1..=steps {
+            // (A + M/dt) T_new = b + (M/dt) T_old
+            let mut b = self.rhs.clone();
+            for u in 0..n {
+                b[u] += shift * self.mass[u / nxy] * t[u];
+            }
+            t = self.cg(shift, &b, t)?;
+            let peak = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            trajectory.push(TransientPoint {
+                time_s: step as f64 * dt_s,
+                peak_c: peak,
+            });
+        }
+        Ok((trajectory, self.field(t)))
+    }
+}
+
+/// Solves the stack for its steady-state temperature field (convenience
+/// wrapper around [`System::assemble`] + [`System::steady`]).
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if the stack is empty, a power map's die size
+/// disagrees with the stack footprint, or CG fails to converge.
+pub fn solve(
+    stack: &LayerStack,
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<TemperatureField, SolveError> {
+    System::assemble(stack, bc, cfg)?.steady()
+}
+
+/// Integrates the stack's transient response from a uniform ambient start
+/// (e.g. power-on) — the time-dependent form of Eq. (1).
+///
+/// # Errors
+///
+/// Propagates assembly and CG failures.
+pub fn solve_transient(
+    stack: &LayerStack,
+    bc: Boundary,
+    cfg: SolverConfig,
+    dt_s: f64,
+    steps: usize,
+) -> Result<(Vec<TransientPoint>, TemperatureField), SolveError> {
+    System::assemble(stack, bc, cfg)?.transient(bc.ambient, dt_s, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Layer;
+    use stacksim_floorplan::PowerGrid;
+
+    fn uniform_power(nx: usize, ny: usize, w: f64) -> PowerGrid {
+        let mut g = PowerGrid::zero(nx, ny, 10.0, 10.0);
+        let per = w / (nx * ny) as f64;
+        for j in 0..ny {
+            for i in 0..nx {
+                g.add(i, j, per);
+            }
+        }
+        g
+    }
+
+    /// One uniform slab with uniform power: compare against the closed-form
+    /// 1-D solution `T = Tamb + q'' * (1/h + t/(2k))` at the source plane.
+    #[test]
+    fn matches_one_dimensional_analytic_solution() {
+        let area_m2 = 0.01 * 0.01; // 10 mm x 10 mm
+        let power = 50.0;
+        let q = power / area_m2; // W/m²
+
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::active(
+            "slab",
+            1e-3,
+            100.0,
+            uniform_power(4, 4, power),
+        ));
+        let bc = Boundary {
+            h_top: 5000.0,
+            h_bottom: 1e-9,
+            ambient: 40.0,
+        };
+        let f = solve(
+            &stack,
+            bc,
+            SolverConfig {
+                nx: 4,
+                ny: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let expected = 40.0 + q * (1.0 / 5000.0 + 1e-3 / (2.0 * 100.0));
+        let got = f.layer_peak(0);
+        assert!(
+            (got - expected).abs() < 0.5,
+            "expected ~{expected:.2} C, got {got:.2} C"
+        );
+        assert!((f.layer_peak(0) - f.layer_min(0)).abs() < 1e-6);
+    }
+
+    /// Energy conservation: boundary flux equals injected power.
+    #[test]
+    fn conserves_energy() {
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::passive("lid", 2e-3, 50.0));
+        stack.push(Layer::active("die", 1e-3, 100.0, uniform_power(6, 6, 30.0)));
+        stack.push(Layer::passive("base", 2e-3, 1.0));
+        let bc = Boundary {
+            h_top: 3000.0,
+            h_bottom: 20.0,
+            ambient: 40.0,
+        };
+        let cfg = SolverConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        };
+        let f = solve(&stack, bc, cfg).unwrap();
+        let dx = 0.01 / 6.0;
+        let a = dx * dx;
+        let g_top = a / (2e-3 / (2.0 * 50.0) + 1.0 / 3000.0);
+        let g_bot = a / (2e-3 / (2.0 * 1.0) + 1.0 / 20.0);
+        let top: f64 = f.layer(0).iter().map(|t| g_top * (t - 40.0)).sum();
+        let bottom: f64 = f.layer(2).iter().map(|t| g_bot * (t - 40.0)).sum();
+        let out = top + bottom;
+        assert!((out - 30.0).abs() < 0.01, "flux out {out:.4} W vs 30 W in");
+    }
+
+    /// Maximum principle: with a single heat source, the temperature is
+    /// bounded by ambient from below and decreases away from the source.
+    #[test]
+    fn respects_maximum_principle() {
+        let mut g = PowerGrid::zero(9, 9, 10.0, 10.0);
+        g.add(4, 4, 20.0);
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::active("die", 0.5e-3, 120.0, g));
+        stack.push(Layer::passive("spreader", 2e-3, 200.0));
+        let bc = Boundary {
+            h_top: 1e-9,
+            h_bottom: 2000.0,
+            ambient: 40.0,
+        };
+        let f = solve(
+            &stack,
+            bc,
+            SolverConfig {
+                nx: 9,
+                ny: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(f.min() >= 40.0 - 1e-6, "nothing below ambient: {}", f.min());
+        let die = f.layer(0);
+        let centre = die[4 * 9 + 4];
+        let corner = die[0];
+        assert!(
+            centre > corner + 0.5,
+            "hotspot at the source: {centre} vs {corner}"
+        );
+    }
+
+    #[test]
+    fn empty_stack_is_an_error() {
+        let stack = LayerStack::new(10.0, 10.0);
+        assert_eq!(
+            solve(&stack, Boundary::default(), SolverConfig::default()),
+            Err(SolveError::EmptyStack)
+        );
+    }
+
+    #[test]
+    fn mismatched_power_map_is_an_error() {
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::active(
+            "die",
+            1e-3,
+            100.0,
+            PowerGrid::zero(4, 4, 5.0, 5.0),
+        ));
+        assert!(matches!(
+            solve(&stack, Boundary::default(), SolverConfig::default()),
+            Err(SolveError::PowerMapMismatch { .. })
+        ));
+    }
+
+    /// A hotter boundary coefficient cools the stack monotonically.
+    #[test]
+    fn better_cooling_lowers_peak() {
+        let mk = |h: f64| {
+            let mut stack = LayerStack::new(10.0, 10.0);
+            stack.push(Layer::active("die", 1e-3, 100.0, uniform_power(4, 4, 40.0)));
+            let bc = Boundary {
+                h_top: h,
+                h_bottom: 10.0,
+                ambient: 40.0,
+            };
+            solve(
+                &stack,
+                bc,
+                SolverConfig {
+                    nx: 4,
+                    ny: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .peak()
+        };
+        let weak = mk(1000.0);
+        let strong = mk(20_000.0);
+        assert!(strong < weak, "{strong} < {weak}");
+    }
+
+    fn transient_stack() -> (LayerStack, Boundary, SolverConfig) {
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::passive("lid", 2e-3, 100.0));
+        stack.push(Layer::active("die", 1e-3, 120.0, uniform_power(4, 4, 40.0)));
+        let bc = Boundary {
+            h_top: 4000.0,
+            h_bottom: 10.0,
+            ambient: 40.0,
+        };
+        let cfg = SolverConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        };
+        (stack, bc, cfg)
+    }
+
+    /// Power-on heating is monotone and converges to the steady state.
+    #[test]
+    fn transient_converges_to_steady_state() {
+        let (stack, bc, cfg) = transient_stack();
+        let steady = solve(&stack, bc, cfg).unwrap().peak();
+        let (traj, final_field) = solve_transient(&stack, bc, cfg, 0.05, 500).unwrap();
+        for w in traj.windows(2) {
+            assert!(w[1].peak_c >= w[0].peak_c - 1e-9, "monotone heating");
+        }
+        let last = traj.last().unwrap().peak_c;
+        assert!(
+            (last - steady).abs() < 0.1,
+            "transient end {last:.3} vs steady {steady:.3}"
+        );
+        assert!((final_field.peak() - last).abs() < 1e-9);
+    }
+
+    /// The first transient step starts near ambient — thermal mass delays
+    /// heating (the reason peak temperature is a steady-state, worst-case
+    /// metric).
+    #[test]
+    fn transient_starts_cold() {
+        let (stack, bc, cfg) = transient_stack();
+        let steady = solve(&stack, bc, cfg).unwrap().peak();
+        let (traj, _) = solve_transient(&stack, bc, cfg, 1e-4, 3).unwrap();
+        assert!(
+            traj[0].peak_c < 40.0 + 0.5 * (steady - 40.0),
+            "after 0.1 ms the die is still far from steady: {:.2} vs {steady:.2}",
+            traj[0].peak_c
+        );
+    }
+
+    /// Doubling every layer's heat capacity roughly doubles the time to
+    /// reach a given temperature (RC scaling).
+    #[test]
+    fn thermal_mass_sets_the_time_constant() {
+        let (stack, bc, cfg) = transient_stack();
+        let heavy = {
+            let mut s = LayerStack::new(10.0, 10.0);
+            for l in stack.layers() {
+                s.push(l.with_heat_capacity(l.heat_capacity() * 2.0));
+            }
+            s
+        };
+        let target = 45.0;
+        let time_to = |s: &LayerStack| {
+            let (traj, _) = solve_transient(s, bc, cfg, 0.01, 400).unwrap();
+            traj.iter()
+                .find(|p| p.peak_c >= target)
+                .map(|p| p.time_s)
+                .unwrap()
+        };
+        let fast = time_to(&stack);
+        let slow = time_to(&heavy);
+        let ratio = slow / fast;
+        assert!(ratio > 1.5 && ratio < 2.6, "RC scaling ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time step must be positive")]
+    fn zero_dt_panics() {
+        let (stack, bc, cfg) = transient_stack();
+        let _ = solve_transient(&stack, bc, cfg, 0.0, 10);
+    }
+}

@@ -1,0 +1,126 @@
+//! Conductivity sensitivity sweeps (Fig. 3 of the paper).
+
+use crate::solver::{solve, SolveError, SolverConfig};
+use crate::stack::{Boundary, LayerStack};
+
+/// One sweep point: the conductivity tried and the resulting peak
+/// temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Conductivity in W/mK.
+    pub k: f64,
+    /// Peak stack temperature in °C.
+    pub peak_c: f64,
+}
+
+/// Sweeps one layer's thermal conductivity and records the peak temperature
+/// at each point — the Fig. 3 experiment for the "Cu metal layers" and
+/// "Bonding layer" curves.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+///
+/// # Panics
+///
+/// Panics if `layer` names no layer in the stack.
+pub fn conductivity_sweep(
+    stack: &LayerStack,
+    layer: &str,
+    ks: &[f64],
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<Vec<SweepPoint>, SolveError> {
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let swept = stack.with_layer_conductivity(layer, k);
+        let field = solve(&swept, bc, cfg)?;
+        out.push(SweepPoint {
+            k,
+            peak_c: field.peak(),
+        });
+    }
+    Ok(out)
+}
+
+/// Sweeps several layers' conductivities together — Fig. 3's "Cu metal
+/// layers" curve varies the metal stacks of *both* dies at once.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+///
+/// # Panics
+///
+/// Panics if any name is missing from the stack.
+pub fn conductivity_sweep_multi(
+    stack: &LayerStack,
+    layers: &[&str],
+    ks: &[f64],
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<Vec<SweepPoint>, SolveError> {
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let mut swept = stack.clone();
+        for name in layers {
+            swept = swept.with_layer_conductivity(name, k);
+        }
+        let field = solve(&swept, bc, cfg)?;
+        out.push(SweepPoint {
+            k,
+            peak_c: field.peak(),
+        });
+    }
+    Ok(out)
+}
+
+/// The conductivity grid used by Fig. 3 (60 down to 3 W/mK).
+pub fn fig3_conductivities() -> Vec<f64> {
+    vec![60.0, 40.0, 30.0, 20.0, 12.0, 9.0, 6.0, 3.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Layer;
+    use stacksim_floorplan::PowerGrid;
+
+    fn stack() -> LayerStack {
+        let mut g = PowerGrid::zero(4, 4, 10.0, 10.0);
+        g.add(1, 1, 30.0);
+        let mut s = LayerStack::new(10.0, 10.0);
+        s.push(Layer::passive("lid", 1e-3, 200.0));
+        s.push(Layer::active("die", 0.5e-3, 120.0, g));
+        s.push(Layer::passive("metal", 12e-6, 12.0));
+        s.push(Layer::passive("base", 1e-3, 1.0));
+        s
+    }
+
+    #[test]
+    fn lower_conductivity_raises_peak_monotonically() {
+        let bc = Boundary {
+            h_top: 10.0,
+            h_bottom: 2000.0,
+            ambient: 40.0,
+        };
+        // heat must exit through the *bottom*, crossing the swept metal
+        let cfg = SolverConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        };
+        let pts = conductivity_sweep(&stack(), "metal", &[60.0, 12.0, 3.0], bc, cfg).unwrap();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].peak_c < pts[1].peak_c);
+        assert!(pts[1].peak_c < pts[2].peak_c);
+    }
+
+    #[test]
+    fn fig3_grid_spans_60_to_3() {
+        let ks = fig3_conductivities();
+        assert_eq!(*ks.first().unwrap(), 60.0);
+        assert_eq!(*ks.last().unwrap(), 3.0);
+        assert!(ks.contains(&12.0), "the actual Cu metal value");
+    }
+}

@@ -1,0 +1,303 @@
+//! A compact binary on-disk format for traces.
+//!
+//! Layout: an 8-byte header (`b"STKTRC"` magic, a format version byte and a
+//! reserved byte) followed by one variable-length record encoding per trace
+//! record. Within a record:
+//!
+//! * one byte packing the op tag (2 bits), a has-dependency flag (1 bit) and
+//!   the cpu id's low 5 bits (cpu ids >= 32 spill into an extra byte),
+//! * LEB128 deltas for address and instruction pointer (zig-zag against the
+//!   previous record of the same cpu, which makes streaming accesses tiny),
+//! * if the dependency flag is set, a LEB128 backwards distance to the
+//!   dependency target.
+//!
+//! Record ids are implicit (dense in file order), so they are not stored.
+
+use std::io::{self, Read, Write};
+
+use crate::error::TraceError;
+use crate::record::{CpuId, MemOp, RecordId, TraceRecord};
+use crate::stream::Trace;
+
+const MAGIC: &[u8; 6] = b"STKTRC";
+const VERSION: u8 = 1;
+/// Cpu ids below this fit into the flag byte.
+const INLINE_CPU_LIMIT: u8 = 32;
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, TraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        match r.read_exact(&mut buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceError::Truncated)
+            }
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        v |= u64::from(buf[0] & 0x7f) << shift;
+        if buf[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(TraceError::Truncated);
+        }
+    }
+}
+
+const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Serialises a trace to a writer in the `STKTRC` v1 binary format.
+///
+/// A `&mut` reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION, 0])?;
+    write_varint(&mut w, trace.len() as u64)?;
+    // previous addr/ip per cpu for delta encoding
+    let mut prev_addr = vec![0u64; trace.cpu_count().max(1)];
+    let mut prev_ip = vec![0u64; trace.cpu_count().max(1)];
+    for r in trace.iter() {
+        let cpu = r.cpu.raw();
+        let inline_cpu = if cpu < INLINE_CPU_LIMIT {
+            cpu
+        } else {
+            INLINE_CPU_LIMIT - 1
+        };
+        let mut flags = r.op.tag() | (inline_cpu << 3);
+        if r.dep.is_some() {
+            flags |= 0x04;
+        }
+        w.write_all(&[flags])?;
+        if cpu >= INLINE_CPU_LIMIT - 1 {
+            w.write_all(&[cpu])?;
+        }
+        let ci = r.cpu.index();
+        if ci >= prev_addr.len() {
+            prev_addr.resize(ci + 1, 0);
+            prev_ip.resize(ci + 1, 0);
+        }
+        write_varint(&mut w, zigzag(r.addr.wrapping_sub(prev_addr[ci]) as i64))?;
+        write_varint(&mut w, zigzag(r.ip.wrapping_sub(prev_ip[ci]) as i64))?;
+        prev_addr[ci] = r.addr;
+        prev_ip[ci] = r.ip;
+        if let Some(dep) = r.dep {
+            write_varint(&mut w, r.id.raw() - dep.raw())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialises a trace previously written by [`write_trace`].
+///
+/// A `&mut` reference can be passed as the reader. The decoded trace is
+/// validated before being returned.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadMagic`], [`TraceError::UnsupportedVersion`],
+/// [`TraceError::Truncated`], [`TraceError::BadOpTag`] on malformed input,
+/// or an I/O error from the reader.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    })?;
+    if &header[..6] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    if header[6] != VERSION {
+        return Err(TraceError::UnsupportedVersion(header[6]));
+    }
+    let n = read_varint(&mut r)? as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 24));
+    let mut prev_addr: Vec<u64> = Vec::new();
+    let mut prev_ip: Vec<u64> = Vec::new();
+    for i in 0..n as u64 {
+        let mut flags = [0u8; 1];
+        match r.read_exact(&mut flags) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(TraceError::Truncated)
+            }
+            Err(e) => return Err(TraceError::Io(e)),
+        }
+        let flags = flags[0];
+        let op = MemOp::from_tag(flags & 0x03).ok_or(TraceError::BadOpTag(flags & 0x03))?;
+        let has_dep = flags & 0x04 != 0;
+        let inline_cpu = flags >> 3;
+        let cpu = if inline_cpu == INLINE_CPU_LIMIT - 1 {
+            let mut b = [0u8; 1];
+            r.read_exact(&mut b).map_err(|_| TraceError::Truncated)?;
+            b[0]
+        } else {
+            inline_cpu
+        };
+        let ci = cpu as usize;
+        if ci >= prev_addr.len() {
+            prev_addr.resize(ci + 1, 0);
+            prev_ip.resize(ci + 1, 0);
+        }
+        let addr = prev_addr[ci].wrapping_add(unzigzag(read_varint(&mut r)?) as u64);
+        let ip = prev_ip[ci].wrapping_add(unzigzag(read_varint(&mut r)?) as u64);
+        prev_addr[ci] = addr;
+        prev_ip[ci] = ip;
+        let dep = if has_dep {
+            let dist = read_varint(&mut r)?;
+            if dist == 0 || dist > i {
+                return Err(TraceError::ForwardDependency {
+                    record: RecordId::new(i),
+                    dep: RecordId::new(i.wrapping_sub(dist)),
+                });
+            }
+            Some(RecordId::new(i - dist))
+        } else {
+            None
+        };
+        records.push(TraceRecord {
+            id: RecordId::new(i),
+            cpu: CpuId::new(cpu),
+            op,
+            addr,
+            ip,
+            dep,
+        });
+    }
+    let t = Trace::from_records(records);
+    t.validate()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+
+    fn roundtrip(t: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, t).unwrap();
+        read_trace(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn mixed_trace_roundtrips() {
+        let mut b = TraceBuilder::new();
+        let a = b.record(CpuId::new(0), MemOp::Load, 0xdead_beef_0000, 0x40_0000);
+        b.record_dep(CpuId::new(1), MemOp::Store, 0x10, 0x40_0004, Some(a));
+        b.record(CpuId::new(0), MemOp::IFetch, 0xdead_beef_0040, 0x40_0008);
+        let prev = b.last_id();
+        b.record_dep(
+            CpuId::new(1),
+            MemOp::Load,
+            0x4000_0000_0000,
+            0x40_000c,
+            prev,
+        );
+        let t = b.build();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn large_cpu_ids_roundtrip() {
+        let mut b = TraceBuilder::new();
+        b.record(CpuId::new(200), MemOp::Load, 0x1000, 0x2000);
+        b.record(CpuId::new(31), MemOp::Store, 0x3000, 0x4000);
+        let t = b.build();
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn sequential_stream_compresses_well() {
+        let mut b = TraceBuilder::new();
+        for i in 0..10_000u64 {
+            b.record(CpuId::new(0), MemOp::Load, 0x1_0000 + i * 64, 0x400);
+        }
+        let t = b.build();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // flag byte + 1-2 byte addr delta + 1 byte ip delta
+        assert!(
+            buf.len() < t.len() * 5,
+            "encoded {} bytes for {} records",
+            buf.len(),
+            t.len()
+        );
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTTRC\x01\x00".to_vec();
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        buf[6] = 99;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut b = TraceBuilder::new();
+        for i in 0..100u64 {
+            b.record(CpuId::new(0), MemOp::Load, i * 4096, i);
+        }
+        let t = b.build();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn zigzag_roundtrip_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 123456, -987654] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Merging per-thread traces into one multi-processor trace.
+
+use crate::record::{CpuId, RecordId, TraceRecord};
+use crate::stream::Trace;
+
+/// Interleaves several per-thread traces round-robin into one SMP trace.
+///
+/// Thread `i`'s records are re-labelled `cpu i`, ids are re-assigned densely
+/// in the merged order, and dependency edges are remapped so they still point
+/// at the same logical record. The round-robin granularity is `chunk`
+/// records, modelling threads making roughly even forward progress, as in the
+/// paper's two-threaded RMS traces.
+///
+/// # Panics
+///
+/// Panics if `chunk` is 0 or more than 256 threads are supplied.
+///
+/// # Example
+///
+/// ```
+/// use stacksim_trace::{interleave, TraceBuilder, CpuId, MemOp};
+///
+/// let mut t0 = TraceBuilder::new();
+/// t0.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+/// let mut t1 = TraceBuilder::new();
+/// t1.record(CpuId::new(0), MemOp::Load, 0x2000, 0);
+/// let merged = interleave(&[t0.build(), t1.build()], 1);
+/// assert_eq!(merged.len(), 2);
+/// assert_eq!(merged.cpu_count(), 2);
+/// ```
+pub fn interleave(threads: &[Trace], chunk: usize) -> Trace {
+    assert!(chunk > 0, "interleave chunk must be positive");
+    assert!(threads.len() <= 256, "at most 256 threads supported");
+    let total: usize = threads.iter().map(Trace::len).sum();
+    let mut out: Vec<TraceRecord> = Vec::with_capacity(total);
+    // new id of each source record, per thread
+    let mut maps: Vec<Vec<RecordId>> = threads
+        .iter()
+        .map(|t| Vec::with_capacity(t.len()))
+        .collect();
+    let mut cursors = vec![0usize; threads.len()];
+    loop {
+        let mut progressed = false;
+        for (ti, t) in threads.iter().enumerate() {
+            let start = cursors[ti];
+            let end = (start + chunk).min(t.len());
+            for src in &t.records()[start..end] {
+                let new_id = RecordId::new(out.len() as u64);
+                maps[ti].push(new_id);
+                let dep = src.dep.map(|d| maps[ti][d.index()]);
+                out.push(TraceRecord {
+                    id: new_id,
+                    cpu: CpuId::new(ti as u8),
+                    dep,
+                    ..*src
+                });
+            }
+            if end > start {
+                progressed = true;
+            }
+            cursors[ti] = end;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let t = Trace::from_records(out);
+    debug_assert!(t.validate().is_ok());
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::record::MemOp;
+
+    fn thread(n: u64, base: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        let mut prev = None;
+        for i in 0..n {
+            prev = Some(b.record_dep(CpuId::new(0), MemOp::Load, base + i * 64, 0, prev));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn preserves_all_records() {
+        let merged = interleave(&[thread(10, 0), thread(7, 0x10000)], 3);
+        assert_eq!(merged.len(), 17);
+        assert!(merged.validate().is_ok());
+        assert_eq!(merged.cpu_count(), 2);
+    }
+
+    #[test]
+    fn relabels_cpus() {
+        let merged = interleave(&[thread(2, 0), thread(2, 0x1000)], 1);
+        let cpus: Vec<u8> = merged.iter().map(|r| r.cpu.raw()).collect();
+        assert_eq!(cpus, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn remaps_dependencies_within_thread() {
+        let merged = interleave(&[thread(3, 0), thread(3, 0x1000)], 1);
+        // each thread is a serial chain; after merging, every dependent record
+        // must still point at the previous record of the *same* cpu
+        for r in merged.iter() {
+            if let Some(dep) = r.dep {
+                let target = merged.get(dep).unwrap();
+                assert_eq!(target.cpu, r.cpu);
+                assert_eq!(target.addr + 64, r.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_threads_drain_completely() {
+        let merged = interleave(&[thread(1, 0), thread(20, 0x1000)], 4);
+        assert_eq!(merged.len(), 21);
+        assert!(merged.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_trace() {
+        let merged = interleave(&[], 1);
+        assert!(merged.is_empty());
+        let merged = interleave(&[Trace::new(), Trace::new()], 8);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_panics() {
+        let _ = interleave(&[Trace::new()], 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Trace characterisation: footprints, operation mix and dependency shape.
+
+use std::collections::HashMap;
+
+use crate::record::MemOp;
+use crate::stream::Trace;
+
+/// Working-set statistics of a trace at a given line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FootprintStats {
+    /// Line size the footprint was measured at, in bytes.
+    pub line_size: u64,
+    /// Number of distinct lines touched.
+    pub unique_lines: u64,
+    /// Total footprint in bytes (`unique_lines * line_size`).
+    pub bytes: u64,
+}
+
+/// Dependency-graph statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DepStats {
+    /// Number of records that carry a dependency edge.
+    pub dependent_records: u64,
+    /// Length of the longest dependency chain (in records).
+    pub max_chain: u64,
+    /// Sum of backwards distances of all dependency edges.
+    pub total_distance: u64,
+}
+
+impl DepStats {
+    /// Mean backwards distance of dependency edges, or 0 if there are none.
+    pub fn mean_distance(&self) -> f64 {
+        if self.dependent_records == 0 {
+            0.0
+        } else {
+            self.total_distance as f64 / self.dependent_records as f64
+        }
+    }
+}
+
+/// Aggregate statistics over a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceStats {
+    /// Total number of records.
+    pub records: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Number of instruction fetches.
+    pub ifetches: u64,
+    /// Records per cpu, indexed by cpu id.
+    pub per_cpu: Vec<u64>,
+    /// Footprint at 64-byte lines.
+    pub footprint: FootprintStats,
+    /// Dependency statistics.
+    pub deps: DepStats,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace using 64-byte lines for footprint.
+    pub fn measure(trace: &Trace) -> Self {
+        Self::measure_with_line(trace, 64)
+    }
+
+    /// Computes statistics with an explicit footprint line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn measure_with_line(trace: &Trace, line_size: u64) -> Self {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let mut s = TraceStats {
+            per_cpu: vec![0; trace.cpu_count()],
+            footprint: FootprintStats {
+                line_size,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut lines: HashMap<u64, ()> = HashMap::new();
+        // chain depth per record id (length of the longest chain ending here)
+        let mut depth: Vec<u32> = vec![0; trace.len()];
+        for r in trace.iter() {
+            s.records += 1;
+            match r.op {
+                MemOp::Load => s.loads += 1,
+                MemOp::Store => s.stores += 1,
+                MemOp::IFetch => s.ifetches += 1,
+            }
+            s.per_cpu[r.cpu.index()] += 1;
+            lines.entry(r.line_addr(line_size)).or_insert(());
+            if let Some(dep) = r.dep {
+                s.deps.dependent_records += 1;
+                s.deps.total_distance += r.id.raw() - dep.raw();
+                depth[r.id.index()] = depth[dep.index()] + 1;
+                s.deps.max_chain = s.deps.max_chain.max(u64::from(depth[r.id.index()]));
+            }
+        }
+        s.footprint.unique_lines = lines.len() as u64;
+        s.footprint.bytes = s.footprint.unique_lines * line_size;
+        s
+    }
+
+    /// Fraction of records that are stores (0 if the trace is empty).
+    pub fn store_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.records as f64
+        }
+    }
+
+    /// Footprint in mebibytes at the measured line size.
+    pub fn footprint_mib(&self) -> f64 {
+        self.footprint.bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::record::CpuId;
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::measure(&Trace::new());
+        assert_eq!(s.records, 0);
+        assert_eq!(s.footprint.unique_lines, 0);
+        assert_eq!(s.store_fraction(), 0.0);
+        assert_eq!(s.deps.mean_distance(), 0.0);
+    }
+
+    #[test]
+    fn op_mix_and_per_cpu_counts() {
+        let mut b = TraceBuilder::new();
+        b.record(CpuId::new(0), MemOp::Load, 0x0, 0);
+        b.record(CpuId::new(0), MemOp::Store, 0x40, 0);
+        b.record(CpuId::new(1), MemOp::IFetch, 0x80, 0);
+        let s = TraceStats::measure(&b.build());
+        assert_eq!((s.loads, s.stores, s.ifetches), (1, 1, 1));
+        assert_eq!(s.per_cpu, vec![2, 1]);
+        assert!((s.store_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_counts_unique_lines() {
+        let mut b = TraceBuilder::new();
+        // 3 accesses to the same line, 1 to another
+        b.record(CpuId::new(0), MemOp::Load, 0x100, 0);
+        b.record(CpuId::new(0), MemOp::Load, 0x104, 0);
+        b.record(CpuId::new(0), MemOp::Store, 0x13f, 0);
+        b.record(CpuId::new(0), MemOp::Load, 0x140, 0);
+        let s = TraceStats::measure(&b.build());
+        assert_eq!(s.footprint.unique_lines, 2);
+        assert_eq!(s.footprint.bytes, 128);
+    }
+
+    #[test]
+    fn dependency_chain_depth() {
+        let mut b = TraceBuilder::new();
+        let a = b.record(CpuId::new(0), MemOp::Load, 0, 0);
+        let c = b.record_dep(CpuId::new(0), MemOp::Load, 0x40, 0, Some(a));
+        b.record_dep(CpuId::new(0), MemOp::Load, 0x80, 0, Some(c));
+        b.record(CpuId::new(0), MemOp::Load, 0xc0, 0); // independent
+        let s = TraceStats::measure(&b.build());
+        assert_eq!(s.deps.dependent_records, 2);
+        assert_eq!(s.deps.max_chain, 2);
+        assert_eq!(s.deps.mean_distance(), 1.0);
+    }
+
+    #[test]
+    fn footprint_mib_conversion() {
+        let mut b = TraceBuilder::new();
+        for i in 0..(1024 * 1024 / 64) {
+            b.record(CpuId::new(0), MemOp::Load, i * 64, 0);
+        }
+        let s = TraceStats::measure(&b.build());
+        assert!((s.footprint_mib() - 1.0).abs() < 1e-9);
+    }
+}

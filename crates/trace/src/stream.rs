@@ -1,0 +1,265 @@
+//! In-memory traces and iteration.
+
+use crate::error::TraceError;
+use crate::record::{CpuId, RecordId, TraceRecord};
+
+/// An in-memory memory-reference trace.
+///
+/// Records are stored in trace order; record `i` has id `#i`. The invariant
+/// that every dependency points at an earlier record is established by
+/// [`TraceBuilder`](crate::TraceBuilder) and can be re-checked with
+/// [`Trace::validate`] (e.g. after decoding from disk).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps a vector of records **without validating** the id/dependency
+    /// invariants. Prefer [`TraceBuilder`](crate::TraceBuilder); use
+    /// [`Trace::validate`] after constructing from untrusted data.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Returns the record with the given id, if present.
+    pub fn get(&self, id: RecordId) -> Option<&TraceRecord> {
+        self.records.get(id.index())
+    }
+
+    /// Borrowing iterator over the records in trace order.
+    pub fn iter(&self) -> TraceIter<'_> {
+        TraceIter {
+            inner: self.records.iter(),
+        }
+    }
+
+    /// The records as a slice.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the trace, returning the underlying records.
+    pub fn into_records(self) -> Vec<TraceRecord> {
+        self.records
+    }
+
+    /// Number of distinct CPUs that appear in the trace.
+    pub fn cpu_count(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.cpu.index())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// Checks the structural invariants:
+    ///
+    /// * record `i` has id `#i` (dense, monotonically increasing ids), and
+    /// * every dependency refers to a strictly earlier record.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        for (i, r) in self.records.iter().enumerate() {
+            if r.id.raw() != i as u64 {
+                return Err(TraceError::NonMonotonicId {
+                    position: i as u64,
+                    found: r.id,
+                });
+            }
+            if let Some(dep) = r.dep {
+                if dep >= r.id {
+                    return Err(TraceError::ForwardDependency { record: r.id, dep });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncates the trace to at most `n` records.
+    pub fn truncate(&mut self, n: usize) {
+        self.records.truncate(n);
+    }
+
+    /// Returns a sub-trace with only the records of one CPU, with ids
+    /// re-assigned densely and dependencies remapped (dependencies on records
+    /// of *other* CPUs are dropped, since they no longer exist in the slice).
+    pub fn per_cpu(&self, cpu: CpuId) -> Trace {
+        let mut map: Vec<Option<RecordId>> = vec![None; self.records.len()];
+        let mut out = Vec::new();
+        for r in &self.records {
+            if r.cpu != cpu {
+                continue;
+            }
+            let new_id = RecordId::new(out.len() as u64);
+            map[r.id.index()] = Some(new_id);
+            let dep = r.dep.and_then(|d| map[d.index()]);
+            out.push(TraceRecord {
+                id: new_id,
+                dep,
+                ..*r
+            });
+        }
+        Trace { records: out }
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = TraceIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceRecord;
+    type IntoIter = std::vec::IntoIter<TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+/// Borrowing iterator over trace records, returned by [`Trace::iter`].
+#[derive(Debug, Clone)]
+pub struct TraceIter<'a> {
+    inner: std::slice::Iter<'a, TraceRecord>,
+}
+
+impl<'a> Iterator for TraceIter<'a> {
+    type Item = &'a TraceRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for TraceIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use crate::record::MemOp;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new();
+        let a = b.record(CpuId::new(0), MemOp::Load, 0x100, 0x1);
+        let c = b.record(CpuId::new(1), MemOp::Load, 0x200, 0x2);
+        b.record_dep(CpuId::new(0), MemOp::Store, 0x300, 0x3, Some(a));
+        b.record_dep(CpuId::new(1), MemOp::Store, 0x400, 0x4, Some(c));
+        b.build()
+    }
+
+    #[test]
+    fn len_get_iter_agree() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(t.get(RecordId::new(2)).unwrap().op, MemOp::Store);
+        assert!(t.get(RecordId::new(99)).is_none());
+    }
+
+    #[test]
+    fn cpu_count_is_max_plus_one() {
+        let t = sample();
+        assert_eq!(t.cpu_count(), 2);
+        assert_eq!(Trace::new().cpu_count(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_forward_dep() {
+        let mut recs = sample().into_records();
+        recs[0].dep = Some(RecordId::new(3));
+        let t = Trace::from_records(recs);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::ForwardDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_dense_ids() {
+        let mut recs = sample().into_records();
+        recs[1].id = RecordId::new(42);
+        let t = Trace::from_records(recs);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NonMonotonicId { position: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn per_cpu_remaps_ids_and_deps() {
+        let t = sample();
+        let c0 = t.per_cpu(CpuId::new(0));
+        assert_eq!(c0.len(), 2);
+        assert!(c0.validate().is_ok());
+        // the store depended on the first load of cpu0; after remap that is #0
+        assert_eq!(c0.records()[1].dep, Some(RecordId::new(0)));
+    }
+
+    #[test]
+    fn per_cpu_drops_cross_cpu_deps() {
+        let mut b = TraceBuilder::new();
+        let a = b.record(CpuId::new(0), MemOp::Load, 0x100, 0x1);
+        b.record_dep(CpuId::new(1), MemOp::Load, 0x200, 0x2, Some(a));
+        let t = b.build();
+        let c1 = t.per_cpu(CpuId::new(1));
+        assert_eq!(c1.len(), 1);
+        assert_eq!(c1.records()[0].dep, None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t = sample();
+        let collected: Trace = t.iter().copied().collect();
+        assert_eq!(collected, t);
+        let mut e = Trace::new();
+        e.extend(t.iter().copied());
+        assert_eq!(e, t);
+    }
+}

@@ -1,0 +1,169 @@
+//! Synthetic address-space layout for workload kernels.
+//!
+//! Kernels do not allocate real memory; they reserve address *regions* for
+//! their arrays in a simulated physical address space and emit references
+//! into them. Regions are 4 KB-aligned so DRAM page and cache-set mappings
+//! behave like separately allocated arrays would.
+
+/// A contiguous array region in the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    len: u64,
+    elem: u64,
+}
+
+impl Region {
+    /// Base address of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Element size in bytes the region was allocated with.
+    pub fn elem_size(&self) -> u64 {
+        self.elem
+    }
+
+    /// Number of elements in the region.
+    pub fn elems(&self) -> u64 {
+        self.len / self.elem
+    }
+
+    /// Address of element `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn addr(&self, idx: u64) -> u64 {
+        assert!(
+            idx < self.elems(),
+            "index {idx} out of bounds ({} elements)",
+            self.elems()
+        );
+        self.base + idx * self.elem
+    }
+
+    /// Address of byte offset `off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off >= len`.
+    pub fn byte_addr(&self, off: u64) -> u64 {
+        assert!(
+            off < self.len,
+            "offset {off} out of bounds ({} bytes)",
+            self.len
+        );
+        self.base + off
+    }
+}
+
+/// Bump allocator for [`Region`]s.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    cursor: u64,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressSpace {
+    /// A fresh address space. Allocation starts above the first 256 MB so
+    /// synthetic data never collides with the zero page or code addresses.
+    pub fn new() -> Self {
+        AddressSpace {
+            cursor: 0x1000_0000,
+        }
+    }
+
+    /// Reserves a region of `count` elements of `elem` bytes each,
+    /// 4 KB-aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem` is zero.
+    pub fn alloc(&mut self, count: u64, elem: u64) -> Region {
+        assert!(elem > 0, "element size must be positive");
+        let len = count * elem;
+        let base = self.cursor;
+        self.cursor = (self.cursor + len + 4095) & !4095;
+        Region { base, len, elem }
+    }
+
+    /// Reserves a region of `count` 8-byte (f64) elements.
+    pub fn alloc_f64(&mut self, count: u64) -> Region {
+        self.alloc(count, 8)
+    }
+
+    /// Reserves a region of `count` 4-byte (index) elements.
+    pub fn alloc_u32(&mut self, count: u64) -> Region {
+        self.alloc(count, 4)
+    }
+
+    /// Total bytes reserved so far (footprint upper bound).
+    pub fn reserved(&self) -> u64 {
+        self.cursor - 0x1000_0000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap_and_are_page_aligned() {
+        let mut a = AddressSpace::new();
+        let r1 = a.alloc_f64(100);
+        let r2 = a.alloc_f64(100);
+        assert!(r1.base() + r1.len() <= r2.base());
+        assert_eq!(r2.base() % 4096, 0);
+    }
+
+    #[test]
+    fn element_addressing() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc_f64(10);
+        assert_eq!(r.addr(0), r.base());
+        assert_eq!(r.addr(3), r.base() + 24);
+        assert_eq!(r.elems(), 10);
+        assert_eq!(r.elem_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc_f64(10);
+        let _ = r.addr(10);
+    }
+
+    #[test]
+    fn byte_addressing() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc(2, 64);
+        assert_eq!(r.byte_addr(64), r.base() + 64);
+    }
+
+    #[test]
+    fn reserved_tracks_footprint() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.reserved(), 0);
+        a.alloc_f64(512); // 4 KB
+        assert_eq!(a.reserved(), 4096);
+        a.alloc_u32(1); // rounds to one page
+        assert_eq!(a.reserved(), 8192);
+    }
+}

@@ -1,0 +1,86 @@
+//! Workload generation parameters.
+
+/// How big a trace to generate.
+///
+/// The paper collects one billion memory references per benchmark from a
+/// full-system simulator; this reproduction generates algorithmically
+/// equivalent address streams sized so that a full Fig. 5 sweep runs on one
+/// machine in minutes while still exercising 4–64 MB caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Tiny kernels for unit/integration tests (traces of a few thousand
+    /// records; footprints of a few hundred KB).
+    Test,
+    /// Full evaluation scale (traces of a few million records; footprints
+    /// from ~2 MB up to ~48 MB, matching each benchmark's Fig. 5 behaviour).
+    #[default]
+    Paper,
+}
+
+/// Parameters shared by all RMS workload generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadParams {
+    /// Generation scale.
+    pub scale: Scale,
+    /// Seed for the deterministic pseudo-random structure (sparse patterns,
+    /// support-vector ordering, ...). Same seed, same trace.
+    pub seed: u64,
+    /// Number of threads (the paper's study uses two-threaded runs).
+    pub threads: usize,
+    /// Interleave granularity when merging per-thread streams, in records.
+    pub chunk: usize,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            scale: Scale::Paper,
+            seed: 0x3d_d1e5,
+            threads: 2,
+            chunk: 32,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Test-scale parameters (fast, small footprints).
+    pub fn test() -> Self {
+        WorkloadParams {
+            scale: Scale::Test,
+            ..Self::default()
+        }
+    }
+
+    /// Paper-scale parameters.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Picks `test` when at `Scale::Test`, `paper` otherwise. The workhorse
+    /// for kernels translating scale into dimensions.
+    pub fn pick(&self, test: usize, paper: usize) -> usize {
+        match self.scale {
+            Scale::Test => test,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_two_threaded_paper_scale() {
+        let p = WorkloadParams::default();
+        assert_eq!(p.scale, Scale::Paper);
+        assert_eq!(p.threads, 2);
+        assert!(p.chunk > 0);
+    }
+
+    #[test]
+    fn pick_respects_scale() {
+        assert_eq!(WorkloadParams::test().pick(1, 100), 1);
+        assert_eq!(WorkloadParams::paper().pick(1, 100), 100);
+    }
+}

@@ -1,0 +1,89 @@
+//! `gauss` — Linear Equation Solver using Gauss-Jordan Elimination
+//! (Table 1).
+//!
+//! Row-reduction sweeps over a dense matrix of ~20 MB: each pivot step
+//! streams the whole matrix (load row element, load pivot-row element,
+//! store updated element). The working set exceeds 4 and 12 MB but fits the
+//! stacked 32/64 MB DRAM caches, so gauss is one of the big Fig. 5 winners.
+
+use stacksim_trace::Trace;
+
+use crate::layout::AddressSpace;
+use crate::params::WorkloadParams;
+use crate::rms::split_range;
+use crate::tracer::KernelTracer;
+
+pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+    let n = p.pick(96, 1600) as u64;
+    let pivots = p.pick(2, 3) as u64;
+    let vw = 8u64; // SIMD elements per 64 B line
+
+    let mut space = AddressSpace::new();
+    let a = space.alloc_f64(n * n); // 1600^2 * 8 B = 20.5 MB
+    let rhs = space.alloc_f64(n);
+
+    let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
+    let mut t = KernelTracer::new(256);
+    t.attach_stack(stacks[tid], 4.0);
+    let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
+    t.attach_cold_stream(colds[tid], 50);
+    let my_rows = split_range(n, p.threads, tid);
+
+    for piv in 0..pivots {
+        // spread the pivot rows over the matrix so each sweep re-walks it
+        let pivot_row = piv * (n / pivots.max(1));
+        for i in my_rows.clone() {
+            if i == pivot_row {
+                continue;
+            }
+            // the scale factor A[i][piv] / A[piv][piv]
+            let scale = t.load(a.addr(i * n + pivot_row), None);
+            for jv in (0..n).step_by(vw as usize) {
+                // pivot row line: hot, reused by every row of the sweep
+                let lp = t.load(a.addr(pivot_row * n + jv), Some(scale));
+                // the row being updated: streaming read-modify-write
+                let lr = t.load(a.addr(i * n + jv), None);
+                t.store(a.addr(i * n + jv), Some(lp.max(lr)));
+            }
+            let lb = t.load(rhs.addr(pivot_row), Some(scale));
+            t.store(rhs.addr(i), Some(lb));
+        }
+    }
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_trace::TraceStats;
+
+    #[test]
+    fn footprint_exceeds_12mb_but_fits_32mb() {
+        let t = thread_trace(&WorkloadParams::paper(), 0);
+        let s = TraceStats::measure(&t);
+        // each thread touches the full matrix (pivot row) plus its own half
+        // of the updated rows; the merged two-thread footprint is ~20 MB
+        assert!(s.footprint_mib() > 9.0, "got {:.2} MiB", s.footprint_mib());
+        assert!(s.footprint_mib() < 32.0, "got {:.2} MiB", s.footprint_mib());
+    }
+
+    #[test]
+    fn stores_are_about_a_third_of_references() {
+        let t = thread_trace(&WorkloadParams::test(), 0);
+        let s = TraceStats::measure(&t);
+        let frac = s.store_fraction();
+        assert!(frac > 0.2 && frac < 0.45, "store fraction {frac}");
+    }
+
+    #[test]
+    fn matrix_is_reswept_each_pivot() {
+        // the same line must be touched once per pivot step
+        let t = thread_trace(&WorkloadParams::test(), 0);
+        let s = TraceStats::measure(&t);
+        let touches_per_line = s.records as f64 / s.footprint.unique_lines as f64;
+        assert!(
+            touches_per_line > 2.0,
+            "sweeps revisit lines: {touches_per_line}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! The three sparse matrix-vector multiplication variants of Table 1:
+//! `sMVM` (plain), `sSym` (symmetric, half storage, small) and `sTrans`
+//! (transposed, scatter into a wide result vector).
+
+use stacksim_trace::Trace;
+
+use crate::layout::AddressSpace;
+use crate::params::WorkloadParams;
+use crate::rms::split_range;
+use crate::sparse::SparsePattern;
+use crate::tracer::{KernelTracer, ReduceChain};
+
+/// `sMVM`: y = A·x over ~11 MB of CSR data, iterated so the matrix is
+/// re-streamed; improves at 12/32 MB.
+pub(crate) fn smvm_thread(p: &WorkloadParams, tid: usize) -> Trace {
+    let rows = p.pick(400, 80_000) as u64;
+    let nnz = p.pick(4, 9) as u64;
+    let iters = p.pick(2, 4);
+    let pat = SparsePattern::synth(rows, rows, nnz, 0.6, p.seed ^ 0x5317);
+
+    let mut space = AddressSpace::new();
+    let vals = space.alloc_f64(pat.nnz());
+    let cols = space.alloc_u32(pat.nnz());
+    let row_ptr = space.alloc_f64(rows + 1);
+    let x = space.alloc_f64(rows);
+    let y = space.alloc_f64(rows);
+
+    let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
+    let mut t = KernelTracer::new(384);
+    t.attach_stack(stacks[tid], 2.5);
+    let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
+    t.attach_cold_stream(colds[tid], 50);
+    let my_rows = split_range(rows, p.threads, tid);
+    for _ in 0..iters {
+        for i in my_rows.clone() {
+            let rp = t.load(row_ptr.addr(i), None);
+            let mut chain = ReduceChain::new(8);
+            let lo = pat.row_ptr[i as usize];
+            let hi = pat.row_ptr[i as usize + 1];
+            for k in lo..hi {
+                let idx = t.load(cols.addr(k), Some(rp));
+                t.load(vals.addr(k), Some(rp));
+                t.reduce_load(x.addr(pat.col_idx[k as usize]), &mut chain, Some(idx));
+            }
+            t.store(y.addr(i), chain.tail());
+        }
+    }
+    t.finish()
+}
+
+/// `sSym`: symmetric SpMV storing only the upper triangle — about half the
+/// non-zeros of an equivalent full matrix and a ~2 MB footprint that fits
+/// the baseline L2 (flat in Fig. 5). Each visited non-zero updates both
+/// `y[i]` and `y[col]`.
+pub(crate) fn ssym_thread(p: &WorkloadParams, tid: usize) -> Trace {
+    let rows = p.pick(300, 30_000) as u64;
+    let nnz = p.pick(4, 6) as u64;
+    let iters = p.pick(2, 6);
+    let pat = SparsePattern::synth(rows, rows, nnz, 0.9, p.seed ^ 0x55F);
+
+    let mut space = AddressSpace::new();
+    let vals = space.alloc_f64(pat.nnz());
+    let cols = space.alloc_u32(pat.nnz());
+    let row_ptr = space.alloc_f64(rows + 1);
+    let x = space.alloc_f64(rows);
+    let y = space.alloc_f64(rows);
+
+    let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
+    let mut t = KernelTracer::new(384);
+    t.attach_stack(stacks[tid], 2.0);
+    let my_rows = split_range(rows, p.threads, tid);
+    for _ in 0..iters {
+        for i in my_rows.clone() {
+            let rp = t.load(row_ptr.addr(i), None);
+            let mut chain = ReduceChain::new(8);
+            let lo = pat.row_ptr[i as usize];
+            let hi = pat.row_ptr[i as usize + 1];
+            for k in lo..hi {
+                let idx = t.load(cols.addr(k), Some(rp));
+                t.load(vals.addr(k), Some(rp));
+                let col = pat.col_idx[k as usize];
+                t.reduce_load(x.addr(col), &mut chain, Some(idx));
+                // symmetric counterpart: y[col] += v * x[i]
+                let ly = t.load(y.addr(col), Some(idx));
+                t.store(y.addr(col), Some(ly));
+            }
+            t.store(y.addr(i), chain.tail());
+        }
+    }
+    t.finish()
+}
+
+/// `sTrans`: y = Aᵀ·x walked in row order of A — every non-zero scatters a
+/// read-modify-write into a wide `y`, giving poor locality over ~25 MB and
+/// the biggest relative gains from stacked DRAM capacity.
+pub(crate) fn strans_thread(p: &WorkloadParams, tid: usize) -> Trace {
+    let rows = p.pick(300, 60_000) as u64;
+    let width = p.pick(2_000, 2_000_000) as u64; // y is 16 MB at paper scale
+    let nnz = p.pick(4, 9) as u64;
+    let iters = 2;
+    let pat = SparsePattern::synth(rows, width, nnz, 0.2, p.seed ^ 0x7245);
+
+    let mut space = AddressSpace::new();
+    let vals = space.alloc_f64(pat.nnz());
+    let cols = space.alloc_u32(pat.nnz());
+    let row_ptr = space.alloc_f64(rows + 1);
+    let x = space.alloc_f64(rows);
+    let y = space.alloc_f64(width);
+
+    let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
+    let mut t = KernelTracer::new(384);
+    t.attach_stack(stacks[tid], 3.5);
+    let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
+    t.attach_cold_stream(colds[tid], 50);
+    let my_rows = split_range(rows, p.threads, tid);
+    for _ in 0..iters {
+        for i in my_rows.clone() {
+            let rp = t.load(row_ptr.addr(i), None);
+            let lx = t.load(x.addr(i), Some(rp));
+            let lo = pat.row_ptr[i as usize];
+            let hi = pat.row_ptr[i as usize + 1];
+            for k in lo..hi {
+                let idx = t.load(cols.addr(k), Some(rp));
+                t.load(vals.addr(k), Some(rp));
+                let col = pat.col_idx[k as usize];
+                // scatter: load y[col], add, store back — serialised on the
+                // index load (address unknown until then)
+                let ly = t.load(y.addr(col), Some(idx.max(lx)));
+                t.store(y.addr(col), Some(ly));
+            }
+        }
+    }
+    t.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_trace::TraceStats;
+
+    #[test]
+    fn smvm_footprint_is_mid_sized() {
+        let s = TraceStats::measure(&smvm_thread(&WorkloadParams::paper(), 0));
+        assert!(
+            s.footprint_mib() > 5.0 && s.footprint_mib() < 14.0,
+            "{:.2}",
+            s.footprint_mib()
+        );
+    }
+
+    #[test]
+    fn ssym_footprint_fits_baseline() {
+        let s = TraceStats::measure(&ssym_thread(&WorkloadParams::paper(), 0));
+        assert!(s.footprint_mib() < 4.0, "{:.2}", s.footprint_mib());
+    }
+
+    #[test]
+    fn strans_footprint_is_large() {
+        // per-thread footprint; the merged two-thread trace roughly doubles
+        // the matrix half while sharing the scattered y
+        let s = TraceStats::measure(&strans_thread(&WorkloadParams::paper(), 0));
+        assert!(s.footprint_mib() > 12.0, "{:.2}", s.footprint_mib());
+    }
+
+    #[test]
+    fn strans_scatter_is_store_heavy_compared_to_smvm() {
+        let p = WorkloadParams::test();
+        let sm = TraceStats::measure(&smvm_thread(&p, 0));
+        let st = TraceStats::measure(&strans_thread(&p, 0));
+        assert!(st.store_fraction() > 1.05 * sm.store_fraction());
+    }
+
+    #[test]
+    fn ssym_updates_both_triangles() {
+        let t = ssym_thread(&WorkloadParams::test(), 0);
+        let s = TraceStats::measure(&t);
+        // one y[i] store per row plus one y[col] store per nnz
+        assert!(s.stores as f64 > 1.5 * 300.0, "stores: {}", s.stores);
+    }
+
+    #[test]
+    fn all_three_traces_validate() {
+        let p = WorkloadParams::test();
+        for f in [smvm_thread, ssym_thread, strans_thread] {
+            assert!(f(&p, 0).validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-thread trace emission helper for workload kernels.
+
+use stacksim_trace::{CpuId, MemOp, RecordId, Trace, TraceBuilder};
+
+use crate::layout::Region;
+
+/// Emits one thread's memory-reference stream with dataflow dependencies.
+///
+/// Kernels call [`load`](KernelTracer::load) / [`store`](KernelTracer::store)
+/// in the order the algorithm would execute them, passing the id of the
+/// producing reference when the access is data-dependent (e.g. an indirect
+/// load through a just-loaded index). Instruction pointers advance through a
+/// small synthetic code region, wrapping per "loop", so the IP field looks
+/// like a real inner loop.
+#[derive(Debug)]
+pub struct KernelTracer {
+    builder: TraceBuilder,
+    ip_base: u64,
+    ip: u64,
+    ip_span: u64,
+    stack: Option<StackModel>,
+    cold: Option<ColdStream>,
+}
+
+/// Models the main-memory-resident fraction of the working set: RMS
+/// applications "target systems with main memory requirements that cannot
+/// be incorporated in a two-die stack" (§1), so a slice of their references
+/// streams through data no cache level retains. One cold load is emitted
+/// every `every_n` data references, walking a region far larger than the
+/// largest stacked cache.
+#[derive(Debug)]
+struct ColdStream {
+    region: Region,
+    every_n: u64,
+    count: u64,
+    offset: u64,
+    last: Option<RecordId>,
+}
+
+/// Models the register-spill/stack/local traffic that surrounds the data
+/// references of a real application: a small, L1-resident region touched at
+/// a fixed ratio per data reference. The paper's traces contain *every*
+/// memory instruction of the application, most of which hit small hot
+/// structures; without this component a synthetic trace is all cold misses
+/// and its CPMA is wildly pessimistic.
+#[derive(Debug)]
+struct StackModel {
+    region: Region,
+    ratio: f64,
+    budget: f64,
+    next: u64,
+    count: u64,
+}
+
+impl KernelTracer {
+    /// Creates a tracer for one thread. `code_bytes` is the size of the
+    /// synthetic inner-loop code region its IPs cycle through.
+    pub fn new(code_bytes: u64) -> Self {
+        KernelTracer {
+            builder: TraceBuilder::new(),
+            ip_base: 0x40_0000,
+            ip: 0,
+            ip_span: code_bytes.max(4),
+            stack: None,
+            cold: None,
+        }
+    }
+
+    /// Attaches a cold main-memory stream: every `every_n`-th data
+    /// reference is followed by a load that walks `region` at cache-line
+    /// granularity, wrapping at the end. The region should far exceed the
+    /// largest cache under study.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_n` is zero or the region is empty.
+    pub fn attach_cold_stream(&mut self, region: Region, every_n: u64) {
+        assert!(every_n > 0, "cold-stream interval must be positive");
+        assert!(!region.is_empty(), "cold-stream region must be non-empty");
+        self.cold = Some(ColdStream {
+            region,
+            every_n,
+            count: 0,
+            offset: 0,
+            last: None,
+        });
+    }
+
+    /// Attaches a stack/local-traffic model: for every data reference the
+    /// kernel emits, `ratio` additional references cycle through the given
+    /// small region (spills, locals, loop bookkeeping). Roughly every third
+    /// stack reference is a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or the region is empty.
+    pub fn attach_stack(&mut self, region: Region, ratio: f64) {
+        assert!(ratio >= 0.0, "stack ratio must be non-negative");
+        assert!(!region.is_empty(), "stack region must be non-empty");
+        self.stack = Some(StackModel {
+            region,
+            ratio,
+            budget: 0.0,
+            next: 0,
+            count: 0,
+        });
+    }
+
+    /// Creates a tracer with a default 256-byte inner loop.
+    pub fn with_default_loop() -> Self {
+        Self::new(256)
+    }
+
+    fn next_ip(&mut self) -> u64 {
+        let ip = self.ip_base + self.ip;
+        self.ip = (self.ip + 4) % self.ip_span;
+        ip
+    }
+
+    /// Emits a load; returns its id for downstream dependencies.
+    pub fn load(&mut self, addr: u64, dep: Option<RecordId>) -> RecordId {
+        let ip = self.next_ip();
+        let id = self
+            .builder
+            .record_dep(CpuId::new(0), MemOp::Load, addr, ip, dep);
+        self.emit_cold_ref();
+        self.emit_stack_refs();
+        id
+    }
+
+    /// Emits a store; returns its id.
+    pub fn store(&mut self, addr: u64, dep: Option<RecordId>) -> RecordId {
+        let ip = self.next_ip();
+        let id = self
+            .builder
+            .record_dep(CpuId::new(0), MemOp::Store, addr, ip, dep);
+        self.emit_cold_ref();
+        self.emit_stack_refs();
+        id
+    }
+
+    fn emit_cold_ref(&mut self) {
+        let Some(cold) = self.cold.as_mut() else {
+            return;
+        };
+        cold.count += 1;
+        if !cold.count.is_multiple_of(cold.every_n) {
+            return;
+        }
+        // a pointer chase: each cold reference loads the address of the
+        // next (linked structures walked out of main memory), scattering
+        // across the region so no cache level retains it
+        let addr = cold.region.byte_addr(cold.offset);
+        cold.offset = (cold.offset + 64 * 1031) % cold.region.len();
+        let ip = self.ip_base + self.ip_span + 128;
+        let id = self
+            .builder
+            .record_dep(CpuId::new(0), MemOp::Load, addr, ip, cold.last);
+        self.cold.as_mut().expect("cold present").last = Some(id);
+    }
+
+    fn emit_stack_refs(&mut self) {
+        let Some(stack) = self.stack.as_mut() else {
+            return;
+        };
+        stack.budget += stack.ratio;
+        while stack.budget >= 1.0 {
+            stack.budget -= 1.0;
+            let addr = stack.region.addr(stack.next);
+            stack.next = (stack.next + 1) % stack.region.elems();
+            let op = if stack.count % 3 == 2 {
+                MemOp::Store
+            } else {
+                MemOp::Load
+            };
+            stack.count += 1;
+            let ip = self.ip_base + self.ip_span + (stack.count % 16) * 4;
+            self.builder.record_dep(CpuId::new(0), op, addr, ip, None);
+        }
+    }
+
+    /// Emits a load that participates in a reduction: the access depends on
+    /// the chain element from `ilp` calls ago — modelling an unrolled
+    /// reduction with `ilp` independent accumulators, each reused once per
+    /// unroll round. If an explicit `dep` (e.g. an index load) is also given,
+    /// the later of the two producers wins, since it is the binding one.
+    /// Returns the id to chain from next.
+    pub fn reduce_load(
+        &mut self,
+        addr: u64,
+        chain: &mut ReduceChain,
+        dep: Option<RecordId>,
+    ) -> RecordId {
+        let slot = (chain.count % chain.ilp) as usize;
+        let chained = chain.ring[slot];
+        let effective = match (chained, dep) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let id = self.load(addr, effective);
+        chain.ring[slot] = Some(id);
+        chain.count += 1;
+        id
+    }
+
+    /// Records emitted so far.
+    pub fn len(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.builder.is_empty()
+    }
+
+    /// Finishes the thread stream.
+    pub fn finish(self) -> Trace {
+        self.builder.build()
+    }
+}
+
+/// State of an unrolled reduction chain (see [`KernelTracer::reduce_load`]).
+#[derive(Debug, Clone)]
+pub struct ReduceChain {
+    ilp: u64,
+    count: u64,
+    ring: Vec<Option<RecordId>>,
+}
+
+impl ReduceChain {
+    /// A chain with `ilp` independent accumulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ilp` is zero.
+    pub fn new(ilp: u64) -> Self {
+        assert!(ilp > 0, "reduction ILP must be positive");
+        ReduceChain {
+            ilp,
+            count: 0,
+            ring: vec![None; ilp as usize],
+        }
+    }
+
+    /// Id of the most recent chain element, to hang a final store off.
+    pub fn tail(&self) -> Option<RecordId> {
+        self.ring.iter().flatten().max().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_stores_are_recorded_in_order() {
+        let mut t = KernelTracer::with_default_loop();
+        let a = t.load(0x1000, None);
+        let b = t.store(0x2000, Some(a));
+        assert_eq!(t.len(), 2);
+        let trace = t.finish();
+        assert_eq!(trace.records()[0].op, MemOp::Load);
+        assert_eq!(trace.records()[1].op, MemOp::Store);
+        assert_eq!(trace.records()[1].dep, Some(a));
+        assert!(b > a);
+    }
+
+    #[test]
+    fn ips_cycle_through_the_loop_body() {
+        let mut t = KernelTracer::new(8); // two instruction slots
+        t.load(0, None);
+        t.load(0, None);
+        t.load(0, None);
+        let trace = t.finish();
+        assert_eq!(trace.records()[0].ip, trace.records()[2].ip);
+        assert_ne!(trace.records()[0].ip, trace.records()[1].ip);
+    }
+
+    #[test]
+    fn reduce_chain_serialises_every_ilp_th_load() {
+        let mut t = KernelTracer::with_default_loop();
+        let mut chain = ReduceChain::new(2);
+        let ids: Vec<_> = (0..6)
+            .map(|i| t.reduce_load(0x1000 + i * 64, &mut chain, None))
+            .collect();
+        let trace = t.finish();
+        // two accumulators: load i depends on load i-2
+        assert_eq!(trace.get(ids[0]).unwrap().dep, None);
+        assert_eq!(trace.get(ids[1]).unwrap().dep, None);
+        assert_eq!(trace.get(ids[2]).unwrap().dep, Some(ids[0]));
+        assert_eq!(trace.get(ids[3]).unwrap().dep, Some(ids[1]));
+        assert_eq!(trace.get(ids[4]).unwrap().dep, Some(ids[2]));
+        assert_eq!(trace.get(ids[5]).unwrap().dep, Some(ids[3]));
+        assert_eq!(chain.tail(), Some(ids[5]));
+    }
+
+    #[test]
+    fn reduce_chain_prefers_explicit_dep_between_ticks() {
+        let mut t = KernelTracer::with_default_loop();
+        let mut chain = ReduceChain::new(4);
+        let idx = t.load(0x100, None);
+        let v = t.reduce_load(0x2000, &mut chain, Some(idx));
+        let trace = t.finish();
+        assert_eq!(trace.get(v).unwrap().dep, Some(idx));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ilp_panics() {
+        let _ = ReduceChain::new(0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Design-space extension beyond the paper's four points: sweep the
+//! stacked-DRAM capacity continuously and find where each benchmark's
+//! working set is captured.
+//!
+//! ```sh
+//! cargo run --release --example capacity_sweep [bench ...]
+//! ```
+
+use stacksim::mem::{
+    CacheConfig, Engine, EngineConfig, HierarchyConfig, MemoryHierarchy, StackedLevel,
+};
+use stacksim::workloads::{RmsBenchmark, WorkloadParams};
+
+fn dram_hierarchy(mb: u64) -> HierarchyConfig {
+    let mut cfg = HierarchyConfig::stacked_dram_32mb();
+    if let StackedLevel::Dram { cache, .. } = &mut cfg.stacked {
+        // keep the set count a power of two: 3*2^k capacities use 12 ways
+        let ways = if mb.is_power_of_two() { 8 } else { 12 };
+        *cache = CacheConfig {
+            capacity: mb << 20,
+            ways,
+            ..*cache
+        };
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<RmsBenchmark> = if args.is_empty() {
+        vec![RmsBenchmark::Gauss, RmsBenchmark::SUs, RmsBenchmark::Svm]
+    } else {
+        RmsBenchmark::all()
+            .into_iter()
+            .filter(|b| args.contains(&b.name().to_string()))
+            .collect()
+    };
+    let capacities = [8u64, 16, 24, 32, 48, 64, 96];
+    let params = WorkloadParams::paper();
+
+    print!("{:>8}", "bench");
+    for mb in capacities {
+        print!(" {mb:>6}MB");
+    }
+    println!();
+    for b in benches {
+        let trace = b.generate(&params);
+        print!("{:>8}", b.name());
+        for mb in capacities {
+            let mut e = Engine::new(
+                MemoryHierarchy::new(dram_hierarchy(mb)),
+                EngineConfig::default(),
+            );
+            let r = e.run_warmed(&trace, 0.4);
+            print!(" {:>8.3}", r.cpma);
+        }
+        println!();
+    }
+    println!();
+    println!("CPMA flattens once the stacked DRAM captures the benchmark's working set;");
+    println!("the paper's 32/64 MB points are two samples of these curves.");
+}

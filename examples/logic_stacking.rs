@@ -1,0 +1,70 @@
+//! Logic+Logic exploration: fold the P4-class planar floorplan onto two
+//! dies, run the cycle-level core model planar vs 3D on every workload
+//! class, and trade the gains for power via voltage scaling — §4 end to
+//! end.
+//!
+//! ```sh
+//! cargo run --release --example logic_stacking
+//! ```
+
+use stacksim::floorplan::p4::pentium4_147w;
+use stacksim::floorplan::{fold, FoldOptions};
+use stacksim::ooo::{CoreConfig, Simulator, WorkloadClass};
+use stacksim::power::scaling::ScalingModel;
+
+fn main() {
+    // 1. the physical fold: 50% footprint, hotspot-aware placement
+    let planar = pentium4_147w();
+    let folded = fold(&planar, FoldOptions::default()).expect("P4 folds");
+    println!(
+        "fold: {:.0} mm^2 planar -> 2 x {:.0} mm^2, power {:.0} W -> {:.0} W",
+        planar.area(),
+        folded.dies()[0].area(),
+        planar.total_power(),
+        folded.total_power()
+    );
+    println!(
+        "peak stacked power density: {:.2}x planar (paper: ~1.3x after repair)",
+        folded.peak_stacked_density(48, 40) / planar.power_grid(48, 40).peak_density()
+    );
+    println!();
+
+    // 2. the microarchitectural payoff: shorter wire paths on every class
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "class", "planar IPC", "3D IPC", "gain"
+    );
+    let planar_sim = Simulator::new(CoreConfig::planar());
+    let folded_sim = Simulator::new(CoreConfig::folded_3d());
+    let mut gains = Vec::new();
+    for class in WorkloadClass::all() {
+        let uops = class.generate(40_000, 7);
+        let p = planar_sim.run(&uops);
+        let f = folded_sim.run(&uops);
+        let gain = f.ipc() / p.ipc() - 1.0;
+        gains.push(gain);
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>7.1}%",
+            class.name(),
+            p.ipc(),
+            f.ipc(),
+            100.0 * gain
+        );
+    }
+    let avg = 100.0 * gains.iter().sum::<f64>() / gains.len() as f64;
+    println!("{:<14} {:>10} {:>10} {:>7.1}%", "average", "", "", avg);
+    println!();
+
+    // 3. spend the gains: scale voltage/frequency down to the planar
+    //    performance level and bank the power (Table 5's "Same Perf." row)
+    let model = ScalingModel::fig11_3d();
+    let same_perf = model.scale_to_perf(100.0);
+    println!(
+        "scaling the 3D design back to planar performance: Vcc {:.2}, f {:.2} -> {:.1} W \
+         ({:.0}% of the 147 W baseline)",
+        same_perf.vcc,
+        same_perf.freq,
+        model.power(same_perf),
+        100.0 * model.power(same_perf) / 147.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: simulate one RMS benchmark on the baseline hierarchy and on
+//! the 32 MB stacked-DRAM option, then compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stacksim::mem::{Engine, EngineConfig, HierarchyConfig, MemoryHierarchy};
+use stacksim::power::bus_power_w;
+use stacksim::trace::TraceStats;
+use stacksim::workloads::{RmsBenchmark, WorkloadParams};
+
+fn main() {
+    // 1. generate a two-threaded memory trace for the `gauss` RMS kernel
+    //    (Gauss-Jordan elimination over a ~20 MB matrix)
+    let params = WorkloadParams::paper();
+    let trace = RmsBenchmark::Gauss.generate(&params);
+    let stats = TraceStats::measure(&trace);
+    println!(
+        "trace: {} references, {:.1} MiB footprint, {:.0}% loads",
+        stats.records,
+        stats.footprint_mib(),
+        100.0 * stats.loads as f64 / stats.records as f64
+    );
+
+    // 2. drive the baseline Core 2 Duo–class hierarchy (Table 3 of the
+    //    paper) with it
+    let mut baseline = Engine::new(
+        MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+        EngineConfig::default(),
+    );
+    let base = baseline.run_warmed(&trace, 0.4);
+
+    // 3. swap the 4 MB SRAM L2 for a 32 MB stacked DRAM cache (Fig. 7c)
+    let mut stacked = Engine::new(
+        MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()),
+        EngineConfig::default(),
+    );
+    let dram = stacked.run_warmed(&trace, 0.4);
+
+    println!();
+    println!("                      4 MB SRAM    32 MB stacked DRAM");
+    println!(
+        "cycles/mem access   {:>10.3}    {:>10.3}",
+        base.cpma, dram.cpma
+    );
+    println!(
+        "off-die bandwidth   {:>8.2} GB/s {:>8.2} GB/s",
+        base.offdie_gb_per_sec, dram.offdie_gb_per_sec
+    );
+    println!(
+        "bus power           {:>8.2} W    {:>8.2} W",
+        bus_power_w(base.offdie_gb_per_sec),
+        bus_power_w(dram.offdie_gb_per_sec)
+    );
+    println!();
+    println!(
+        "stacking the DRAM cache cuts CPMA by {:.0}% and keeps the working set on die.",
+        100.0 * (1.0 - dram.cpma / base.cpma)
+    );
+}

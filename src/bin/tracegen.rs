@@ -1,0 +1,118 @@
+//! `tracegen` — generate, inspect and store RMS memory traces in the
+//! `STKTRC` binary format.
+//!
+//! ```sh
+//! tracegen list
+//! tracegen stats <bench> [--paper]
+//! tracegen write <bench> <file> [--paper]
+//! tracegen read <file>
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use stacksim::trace::{read_trace, write_trace, TraceStats};
+use stacksim::workloads::{RmsBenchmark, WorkloadParams};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tracegen list");
+    eprintln!("       tracegen stats <bench> [--paper]");
+    eprintln!("       tracegen write <bench> <file> [--paper]");
+    eprintln!("       tracegen read <file>");
+    ExitCode::FAILURE
+}
+
+fn bench_by_name(name: &str) -> Option<RmsBenchmark> {
+    RmsBenchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+fn params(args: &[String]) -> WorkloadParams {
+    if args.iter().any(|a| a == "--paper") {
+        WorkloadParams::paper()
+    } else {
+        WorkloadParams::test()
+    }
+}
+
+fn print_stats(stats: &TraceStats) {
+    println!("records        : {}", stats.records);
+    println!("loads/stores   : {} / {}", stats.loads, stats.stores);
+    println!("per-cpu        : {:?}", stats.per_cpu);
+    println!(
+        "footprint      : {:.2} MiB at 64 B lines",
+        stats.footprint_mib()
+    );
+    println!(
+        "dependencies   : {} records ({:.0}%), max chain {}, mean distance {:.1}",
+        stats.deps.dependent_records,
+        100.0 * stats.deps.dependent_records as f64 / stats.records.max(1) as f64,
+        stats.deps.max_chain,
+        stats.deps.mean_distance()
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for b in RmsBenchmark::all() {
+                println!("{:<8} {}", b.name(), b.description());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("stats") if args.len() >= 2 => {
+            let Some(b) = bench_by_name(&args[1]) else {
+                eprintln!("unknown benchmark '{}'; try `tracegen list`", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let trace = b.generate(&params(&args));
+            println!("== {} — {} ==", b.name(), b.description());
+            print_stats(&TraceStats::measure(&trace));
+            ExitCode::SUCCESS
+        }
+        Some("write") if args.len() >= 3 => {
+            let Some(b) = bench_by_name(&args[1]) else {
+                eprintln!("unknown benchmark '{}'; try `tracegen list`", args[1]);
+                return ExitCode::FAILURE;
+            };
+            let trace = b.generate(&params(&args));
+            let file = match File::create(&args[2]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create {}: {e}", args[2]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = write_trace(BufWriter::new(file), &trace) {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {} records to {}", trace.len(), args[2]);
+            ExitCode::SUCCESS
+        }
+        Some("read") if args.len() >= 2 => {
+            let file = match File::open(&args[1]) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {}: {e}", args[1]);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match read_trace(BufReader::new(file)) {
+                Ok(trace) => {
+                    println!("== {} ==", args[1]);
+                    print_stats(&TraceStats::measure(&trace));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("decode failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

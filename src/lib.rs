@@ -1,0 +1,40 @@
+//! # stacksim
+//!
+//! A 3D die-stacking microarchitecture simulation toolkit reproducing
+//! *Die Stacking (3D) Microarchitecture* (Black et al., MICRO-39, 2006).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`trace`] — dependency-annotated memory traces (§2.1 format)
+//! * [`workloads`] — the twelve RMS benchmarks of Table 1 as trace
+//!   generators
+//! * [`mem`] — the multi-processor memory-hierarchy simulator (§3)
+//! * [`ooo`] — the deeply pipelined out-of-order core model (§4)
+//! * [`floorplan`] — block floorplans, power maps and 2D→3D folding
+//! * [`thermal`] — the stacked-die heat-conduction solver (§2.3)
+//! * [`power`] — bus power, cache power and voltage/frequency scaling
+//! * [`core`] — study drivers reproducing every table and figure
+//!
+//! # Quickstart
+//!
+//! ```
+//! use stacksim::mem::{Engine, EngineConfig, HierarchyConfig, MemoryHierarchy};
+//! use stacksim::workloads::{RmsBenchmark, WorkloadParams};
+//!
+//! let trace = RmsBenchmark::Conj.generate(&WorkloadParams::test());
+//! let mut engine = Engine::new(
+//!     MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+//!     EngineConfig::default(),
+//! );
+//! let result = engine.run(&trace);
+//! println!("CPMA = {:.2}", result.cpma);
+//! ```
+
+pub use stacksim_core as core;
+pub use stacksim_floorplan as floorplan;
+pub use stacksim_mem as mem;
+pub use stacksim_ooo as ooo;
+pub use stacksim_power as power;
+pub use stacksim_thermal as thermal;
+pub use stacksim_trace as trace;
+pub use stacksim_workloads as workloads;

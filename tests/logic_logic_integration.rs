@@ -1,0 +1,109 @@
+//! Integration: OoO core model + floorplan fold + V/f scaling, spanning
+//! `stacksim-ooo`, `stacksim-floorplan`, `stacksim-power` and
+//! `stacksim-core`.
+
+use stacksim::core::logic_logic::{folded_p4, table4};
+use stacksim::ooo::{CoreConfig, Simulator, WireConfig, WirePath, WorkloadClass};
+use stacksim::power::scaling::{OperatingPoint, ScalingModel};
+use stacksim::power::PowerBreakdown;
+
+#[test]
+fn full_fold_beats_every_single_path_change() {
+    let uops = WorkloadClass::SpecFp.generate(20_000, 9);
+    let planar = Simulator::new(CoreConfig::planar()).run(&uops).cycles;
+    let folded = Simulator::new(CoreConfig::folded_3d()).run(&uops).cycles;
+    for path in WirePath::all() {
+        let cfg = CoreConfig {
+            wire: path.apply(WireConfig::planar()),
+            ..CoreConfig::planar()
+        };
+        let single = Simulator::new(cfg).run(&uops).cycles;
+        assert!(
+            folded <= single && single <= planar,
+            "{path}: planar {planar}, single {single}, folded {folded}"
+        );
+    }
+}
+
+#[test]
+fn table4_gains_are_all_non_negative_and_fp_dominates() {
+    let t = table4(10_000, 5);
+    for row in &t.rows {
+        assert!(
+            row.measured_pct > -0.5,
+            "{}: {:.2}%",
+            row.path,
+            row.measured_pct
+        );
+    }
+    let max = t
+        .rows
+        .iter()
+        .max_by(|a, b| a.measured_pct.partial_cmp(&b.measured_pct).unwrap())
+        .unwrap();
+    assert_eq!(
+        max.path,
+        WirePath::FpLatency,
+        "FP latency is Table 4's biggest row"
+    );
+    assert!(t.total_pct > t.rows.iter().map(|r| r.measured_pct).fold(0.0, f64::max));
+}
+
+#[test]
+fn fold_and_power_model_agree_on_the_15_percent_saving() {
+    // the floorplan fold and the power breakdown both implement the §4
+    // 15% claim; they must agree
+    let folded = folded_p4();
+    let from_floorplan = 1.0 - folded.total_power() / 147.0;
+    let breakdown = PowerBreakdown::p4_147w();
+    let from_breakdown = 1.0 - breakdown.fold_3d().total() / breakdown.total();
+    assert!(
+        (from_floorplan - 0.15).abs() < 0.005,
+        "floorplan: {from_floorplan}"
+    );
+    assert!((from_breakdown - from_floorplan).abs() < 0.02);
+}
+
+#[test]
+fn scaling_roundtrips_between_power_and_performance() {
+    let m = ScalingModel::fig11_3d();
+    // scaling to the planar baseline's perf then reading power back gives
+    // Table 5's Same Perf. row; re-scaling that power recovers the point
+    let p = m.scale_to_perf(100.0);
+    let w = m.power(p);
+    let p2 = m.scale_to_power(w);
+    assert!((p.vcc - p2.vcc).abs() < 1e-9);
+    assert!((m.perf(p2) - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn redirect_penalty_reduction_shows_up_on_branchy_code() {
+    // internet-class code is branchy; the folded pipeline's shallower
+    // redirect loop must show a measurable gain
+    let uops = WorkloadClass::Internet.generate(30_000, 11);
+    let planar = Simulator::new(CoreConfig::planar()).run(&uops);
+    let folded = Simulator::new(CoreConfig::folded_3d()).run(&uops);
+    assert!(folded.redirect_stall_cycles < planar.redirect_stall_cycles);
+    assert!(folded.ipc() > planar.ipc());
+}
+
+#[test]
+fn same_temperature_scaling_lands_between_same_freq_and_same_perf() {
+    // with a linear thermal stand-in, the thermal-neutral point must sit
+    // between nominal (hotter) and same-perf (cooler)
+    let m = ScalingModel::fig11_3d();
+    let r3d = 0.58; // °C per watt, the Fig. 11 3D point
+    let temp = |w: f64| 40.0 + r3d * w;
+    let baseline_temp = 40.0 + (98.6 - 40.0); // planar peak
+    let pt = m.scale_to_temperature(baseline_temp, temp);
+    assert!(pt.vcc < 1.0, "must slow down: {}", pt.vcc);
+    assert!(
+        pt.vcc > m.scale_to_perf(100.0).vcc,
+        "but less than same-perf"
+    );
+    let nominal_temp = temp(m.power(OperatingPoint::nominal()));
+    assert!(
+        nominal_temp > baseline_temp,
+        "nominal 3D runs hotter than planar"
+    );
+}
