@@ -1,9 +1,9 @@
 //! Ablation benches for the design decisions called out in DESIGN.md §5:
 //! measured as end-metric deltas, not wall-clock — each "bench" runs the
-//! two variants once and prints the comparison, using Criterion only as
-//! the harness.
+//! two variants once and prints the comparison, then times the realistic
+//! variant.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use stacksim_bench::timing::{bench, group};
 use stacksim_floorplan::core2::core2_duo_92w;
 use stacksim_mem::{
     DramConfig, Engine, EngineConfig, HierarchyConfig, MemoryHierarchy, StackedLevel,
@@ -12,15 +12,12 @@ use stacksim_thermal::{Boundary, ResistorStack, SolverConfig};
 use stacksim_workloads::{RmsBenchmark, WorkloadParams};
 
 /// Ablation 1 (DESIGN.md): dependency-driven issue vs ignoring dependencies.
-fn ablate_deps(c: &mut Criterion) {
+fn ablate_deps() {
     let trace = RmsBenchmark::Pcg.generate(&WorkloadParams::test());
     let run = |ignore: bool| {
         let mut e = Engine::new(
             MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
-            EngineConfig {
-                ignore_deps: ignore,
-                ..EngineConfig::default()
-            },
+            EngineConfig::builder().ignore_deps(ignore).build(),
         );
         e.run(&trace).cpma
     };
@@ -31,12 +28,12 @@ fn ablate_deps(c: &mut Criterion) {
          ({:.1}% optimistic without them)",
         100.0 * (honoured / ignored - 1.0)
     );
-    c.bench_function("ablate_deps_honoured", |b| b.iter(|| run(false)));
+    bench("ablate_deps_honoured", || run(false));
 }
 
 /// Ablation 2: open-page row-buffer cache vs single open row in the
 /// stacked DRAM.
-fn ablate_page_policy(c: &mut Criterion) {
+fn ablate_page_policy() {
     let trace = RmsBenchmark::Gauss.generate(&WorkloadParams::test());
     let run = |open_rows: u32| {
         let mut cfg = HierarchyConfig::stacked_dram_32mb();
@@ -53,18 +50,14 @@ fn ablate_page_policy(c: &mut Criterion) {
          ({:+.1}% from row-buffer caching)",
         100.0 * (single / cached - 1.0)
     );
-    c.bench_function("ablate_page_policy_cached", |b| b.iter(|| run(4)));
+    bench("ablate_page_policy_cached", || run(4));
 }
 
 /// Ablation 3: finite-volume solve vs the 1-D resistor stack (no lateral
 /// spreading).
-fn ablate_resistor(c: &mut Criterion) {
+fn ablate_resistor() {
     let cpu = core2_duo_92w();
-    let cfg = SolverConfig {
-        nx: 20,
-        ny: 17,
-        ..SolverConfig::default()
-    };
+    let cfg = SolverConfig::builder().nx(20).ny(17).build();
     let power = cpu.power_grid(cfg.nx, cfg.ny);
     let stack = stacksim_thermal::LayerStack::planar(cpu.width(), cpu.height(), power.clone());
     let fv = stacksim_thermal::solve(&stack, Boundary::desktop(), cfg)
@@ -72,22 +65,18 @@ fn ablate_resistor(c: &mut Criterion) {
         .peak();
     let r1d = ResistorStack::new(&stack, Boundary::desktop());
     let active = stack.layer_index("active 1").unwrap();
-    let (dx, dy) = power.cell_dims();
     let peak_q = power.peak_density() * 1e6; // W/mm² -> W/m²
-    let _ = (dx, dy);
     let t1d = r1d.temperature(active, peak_q);
     println!(
         "[ablate_resistor] finite-volume peak {fv:.1} C vs 1-D resistor {t1d:.1} C \
          (spreading is worth {:.1} C)",
         t1d - fv
     );
-    c.bench_function("ablate_resistor_1d", |b| {
-        b.iter(|| r1d.temperature(active, peak_q))
-    });
+    bench("ablate_resistor_1d", || r1d.temperature(active, peak_q));
 }
 
 /// Ablation 4: allocation-at-request vs MSHR fill latency.
-fn ablate_fill_latency(c: &mut Criterion) {
+fn ablate_fill_latency() {
     let trace = RmsBenchmark::Gauss.generate(&WorkloadParams::test());
     let run = |fill: bool| {
         let mut cfg = HierarchyConfig::core2_baseline();
@@ -98,15 +87,17 @@ fn ablate_fill_latency(c: &mut Criterion) {
     let optimistic = run(false);
     let realistic = run(true);
     println!(
-        "[ablate_fill_latency] CPMA allocation-at-request {optimistic:.3} vs fill-latency          {realistic:.3} ({:+.1}% from modelling fills)",
+        "[ablate_fill_latency] CPMA allocation-at-request {optimistic:.3} vs fill-latency \
+         {realistic:.3} ({:+.1}% from modelling fills)",
         100.0 * (realistic / optimistic - 1.0)
     );
-    c.bench_function("ablate_fill_latency_on", |b| b.iter(|| run(true)));
+    bench("ablate_fill_latency_on", || run(true));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = ablate_deps, ablate_page_policy, ablate_resistor, ablate_fill_latency
+fn main() {
+    group("ablations");
+    ablate_deps();
+    ablate_page_policy();
+    ablate_resistor();
+    ablate_fill_latency();
 }
-criterion_main!(benches);

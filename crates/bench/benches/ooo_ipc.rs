@@ -1,40 +1,25 @@
-//! Criterion bench over the Table 4 pipeline: uop generation and
-//! cycle-level simulation throughput, planar vs folded.
+//! Bench over the Table 4 pipeline: uop generation and cycle-level
+//! simulation throughput, planar vs folded.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacksim_bench::timing::{bench, group};
 use stacksim_ooo::{CoreConfig, Simulator, WorkloadClass};
 
-fn bench_uop_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uop_generation");
+fn main() {
+    group("uop_generation");
     for class in [WorkloadClass::SpecInt, WorkloadClass::SpecFp] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(class.name()),
-            &class,
-            |b, class| b.iter(|| class.generate(20_000, 1)),
-        );
+        bench(&format!("uop_generation/{}", class.name()), || {
+            class.generate(20_000, 1)
+        });
     }
-    g.finish();
-}
 
-fn bench_pipeline(c: &mut Criterion) {
+    group("pipeline_simulation");
     let uops = WorkloadClass::SpecInt.generate(20_000, 1);
-    let mut g = c.benchmark_group("pipeline_simulation");
-    g.throughput(criterion::Throughput::Elements(uops.len() as u64));
+    println!("({} uops per run)", uops.len());
     for (name, cfg) in [
         ("planar", CoreConfig::planar()),
         ("folded_3d", CoreConfig::folded_3d()),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            let sim = Simulator::new(*cfg);
-            b.iter(|| sim.run(&uops))
-        });
+        let sim = Simulator::new(cfg);
+        bench(&format!("pipeline_simulation/{name}"), || sim.run(&uops));
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_uop_generation, bench_pipeline
-}
-criterion_main!(benches);

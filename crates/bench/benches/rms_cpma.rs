@@ -1,45 +1,27 @@
-//! Criterion bench over the Fig. 5 pipeline: trace generation and
-//! hierarchy simulation throughput for representative RMS benchmarks.
+//! Bench over the Fig. 5 pipeline: trace generation and hierarchy
+//! simulation throughput for representative RMS benchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacksim_bench::timing::{bench, group};
 use stacksim_mem::{Engine, EngineConfig, HierarchyConfig, MemoryHierarchy};
 use stacksim_workloads::{RmsBenchmark, WorkloadParams};
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
     let params = WorkloadParams::test();
-    let mut g = c.benchmark_group("trace_generation");
+
+    group("trace_generation");
     for b in [RmsBenchmark::Conj, RmsBenchmark::Gauss, RmsBenchmark::Svm] {
-        g.bench_with_input(BenchmarkId::from_parameter(b.name()), &b, |bench, b| {
-            bench.iter(|| b.generate(&params))
+        bench(&format!("trace_generation/{}", b.name()), || {
+            b.generate(&params)
         });
     }
-    g.finish();
-}
 
-fn bench_simulation(c: &mut Criterion) {
-    let params = WorkloadParams::test();
+    group("hierarchy_simulation");
     let trace = RmsBenchmark::SMvm.generate(&params);
-    let mut g = c.benchmark_group("hierarchy_simulation");
-    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    println!("({} references per run)", trace.len());
     for (mb, cfg) in HierarchyConfig::fig7_options() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{mb}MB")),
-            &cfg,
-            |bench, cfg| {
-                bench.iter(|| {
-                    let mut e =
-                        Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
-                    e.run(&trace)
-                })
-            },
-        );
+        bench(&format!("hierarchy_simulation/{mb}MB"), || {
+            let mut e = Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
+            e.run(&trace)
+        });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_generation, bench_simulation
-}
-criterion_main!(benches);

@@ -1,34 +1,20 @@
-//! Criterion bench of thermal-solver scaling with grid resolution —
-//! documents the cost of higher-fidelity maps.
+//! Bench of thermal-solver scaling with grid resolution — documents the
+//! cost of higher-fidelity maps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacksim_bench::timing::{bench, group};
 use stacksim_floorplan::core2::core2_duo_92w;
 use stacksim_thermal::{solve, Boundary, LayerStack, SolverConfig};
 
-fn bench_resolutions(c: &mut Criterion) {
+fn main() {
     let cpu = core2_duo_92w();
-    let mut g = c.benchmark_group("solver_resolution");
+    group("solver_resolution");
     for nx in [10usize, 20, 40] {
         let ny = nx * 17 / 20;
-        let cfg = SolverConfig {
-            nx,
-            ny,
-            ..SolverConfig::default()
-        };
+        let cfg = SolverConfig::builder().nx(nx).ny(ny).build();
         let power = cpu.power_grid(nx, ny);
         let stack = LayerStack::planar(cpu.width(), cpu.height(), power);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{nx}x{ny}")),
-            &stack,
-            |b, s| b.iter(|| solve(s, Boundary::desktop(), cfg).unwrap()),
-        );
+        bench(&format!("solver_resolution/{nx}x{ny}"), || {
+            solve(&stack, Boundary::desktop(), cfg).unwrap()
+        });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_resolutions
-}
-criterion_main!(benches);

@@ -1,21 +1,17 @@
-//! Criterion bench over the thermal solver: planar vs two-die stacks and
-//! the Fig. 3 conductivity sweep.
+//! Bench over the thermal solver: planar vs two-die stacks and the Fig. 3
+//! conductivity sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stacksim_bench::timing::{bench, group};
 use stacksim_floorplan::core2::core2_duo_92w;
 use stacksim_floorplan::uniform_die;
 use stacksim_thermal::sweep::conductivity_sweep;
 use stacksim_thermal::{solve, Boundary, LayerStack, SolverConfig};
 
 fn small_cfg() -> SolverConfig {
-    SolverConfig {
-        nx: 20,
-        ny: 17,
-        ..SolverConfig::default()
-    }
+    SolverConfig::builder().nx(20).ny(17).build()
 }
 
-fn bench_solve(c: &mut Criterion) {
+fn main() {
     let cpu = core2_duo_92w();
     let cfg = small_cfg();
     let power = cpu.power_grid(cfg.nx, cfg.ny);
@@ -24,32 +20,22 @@ fn bench_solve(c: &mut Criterion) {
     let planar = LayerStack::planar(cpu.width(), cpu.height(), power.clone());
     let stacked = LayerStack::two_die(cpu.width(), cpu.height(), power, dram, true);
 
-    let mut g = c.benchmark_group("thermal_solve");
+    group("thermal_solve");
     for (name, stack) in [("planar", &planar), ("two_die", &stacked)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), stack, |b, stack| {
-            b.iter(|| solve(stack, Boundary::desktop(), cfg).unwrap())
+        bench(&format!("thermal_solve/{name}"), || {
+            solve(stack, Boundary::desktop(), cfg).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_sweep(c: &mut Criterion) {
-    let cpu = core2_duo_92w();
-    let cfg = small_cfg();
-    let power = cpu.power_grid(cfg.nx, cfg.ny);
-    let dram = uniform_die("dram", cpu.width(), cpu.height(), 3.1).power_grid(cfg.nx, cfg.ny);
-    let stack = LayerStack::two_die(cpu.width(), cpu.height(), power, dram, true);
-    c.bench_function("fig3_sweep_3pt", |b| {
-        b.iter(|| {
-            conductivity_sweep(&stack, "bond", &[60.0, 12.0, 3.0], Boundary::desktop(), cfg)
-                .unwrap()
-        })
+    group("fig3_sweep");
+    bench("fig3_sweep_3pt", || {
+        conductivity_sweep(
+            &stacked,
+            "bond",
+            &[60.0, 12.0, 3.0],
+            Boundary::desktop(),
+            cfg,
+        )
+        .unwrap()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_solve, bench_sweep
-}
-criterion_main!(benches);

@@ -1,11 +1,12 @@
-//! Regenerates Fig. 9/10/11: the planar and folded floorplans and the
-//! Logic+Logic thermal comparison.
+//! Regenerates Fig. 9/10/11 via the experiment harness: the planar and
+//! folded floorplans and the Logic+Logic thermal comparison.
 
-use stacksim_bench::{banner, emit};
-use stacksim_core::logic_logic::{fig11, folded_p4};
-use stacksim_core::{fmt_f, TextTable};
+use stacksim_bench::banner;
+use stacksim_core::harness::{render, run_one};
+use stacksim_core::logic_logic::folded_p4;
 use stacksim_floorplan::p4::pentium4_147w;
 use stacksim_floorplan::wire::fig9_paths;
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
@@ -13,6 +14,7 @@ fn main() {
         "planar vs 3D floorplan of the P4-class core and peak temperatures",
     );
 
+    // the Fig. 9/10 floorplan geometry is static, not an experiment
     let planar = pentium4_147w();
     println!(
         "Fig. 9 planar: {:.0} x {:.0} mm, {:.0} W, {} blocks (hottest: scheduler)",
@@ -45,26 +47,11 @@ fn main() {
     );
     println!();
 
-    let points = match fig11() {
-        Ok(p) => p,
+    match run_one("fig11", WorkloadParams::paper()) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
         Err(e) => {
-            eprintln!("thermal solve failed: {e}");
+            eprintln!("fig11 failed: {e}");
             std::process::exit(1);
         }
-    };
-    let mut t = TextTable::new([
-        "configuration",
-        "power W",
-        "peak C (ours)",
-        "peak C (paper)",
-    ]);
-    for p in &points {
-        t.row([
-            p.label.to_string(),
-            fmt_f(p.power_w, 1),
-            fmt_f(p.peak_c, 2),
-            fmt_f(p.paper_c, 2),
-        ]);
     }
-    emit(&t);
 }

@@ -1,31 +1,21 @@
-//! Regenerates Fig. 3: heat-dissipation sensitivity of the stacked
-//! microprocessor to the Cu metal layers and the bonding layer.
+//! Regenerates Fig. 3 via the experiment harness: heat-dissipation
+//! sensitivity of the stacked microprocessor to the Cu metal layers and
+//! the bonding layer.
 
-use stacksim_bench::{banner, emit};
-use stacksim_core::sensitivity::fig3;
-use stacksim_core::{fmt_f, Fig3Data, TextTable};
+use stacksim_bench::banner;
+use stacksim_core::harness::{render, run_one};
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
         "Figure 3",
         "peak temperature vs thermal conductivity of Cu metal / bonding layer",
     );
-    let data = match fig3() {
-        Ok(d) => d,
+    match run_one("fig3", WorkloadParams::paper()) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
         Err(e) => {
-            eprintln!("thermal solve failed: {e}");
+            eprintln!("fig3 failed: {e}");
             std::process::exit(1);
         }
-    };
-    let mut t = TextTable::new(["k (W/mK)", "Cu metal layers (C)", "Bonding layer (C)"]);
-    for (m, b) in data.cu_metal.iter().zip(&data.bond) {
-        t.row([fmt_f(m.k, 0), fmt_f(m.peak_c, 2), fmt_f(b.peak_c, 2)]);
     }
-    emit(&t);
-    println!(
-        "span over the sweep: metal {:.2} C vs bond {:.2} C — the metal stack dominates, \
-         as in the paper (actual values: Cu metal 12 W/mK, bond 60 W/mK)",
-        Fig3Data::span(&data.cu_metal),
-        Fig3Data::span(&data.bond),
-    );
 }

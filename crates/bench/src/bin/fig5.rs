@@ -1,11 +1,11 @@
-//! Regenerates Fig. 5: CPMA and off-die bandwidth for the twelve
-//! two-threaded RMS benchmarks as the last-level cache grows from 4 MB to
-//! 64 MB.
+//! Regenerates Fig. 5 via the experiment harness: CPMA and off-die
+//! bandwidth for the twelve two-threaded RMS benchmarks as the last-level
+//! cache grows from 4 MB to 64 MB.
 //!
-//! Run with `--test-scale` for a fast smoke run, `--csv` for CSV output.
+//! Run with `--test-scale` for a fast smoke run.
 
-use stacksim_bench::{banner, emit};
-use stacksim_core::{fmt_f, StackOption, TextTable};
+use stacksim_bench::banner;
+use stacksim_core::harness::{render, run_one};
 use stacksim_workloads::WorkloadParams;
 
 fn main() {
@@ -18,62 +18,11 @@ fn main() {
     } else {
         WorkloadParams::paper()
     };
-    let data = stacksim_core::memory_logic::fig5(&params);
-
-    let mut cpma = TextTable::new(["bench (CPMA)", "4MB", "12MB", "32MB", "64MB", "red@32"]);
-    for r in &data.rows {
-        cpma.row([
-            r.benchmark.name().to_string(),
-            fmt_f(r.cpma[0], 3),
-            fmt_f(r.cpma[1], 3),
-            fmt_f(r.cpma[2], 3),
-            fmt_f(r.cpma[3], 3),
-            format!("{:+.1}%", -100.0 * r.cpma_reduction(2)),
-        ]);
+    match run_one("fig5", params) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
     }
-    let mean = data.mean_cpma();
-    cpma.row([
-        "Avg".to_string(),
-        fmt_f(mean[0], 3),
-        fmt_f(mean[1], 3),
-        fmt_f(mean[2], 3),
-        fmt_f(mean[3], 3),
-        format!("{:+.1}%", -100.0 * (1.0 - mean[2] / mean[0])),
-    ]);
-    emit(&cpma);
-
-    let mut bw = TextTable::new(["bench (BW GB/s)", "4MB", "12MB", "32MB", "64MB"]);
-    for r in &data.rows {
-        bw.row([
-            r.benchmark.name().to_string(),
-            fmt_f(r.bandwidth[0], 2),
-            fmt_f(r.bandwidth[1], 2),
-            fmt_f(r.bandwidth[2], 2),
-            fmt_f(r.bandwidth[3], 2),
-        ]);
-    }
-    let mb = data.mean_bandwidth();
-    bw.row([
-        "Avg".to_string(),
-        fmt_f(mb[0], 2),
-        fmt_f(mb[1], 2),
-        fmt_f(mb[2], 2),
-        fmt_f(mb[3], 2),
-    ]);
-    emit(&bw);
-
-    println!(
-        "options: {}",
-        StackOption::all()
-            .map(|o| o.label().to_string())
-            .join(" / ")
-    );
-    let h = data.headline();
-    println!(
-        "headline @32MB: mean CPMA -{:.1}% (paper 13%), peak -{:.1}% (paper ~50-55%), \
-         BW /{:.2} (paper 3x)",
-        100.0 * h.mean_cpma_reduction,
-        100.0 * h.peak_cpma_reduction,
-        h.bandwidth_reduction_factor,
-    );
 }

@@ -1,50 +1,22 @@
-//! Regenerates Fig. 6: the baseline planar power map and thermal map
-//! (92 W skew; paper: hottest spots 88.35 °C, coolest 59 °C — the paper's
-//! 59 °C includes an epoxy-fillet edge effect not modelled here).
+//! Regenerates Fig. 6 via the experiment harness: the baseline planar
+//! power map and thermal map (92 W skew; paper: hottest spots 88.35 °C,
+//! coolest 59 °C — the paper's 59 °C includes an epoxy-fillet edge effect
+//! not modelled here).
 
 use stacksim_bench::banner;
-use stacksim_core::memory_logic::fig6;
+use stacksim_core::harness::{render, run_one};
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
         "Figure 6",
         "Intel Core 2 Duo–class planar floorplan: power map and thermal map",
     );
-    let (power, field) = match fig6() {
-        Ok(x) => x,
+    match run_one("fig6", WorkloadParams::paper()) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
         Err(e) => {
-            eprintln!("thermal solve failed: {e}");
+            eprintln!("fig6 failed: {e}");
             std::process::exit(1);
         }
-    };
-
-    // render the power map as ASCII (denser glyph = higher power density)
-    let (nx, ny) = power.dims();
-    let cells = power.cells();
-    let max = cells.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
-    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    println!("power map (total {:.1} W), '@' = densest:", power.total());
-    for j in (0..ny).rev() {
-        let mut line = String::new();
-        for i in 0..nx {
-            let g = ((cells[j * nx + i] / max) * (glyphs.len() - 1) as f64).round() as usize;
-            line.push(glyphs[g.min(glyphs.len() - 1)]);
-        }
-        println!("{line}");
     }
-    println!();
-
-    let active = field
-        .layer_names()
-        .iter()
-        .position(|n| n == "active 1")
-        .expect("active layer present");
-    let die = field.layer(active);
-    let min = die.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!(
-        "thermal map, peak {:.2} C (paper 88.35), coolest on die {:.2} C (paper 59):",
-        field.peak(),
-        min
-    );
-    println!("{}", field.ascii_map(active));
 }

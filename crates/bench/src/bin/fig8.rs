@@ -1,9 +1,11 @@
-//! Regenerates Fig. 7 + Fig. 8: the stacked-cache configurations, their
-//! power budgets, peak temperatures, and the 32 MB thermal map.
+//! Regenerates Fig. 7 + Fig. 8 via the experiment harness: the
+//! stacked-cache configurations, their power budgets, peak temperatures,
+//! and the 32 MB thermal map.
 
 use stacksim_bench::{banner, emit};
-use stacksim_core::memory_logic::fig8;
+use stacksim_core::harness::{render, run_one};
 use stacksim_core::{fmt_f, StackOption, TextTable};
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
@@ -11,6 +13,7 @@ fn main() {
         "memory-stacking options, power and peak temperature",
     );
 
+    // the Fig. 7 option table is static configuration, not an experiment
     let mut cfgs = TextTable::new(["option", "LLC", "CPU die W", "stacked die W", "total W"]);
     for o in StackOption::all() {
         cfgs.row([
@@ -23,34 +26,11 @@ fn main() {
     }
     emit(&cfgs);
 
-    let points = match fig8() {
-        Ok(p) => p,
+    match run_one("fig8", WorkloadParams::paper()) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
         Err(e) => {
-            eprintln!("thermal solve failed: {e}");
+            eprintln!("fig8 failed: {e}");
             std::process::exit(1);
         }
-    };
-    let paper = [88.35, 92.85, 88.43, 90.27];
-    let mut t = TextTable::new(["option", "peak C (ours)", "peak C (paper)", "delta vs 2D"]);
-    let base = points[0].peak_c;
-    for (p, target) in points.iter().zip(paper) {
-        t.row([
-            p.option.label().to_string(),
-            fmt_f(p.peak_c, 2),
-            fmt_f(target, 2),
-            format!("{:+.2}", p.peak_c - base),
-        ]);
     }
-    emit(&t);
-
-    // the Fig. 8(b) thermal map of the 32 MB stack's CPU die
-    let p32 = &points[2];
-    let active = p32
-        .field
-        .layer_names()
-        .iter()
-        .position(|n| n == "active 1")
-        .expect("active layer present");
-    println!("3D 32MB CPU-die thermal map (Fig. 8b), '@' = hottest:");
-    println!("{}", p32.field.ascii_map(active));
 }

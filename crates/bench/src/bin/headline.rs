@@ -1,4 +1,6 @@
-//! Regenerates the paper's abstract/conclusion headline numbers:
+//! Regenerates the paper's abstract/conclusion headline numbers via one
+//! parallel harness run over `headline`, `fig8`, `table4`, `fig11` and
+//! `table5` (plus their dependencies):
 //!
 //! * "a 32MB 3D stacked DRAM cache can reduce the cycles per memory access
 //!   ... on average by 13% and as much as 55% while increasing the peak
@@ -9,77 +11,73 @@
 //!   Voltage scaling can reach neutral thermals with a simultaneous 34%
 //!   power reduction and 8% performance improvement."
 //!
-//! `--test-scale` shrinks the Fig. 5 run for smoke testing.
+//! `--test-scale` shrinks the workloads for smoke testing.
 
 use stacksim_bench::banner;
-use stacksim_core::logic_logic::{fig11, table4, table5};
-use stacksim_core::memory_logic::{fig5, fig8};
+use stacksim_core::harness::{render, Artifact, Registry, RunOptions, Runner};
 use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner("Headline numbers", "abstract / conclusions of the paper");
-    let quick = std::env::args().any(|a| a == "--test-scale");
-
-    // --- Memory+Logic ---
-    let params = if quick {
+    let params = if std::env::args().any(|a| a == "--test-scale") {
         WorkloadParams::test()
     } else {
         WorkloadParams::paper()
     };
-    let data = fig5(&params);
-    let h = data.headline();
-    println!("Memory+Logic (32 MB stacked DRAM):");
-    println!(
-        "  mean CPMA reduction   : {:>6.1}%   (paper: 13%)",
-        100.0 * h.mean_cpma_reduction
+    let runner = Runner::new(
+        Registry::standard(),
+        RunOptions {
+            params,
+            ..RunOptions::default()
+        },
     );
-    println!(
-        "  peak CPMA reduction   : {:>6.1}%   (paper: as much as 55%)",
-        100.0 * h.peak_cpma_reduction
-    );
-    println!(
-        "  off-die BW reduction  : {:>6.2}x   (paper: 3x)",
-        h.bandwidth_reduction_factor
-    );
-    println!(
-        "  bus power saving      : {:>6.2} W ({:.0}%)  (paper: ~0.5 W, 66%)",
-        h.bus_power_saving_w,
-        100.0 * h.bus_power_reduction()
-    );
-    match fig8() {
-        Ok(points) => {
-            let delta = points[2].peak_c - points[0].peak_c;
-            println!("  peak temp delta @32MB : {delta:>+6.2} C  (paper: +0.08 C)");
+    let wanted: Vec<String> = ["headline", "fig8", "table4", "fig11", "table5"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let outcome = match runner.run(&wanted) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("headline run failed: {e}");
+            std::process::exit(1);
         }
-        Err(e) => eprintln!("  fig8 thermal solve failed: {e}"),
+    };
+    for (name, error) in &outcome.errors {
+        eprintln!("  {name} failed: {error}");
+    }
+
+    println!("Memory+Logic (32 MB stacked DRAM):");
+    if let Some(a) = outcome.artifacts.get("headline") {
+        println!("{}", render::render(a));
+    }
+    if let Some(Artifact::Fig8(points)) = outcome.artifacts.get("fig8").map(|a| a.as_ref()) {
+        let delta = points[2].peak_c - points[0].peak_c;
+        println!("peak temp delta @32MB : {delta:>+6.2} C  (paper: +0.08 C)");
     }
     println!();
 
-    // --- Logic+Logic ---
     println!("Logic+Logic (3D floorplan of the P4-class core):");
-    let t4 = table4(if quick { 8_000 } else { 60_000 }, 7);
-    println!(
-        "  performance gain      : {:>6.2}%  (paper: ~15%) at 15% lower power",
-        t4.total_pct
-    );
-    match fig11() {
-        Ok(points) => {
-            println!(
-                "  peak temp increase    : {:>6.2} C  (paper: +14 C, at 1.3x power density)",
-                points[1].peak_c - points[0].peak_c
-            );
-        }
-        Err(e) => eprintln!("  fig11 thermal solve failed: {e}"),
+    if let Some(Artifact::Table4(t4)) = outcome.artifacts.get("table4").map(|a| a.as_ref()) {
+        println!(
+            "performance gain      : {:>6.2}%  (paper: ~15%) at 15% lower power",
+            t4.total_pct
+        );
     }
-    match table5() {
-        Ok(rows) => {
-            let st = rows.iter().find(|r| r.label == "Same Temp").expect("row");
-            println!(
-                "  thermal-neutral scale : {:>6.0}% power, {:+.0}% perf  (paper: -34% power, +8% perf)",
-                st.power_pct - 100.0,
-                st.perf_pct - 100.0
-            );
-        }
-        Err(e) => eprintln!("  table5 thermal solve failed: {e}"),
+    if let Some(Artifact::Fig11(points)) = outcome.artifacts.get("fig11").map(|a| a.as_ref()) {
+        println!(
+            "peak temp increase    : {:>6.2} C  (paper: +14 C, at 1.3x power density)",
+            points[1].peak_c - points[0].peak_c
+        );
+    }
+    if let Some(Artifact::Table5(rows)) = outcome.artifacts.get("table5").map(|a| a.as_ref()) {
+        let st = rows.iter().find(|r| r.label == "Same Temp").expect("row");
+        println!(
+            "thermal-neutral scale : {:>6.0}% power, {:+.0}% perf  (paper: -34% power, +8% perf)",
+            st.power_pct - 100.0,
+            st.perf_pct - 100.0
+        );
+    }
+    if !outcome.errors.is_empty() {
+        std::process::exit(1);
     }
 }

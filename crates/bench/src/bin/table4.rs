@@ -1,43 +1,27 @@
-//! Regenerates Table 4: per-path pipe-stage eliminations and performance
-//! gains of the Logic+Logic 3D floorplan.
+//! Regenerates Table 4 via the experiment harness: per-path pipe-stage
+//! eliminations and performance gains of the Logic+Logic 3D floorplan.
 //!
-//! `--quick` runs a shorter suite.
+//! `--quick` runs the short (test-scale) suite.
 
-use stacksim_bench::{banner, emit};
-use stacksim_core::logic_logic::table4;
-use stacksim_core::{fmt_f, TextTable};
+use stacksim_bench::banner;
+use stacksim_core::harness::{render, run_one};
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
         "Table 4",
         "Logic+Logic 3D stacking performance improvement and pipeline changes",
     );
-    let uops = if std::env::args().any(|a| a == "--quick") {
-        15_000
+    let params = if std::env::args().any(|a| a == "--quick") {
+        WorkloadParams::test()
     } else {
-        60_000
+        WorkloadParams::paper()
     };
-    let t4 = table4(uops, 7);
-
-    let mut t = TextTable::new(["Functionality", "% stages eliminated", "ours %", "paper %"]);
-    for r in &t4.rows {
-        t.row([
-            r.path.name().to_string(),
-            r.stages.to_string(),
-            fmt_f(r.measured_pct, 2),
-            fmt_f(r.paper_pct, 2),
-        ]);
+    match run_one("table4", params) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
+        Err(e) => {
+            eprintln!("table4 failed: {e}");
+            std::process::exit(1);
+        }
     }
-    t.row([
-        "Total".to_string(),
-        "~25%".to_string(),
-        fmt_f(t4.total_pct, 2),
-        "~15".to_string(),
-    ]);
-    emit(&t);
-    println!(
-        "note: the combined run exceeds the row sum ({:.2}%) because relieving one \
-         bottleneck exposes the others to the shortened paths.",
-        t4.rows.iter().map(|r| r.measured_pct).sum::<f64>()
-    );
 }

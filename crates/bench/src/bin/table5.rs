@@ -1,51 +1,22 @@
-//! Regenerates Table 5: frequency and voltage scaling of the Logic+Logic
-//! 3D floorplan, with every temperature thermally solved.
+//! Regenerates Table 5 via the experiment harness: frequency and voltage
+//! scaling of the Logic+Logic 3D floorplan, with every temperature
+//! thermally solved.
 
-use stacksim_bench::{banner, emit};
-use stacksim_core::logic_logic::table5;
-use stacksim_core::{fmt_f, TextTable};
+use stacksim_bench::banner;
+use stacksim_core::harness::{render, run_one};
+use stacksim_workloads::WorkloadParams;
 
 fn main() {
     banner(
         "Table 5",
         "V/f scaling the Logic+Logic 3D floorplan (0.82% perf per 1% f, f:Vcc 1:1)",
     );
-    let rows = match table5() {
-        Ok(r) => r,
+    match run_one("table5", WorkloadParams::paper()) {
+        Ok(artifact) => println!("{}", render::render(&artifact)),
         Err(e) => {
-            eprintln!("thermal solve failed: {e}");
+            eprintln!("table5 failed: {e}");
             std::process::exit(1);
         }
-    };
-    let paper: [(f64, f64, f64, f64, f64); 5] = [
-        (147.0, 100.0, 99.0, 100.0, 1.0),
-        (147.0, 100.0, 127.0, 129.0, 1.18),
-        (125.0, 85.0, 113.0, 115.0, 1.0),
-        (97.28, 66.0, 99.0, 108.0, 0.92),
-        (68.2, 46.0, 77.0, 100.0, 0.82),
-    ];
-    let mut t = TextTable::new([
-        "row",
-        "Pwr W",
-        "Pwr %",
-        "Temp C",
-        "Perf %",
-        "Vcc",
-        "Freq",
-        "paper (W/C/%/Vcc)",
-    ]);
-    for (r, p) in rows.iter().zip(paper) {
-        t.row([
-            r.label.to_string(),
-            fmt_f(r.power_w, 1),
-            fmt_f(r.power_pct, 0),
-            fmt_f(r.temp_c, 1),
-            fmt_f(r.perf_pct, 0),
-            fmt_f(r.vcc, 2),
-            fmt_f(r.freq, 2),
-            format!("{:.1}/{:.0}/{:.0}/{:.2}", p.0, p.2, p.3, p.4),
-        ]);
     }
-    emit(&t);
     println!("conversions: 0.82% performance per 1% frequency; 1% frequency per 1% Vcc; P = V^2 f");
 }

@@ -1,7 +1,9 @@
 //! Shared helpers for the figure/table regenerator binaries and the
-//! Criterion benches.
+//! dependency-free benches under `benches/`.
 
 use stacksim_core::TextTable;
+
+pub mod timing;
 
 /// Prints a standard banner naming the artefact being regenerated.
 pub fn banner(artefact: &str, paper_ref: &str) {

@@ -1,0 +1,83 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds without registry access, so the benches cannot use
+//! Criterion; this module provides the small subset the bench targets
+//! need: warm-up, repeated sampling and a median/min/mean report line.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of timed samples per benchmark (after one warm-up call).
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// One benchmark's timing summary, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Fastest observed run.
+    pub min_s: f64,
+    /// Median run.
+    pub median_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+}
+
+impl Sample {
+    /// Formats a duration with an adaptive unit.
+    fn fmt(s: f64) -> String {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else {
+            format!("{:.1} us", s * 1e6)
+        }
+    }
+}
+
+/// Runs `f` once as warm-up then `samples` timed iterations, printing a
+/// Criterion-style summary line. Returns the summary for further checks.
+pub fn bench_n<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Sample {
+    black_box(f());
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let s = Sample {
+        min_s: times[0],
+        median_s: times[times.len() / 2],
+        mean_s: times.iter().sum::<f64>() / times.len() as f64,
+    };
+    println!(
+        "{name:<40} min {:>10}  median {:>10}  mean {:>10}",
+        Sample::fmt(s.min_s),
+        Sample::fmt(s.median_s),
+        Sample::fmt(s.mean_s)
+    );
+    s
+}
+
+/// [`bench_n`] with [`DEFAULT_SAMPLES`].
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Sample {
+    bench_n(name, DEFAULT_SAMPLES, f)
+}
+
+/// Prints a group header, mirroring Criterion's group naming.
+pub fn group(name: &str) {
+    println!("\n-- {name} --");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_times() {
+        let s = bench_n("noop", 3, || 1 + 1);
+        assert!(s.min_s >= 0.0);
+        assert!(s.min_s <= s.median_s && s.median_s <= s.mean_s * 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! The one error type every study entry point returns.
+//!
+//! Before the harness existed each driver had its own shape — `fig5` and
+//! `table4` were infallible, the thermal studies returned the solver's
+//! [`SolveError`] directly, and the harness adds cache and scheduling
+//! failures of its own. [`Error`] unifies all of them so callers match on
+//! a single enum and `?` composes across the whole crate.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use stacksim_thermal::SolveError;
+
+/// Any failure produced by the study drivers or the experiment harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The thermal solver failed (empty stack, bad power map, CG stall).
+    Solve(SolveError),
+    /// A filesystem operation of the memo cache or run report failed.
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A memoized artifact on disk could not be parsed.
+    CacheCorrupt {
+        /// The cache file.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// A requested experiment name is not in the registry.
+    UnknownExperiment {
+        /// The requested name.
+        name: String,
+    },
+    /// An experiment names a dependency that is not registered.
+    MissingDependency {
+        /// The dependent experiment.
+        experiment: String,
+        /// The missing dependency.
+        dependency: String,
+    },
+    /// The registry's dependency graph contains a cycle.
+    DependencyCycle {
+        /// An experiment on the cycle.
+        name: String,
+    },
+    /// A dependency failed, so this experiment could not run.
+    DependencyFailed {
+        /// The experiment that was skipped.
+        experiment: String,
+        /// The dependency that failed first.
+        dependency: String,
+    },
+    /// A worker thread running an experiment panicked.
+    WorkerPanic {
+        /// The experiment whose run panicked.
+        experiment: String,
+    },
+    /// An experiment asked the run context for an artifact that is not
+    /// available (not a declared dependency, or not yet produced).
+    ArtifactUnavailable {
+        /// The requesting experiment.
+        experiment: String,
+        /// The artifact asked for.
+        wanted: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Solve(e) => write!(f, "thermal solve failed: {e}"),
+            Error::Io { path, source } => {
+                write!(f, "i/o error at {}: {source}", path.display())
+            }
+            Error::CacheCorrupt { path, detail } => {
+                write!(f, "corrupt cache entry {}: {detail}", path.display())
+            }
+            Error::UnknownExperiment { name } => {
+                write!(f, "no experiment named '{name}' is registered")
+            }
+            Error::MissingDependency {
+                experiment,
+                dependency,
+            } => write!(
+                f,
+                "experiment '{experiment}' depends on unregistered '{dependency}'"
+            ),
+            Error::DependencyCycle { name } => {
+                write!(f, "dependency cycle through experiment '{name}'")
+            }
+            Error::DependencyFailed {
+                experiment,
+                dependency,
+            } => write!(
+                f,
+                "experiment '{experiment}' skipped: dependency '{dependency}' failed"
+            ),
+            Error::WorkerPanic { experiment } => {
+                write!(f, "experiment '{experiment}' panicked")
+            }
+            Error::ArtifactUnavailable { experiment, wanted } => write!(
+                f,
+                "experiment '{experiment}' asked for unavailable artifact '{wanted}'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Solve(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Self {
+        Error::Solve(e)
+    }
+}
+
+impl Error {
+    /// Wraps an I/O error with the path it happened at.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_and_sources_compose() {
+        let e = Error::from(SolveError::EmptyStack);
+        assert!(e.to_string().contains("no layers"));
+        assert!(e.source().is_some());
+
+        let io = Error::io(
+            "/tmp/x",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(io.to_string().contains("/tmp/x"));
+        assert!(io.source().is_some());
+
+        let u = Error::UnknownExperiment {
+            name: "fig99".into(),
+        };
+        assert!(u.to_string().contains("fig99"));
+        assert!(u.source().is_none());
+    }
+}

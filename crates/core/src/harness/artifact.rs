@@ -1,0 +1,505 @@
+//! Typed experiment results and their deterministic JSON codecs.
+//!
+//! Every [`Experiment`](super::Experiment) produces an [`Artifact`]. The
+//! artifact serializes to a canonical JSON string (`encode`) that the memo
+//! cache writes to disk and `decode` reverses exactly — including `f64`
+//! bit patterns — so a cache hit is indistinguishable from a fresh run and
+//! parallel/serial byte-level comparisons are meaningful.
+
+use stacksim_floorplan::PowerGrid;
+use stacksim_ooo::WirePath;
+use stacksim_thermal::sweep::SweepPoint;
+use stacksim_thermal::TemperatureField;
+use stacksim_workloads::RmsBenchmark;
+
+use super::json::Json;
+use crate::logic_logic::{Fig11Point, Table4, Table4Row, Table5Row};
+use crate::memory_logic::{Fig5Data, Fig5Row, Headline, ThermalPoint};
+use crate::sensitivity::Fig3Data;
+use crate::stacking::StackOption;
+
+/// A typed experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Artifact {
+    /// The two Fig. 3 sensitivity curves.
+    Fig3(Fig3Data),
+    /// One benchmark's Fig. 5 bar group.
+    Fig5Row(Fig5Row),
+    /// The full Fig. 5 data set.
+    Fig5(Fig5Data),
+    /// The Fig. 6 baseline power map and temperature field.
+    Fig6 {
+        /// The planar die's power map.
+        power: PowerGrid,
+        /// The solved temperature field.
+        field: TemperatureField,
+    },
+    /// The Fig. 8 per-option thermal points.
+    Fig8(Vec<ThermalPoint>),
+    /// The Fig. 11 thermal comparison.
+    Fig11(Vec<Fig11Point>),
+    /// The Table 4 per-path gains.
+    Table4(Table4),
+    /// The Table 5 V/f-scaling rows.
+    Table5(Vec<Table5Row>),
+    /// The §3 headline numbers.
+    Headline(Headline),
+}
+
+impl Artifact {
+    /// The tag stored in the serialized form.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Artifact::Fig3(_) => "fig3",
+            Artifact::Fig5Row(_) => "fig5_row",
+            Artifact::Fig5(_) => "fig5",
+            Artifact::Fig6 { .. } => "fig6",
+            Artifact::Fig8(_) => "fig8",
+            Artifact::Fig11(_) => "fig11",
+            Artifact::Table4(_) => "table4",
+            Artifact::Table5(_) => "table5",
+            Artifact::Headline(_) => "headline",
+        }
+    }
+
+    /// Serializes to the canonical JSON string.
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Parses a string produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem found.
+    pub fn decode(text: &str) -> Result<Artifact, String> {
+        Artifact::from_json(&Json::parse(text)?)
+    }
+
+    /// The JSON form.
+    pub fn to_json(&self) -> Json {
+        let body = match self {
+            Artifact::Fig3(d) => Json::obj(vec![
+                ("cu_metal", sweep_to_json(&d.cu_metal)),
+                ("bond", sweep_to_json(&d.bond)),
+            ]),
+            Artifact::Fig5Row(r) => fig5_row_to_json(r),
+            Artifact::Fig5(d) => Json::Arr(d.rows.iter().map(fig5_row_to_json).collect()),
+            Artifact::Fig6 { power, field } => Json::obj(vec![
+                ("power", power_to_json(power)),
+                ("field", field_to_json(field)),
+            ]),
+            Artifact::Fig8(points) => Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("option", Json::Str(p.option.label().into())),
+                            ("peak_c", Json::Num(p.peak_c)),
+                            ("power_w", Json::Num(p.power_w)),
+                            ("field", field_to_json(&p.field)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Artifact::Fig11(points) => Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("label", Json::Str(p.label.into())),
+                            ("peak_c", Json::Num(p.peak_c)),
+                            ("power_w", Json::Num(p.power_w)),
+                            ("paper_c", Json::Num(p.paper_c)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Artifact::Table4(t) => Json::obj(vec![
+                (
+                    "rows",
+                    Json::Arr(
+                        t.rows
+                            .iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("path", Json::Str(r.path.name().into())),
+                                    ("measured_pct", Json::Num(r.measured_pct)),
+                                    ("paper_pct", Json::Num(r.paper_pct)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("total_pct", Json::Num(t.total_pct)),
+            ]),
+            Artifact::Table5(rows) => Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("label", Json::Str(r.label.into())),
+                            ("power_w", Json::Num(r.power_w)),
+                            ("power_pct", Json::Num(r.power_pct)),
+                            ("temp_c", Json::Num(r.temp_c)),
+                            ("perf_pct", Json::Num(r.perf_pct)),
+                            ("vcc", Json::Num(r.vcc)),
+                            ("freq", Json::Num(r.freq)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            Artifact::Headline(h) => Json::obj(vec![
+                ("mean_cpma_reduction", Json::Num(h.mean_cpma_reduction)),
+                ("peak_cpma_reduction", Json::Num(h.peak_cpma_reduction)),
+                (
+                    "bandwidth_reduction_factor",
+                    Json::Num(h.bandwidth_reduction_factor),
+                ),
+                ("bus_power_saving_w", Json::Num(h.bus_power_saving_w)),
+                ("baseline_bus_power_w", Json::Num(h.baseline_bus_power_w)),
+            ]),
+        };
+        Json::obj(vec![
+            ("kind", Json::Str(self.kind().into())),
+            ("data", body),
+        ])
+    }
+
+    /// Rebuilds the typed artifact from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first structural problem found.
+    pub fn from_json(j: &Json) -> Result<Artifact, String> {
+        let kind = j
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("artifact has no 'kind' tag")?;
+        let data = j.get("data").ok_or("artifact has no 'data' member")?;
+        match kind {
+            "fig3" => Ok(Artifact::Fig3(Fig3Data {
+                cu_metal: sweep_from_json(field(data, "cu_metal")?)?,
+                bond: sweep_from_json(field(data, "bond")?)?,
+            })),
+            "fig5_row" => Ok(Artifact::Fig5Row(fig5_row_from_json(data)?)),
+            "fig5" => Ok(Artifact::Fig5(Fig5Data {
+                rows: arr(data)?
+                    .iter()
+                    .map(fig5_row_from_json)
+                    .collect::<Result<_, _>>()?,
+            })),
+            "fig6" => Ok(Artifact::Fig6 {
+                power: power_from_json(field(data, "power")?)?,
+                field: field_from_json(field(data, "field")?)?,
+            }),
+            "fig8" => Ok(Artifact::Fig8(
+                arr(data)?
+                    .iter()
+                    .map(|p| {
+                        Ok(ThermalPoint {
+                            option: option_from_label(str_field(p, "option")?)?,
+                            peak_c: num_field(p, "peak_c")?,
+                            power_w: num_field(p, "power_w")?,
+                            field: field_from_json(field(p, "field")?)?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            )),
+            "fig11" => Ok(Artifact::Fig11(
+                arr(data)?
+                    .iter()
+                    .map(|p| {
+                        let label = match str_field(p, "label")? {
+                            "2D Baseline" => "2D Baseline",
+                            "3D" => "3D",
+                            "3D Worstcase" => "3D Worstcase",
+                            other => return Err(format!("unknown fig11 label '{other}'")),
+                        };
+                        Ok(Fig11Point {
+                            label,
+                            peak_c: num_field(p, "peak_c")?,
+                            power_w: num_field(p, "power_w")?,
+                            paper_c: num_field(p, "paper_c")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            )),
+            "table4" => Ok(Artifact::Table4(Table4 {
+                rows: arr(field(data, "rows")?)?
+                    .iter()
+                    .map(|r| {
+                        let path = wire_path_from_name(str_field(r, "path")?)?;
+                        Ok(Table4Row {
+                            path,
+                            stages: path.paper_stage_reduction(),
+                            measured_pct: num_field(r, "measured_pct")?,
+                            paper_pct: num_field(r, "paper_pct")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+                total_pct: num_field(data, "total_pct")?,
+            })),
+            "table5" => Ok(Artifact::Table5(
+                arr(data)?
+                    .iter()
+                    .map(|r| {
+                        let label = match str_field(r, "label")? {
+                            "Baseline" => "Baseline",
+                            "Same Pwr" => "Same Pwr",
+                            "Same Freq." => "Same Freq.",
+                            "Same Temp" => "Same Temp",
+                            "Same Perf." => "Same Perf.",
+                            other => return Err(format!("unknown table5 label '{other}'")),
+                        };
+                        Ok(Table5Row {
+                            label,
+                            power_w: num_field(r, "power_w")?,
+                            power_pct: num_field(r, "power_pct")?,
+                            temp_c: num_field(r, "temp_c")?,
+                            perf_pct: num_field(r, "perf_pct")?,
+                            vcc: num_field(r, "vcc")?,
+                            freq: num_field(r, "freq")?,
+                        })
+                    })
+                    .collect::<Result<_, String>>()?,
+            )),
+            "headline" => Ok(Artifact::Headline(Headline {
+                mean_cpma_reduction: num_field(data, "mean_cpma_reduction")?,
+                peak_cpma_reduction: num_field(data, "peak_cpma_reduction")?,
+                bandwidth_reduction_factor: num_field(data, "bandwidth_reduction_factor")?,
+                bus_power_saving_w: num_field(data, "bus_power_saving_w")?,
+                baseline_bus_power_w: num_field(data, "baseline_bus_power_w")?,
+            })),
+            other => Err(format!("unknown artifact kind '{other}'")),
+        }
+    }
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing member '{key}'"))
+}
+
+fn num_field(j: &Json, key: &str) -> Result<f64, String> {
+    field(j, key)?
+        .as_f64()
+        .ok_or_else(|| format!("member '{key}' is not a number"))
+}
+
+fn str_field<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    field(j, key)?
+        .as_str()
+        .ok_or_else(|| format!("member '{key}' is not a string"))
+}
+
+fn arr(j: &Json) -> Result<&[Json], String> {
+    j.as_arr().ok_or_else(|| "expected an array".to_string())
+}
+
+fn num_vec(j: &Json) -> Result<Vec<f64>, String> {
+    arr(j)?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| "expected a number".to_string()))
+        .collect()
+}
+
+fn num_array4(j: &Json, key: &str) -> Result<[f64; 4], String> {
+    let v = num_vec(field(j, key)?)?;
+    v.try_into()
+        .map_err(|_| format!("member '{key}' is not a 4-array"))
+}
+
+fn sweep_to_json(points: &[SweepPoint]) -> Json {
+    Json::Arr(
+        points
+            .iter()
+            .map(|p| Json::obj(vec![("k", Json::Num(p.k)), ("peak_c", Json::Num(p.peak_c))]))
+            .collect(),
+    )
+}
+
+fn sweep_from_json(j: &Json) -> Result<Vec<SweepPoint>, String> {
+    arr(j)?
+        .iter()
+        .map(|p| {
+            Ok(SweepPoint {
+                k: num_field(p, "k")?,
+                peak_c: num_field(p, "peak_c")?,
+            })
+        })
+        .collect()
+}
+
+fn fig5_row_to_json(r: &Fig5Row) -> Json {
+    Json::obj(vec![
+        ("benchmark", Json::Str(r.benchmark.name().into())),
+        ("cpma", Json::nums(r.cpma)),
+        ("bandwidth", Json::nums(r.bandwidth)),
+    ])
+}
+
+fn fig5_row_from_json(j: &Json) -> Result<Fig5Row, String> {
+    let name = str_field(j, "benchmark")?;
+    let benchmark = RmsBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    Ok(Fig5Row {
+        benchmark,
+        cpma: num_array4(j, "cpma")?,
+        bandwidth: num_array4(j, "bandwidth")?,
+    })
+}
+
+fn option_from_label(label: &str) -> Result<StackOption, String> {
+    StackOption::all()
+        .into_iter()
+        .find(|o| o.label() == label)
+        .ok_or_else(|| format!("unknown stack option '{label}'"))
+}
+
+fn wire_path_from_name(name: &str) -> Result<WirePath, String> {
+    WirePath::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown wire path '{name}'"))
+}
+
+fn power_to_json(g: &PowerGrid) -> Json {
+    let (nx, ny) = g.dims();
+    let (w, h) = g.die_dims();
+    Json::obj(vec![
+        ("nx", Json::Num(nx as f64)),
+        ("ny", Json::Num(ny as f64)),
+        ("width", Json::Num(w)),
+        ("height", Json::Num(h)),
+        ("cells", Json::nums(g.cells().iter().copied())),
+    ])
+}
+
+fn power_from_json(j: &Json) -> Result<PowerGrid, String> {
+    let nx = num_field(j, "nx")? as usize;
+    let ny = num_field(j, "ny")? as usize;
+    let cells = num_vec(field(j, "cells")?)?;
+    if cells.len() != nx * ny {
+        return Err(format!(
+            "power grid is {}x{} but has {} cells",
+            nx,
+            ny,
+            cells.len()
+        ));
+    }
+    let mut g = PowerGrid::zero(nx, ny, num_field(j, "width")?, num_field(j, "height")?);
+    for j_row in 0..ny {
+        for i in 0..nx {
+            g.add(i, j_row, cells[j_row * nx + i]);
+        }
+    }
+    Ok(g)
+}
+
+fn field_to_json(f: &TemperatureField) -> Json {
+    let (nx, ny) = f.dims();
+    let t: Vec<f64> = (0..f.layer_count())
+        .flat_map(|l| f.layer(l).iter().copied())
+        .collect();
+    Json::obj(vec![
+        ("nx", Json::Num(nx as f64)),
+        ("ny", Json::Num(ny as f64)),
+        (
+            "layers",
+            Json::Arr(
+                f.layer_names()
+                    .iter()
+                    .map(|n| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+        ("t", Json::nums(t)),
+    ])
+}
+
+fn field_from_json(j: &Json) -> Result<TemperatureField, String> {
+    let nx = num_field(j, "nx")? as usize;
+    let ny = num_field(j, "ny")? as usize;
+    let layers: Vec<String> = arr(field(j, "layers")?)?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "layer name is not a string".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let t = num_vec(field(j, "t")?)?;
+    if t.len() != nx * ny * layers.len() {
+        return Err(format!(
+            "field is {}x{}x{} but has {} cells",
+            layers.len(),
+            ny,
+            nx,
+            t.len()
+        ));
+    }
+    Ok(TemperatureField::from_parts(nx, ny, layers, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_row_round_trips_exactly() {
+        let row = Fig5Row {
+            benchmark: RmsBenchmark::Gauss,
+            cpma: [std::f64::consts::PI, 2.0, 1.0 / 3.0, 0.1],
+            bandwidth: [12.25, 8.5, 4.125, f64::INFINITY],
+        };
+        let a = Artifact::Fig5Row(row.clone());
+        let text = a.encode();
+        match Artifact::decode(&text).unwrap() {
+            Artifact::Fig5Row(back) => {
+                assert_eq!(back.benchmark, row.benchmark);
+                for i in 0..4 {
+                    assert_eq!(back.cpma[i].to_bits(), row.cpma[i].to_bits());
+                    assert_eq!(back.bandwidth[i].to_bits(), row.bandwidth[i].to_bits());
+                }
+            }
+            other => panic!("wrong kind {}", other.kind()),
+        }
+        // canonical: re-encoding the decoded artifact is byte-identical
+        assert_eq!(Artifact::decode(&text).unwrap().encode(), text);
+    }
+
+    #[test]
+    fn temperature_field_round_trips() {
+        let f = TemperatureField::from_parts(
+            2,
+            2,
+            vec!["a".into(), "b".into()],
+            vec![1.5, 2.25, 3.0, 4.125, 5.0, 6.5, 7.75, 8.0],
+        );
+        let a = Artifact::Fig6 {
+            power: {
+                let mut g = PowerGrid::zero(2, 2, 10.0, 8.0);
+                g.add(0, 1, 42.5);
+                g
+            },
+            field: f.clone(),
+        };
+        match Artifact::decode(&a.encode()).unwrap() {
+            Artifact::Fig6 { power, field } => {
+                assert_eq!(field, f);
+                assert_eq!(power.get(0, 1), 42.5);
+                assert_eq!(power.dims(), (2, 2));
+            }
+            other => panic!("wrong kind {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_names() {
+        assert!(Artifact::decode("{\"kind\":\"fig99\",\"data\":null}").is_err());
+        let bad_bench =
+            "{\"kind\":\"fig5_row\",\"data\":{\"benchmark\":\"nope\",\"cpma\":[1,1,1,1],\"bandwidth\":[1,1,1,1]}}";
+        assert!(Artifact::decode(bad_bench).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The on-disk artifact memo cache.
+//!
+//! One file per solved experiment point, named
+//! `<experiment>-<digest>.json` (with `:` sanitized to `_` for
+//! portability). The digest already encodes every input, so a file's mere
+//! existence means the point is solved — loading it replaces the run.
+
+use std::fs;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use super::artifact::Artifact;
+use crate::error::Error;
+
+/// A directory of memoized artifacts, or a disabled no-op cache.
+#[derive(Debug, Clone, Default)]
+pub struct MemoCache {
+    dir: Option<PathBuf>,
+}
+
+impl MemoCache {
+    /// A cache that never hits and never writes.
+    pub fn disabled() -> Self {
+        MemoCache { dir: None }
+    }
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        MemoCache {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// Whether this cache can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The file a given experiment point lives at, if caching is enabled.
+    pub fn path_for(&self, name: &str, digest: &str) -> Option<PathBuf> {
+        let dir = self.dir.as_ref()?;
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        Some(dir.join(format!("{safe}-{digest}.json")))
+    }
+
+    /// Loads a memoized artifact, if one exists.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failure other than "not found";
+    /// [`Error::CacheCorrupt`] if the file exists but does not parse.
+    pub fn load(&self, name: &str, digest: &str) -> Result<Option<Artifact>, Error> {
+        let Some(path) = self.path_for(name, digest) else {
+            return Ok(None);
+        };
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::io(path, e)),
+        };
+        match Artifact::decode(&text) {
+            Ok(a) => Ok(Some(a)),
+            Err(detail) => Err(Error::CacheCorrupt { path, detail }),
+        }
+    }
+
+    /// Stores an artifact, creating the cache directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failure. A disabled cache stores
+    /// nothing and succeeds.
+    pub fn store(&self, name: &str, digest: &str, artifact: &Artifact) -> Result<(), Error> {
+        let Some(path) = self.path_for(name, digest) else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| Error::io(parent.to_path_buf(), e))?;
+        }
+        // write-then-rename so a crash mid-write never leaves a corrupt
+        // entry that poisons later runs
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, artifact.encode()).map_err(|e| Error::io(tmp.clone(), e))?;
+        fs::rename(&tmp, &path).map_err(|e| Error::io(path, e))
+    }
+
+    /// Deletes every cache entry. Missing directories are fine.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failure.
+    pub fn clean(&self) -> Result<usize, Error> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(0);
+        };
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(Error::io(dir.clone(), e)),
+        };
+        let mut removed = 0;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::io(dir.clone(), e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|x| x == "json" || x == "tmp") {
+                fs::remove_file(&path).map_err(|e| Error::io(path, e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Convenience: the default cache location under the target directory.
+pub fn default_cache_dir() -> PathBuf {
+    Path::new("target").join("stacksim-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory_logic::Headline;
+
+    fn sample() -> Artifact {
+        Artifact::Headline(Headline {
+            mean_cpma_reduction: 0.13,
+            peak_cpma_reduction: 0.55,
+            bandwidth_reduction_factor: 3.0,
+            bus_power_saving_w: 0.5,
+            baseline_bus_power_w: 0.75,
+        })
+    }
+
+    #[test]
+    fn disabled_cache_is_a_no_op() {
+        let c = MemoCache::disabled();
+        assert!(!c.is_enabled());
+        c.store("fig5", "abc", &sample()).unwrap();
+        assert!(c.load("fig5", "abc").unwrap().is_none());
+        assert_eq!(c.clean().unwrap(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip_and_clean() {
+        let dir = std::env::temp_dir().join(format!("stacksim-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let c = MemoCache::at(&dir);
+        assert!(c.load("fig5:gauss", "0011").unwrap().is_none());
+        c.store("fig5:gauss", "0011", &sample()).unwrap();
+        let back = c.load("fig5:gauss", "0011").unwrap().expect("hit");
+        assert_eq!(back, sample());
+        // a different digest misses
+        assert!(c.load("fig5:gauss", "0012").unwrap().is_none());
+        // corrupt entries are reported, not silently treated as misses
+        let path = c.path_for("fig5:gauss", "0013").unwrap();
+        fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            c.load("fig5:gauss", "0013"),
+            Err(Error::CacheCorrupt { .. })
+        ));
+        assert_eq!(c.clean().unwrap(), 2);
+        assert!(c.load("fig5:gauss", "0011").unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,97 @@
+//! Stable configuration hashing for memo-cache keys.
+//!
+//! FNV-1a over a canonical byte encoding of the inputs. The digest must be
+//! identical across runs and platforms for the same configuration — it is
+//! the only thing that decides whether a cached artifact is reused — so
+//! every write method encodes through fixed-width little-endian bytes and
+//! floats go through their IEEE-754 bit patterns.
+
+/// An incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// Starts a fresh digest.
+    pub fn new() -> Self {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string (length-prefixed so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes())
+    }
+
+    /// Absorbs a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` (as 64-bit, so 32- and 64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Absorbs an `f64` through its bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as the fixed-width hex string used in cache file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let mut a = Digest::new();
+        a.str("fig5").u64(7).f64(1.5);
+        let mut b = Digest::new();
+        b.str("fig5").u64(7).f64(1.5);
+        assert_eq!(a.finish(), b.finish());
+
+        let mut c = Digest::new();
+        c.f64(1.5).u64(7).str("fig5");
+        assert_ne!(a.finish(), c.finish());
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut a = Digest::new();
+        a.str("ab").str("c");
+        let mut b = Digest::new();
+        b.str("a").str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

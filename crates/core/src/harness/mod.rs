@@ -1,0 +1,54 @@
+//! The experiment harness: every table and figure of the paper as a
+//! registered, memoizable, parallel-runnable [`Experiment`].
+//!
+//! The harness replaces the old pattern of one ad-hoc `main` per figure
+//! with a uniform pipeline:
+//!
+//! 1. [`Registry::standard`] lists every experiment — `fig3`, the twelve
+//!    `fig5:<bench>` points, the `fig5` aggregate, `fig6`, `fig8`,
+//!    `fig11`, `table4`, `table5` and the `headline` summary — together
+//!    with their dependency edges (e.g. `headline` needs `fig5`, which
+//!    needs all twelve per-benchmark points).
+//! 2. [`Runner::run`] executes a selection (plus its transitive
+//!    dependencies) as a dependency-aware fan-out across worker threads.
+//! 3. Each result is serialized as a deterministic JSON [`Artifact`] and
+//!    memoized on disk keyed by the experiment's
+//!    [`params_digest`](Experiment::params_digest) — re-runs with the same
+//!    configuration skip straight to the cached artifact.
+//! 4. A [`RunReport`] records per-experiment telemetry: wall time, cache
+//!    hits, conjugate-gradient solver iteration counts, simulated trace
+//!    lengths and CPMA.
+//!
+//! # Example
+//!
+//! ```
+//! use stacksim_core::harness::{Registry, RunOptions, Runner};
+//! use stacksim_workloads::WorkloadParams;
+//!
+//! let runner = Runner::new(
+//!     Registry::standard(),
+//!     RunOptions {
+//!         params: WorkloadParams::test(),
+//!         ..RunOptions::default()
+//!     },
+//! );
+//! let outcome = runner.run(&["fig5:gauss".into()])?;
+//! assert!(outcome.artifacts.contains_key("fig5:gauss"));
+//! # Ok::<(), stacksim_core::Error>(())
+//! ```
+
+mod artifact;
+mod cache;
+mod digest;
+mod experiment;
+pub mod json;
+mod registry;
+pub mod render;
+mod runner;
+
+pub use artifact::Artifact;
+pub use cache::{default_cache_dir, MemoCache};
+pub use digest::Digest;
+pub use experiment::{Ctx, Experiment, MemRun, Telemetry};
+pub use registry::Registry;
+pub use runner::{run_one, ExperimentReport, RunOptions, RunOutcome, RunReport, Runner};

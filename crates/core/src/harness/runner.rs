@@ -1,0 +1,494 @@
+//! Dependency-aware parallel execution of registered experiments.
+//!
+//! The runner expands a selection to its transitive dependency closure,
+//! validates the graph (no cycles, no dangling edges), then fans the ready
+//! set out across worker threads. Each experiment first consults the memo
+//! cache; a hit skips the run entirely (telemetry shows zero solver
+//! iterations), a miss runs, records telemetry and stores the artifact.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use stacksim_workloads::WorkloadParams;
+
+use super::artifact::Artifact;
+use super::cache::MemoCache;
+use super::experiment::{Ctx, Experiment, Telemetry};
+use super::json::Json;
+use super::registry::Registry;
+use crate::error::Error;
+
+/// How a [`Runner`] executes.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Workload parameters handed to every experiment.
+    pub params: WorkloadParams,
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// The memo cache (disabled by default).
+    pub cache: MemoCache,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            params: WorkloadParams::paper(),
+            jobs: 0,
+            cache: MemoCache::disabled(),
+        }
+    }
+}
+
+/// One experiment's row in the run report.
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The experiment name.
+    pub name: String,
+    /// Its configuration digest (the cache key).
+    pub digest: String,
+    /// Whether the artifact came from the memo cache.
+    pub cached: bool,
+    /// Wall time in seconds (near zero for cache hits).
+    pub wall_s: f64,
+    /// The failure, if the experiment did not produce an artifact.
+    pub error: Option<String>,
+    /// Solver/memory telemetry recorded during the run (empty for cache
+    /// hits — nothing was simulated).
+    pub telemetry: Telemetry,
+}
+
+impl ExperimentReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("digest", Json::Str(self.digest.clone())),
+            ("cached", Json::Bool(self.cached)),
+            ("wall_s", Json::Num(self.wall_s)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("telemetry", self.telemetry.to_json()),
+        ])
+    }
+}
+
+/// The machine-readable record of one harness invocation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Total wall time in seconds.
+    pub wall_s: f64,
+    /// Per-experiment rows, in dependency (schedule) order.
+    pub entries: Vec<ExperimentReport>,
+}
+
+impl RunReport {
+    /// The JSON document written by `stacksim run --report`.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", Json::Num(self.jobs as f64)),
+            ("wall_s", Json::Num(self.wall_s)),
+            (
+                "experiments",
+                Json::Arr(self.entries.iter().map(ExperimentReport::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the JSON report to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failure.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), Error> {
+        std::fs::write(path, self.to_json().encode()).map_err(|e| Error::io(path, e))
+    }
+
+    /// Total CG iterations across all experiments — zero when everything
+    /// came from the cache.
+    pub fn total_cg_iterations(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| e.telemetry.solver.iterations)
+            .sum()
+    }
+
+    /// Total simulated memory references across all experiments.
+    pub fn total_trace_records(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.telemetry.trace_records())
+            .sum()
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The telemetry report.
+    pub report: RunReport,
+    /// Artifacts by experiment name (absent for failed experiments).
+    pub artifacts: HashMap<String, Arc<Artifact>>,
+    /// Root-cause failures, by experiment name (dependency skips are only
+    /// in the report).
+    pub errors: Vec<(String, Error)>,
+}
+
+/// Executes experiments from a [`Registry`] under [`RunOptions`].
+#[derive(Debug)]
+pub struct Runner {
+    registry: Registry,
+    options: RunOptions,
+}
+
+struct State {
+    ready: VecDeque<String>,
+    remaining_deps: HashMap<String, usize>,
+    dependents: HashMap<String, Vec<String>>,
+    results: HashMap<String, Arc<Artifact>>,
+    failed: HashSet<String>,
+    reports: Vec<ExperimentReport>,
+    errors: Vec<(String, Error)>,
+    active: usize,
+    done: usize,
+    total: usize,
+}
+
+impl Runner {
+    /// Pairs a registry with run options.
+    pub fn new(registry: Registry, options: RunOptions) -> Self {
+        Runner { registry, options }
+    }
+
+    /// Runs every registered experiment.
+    ///
+    /// # Errors
+    ///
+    /// Structural registry problems only; per-experiment failures are
+    /// recorded in the outcome.
+    pub fn run_all(&self) -> Result<RunOutcome, Error> {
+        let names: Vec<String> = self
+            .registry
+            .names()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        self.run(&names)
+    }
+
+    /// Runs a selection of experiments (plus their transitive
+    /// dependencies) and returns artifacts and telemetry.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownExperiment`] for names not in the registry,
+    /// [`Error::MissingDependency`] for dangling dependency edges and
+    /// [`Error::DependencyCycle`] for cyclic graphs. Failures *inside*
+    /// experiments do not abort the run; they are recorded in
+    /// [`RunOutcome::errors`] and the report.
+    pub fn run(&self, names: &[String]) -> Result<RunOutcome, Error> {
+        let start = Instant::now();
+        let selection = self.expand(names)?;
+        let total = selection.len();
+
+        // Kahn's algorithm both validates acyclicity and seeds the ready
+        // queue deterministically (registration order among ties).
+        let mut remaining_deps = HashMap::new();
+        let mut dependents: HashMap<String, Vec<String>> = HashMap::new();
+        for name in &selection {
+            let exp = self.registry.get(name).expect("expanded from registry");
+            let deps = exp.deps();
+            remaining_deps.insert(name.clone(), deps.len());
+            for dep in deps {
+                dependents.entry(dep).or_default().push(name.clone());
+            }
+        }
+        {
+            let mut counts = remaining_deps.clone();
+            let mut queue: VecDeque<&String> =
+                selection.iter().filter(|n| counts[*n] == 0).collect();
+            let mut seen = 0;
+            while let Some(n) = queue.pop_front() {
+                seen += 1;
+                for d in dependents.get(n.as_str()).into_iter().flatten() {
+                    let c = counts.get_mut(d).expect("dependent is selected");
+                    *c -= 1;
+                    if *c == 0 {
+                        queue.push_back(d);
+                    }
+                }
+            }
+            if seen != total {
+                let on_cycle = selection
+                    .iter()
+                    .find(|n| counts[*n] > 0)
+                    .expect("some node left");
+                return Err(Error::DependencyCycle {
+                    name: on_cycle.clone(),
+                });
+            }
+        }
+
+        let ready: VecDeque<String> = selection
+            .iter()
+            .filter(|n| remaining_deps[*n] == 0)
+            .cloned()
+            .collect();
+        let state = Mutex::new(State {
+            ready,
+            remaining_deps,
+            dependents,
+            results: HashMap::new(),
+            failed: HashSet::new(),
+            reports: Vec::new(),
+            errors: Vec::new(),
+            active: 0,
+            done: 0,
+            total,
+        });
+        let cv = Condvar::new();
+
+        let jobs = if self.options.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.options.jobs
+        };
+        let workers = jobs.min(total.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker(&state, &cv));
+            }
+        });
+
+        let mut st = state.into_inner().expect("workers exited cleanly");
+        // report rows in deterministic (selection) order
+        st.reports.sort_by_key(|r| {
+            selection
+                .iter()
+                .position(|n| *n == r.name)
+                .expect("reported experiment was selected")
+        });
+        Ok(RunOutcome {
+            report: RunReport {
+                jobs: workers,
+                wall_s: start.elapsed().as_secs_f64(),
+                entries: st.reports,
+            },
+            artifacts: st.results,
+            errors: st.errors,
+        })
+    }
+
+    /// Expands names to the transitive dependency closure, in
+    /// registration order.
+    fn expand(&self, names: &[String]) -> Result<Vec<String>, Error> {
+        let mut wanted = HashSet::new();
+        let mut stack = Vec::new();
+        for name in names {
+            if self.registry.get(name).is_none() {
+                return Err(Error::UnknownExperiment { name: name.clone() });
+            }
+            if wanted.insert(name.clone()) {
+                stack.push(name.clone());
+            }
+        }
+        while let Some(name) = stack.pop() {
+            let exp = self.registry.get(&name).expect("checked on insert");
+            for dep in exp.deps() {
+                if self.registry.get(&dep).is_none() {
+                    return Err(Error::MissingDependency {
+                        experiment: name.clone(),
+                        dependency: dep,
+                    });
+                }
+                if wanted.insert(dep.clone()) {
+                    stack.push(dep);
+                }
+            }
+        }
+        Ok(self
+            .registry
+            .names()
+            .into_iter()
+            .filter(|n| wanted.contains(*n))
+            .map(str::to_string)
+            .collect())
+    }
+
+    fn worker(&self, state: &Mutex<State>, cv: &Condvar) {
+        loop {
+            let name = {
+                let mut st = state.lock().expect("scheduler lock");
+                loop {
+                    if let Some(n) = st.ready.pop_front() {
+                        st.active += 1;
+                        break Some(n);
+                    }
+                    if st.done == st.total {
+                        break None;
+                    }
+                    st = cv.wait(st).expect("scheduler lock");
+                }
+            };
+            let Some(name) = name else {
+                cv.notify_all();
+                return;
+            };
+
+            let exp = self.registry.get(&name).expect("scheduled from registry");
+            let deps: HashMap<String, Arc<Artifact>> = {
+                let st = state.lock().expect("scheduler lock");
+                exp.deps()
+                    .into_iter()
+                    .filter_map(|d| st.results.get(&d).map(|a| (d, a.clone())))
+                    .collect()
+            };
+            let outcome = self.execute(exp.as_ref(), deps);
+
+            let mut st = state.lock().expect("scheduler lock");
+            st.active -= 1;
+            st.done += 1;
+            match outcome {
+                (report, Ok(artifact)) => {
+                    let artifact = Arc::new(artifact);
+                    st.results.insert(name.clone(), artifact);
+                    st.reports.push(report);
+                    let unblocked: Vec<String> =
+                        st.dependents.get(&name).cloned().unwrap_or_default();
+                    for d in unblocked {
+                        let c = st
+                            .remaining_deps
+                            .get_mut(&d)
+                            .expect("dependent is selected");
+                        *c -= 1;
+                        if *c == 0 && !st.failed.contains(&d) {
+                            st.ready.push_back(d);
+                        }
+                    }
+                }
+                (report, Err(error)) => {
+                    st.reports.push(report);
+                    st.errors.push((name.clone(), error));
+                    Self::fail_dependents(&mut st, &name);
+                }
+            }
+            cv.notify_all();
+        }
+    }
+
+    /// Marks every transitive dependent of `root` as skipped.
+    fn fail_dependents(st: &mut State, root: &str) {
+        st.failed.insert(root.to_string());
+        let mut queue: VecDeque<String> =
+            st.dependents.get(root).cloned().unwrap_or_default().into();
+        while let Some(name) = queue.pop_front() {
+            if !st.failed.insert(name.clone()) {
+                continue;
+            }
+            st.done += 1;
+            st.reports.push(ExperimentReport {
+                name: name.clone(),
+                digest: String::new(),
+                cached: false,
+                wall_s: 0.0,
+                error: Some(
+                    Error::DependencyFailed {
+                        experiment: name.clone(),
+                        dependency: root.to_string(),
+                    }
+                    .to_string(),
+                ),
+                telemetry: Telemetry::default(),
+            });
+            for d in st.dependents.get(&name).into_iter().flatten() {
+                queue.push_back(d.clone());
+            }
+        }
+    }
+
+    /// Runs one experiment: cache probe, then the real run on a miss.
+    fn execute(
+        &self,
+        exp: &dyn Experiment,
+        deps: HashMap<String, Arc<Artifact>>,
+    ) -> (ExperimentReport, Result<Artifact, Error>) {
+        let name = exp.name().to_string();
+        let digest = exp.params_digest(&self.options.params);
+        let start = Instant::now();
+        let mut report = ExperimentReport {
+            name: name.clone(),
+            digest: digest.clone(),
+            cached: false,
+            wall_s: 0.0,
+            error: None,
+            telemetry: Telemetry::default(),
+        };
+
+        let result = (|| match self.options.cache.load(&name, &digest)? {
+            Some(artifact) => {
+                report.cached = true;
+                Ok(artifact)
+            }
+            None => {
+                let ctx = Ctx::new(&name, self.options.params, deps);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let artifact = exp.run(&ctx)?;
+                    Ok((artifact, ctx.into_telemetry()))
+                }));
+                match run {
+                    Ok(Ok((artifact, telemetry))) => {
+                        report.telemetry = telemetry;
+                        self.options.cache.store(&name, &digest, &artifact)?;
+                        Ok(artifact)
+                    }
+                    Ok(Err(e)) => Err(e),
+                    Err(_) => Err(Error::WorkerPanic {
+                        experiment: name.clone(),
+                    }),
+                }
+            }
+        })();
+
+        report.wall_s = start.elapsed().as_secs_f64();
+        if let Err(e) = &result {
+            report.error = Some(e.to_string());
+        }
+        (report, result)
+    }
+}
+
+/// Runs a single experiment (plus dependencies) with a disabled cache —
+/// the convenience path the per-figure binaries use.
+///
+/// # Errors
+///
+/// Structural registry problems, or the first root-cause experiment
+/// failure.
+pub fn run_one(name: &str, params: WorkloadParams) -> Result<Artifact, Error> {
+    let runner = Runner::new(
+        Registry::standard(),
+        RunOptions {
+            params,
+            ..RunOptions::default()
+        },
+    );
+    let mut outcome = runner.run(&[name.to_string()])?;
+    if let Some(artifact) = outcome.artifacts.remove(name) {
+        return Ok(Arc::try_unwrap(artifact).unwrap_or_else(|a| (*a).clone()));
+    }
+    match outcome.errors.into_iter().next() {
+        Some((_, e)) => Err(e),
+        None => Err(Error::ArtifactUnavailable {
+            experiment: name.to_string(),
+            wanted: name.to_string(),
+        }),
+    }
+}

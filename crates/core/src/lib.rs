@@ -14,25 +14,53 @@
 //! | Table 5 (V/f scaling)             | [`logic_logic::table5`] |
 //! | §3 headline numbers               | [`memory_logic::Fig5Data::headline`] |
 //!
+//! All of the above are also registered as named experiments in the
+//! [`harness`] — `fig3`, `fig5` (and its twelve `fig5:<bench>` points),
+//! `fig6`, `fig8`, `fig11`, `table4`, `table5`, `headline` — which the
+//! `stacksim` CLI runs as a dependency-aware parallel fan-out with disk
+//! memoization and per-experiment telemetry. Prefer
+//! [`harness::run_one`] / [`harness::Runner`] over calling the study
+//! functions directly when you want caching, parallelism or a run report.
+//!
+//! **Migration note:** since the harness redesign every study entry point
+//! returns `Result<_, `[`Error`]`>` (previously they panicked on solver
+//! failure), and the config structs are `#[non_exhaustive]` with builders
+//! (`WorkloadParams::builder()`, `EngineConfig::builder()`,
+//! `SolverConfig::builder()`).
+//!
 //! # Example
 //!
 //! ```
 //! use stacksim_core::memory_logic::run_benchmark;
 //! use stacksim_workloads::{RmsBenchmark, WorkloadParams};
 //!
-//! let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test());
+//! let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test())?;
 //! assert!(row.cpma.iter().all(|&c| c > 0.0));
+//! # Ok::<(), stacksim_core::Error>(())
+//! ```
+//!
+//! Or through the harness, memoized:
+//!
+//! ```no_run
+//! use stacksim_core::harness::run_one;
+//! use stacksim_workloads::WorkloadParams;
+//!
+//! let artifact = run_one("table4", WorkloadParams::test())?;
+//! # Ok::<(), stacksim_core::Error>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod error;
+pub mod harness;
 pub mod logic_logic;
 pub mod memory_logic;
 pub mod report;
 pub mod sensitivity;
 pub mod stacking;
 
+pub use error::Error;
 pub use logic_logic::{Fig11Point, Table4, Table4Row, Table5Row};
 pub use memory_logic::{Fig5Data, Fig5Row, Headline, ThermalPoint};
 pub use report::{fmt_f, TextTable};

@@ -5,7 +5,9 @@ use stacksim_floorplan::p4::pentium4_147w;
 use stacksim_floorplan::{fold, worst_case_stack, FoldOptions, StackedFloorplan};
 use stacksim_ooo::{suite, CoreConfig, Simulator, WireConfig, WirePath};
 use stacksim_power::scaling::{OperatingPoint, ScalingModel};
-use stacksim_thermal::{solve, Boundary, LayerStack, SolveError, SolverConfig};
+use stacksim_thermal::{solve_with_stats, Boundary, LayerStack, SolveStats, SolverConfig};
+
+use crate::error::Error;
 
 /// One Table 4 row: a wire path, the stage reduction, the paper's gain and
 /// the measured gain.
@@ -33,7 +35,12 @@ pub struct Table4 {
 /// Runs the Table 4 experiment: per-path and combined speedups averaged
 /// over the eight workload classes. `uops_per_class` trades precision for
 /// runtime (60 000 reproduces the paper-scale numbers; tests use less).
-pub fn table4(uops_per_class: usize, seed: u64) -> Table4 {
+///
+/// # Errors
+///
+/// Currently infallible, but returns [`enum@Error`] like every other study
+/// entry point so the harness can treat all experiments uniformly.
+pub fn table4(uops_per_class: usize, seed: u64) -> Result<Table4, Error> {
     let workloads = suite(uops_per_class, seed);
     let planar: Vec<u64> = workloads
         .iter()
@@ -62,10 +69,10 @@ pub fn table4(uops_per_class: usize, seed: u64) -> Table4 {
             paper_pct: path.paper_gain_pct(),
         })
         .collect();
-    Table4 {
+    Ok(Table4 {
         rows,
         total_pct: gain_for(WireConfig::folded_3d()),
-    }
+    })
 }
 
 /// One Fig. 11 bar.
@@ -86,7 +93,10 @@ pub fn folded_p4() -> StackedFloorplan {
     fold(&pentium4_147w(), FoldOptions::default()).expect("the P4 floorplan folds")
 }
 
-fn solve_p4_stack(stack3d: &StackedFloorplan, power_scale: f64) -> Result<f64, SolveError> {
+fn solve_p4_stack(
+    stack3d: &StackedFloorplan,
+    power_scale: f64,
+) -> Result<(f64, SolveStats), Error> {
     let cfg = SolverConfig::default();
     let d0 = &stack3d.dies()[0];
     let d1 = &stack3d.dies()[1];
@@ -100,7 +110,8 @@ fn solve_p4_stack(stack3d: &StackedFloorplan, power_scale: f64) -> Result<f64, S
         d1.power_grid(cfg.nx, ny).scaled(power_scale),
         false,
     );
-    Ok(solve(&stack, bc, cfg)?.peak())
+    let sol = solve_with_stats(&stack, bc, cfg)?;
+    Ok((sol.field.peak(), sol.stats))
 }
 
 /// Solves the three Fig. 11 configurations: planar baseline (147 W), the
@@ -110,12 +121,23 @@ fn solve_p4_stack(stack3d: &StackedFloorplan, power_scale: f64) -> Result<f64, S
 /// # Errors
 ///
 /// Propagates the first solver failure.
-pub fn fig11() -> Result<Vec<Fig11Point>, SolveError> {
+pub fn fig11() -> Result<Vec<Fig11Point>, Error> {
+    Ok(fig11_instrumented()?.0)
+}
+
+/// [`fig11`], also returning the accumulated CG statistics of the three
+/// thermal solves.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig11_instrumented() -> Result<(Vec<Fig11Point>, SolveStats), Error> {
     let cfg = SolverConfig::default();
     let planar = pentium4_147w();
     let ny = (cfg.nx * 17 / 20).max(1);
+    let mut stats = SolveStats::default();
 
-    let base_field = solve(
+    let base = solve_with_stats(
         &LayerStack::planar(
             planar.width(),
             planar.height(),
@@ -124,17 +146,20 @@ pub fn fig11() -> Result<Vec<Fig11Point>, SolveError> {
         Boundary::performance(),
         cfg,
     )?;
+    stats.absorb(base.stats);
 
     let folded = folded_p4();
-    let folded_peak = solve_p4_stack(&folded, 1.0)?;
+    let (folded_peak, s) = solve_p4_stack(&folded, 1.0)?;
+    stats.absorb(s);
 
     let wc = worst_case_stack(&planar);
-    let wc_peak = solve_p4_stack(&wc, 1.0)?;
+    let (wc_peak, s) = solve_p4_stack(&wc, 1.0)?;
+    stats.absorb(s);
 
-    Ok(vec![
+    let points = vec![
         Fig11Point {
             label: "2D Baseline",
-            peak_c: base_field.peak(),
+            peak_c: base.field.peak(),
             power_w: planar.total_power(),
             paper_c: 98.6,
         },
@@ -150,7 +175,8 @@ pub fn fig11() -> Result<Vec<Fig11Point>, SolveError> {
             power_w: wc.total_power(),
             paper_c: 124.75,
         },
-    ])
+    ];
+    Ok((points, stats))
 }
 
 /// One Table 5 row.
@@ -180,11 +206,22 @@ pub struct Table5Row {
 /// # Errors
 ///
 /// Propagates the first thermal-solver failure.
-pub fn table5() -> Result<Vec<Table5Row>, SolveError> {
+pub fn table5() -> Result<Vec<Table5Row>, Error> {
+    Ok(table5_instrumented()?.0)
+}
+
+/// [`table5`], also returning the accumulated CG statistics of every
+/// thermal solve — including the ~24 solves of the Same-Temp bisection.
+///
+/// # Errors
+///
+/// Propagates the first thermal-solver failure.
+pub fn table5_instrumented() -> Result<(Vec<Table5Row>, SolveStats), Error> {
     let cfg = SolverConfig::default();
     let planar = pentium4_147w();
     let ny = (cfg.nx * 17 / 20).max(1);
-    let baseline_field = solve(
+    let mut stats = SolveStats::default();
+    let baseline = solve_with_stats(
         &LayerStack::planar(
             planar.width(),
             planar.height(),
@@ -193,17 +230,14 @@ pub fn table5() -> Result<Vec<Table5Row>, SolveError> {
         Boundary::performance(),
         cfg,
     )?;
-    let baseline_temp = baseline_field.peak();
+    stats.absorb(baseline.stats);
+    let baseline_temp = baseline.field.peak();
 
     let folded = folded_p4();
     let model = ScalingModel::fig11_3d();
     // the folded floorplan already carries the 15% power saving; scale
     // factors below are relative to its 125 W nominal
     let folded_nominal = folded.total_power();
-
-    let solve_at = |point: OperatingPoint| -> Result<f64, SolveError> {
-        solve_p4_stack(&folded, point.power_factor())
-    };
 
     let mut rows = Vec::new();
     rows.push(Table5Row {
@@ -216,26 +250,30 @@ pub fn table5() -> Result<Vec<Table5Row>, SolveError> {
         freq: 1.0,
     });
 
-    let push_point = |label: &'static str,
-                      point: OperatingPoint,
-                      rows: &mut Vec<Table5Row>|
-     -> Result<(), SolveError> {
-        let power = model.power(point);
-        let temp = solve_p4_stack(&folded, power / folded_nominal)?;
-        rows.push(Table5Row {
-            label,
-            power_w: power,
-            power_pct: 100.0 * power / 147.0,
-            temp_c: temp,
-            perf_pct: model.perf(point),
-            vcc: point.vcc,
-            freq: point.freq,
-        });
-        Ok(())
-    };
+    let make_row =
+        |label: &'static str, point: OperatingPoint| -> Result<(Table5Row, SolveStats), Error> {
+            let power = model.power(point);
+            let (temp, s) = solve_p4_stack(&folded, power / folded_nominal)?;
+            Ok((
+                Table5Row {
+                    label,
+                    power_w: power,
+                    power_pct: 100.0 * power / 147.0,
+                    temp_c: temp,
+                    perf_pct: model.perf(point),
+                    vcc: point.vcc,
+                    freq: point.freq,
+                },
+                s,
+            ))
+        };
 
-    push_point("Same Pwr", model.scale_freq_to_power(147.0), &mut rows)?;
-    push_point("Same Freq.", OperatingPoint::nominal(), &mut rows)?;
+    let (row, s) = make_row("Same Pwr", model.scale_freq_to_power(147.0))?;
+    stats.absorb(s);
+    rows.push(row);
+    let (row, s) = make_row("Same Freq.", OperatingPoint::nominal())?;
+    stats.absorb(s);
+    rows.push(row);
     // find the joint scale where the folded stack returns to the baseline
     // peak temperature (bisection over thermal solves)
     let same_temp = {
@@ -243,7 +281,9 @@ pub fn table5() -> Result<Vec<Table5Row>, SolveError> {
         let mut hi = 1.1f64;
         for _ in 0..24 {
             let mid = 0.5 * (lo + hi);
-            let t = solve_at(OperatingPoint::scaled_together(mid))?;
+            let point = OperatingPoint::scaled_together(mid);
+            let (t, s) = solve_p4_stack(&folded, point.power_factor())?;
+            stats.absorb(s);
             if t > baseline_temp {
                 hi = mid;
             } else {
@@ -252,9 +292,13 @@ pub fn table5() -> Result<Vec<Table5Row>, SolveError> {
         }
         OperatingPoint::scaled_together(0.5 * (lo + hi))
     };
-    push_point("Same Temp", same_temp, &mut rows)?;
-    push_point("Same Perf.", model.scale_to_perf(100.0), &mut rows)?;
-    Ok(rows)
+    let (row, s) = make_row("Same Temp", same_temp)?;
+    stats.absorb(s);
+    rows.push(row);
+    let (row, s) = make_row("Same Perf.", model.scale_to_perf(100.0))?;
+    stats.absorb(s);
+    rows.push(row);
+    Ok((rows, stats))
 }
 
 #[cfg(test)]
@@ -263,7 +307,7 @@ mod tests {
 
     #[test]
     fn table4_small_run_preserves_shape() {
-        let t = table4(12_000, 3);
+        let t = table4(12_000, 3).unwrap();
         assert_eq!(t.rows.len(), 10);
         // the big three remain the big three
         let gain = |p: WirePath| {

@@ -2,11 +2,14 @@
 //! thermals, and the headline numbers.
 
 use stacksim_floorplan::PowerGrid;
-use stacksim_mem::{Engine, EngineConfig, MemoryHierarchy};
+use stacksim_mem::{Engine, EngineConfig, MemTelemetry, MemoryHierarchy};
 use stacksim_power::bus_power_w;
-use stacksim_thermal::{solve, Boundary, LayerStack, SolveError, SolverConfig, TemperatureField};
+use stacksim_thermal::{
+    solve_with_stats, Boundary, LayerStack, SolveStats, SolverConfig, TemperatureField,
+};
 use stacksim_workloads::{RmsBenchmark, WorkloadParams};
 
+use crate::error::Error;
 use crate::stacking::StackOption;
 
 /// Fraction of each trace treated as cache warm-up (excluded from metrics).
@@ -121,10 +124,30 @@ impl Headline {
 }
 
 /// Runs one benchmark across all four options.
-pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Fig5Row {
+///
+/// # Errors
+///
+/// Currently infallible, but returns [`enum@Error`] like every other study
+/// entry point so the harness can treat all experiments uniformly.
+pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Result<Fig5Row, Error> {
+    Ok(run_benchmark_instrumented(benchmark, params)?.0)
+}
+
+/// [`run_benchmark`], also returning the per-option memory-engine
+/// telemetry (one [`MemTelemetry`] per Fig. 7 option, in
+/// [`StackOption::all`] order).
+///
+/// # Errors
+///
+/// Currently infallible; see [`run_benchmark`].
+pub fn run_benchmark_instrumented(
+    benchmark: RmsBenchmark,
+    params: &WorkloadParams,
+) -> Result<(Fig5Row, [MemTelemetry; 4]), Error> {
     let trace = benchmark.generate(params);
     let mut cpma = [0.0; 4];
     let mut bandwidth = [0.0; 4];
+    let mut telemetry = [MemTelemetry::default(); 4];
     for (i, option) in StackOption::all().into_iter().enumerate() {
         let mut engine = Engine::new(
             MemoryHierarchy::new(option.hierarchy()),
@@ -133,23 +156,31 @@ pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Fig5Ro
         let result = engine.run_warmed(&trace, WARMUP_FRACTION);
         cpma[i] = result.cpma;
         bandwidth[i] = result.offdie_gb_per_sec;
+        telemetry[i] = result.telemetry();
     }
-    Fig5Row {
-        benchmark,
-        cpma,
-        bandwidth,
-    }
+    Ok((
+        Fig5Row {
+            benchmark,
+            cpma,
+            bandwidth,
+        },
+        telemetry,
+    ))
 }
 
 /// Runs the full Fig. 5 study: all twelve RMS benchmarks across the four
 /// Fig. 7 options. At paper scale this simulates ~130 M references.
-pub fn fig5(params: &WorkloadParams) -> Fig5Data {
-    Fig5Data {
+///
+/// # Errors
+///
+/// Currently infallible; see [`run_benchmark`].
+pub fn fig5(params: &WorkloadParams) -> Result<Fig5Data, Error> {
+    Ok(Fig5Data {
         rows: RmsBenchmark::all()
             .iter()
             .map(|b| run_benchmark(*b, params))
-            .collect(),
-    }
+            .collect::<Result<_, _>>()?,
+    })
 }
 
 /// The thermal result for one Fig. 8 bar.
@@ -188,22 +219,33 @@ pub fn thermal_stack(option: StackOption, grid: usize) -> LayerStack {
 /// # Errors
 ///
 /// Propagates the first solver failure.
-pub fn fig8() -> Result<Vec<ThermalPoint>, SolveError> {
+pub fn fig8() -> Result<Vec<ThermalPoint>, Error> {
+    Ok(fig8_instrumented()?.0)
+}
+
+/// [`fig8`], also returning the accumulated CG statistics of the four
+/// thermal solves.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig8_instrumented() -> Result<(Vec<ThermalPoint>, SolveStats), Error> {
     let cfg = SolverConfig::default();
     let bc = Boundary::desktop();
-    StackOption::all()
-        .into_iter()
-        .map(|option| {
-            let stack = thermal_stack(option, cfg.nx);
-            let field = solve(&stack, bc, cfg)?;
-            Ok(ThermalPoint {
-                option,
-                peak_c: field.peak(),
-                power_w: option.total_power(),
-                field,
-            })
-        })
-        .collect()
+    let mut stats = SolveStats::default();
+    let mut points = Vec::new();
+    for option in StackOption::all() {
+        let stack = thermal_stack(option, cfg.nx);
+        let sol = solve_with_stats(&stack, bc, cfg)?;
+        stats.absorb(sol.stats);
+        points.push(ThermalPoint {
+            option,
+            peak_c: sol.field.peak(),
+            power_w: option.total_power(),
+            field: sol.field,
+        });
+    }
+    Ok((points, stats))
 }
 
 /// Solves the baseline planar thermal map of Fig. 6: returns the power
@@ -212,15 +254,25 @@ pub fn fig8() -> Result<Vec<ThermalPoint>, SolveError> {
 /// # Errors
 ///
 /// Propagates solver failure.
-pub fn fig6() -> Result<(PowerGrid, TemperatureField), SolveError> {
+pub fn fig6() -> Result<(PowerGrid, TemperatureField), Error> {
+    let (out, _) = fig6_instrumented()?;
+    Ok(out)
+}
+
+/// [`fig6`], also returning the CG statistics of the solve.
+///
+/// # Errors
+///
+/// Propagates solver failure.
+pub fn fig6_instrumented() -> Result<((PowerGrid, TemperatureField), SolveStats), Error> {
     let cfg = SolverConfig::default();
     let option = StackOption::Planar4M;
     let cpu = option.cpu_floorplan();
     let ny = (cfg.nx * 17 / 20).max(1);
     let grid = cpu.power_grid(cfg.nx, ny);
     let stack = thermal_stack(option, cfg.nx);
-    let field = solve(&stack, Boundary::desktop(), cfg)?;
-    Ok((grid, field))
+    let sol = solve_with_stats(&stack, Boundary::desktop(), cfg)?;
+    Ok(((grid, sol.field), sol.stats))
 }
 
 #[cfg(test)]
@@ -263,7 +315,7 @@ mod tests {
     fn test_scale_fig5_shows_capacity_separation() {
         // at test scale only shape sanity is checked: valid metrics and
         // capacity-insensitive benchmarks staying flat
-        let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test());
+        let row = run_benchmark(RmsBenchmark::Conj, &WorkloadParams::test()).unwrap();
         for c in row.cpma {
             assert!(c > 0.0 && c < 100.0);
         }

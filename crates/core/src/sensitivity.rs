@@ -3,10 +3,11 @@
 //! swept from 60 down to 3 W/mK.
 
 use stacksim_thermal::sweep::{
-    conductivity_sweep, conductivity_sweep_multi, fig3_conductivities, SweepPoint,
+    conductivity_sweep_multi_stats, conductivity_sweep_stats, fig3_conductivities, SweepPoint,
 };
-use stacksim_thermal::{Boundary, LayerStack, SolveError, SolverConfig};
+use stacksim_thermal::{Boundary, LayerStack, SolveStats, SolverConfig};
 
+use crate::error::Error;
 use crate::logic_logic::folded_p4;
 
 /// The two Fig. 3 curves.
@@ -41,7 +42,17 @@ impl Fig3Data {
 /// # Errors
 ///
 /// Propagates the first solver failure.
-pub fn fig3() -> Result<Fig3Data, SolveError> {
+pub fn fig3() -> Result<Fig3Data, Error> {
+    Ok(fig3_instrumented()?.0)
+}
+
+/// [`fig3`], also returning the accumulated CG statistics of every solve
+/// across both sweeps.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig3_instrumented() -> Result<(Fig3Data, SolveStats), Error> {
     let folded = folded_p4();
     let d0 = &folded.dies()[0];
     let d1 = &folded.dies()[1];
@@ -57,11 +68,14 @@ pub fn fig3() -> Result<Fig3Data, SolveError> {
         false,
     );
     let ks = fig3_conductivities();
-    Ok(Fig3Data {
-        // "the traditional metal stack on the two die": both metal layers
-        cu_metal: conductivity_sweep_multi(&stack, &["cu metal 1", "cu metal 2"], &ks, bc, cfg)?,
-        bond: conductivity_sweep(&stack, "bond", &ks, bc, cfg)?,
-    })
+    let mut stats = SolveStats::default();
+    // "the traditional metal stack on the two die": both metal layers
+    let (cu_metal, s) =
+        conductivity_sweep_multi_stats(&stack, &["cu metal 1", "cu metal 2"], &ks, bc, cfg)?;
+    stats.absorb(s);
+    let (bond, s) = conductivity_sweep_stats(&stack, "bond", &ks, bc, cfg)?;
+    stats.absorb(s);
+    Ok((Fig3Data { cu_metal, bond }, stats))
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
-//! Property tests for the 2D→3D folder: legality and power conservation on
-//! randomly generated (guillotine-cut) floorplans.
+//! Randomized property tests for the 2D→3D folder: legality and power
+//! conservation on randomly generated (guillotine-cut) floorplans. Inputs
+//! come from a deterministic family of seeds so failures reproduce
+//! exactly.
 
-use proptest::prelude::*;
 use stacksim_floorplan::{fold, Block, Floorplan, FoldOptions, Rect};
+use stacksim_rng::StdRng;
 
 /// Recursively guillotine-cuts a rectangle into blocks, always producing a
 /// legal, fully tiled floorplan.
@@ -33,7 +35,13 @@ fn cut(rect: Rect, cuts: &[(bool, f64)], out: &mut Vec<Rect>) {
     }
 }
 
-fn random_floorplan(cuts: Vec<(bool, f64)>, powers: Vec<f64>) -> Floorplan {
+fn random_floorplan(rng: &mut StdRng) -> Floorplan {
+    let n_cuts = rng.gen_range(2usize..4);
+    let cuts: Vec<(bool, f64)> = (0..n_cuts)
+        .map(|_| (rng.gen_bool(0.5), rng.gen_range(0.0..1.0)))
+        .collect();
+    let n_powers = rng.gen_range(4usize..10);
+    let powers: Vec<f64> = (0..n_powers).map(|_| rng.gen_range(0.1..2.5)).collect();
     let mut rects = Vec::new();
     cut(
         Rect::new(0.0, 0.0, 12.0, 10.0),
@@ -48,48 +56,59 @@ fn random_floorplan(cuts: Vec<(bool, f64)>, powers: Vec<f64>) -> Floorplan {
     f
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Folding any legal floorplan yields two legal dies that conserve the
-    /// (scaled) power and halve the footprint.
-    #[test]
-    fn fold_is_legal_and_conserves_power(
-        cuts in prop::collection::vec((any::<bool>(), 0.0f64..1.0), 2..4),
-        powers in prop::collection::vec(0.1f64..2.5, 4..10),
-    ) {
-        let planar = random_floorplan(cuts, powers);
-        prop_assume!(planar.validate().is_ok());
-        let folded = fold(&planar, FoldOptions { power_scale: 1.0, ..FoldOptions::default() });
+/// Folding any legal floorplan yields two legal dies that conserve the
+/// (scaled) power and halve the footprint.
+#[test]
+fn fold_is_legal_and_conserves_power() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planar = random_floorplan(&mut rng);
+        if planar.validate().is_err() {
+            continue;
+        }
+        let folded = fold(
+            &planar,
+            FoldOptions {
+                power_scale: 1.0,
+                ..FoldOptions::default()
+            },
+        );
         let folded = match folded {
             Ok(f) => f,
             // extremely skewed cuts can defeat the packer; that is a
             // legitimate refusal, not a soundness failure
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
-        prop_assert!(folded.validate().is_ok());
-        prop_assert!((folded.total_power() - planar.total_power()).abs() < 1e-6);
+        assert!(folded.validate().is_ok());
+        assert!((folded.total_power() - planar.total_power()).abs() < 1e-6);
         let per_die = folded.dies()[0].area();
         let frac = per_die / planar.area();
-        prop_assert!(frac > 0.4 && frac < 0.7, "footprint fraction {frac}");
+        assert!(frac > 0.4 && frac < 0.7, "footprint fraction {frac}");
     }
+}
 
-    /// The folded peak stacked density never exceeds the worst case (2x)
-    /// by construction of the density-aware placer.
-    #[test]
-    fn fold_density_stays_below_double(
-        cuts in prop::collection::vec((any::<bool>(), 0.0f64..1.0), 2..4),
-        powers in prop::collection::vec(0.1f64..2.5, 4..10),
-    ) {
-        let planar = random_floorplan(cuts, powers);
-        prop_assume!(planar.validate().is_ok());
-        let Ok(folded) = fold(&planar, FoldOptions { power_scale: 1.0, ..FoldOptions::default() })
-        else {
-            return Ok(());
+/// The folded peak stacked density never exceeds the worst case (2x) by
+/// construction of the density-aware placer.
+#[test]
+fn fold_density_stays_below_double() {
+    for seed in 100..116u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planar = random_floorplan(&mut rng);
+        if planar.validate().is_err() {
+            continue;
+        }
+        let Ok(folded) = fold(
+            &planar,
+            FoldOptions {
+                power_scale: 1.0,
+                ..FoldOptions::default()
+            },
+        ) else {
+            continue;
         };
         let planar_peak = planar.power_grid(24, 20).peak_density();
         let folded_peak = folded.peak_stacked_density(24, 20);
-        prop_assert!(
+        assert!(
             folded_peak <= 2.0 * planar_peak + 1e-6,
             "folded {folded_peak} vs planar {planar_peak}"
         );

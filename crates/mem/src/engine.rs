@@ -14,7 +14,12 @@ use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{HierarchyStats, RunResult};
 
 /// Issue-engine parameters.
+///
+/// Marked `#[non_exhaustive]`: construct with [`EngineConfig::default`] or
+/// [`EngineConfig::builder`] so new knobs can be added without breaking
+/// downstream callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Maximum outstanding references per CPU (MSHR-like window).
     pub window: usize,
@@ -39,6 +44,58 @@ impl Default for EngineConfig {
             rob_lookahead: 192,
             ignore_deps: false,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder seeded with the default configuration.
+    #[must_use]
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Maximum outstanding references per CPU (MSHR-like window).
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.cfg.window = window;
+        self
+    }
+
+    /// Minimum cycles between successive issues from one CPU.
+    #[must_use]
+    pub fn issue_interval(mut self, issue_interval: Cycles) -> Self {
+        self.cfg.issue_interval = issue_interval;
+        self
+    }
+
+    /// Out-of-order lookahead in cycles.
+    #[must_use]
+    pub fn rob_lookahead(mut self, rob_lookahead: Cycles) -> Self {
+        self.cfg.rob_lookahead = rob_lookahead;
+        self
+    }
+
+    /// Ablation switch: ignore dependency edges entirely.
+    #[must_use]
+    pub fn ignore_deps(mut self, ignore_deps: bool) -> Self {
+        self.cfg.ignore_deps = ignore_deps;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> EngineConfig {
+        self.cfg
     }
 }
 

@@ -57,6 +57,6 @@ pub use config::{
     MainMemoryConfig, StackedLevel,
 };
 pub use dram::{DramAccess, DramArray, PageOutcome};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineConfigBuilder};
 pub use hierarchy::{AccessResult, MemoryHierarchy, ServiceLevel};
-pub use stats::{HierarchyStats, RunResult};
+pub use stats::{HierarchyStats, MemTelemetry, RunResult};

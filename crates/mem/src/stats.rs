@@ -93,6 +93,34 @@ impl RunResult {
             self.offdie_bytes as f64 / self.references as f64
         }
     }
+
+    /// The compact per-run summary the experiment harness records as
+    /// telemetry: trace length, CPMA, bandwidth and hit behaviour.
+    pub fn telemetry(&self) -> MemTelemetry {
+        MemTelemetry {
+            trace_records: self.references,
+            cpma: self.cpma,
+            offdie_gb_per_sec: self.offdie_gb_per_sec,
+            l1_hit_rate: self.stats.l1_hit_rate(),
+            memory_fraction: self.stats.memory_fraction(),
+        }
+    }
+}
+
+/// The memory-engine telemetry row recorded per simulated trace by the
+/// experiment harness (one per benchmark × option).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemTelemetry {
+    /// References driven through the hierarchy (measured region).
+    pub trace_records: u64,
+    /// Cycles per memory access achieved.
+    pub cpma: f64,
+    /// Achieved off-die bandwidth in GB/s.
+    pub offdie_gb_per_sec: f64,
+    /// L1 hit rate over the measured region.
+    pub l1_hit_rate: f64,
+    /// Fraction of references served by main memory.
+    pub memory_fraction: f64,
 }
 
 #[cfg(test)]

@@ -8,8 +8,7 @@
 //! dependence distances, branch-outcome patterns and cache-hit profiles
 //! chosen to be characteristic of each class.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use stacksim_rng::StdRng;
 
 use crate::uop::{MemLevel, Uop, UopKind};
 

@@ -1,68 +1,97 @@
-//! Property tests for the pipeline model: structural bounds that must hold
-//! for *any* generated workload.
+//! Randomized property tests for the pipeline model: structural bounds
+//! that must hold for *any* generated workload. Inputs are drawn from a
+//! deterministic family of seeds so failures reproduce exactly.
 
-use proptest::prelude::*;
 use stacksim_ooo::{CoreConfig, Simulator, WireConfig, WirePath, WorkloadClass};
+use stacksim_rng::StdRng;
 
-fn any_class() -> impl Strategy<Value = WorkloadClass> {
-    prop::sample::select(WorkloadClass::all().to_vec())
+fn any_class(rng: &mut StdRng) -> WorkloadClass {
+    let all = WorkloadClass::all();
+    all[rng.gen_range(0..all.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// IPC is bounded by rename width from above and positive from below,
-    /// and the stall accounting never exceeds total cycles.
-    #[test]
-    fn ipc_and_stalls_are_bounded(class in any_class(), seed in 0u64..1000, n in 2_000usize..8_000) {
+/// IPC is bounded by rename width from above and positive from below, and
+/// the stall accounting never exceeds total cycles.
+#[test]
+fn ipc_and_stalls_are_bounded() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let class = any_class(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let n = rng.gen_range(2_000usize..8_000);
         let uops = class.generate(n, seed);
         let s = Simulator::new(CoreConfig::planar()).run(&uops);
         let ipc = s.ipc();
-        prop_assert!(ipc > 0.0);
-        prop_assert!(ipc <= CoreConfig::planar().rename_width as f64 + 1e-9);
-        prop_assert!(s.redirect_stall_cycles <= s.cycles);
-        prop_assert!(s.rob_stall_cycles <= s.cycles);
-        prop_assert!(s.sq_stall_cycles <= s.cycles);
-        prop_assert!(s.mispredict_rate >= 0.0 && s.mispredict_rate <= 1.0);
+        assert!(ipc > 0.0);
+        assert!(ipc <= CoreConfig::planar().rename_width as f64 + 1e-9);
+        assert!(s.redirect_stall_cycles <= s.cycles);
+        assert!(s.rob_stall_cycles <= s.cycles);
+        assert!(s.sq_stall_cycles <= s.cycles);
+        assert!(s.mispredict_rate >= 0.0 && s.mispredict_rate <= 1.0);
     }
+}
 
-    /// The folded machine never loses to planar, and single-path machines
-    /// sit between them, for any class and seed.
-    #[test]
-    fn wire_improvements_are_monotone(class in any_class(), seed in 0u64..500) {
+/// The folded machine never loses to planar, and single-path machines sit
+/// between them, for any class and seed.
+#[test]
+fn wire_improvements_are_monotone() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let class = any_class(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let uops = class.generate(6_000, seed);
         let planar = Simulator::new(CoreConfig::planar()).run(&uops).cycles;
         let folded = Simulator::new(CoreConfig::folded_3d()).run(&uops).cycles;
-        prop_assert!(folded <= planar, "folded {folded} vs planar {planar}");
-        for path in [WirePath::FpLatency, WirePath::StoreLifetime, WirePath::DcacheRead] {
-            let cfg = CoreConfig { wire: path.apply(WireConfig::planar()), ..CoreConfig::planar() };
+        assert!(folded <= planar, "folded {folded} vs planar {planar}");
+        for path in [
+            WirePath::FpLatency,
+            WirePath::StoreLifetime,
+            WirePath::DcacheRead,
+        ] {
+            let cfg = CoreConfig {
+                wire: path.apply(WireConfig::planar()),
+                ..CoreConfig::planar()
+            };
             let single = Simulator::new(cfg).run(&uops).cycles;
-            prop_assert!(single <= planar, "{path}");
-            prop_assert!(single >= folded, "{path}");
+            assert!(single <= planar, "{path}");
+            assert!(single >= folded, "{path}");
         }
     }
+}
 
-    /// The simulator is deterministic: identical inputs give identical
-    /// cycle counts and stall breakdowns.
-    #[test]
-    fn simulation_is_deterministic(class in any_class(), seed in 0u64..500) {
+/// The simulator is deterministic: identical inputs give identical cycle
+/// counts and stall breakdowns.
+#[test]
+fn simulation_is_deterministic() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let class = any_class(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let uops = class.generate(4_000, seed);
         let sim = Simulator::new(CoreConfig::planar());
         let a = sim.run(&uops);
         let b = sim.run(&uops);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// A bigger store queue can only help.
-    #[test]
-    fn store_queue_capacity_is_monotone(seed in 0u64..200) {
+/// A bigger store queue can only help.
+#[test]
+fn store_queue_capacity_is_monotone() {
+    for seed in 0..16u64 {
         let uops = WorkloadClass::Server.generate(6_000, seed);
-        let small = Simulator::new(CoreConfig { store_queue: 6, ..CoreConfig::planar() })
-            .run(&uops)
-            .cycles;
-        let large = Simulator::new(CoreConfig { store_queue: 48, ..CoreConfig::planar() })
-            .run(&uops)
-            .cycles;
-        prop_assert!(large <= small, "large {large} vs small {small}");
+        let small = Simulator::new(CoreConfig {
+            store_queue: 6,
+            ..CoreConfig::planar()
+        })
+        .run(&uops)
+        .cycles;
+        let large = Simulator::new(CoreConfig {
+            store_queue: 48,
+            ..CoreConfig::planar()
+        })
+        .run(&uops)
+        .cycles;
+        assert!(large <= small, "large {large} vs small {small}");
     }
 }

@@ -22,6 +22,17 @@ impl TemperatureField {
         }
     }
 
+    /// Reassembles a field from its parts — the inverse of reading
+    /// [`dims`](Self::dims), [`layer_names`](Self::layer_names) and the
+    /// per-layer maps, used to deserialize memoized artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t.len() != nx * ny * layer_names.len()`.
+    pub fn from_parts(nx: usize, ny: usize, layer_names: Vec<String>, t: Vec<f64>) -> Self {
+        TemperatureField::new(nx, ny, layer_names, t)
+    }
+
     /// Grid resolution `(nx, ny)`.
     pub fn dims(&self) -> (usize, usize) {
         (self.nx, self.ny)

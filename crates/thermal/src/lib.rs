@@ -23,7 +23,7 @@
 //! let mut power = PowerGrid::zero(8, 8, 13.0, 11.0);
 //! power.add(2, 2, 40.0);
 //! let stack = LayerStack::planar(13.0, 11.0, power);
-//! let cfg = SolverConfig { nx: 8, ny: 8, ..SolverConfig::default() };
+//! let cfg = SolverConfig::builder().nx(8).ny(8).build();
 //! let field = solve(&stack, Boundary::default(), cfg)?;
 //! assert!(field.peak() > 40.0);
 //! # Ok::<(), stacksim_thermal::SolveError>(())
@@ -41,5 +41,8 @@ pub mod sweep;
 
 pub use field::TemperatureField;
 pub use resistor::ResistorStack;
-pub use solver::{solve, solve_transient, SolveError, SolverConfig, System, TransientPoint};
+pub use solver::{
+    solve, solve_transient, solve_with_stats, Solution, SolveError, SolveStats, SolverConfig,
+    SolverConfigBuilder, System, TransientPoint,
+};
 pub use stack::{Boundary, Layer, LayerStack, DESKTOP_H_TOP};

@@ -14,7 +14,12 @@ use crate::field::TemperatureField;
 use crate::stack::{Boundary, LayerStack};
 
 /// Solver parameters.
+///
+/// Marked `#[non_exhaustive]`: construct with [`SolverConfig::default`] or
+/// [`SolverConfig::builder`] so new knobs can be added without breaking
+/// downstream callers.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SolverConfig {
     /// Cells along the die width.
     pub nx: usize,
@@ -34,6 +39,58 @@ impl Default for SolverConfig {
             max_iters: 20_000,
             tolerance: 1e-10,
         }
+    }
+}
+
+impl SolverConfig {
+    /// Starts a builder seeded with the default configuration.
+    #[must_use]
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder {
+            cfg: SolverConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`SolverConfig`].
+#[derive(Debug, Clone)]
+pub struct SolverConfigBuilder {
+    cfg: SolverConfig,
+}
+
+impl SolverConfigBuilder {
+    /// Cells along the die width.
+    #[must_use]
+    pub fn nx(mut self, nx: usize) -> Self {
+        self.cfg.nx = nx;
+        self
+    }
+
+    /// Cells along the die height.
+    #[must_use]
+    pub fn ny(mut self, ny: usize) -> Self {
+        self.cfg.ny = ny;
+        self
+    }
+
+    /// Maximum CG iterations.
+    #[must_use]
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.cfg.max_iters = max_iters;
+        self
+    }
+
+    /// Relative residual tolerance.
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.cfg.tolerance = tolerance;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> SolverConfig {
+        self.cfg
     }
 }
 
@@ -77,6 +134,39 @@ impl fmt::Display for SolveError {
 }
 
 impl std::error::Error for SolveError {}
+
+/// Convergence statistics of one (or several accumulated) CG solves.
+///
+/// The experiment harness records these per run: a memoized artifact is
+/// served with zero iterations, which is how telemetry proves a cache hit
+/// did no solver work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Number of CG solves accumulated.
+    pub solves: usize,
+    /// Total CG iterations across those solves.
+    pub iterations: usize,
+    /// Worst (largest) final relative residual observed.
+    pub residual: f64,
+}
+
+impl SolveStats {
+    /// Folds another solve's statistics into this accumulator.
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.solves += other.solves;
+        self.iterations += other.iterations;
+        self.residual = self.residual.max(other.residual);
+    }
+}
+
+/// A solved steady-state field together with its convergence statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The temperature field.
+    pub field: TemperatureField,
+    /// CG convergence statistics for this solve.
+    pub stats: SolveStats,
+}
 
 /// One point of a transient solution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -276,8 +366,14 @@ impl System {
     }
 
     /// Jacobi-preconditioned CG for `(A + shift·M) x = b`, warm-started at
-    /// `x0`.
-    fn cg(&self, shift: f64, b: &[f64], mut x: Vec<f64>) -> Result<Vec<f64>, SolveError> {
+    /// `x0`. On success also returns the iteration count and final
+    /// relative residual.
+    fn cg(
+        &self,
+        shift: f64,
+        b: &[f64],
+        mut x: Vec<f64>,
+    ) -> Result<(Vec<f64>, SolveStats), SolveError> {
         let n = x.len();
         let mut r = vec![0.0f64; n];
         let mut ax = vec![0.0f64; n];
@@ -292,10 +388,15 @@ impl System {
         let mut p = z.clone();
         let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
         let mut ap = vec![0.0f64; n];
-        for _ in 0..self.cfg.max_iters {
+        for iter in 0..self.cfg.max_iters {
             let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
             if rnorm / bnorm < self.cfg.tolerance {
-                return Ok(x);
+                let stats = SolveStats {
+                    solves: 1,
+                    iterations: iter,
+                    residual: rnorm / bnorm,
+                };
+                return Ok((x, stats));
             }
             self.apply(shift, &p, &mut ap);
             let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
@@ -331,8 +432,22 @@ impl System {
     ///
     /// Returns [`SolveError::NoConvergence`] if CG stalls.
     pub fn steady(&self) -> Result<TemperatureField, SolveError> {
+        Ok(self.steady_with_stats()?.field)
+    }
+
+    /// Solves the steady-state problem, also reporting CG convergence
+    /// statistics (iteration count, final relative residual).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoConvergence`] if CG stalls.
+    pub fn steady_with_stats(&self) -> Result<Solution, SolveError> {
         let x0 = vec![self.ambient; self.rhs.len()];
-        Ok(self.field(self.cg(0.0, &self.rhs, x0)?))
+        let (t, stats) = self.cg(0.0, &self.rhs, x0)?;
+        Ok(Solution {
+            field: self.field(t),
+            stats,
+        })
     }
 
     /// Integrates the transient problem with implicit Euler from a uniform
@@ -365,7 +480,7 @@ impl System {
             for u in 0..n {
                 b[u] += shift * self.mass[u / nxy] * t[u];
             }
-            t = self.cg(shift, &b, t)?;
+            t = self.cg(shift, &b, t)?.0;
             let peak = t.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             trajectory.push(TransientPoint {
                 time_s: step as f64 * dt_s,
@@ -389,6 +504,20 @@ pub fn solve(
     cfg: SolverConfig,
 ) -> Result<TemperatureField, SolveError> {
     System::assemble(stack, bc, cfg)?.steady()
+}
+
+/// Like [`solve`], but also reports CG convergence statistics — the
+/// experiment harness uses this to attribute solver work to each run.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] under the same conditions as [`solve`].
+pub fn solve_with_stats(
+    stack: &LayerStack,
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<Solution, SolveError> {
+    System::assemble(stack, bc, cfg)?.steady_with_stats()
 }
 
 /// Integrates the stack's transient response from a uniform ambient start

@@ -1,6 +1,6 @@
 //! Conductivity sensitivity sweeps (Fig. 3 of the paper).
 
-use crate::solver::{solve, SolveError, SolverConfig};
+use crate::solver::{solve_with_stats, SolveError, SolveStats, SolverConfig};
 use crate::stack::{Boundary, LayerStack};
 
 /// One sweep point: the conductivity tried and the resulting peak
@@ -31,16 +31,38 @@ pub fn conductivity_sweep(
     bc: Boundary,
     cfg: SolverConfig,
 ) -> Result<Vec<SweepPoint>, SolveError> {
+    Ok(conductivity_sweep_stats(stack, layer, ks, bc, cfg)?.0)
+}
+
+/// [`conductivity_sweep`], also returning the accumulated CG statistics
+/// of every solve in the sweep.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+///
+/// # Panics
+///
+/// Panics if `layer` names no layer in the stack.
+pub fn conductivity_sweep_stats(
+    stack: &LayerStack,
+    layer: &str,
+    ks: &[f64],
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<(Vec<SweepPoint>, SolveStats), SolveError> {
     let mut out = Vec::with_capacity(ks.len());
+    let mut stats = SolveStats::default();
     for &k in ks {
         let swept = stack.with_layer_conductivity(layer, k);
-        let field = solve(&swept, bc, cfg)?;
+        let sol = solve_with_stats(&swept, bc, cfg)?;
+        stats.absorb(sol.stats);
         out.push(SweepPoint {
             k,
-            peak_c: field.peak(),
+            peak_c: sol.field.peak(),
         });
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Sweeps several layers' conductivities together — Fig. 3's "Cu metal
@@ -60,19 +82,41 @@ pub fn conductivity_sweep_multi(
     bc: Boundary,
     cfg: SolverConfig,
 ) -> Result<Vec<SweepPoint>, SolveError> {
+    Ok(conductivity_sweep_multi_stats(stack, layers, ks, bc, cfg)?.0)
+}
+
+/// [`conductivity_sweep_multi`], also returning the accumulated CG
+/// statistics of every solve in the sweep.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+///
+/// # Panics
+///
+/// Panics if any name is missing from the stack.
+pub fn conductivity_sweep_multi_stats(
+    stack: &LayerStack,
+    layers: &[&str],
+    ks: &[f64],
+    bc: Boundary,
+    cfg: SolverConfig,
+) -> Result<(Vec<SweepPoint>, SolveStats), SolveError> {
     let mut out = Vec::with_capacity(ks.len());
+    let mut stats = SolveStats::default();
     for &k in ks {
         let mut swept = stack.clone();
         for name in layers {
             swept = swept.with_layer_conductivity(name, k);
         }
-        let field = solve(&swept, bc, cfg)?;
+        let sol = solve_with_stats(&swept, bc, cfg)?;
+        stats.absorb(sol.stats);
         out.push(SweepPoint {
             k,
-            peak_c: field.peak(),
+            peak_c: sol.field.peak(),
         });
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// The conductivity grid used by Fig. 3 (60 down to 3 W/mK).

@@ -18,7 +18,12 @@ pub enum Scale {
 }
 
 /// Parameters shared by all RMS workload generators.
+///
+/// Marked `#[non_exhaustive]`: construct with [`WorkloadParams::test`],
+/// [`WorkloadParams::paper`] or [`WorkloadParams::builder`] so new fields
+/// can be added without breaking downstream callers.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct WorkloadParams {
     /// Generation scale.
     pub scale: Scale,
@@ -63,6 +68,56 @@ impl WorkloadParams {
             Scale::Test => test,
             Scale::Paper => paper,
         }
+    }
+
+    /// Starts a builder seeded with the default (paper-scale) parameters.
+    #[must_use]
+    pub fn builder() -> WorkloadParamsBuilder {
+        WorkloadParamsBuilder {
+            params: WorkloadParams::default(),
+        }
+    }
+}
+
+/// Builder for [`WorkloadParams`].
+#[derive(Debug, Clone)]
+pub struct WorkloadParamsBuilder {
+    params: WorkloadParams,
+}
+
+impl WorkloadParamsBuilder {
+    /// Generation scale.
+    #[must_use]
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.params.scale = scale;
+        self
+    }
+
+    /// Seed for the deterministic pseudo-random structure.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Number of threads.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.params.threads = threads;
+        self
+    }
+
+    /// Interleave granularity when merging per-thread streams, in records.
+    #[must_use]
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.params.chunk = chunk;
+        self
+    }
+
+    /// Finishes the parameters.
+    #[must_use]
+    pub fn build(self) -> WorkloadParams {
+        self.params
     }
 }
 

@@ -1,8 +1,7 @@
 //! Deterministic synthetic sparse-matrix patterns (CSR) for the sparse RMS
 //! kernels.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use stacksim_rng::StdRng;
 
 /// A CSR sparsity pattern: row extents plus column indices. Values are not
 //  stored — the kernels only need the address structure.
@@ -42,7 +41,7 @@ impl SparsePattern {
         row_ptr.push(0);
         for r in 0..rows {
             // vary row length a little around the average
-            let nnz = (avg_nnz as i64 + rng.gen_range(-1..=1)).max(1) as u64;
+            let nnz = (avg_nnz as i64 + rng.gen_range(-1i64..=1)).max(1) as u64;
             let diag = r * cols / rows;
             for _ in 0..nnz {
                 let c = if rng.gen_bool(band_fraction) {

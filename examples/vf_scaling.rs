@@ -16,11 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ScalingModel::fig11_3d();
     let folded = folded_p4();
     let planar = pentium4_147w();
-    let cfg = SolverConfig {
-        nx: 24,
-        ny: 20,
-        ..SolverConfig::default()
-    };
+    let cfg = SolverConfig::builder().nx(24).ny(20).build();
     let d0 = &folded.dies()[0];
     let d1 = &folded.dies()[1];
     let bc = Boundary::performance().scaled_to_area(planar.area(), d0.area());

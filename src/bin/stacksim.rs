@@ -1,0 +1,237 @@
+//! The experiment-harness CLI: list, run and cache every table and figure
+//! of the paper.
+//!
+//! ```text
+//! stacksim list
+//! stacksim run --all [--jobs N] [--serial] [--no-cache] [--cache-dir D]
+//!              [--test-scale] [--report FILE] [--show]
+//! stacksim run fig5 table4 ...
+//! stacksim clean [--cache-dir D]
+//! ```
+//!
+//! `run` executes the selection (plus transitive dependencies) in
+//! parallel, memoizes artifacts under the cache directory, and prints a
+//! per-experiment telemetry summary: wall time, cache hits, CG solver
+//! iterations, simulated trace lengths. A second `run` with the same
+//! configuration completes from cache — the telemetry shows zero solver
+//! iterations and zero trace records.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stacksim::core::harness::{default_cache_dir, render, MemoCache, Registry, RunOptions, Runner};
+use stacksim::core::{fmt_f, TextTable};
+use stacksim::workloads::WorkloadParams;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: stacksim <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                      list registered experiments and dependencies\n\
+         \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
+         \x20 clean                     delete the memo cache\n\
+         \n\
+         run options:\n\
+         \x20 --all            run every registered experiment\n\
+         \x20 --jobs N         worker threads (default: all CPUs)\n\
+         \x20 --serial         one worker thread (same results, bit-identical)\n\
+         \x20 --no-cache       neither read nor write the memo cache\n\
+         \x20 --cache-dir D    cache directory (default: target/stacksim-cache)\n\
+         \x20 --test-scale     small traces for a fast smoke run\n\
+         \x20 --report FILE    write the JSON run report to FILE\n\
+         \x20 --show           print each artifact's rendered table"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    match command.as_str() {
+        "list" => list(),
+        "run" => run(&args[1..]),
+        "clean" => clean(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn list() -> ExitCode {
+    let registry = Registry::standard();
+    let mut t = TextTable::new(["experiment", "depends on"]);
+    for exp in registry.experiments() {
+        let deps = exp.deps();
+        t.row([
+            exp.name().to_string(),
+            if deps.len() > 4 {
+                format!("{} experiments", deps.len())
+            } else {
+                deps.join(", ")
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    ExitCode::SUCCESS
+}
+
+struct RunArgs {
+    names: Vec<String>,
+    all: bool,
+    jobs: usize,
+    no_cache: bool,
+    cache_dir: PathBuf,
+    test_scale: bool,
+    report: Option<PathBuf>,
+    show: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Option<RunArgs> {
+    let mut out = RunArgs {
+        names: Vec::new(),
+        all: false,
+        jobs: 0,
+        no_cache: false,
+        cache_dir: default_cache_dir(),
+        test_scale: false,
+        report: None,
+        show: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => out.all = true,
+            "--serial" => out.jobs = 1,
+            "--no-cache" => out.no_cache = true,
+            "--test-scale" => out.test_scale = true,
+            "--show" => out.show = true,
+            "--jobs" => out.jobs = it.next()?.parse().ok()?,
+            "--cache-dir" => out.cache_dir = PathBuf::from(it.next()?),
+            "--report" => out.report = Some(PathBuf::from(it.next()?)),
+            name if !name.starts_with('-') => out.names.push(name.to_string()),
+            _ => return None,
+        }
+    }
+    if out.all == out.names.is_empty() {
+        Some(out)
+    } else {
+        // both or neither of --all / explicit names
+        None
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(run_args) = parse_run_args(args) else {
+        return usage();
+    };
+    let params = if run_args.test_scale {
+        WorkloadParams::test()
+    } else {
+        WorkloadParams::paper()
+    };
+    let cache = if run_args.no_cache {
+        MemoCache::disabled()
+    } else {
+        MemoCache::at(&run_args.cache_dir)
+    };
+    let runner = Runner::new(
+        Registry::standard(),
+        RunOptions {
+            params,
+            jobs: run_args.jobs,
+            cache,
+        },
+    );
+    let outcome = if run_args.all {
+        runner.run_all()
+    } else {
+        runner.run(&run_args.names)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut t = TextTable::new(["experiment", "status", "wall s", "CG iters", "trace refs"]);
+    for entry in &outcome.report.entries {
+        t.row([
+            entry.name.clone(),
+            if entry.error.is_some() {
+                "FAILED".to_string()
+            } else if entry.cached {
+                "cached".to_string()
+            } else {
+                "ran".to_string()
+            },
+            fmt_f(entry.wall_s, 3),
+            entry.telemetry.solver.iterations.to_string(),
+            entry.telemetry.trace_records().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "{} experiments, {} workers, {:.3} s wall, {} CG iterations, {} trace refs",
+        outcome.report.entries.len(),
+        outcome.report.jobs,
+        outcome.report.wall_s,
+        outcome.report.total_cg_iterations(),
+        outcome.report.total_trace_records(),
+    );
+
+    if run_args.show {
+        // deterministic order: as reported
+        for entry in &outcome.report.entries {
+            if let Some(artifact) = outcome.artifacts.get(&entry.name) {
+                println!("\n== {} ==", entry.name);
+                println!("{}", render::render(artifact));
+            }
+        }
+    }
+
+    if let Some(path) = &run_args.report {
+        if let Err(e) = outcome.report.write(path) {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+
+    let mut failed = false;
+    for (name, error) in &outcome.errors {
+        eprintln!("stacksim: {name} failed: {error}");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn clean(args: &[String]) -> ExitCode {
+    let mut cache_dir = default_cache_dir();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match MemoCache::at(&cache_dir).clean() {
+        Ok(n) => {
+            println!("removed {n} cache entries from {}", cache_dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

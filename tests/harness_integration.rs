@@ -1,0 +1,146 @@
+//! Integration: the experiment harness — registry fan-out, disk
+//! memoization, telemetry and parallel/serial determinism — spanning
+//! `stacksim-core`, `stacksim-thermal`, `stacksim-mem` and
+//! `stacksim-workloads`.
+
+use std::path::PathBuf;
+
+use stacksim::core::harness::{Artifact, MemoCache, Registry, RunOptions, Runner};
+use stacksim::workloads::WorkloadParams;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-harness-{tag}-{}", std::process::id()));
+    // a stale dir from a crashed run must not poison the test
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn runner(params: WorkloadParams, jobs: usize, cache: MemoCache) -> Runner {
+    Runner::new(
+        Registry::standard(),
+        RunOptions {
+            params,
+            jobs,
+            cache,
+        },
+    )
+}
+
+#[test]
+fn memoization_same_digest_is_a_cache_hit_with_zero_solver_work() {
+    let dir = scratch_dir("memo");
+    let params = WorkloadParams::test();
+
+    let first = runner(params, 1, MemoCache::at(&dir))
+        .run(&["fig8".into()])
+        .unwrap();
+    let e1 = &first.report.entries[0];
+    assert!(!e1.cached, "cold cache must actually run");
+    assert!(
+        e1.telemetry.solver.iterations > 0,
+        "fig8 performs CG solves when it runs"
+    );
+
+    let second = runner(params, 1, MemoCache::at(&dir))
+        .run(&["fig8".into()])
+        .unwrap();
+    let e2 = &second.report.entries[0];
+    assert!(e2.cached, "same digest must hit the cache");
+    assert_eq!(
+        e2.telemetry.solver.iterations, 0,
+        "a cache hit does zero solver work"
+    );
+    assert_eq!(e1.digest, e2.digest);
+
+    // the cached artifact is bit-identical to the fresh one
+    let a = first.artifacts.get("fig8").unwrap();
+    let b = second.artifacts.get("fig8").unwrap();
+    assert_eq!(a.encode(), b.encode());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memoization_changed_config_is_a_miss_and_reruns() {
+    let dir = scratch_dir("digest");
+    let params = WorkloadParams::test();
+
+    let first = runner(params, 1, MemoCache::at(&dir))
+        .run(&["fig5:gauss".into()])
+        .unwrap();
+    assert!(!first.report.entries[0].cached);
+
+    // a different trace seed is a different experiment point: the digest
+    // must change and the cache must not serve the stale artifact
+    let mut reseeded = params;
+    reseeded.seed ^= 0xdead_beef;
+    let second = runner(reseeded, 1, MemoCache::at(&dir))
+        .run(&["fig5:gauss".into()])
+        .unwrap();
+    let (e1, e2) = (&first.report.entries[0], &second.report.entries[0]);
+    assert_ne!(e1.digest, e2.digest, "seed is part of the digest");
+    assert!(!e2.cached, "changed config must re-run");
+    assert!(
+        e2.telemetry.trace_records() > 0,
+        "the re-run simulates the trace again"
+    );
+
+    // and the original point still hits
+    let third = runner(params, 1, MemoCache::at(&dir))
+        .run(&["fig5:gauss".into()])
+        .unwrap();
+    assert!(third.report.entries[0].cached);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_and_serial_fig5_artifacts_are_bit_identical() {
+    let params = WorkloadParams::test();
+    let serial = runner(params, 1, MemoCache::disabled())
+        .run(&["fig5".into()])
+        .unwrap();
+    let parallel = runner(params, 4, MemoCache::disabled())
+        .run(&["fig5".into()])
+        .unwrap();
+    assert!(serial.errors.is_empty() && parallel.errors.is_empty());
+
+    // every per-benchmark point and the aggregate must match byte-for-byte
+    assert_eq!(serial.artifacts.len(), parallel.artifacts.len());
+    assert_eq!(serial.artifacts.len(), 13, "12 points + the aggregate");
+    for (name, artifact) in &serial.artifacts {
+        let other = parallel
+            .artifacts
+            .get(name)
+            .unwrap_or_else(|| panic!("parallel run missing {name}"));
+        assert_eq!(
+            artifact.encode(),
+            other.encode(),
+            "{name} differs between serial and parallel"
+        );
+    }
+}
+
+#[test]
+fn dependencies_run_before_dependents_and_artifacts_flow() {
+    let outcome = runner(WorkloadParams::test(), 2, MemoCache::disabled())
+        .run(&["headline".into()])
+        .unwrap();
+    assert!(outcome.errors.is_empty());
+    // headline pulls in fig5 which pulls in all twelve points
+    assert_eq!(outcome.artifacts.len(), 1 + 1 + 12);
+    let headline = outcome.artifacts.get("headline").unwrap();
+    match headline.as_ref() {
+        Artifact::Headline(h) => assert!(h.bandwidth_reduction_factor > 0.0),
+        other => panic!("expected headline artifact, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn unknown_experiment_is_an_error_not_a_panic() {
+    let err = runner(WorkloadParams::test(), 1, MemoCache::disabled())
+        .run(&["fig99".into()])
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("fig99"), "error names the experiment: {msg}");
+}

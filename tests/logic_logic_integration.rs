@@ -27,7 +27,7 @@ fn full_fold_beats_every_single_path_change() {
 
 #[test]
 fn table4_gains_are_all_non_negative_and_fp_dominates() {
-    let t = table4(10_000, 5);
+    let t = table4(10_000, 5).unwrap();
     for row in &t.rows {
         assert!(
             row.measured_pct > -0.5,

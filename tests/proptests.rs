@@ -1,9 +1,11 @@
-//! Property-based tests over the core data structures and invariants
+//! Randomized property tests over the core data structures and invariants
 //! (DESIGN.md §7): cache legality, DRAM bank-state machine, trace codec
 //! round-trips, engine determinism, power-grid conservation and the
 //! thermal maximum principle.
+//!
+//! Each property is exercised over a deterministic family of seeds with
+//! `stacksim_rng` generating the inputs, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use stacksim::floorplan::PowerGrid;
 use stacksim::mem::{
     Bus, BusConfig, Cache, CacheConfig, DramArray, DramConfig, DramTiming, Engine, EngineConfig,
@@ -11,6 +13,7 @@ use stacksim::mem::{
 };
 use stacksim::thermal::{solve, Boundary, Layer, LayerStack, SolverConfig};
 use stacksim::trace::{read_trace, write_trace, CpuId, MemOp, TraceBuilder};
+use stacksim_rng::StdRng;
 
 fn small_cache() -> Cache {
     Cache::new(CacheConfig {
@@ -22,40 +25,41 @@ fn small_cache() -> Cache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A cache never holds more lines than its capacity, and a line
-    /// reported as a hit was accessed before without an intervening
-    /// eviction of it.
-    #[test]
-    fn cache_capacity_and_hit_legality(addrs in prop::collection::vec(0u64..1 << 16, 1..400)) {
+/// A cache never holds more lines than its capacity, and a line reported
+/// as a hit was accessed before without an intervening eviction of it.
+#[test]
+fn cache_capacity_and_hit_legality() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..400);
         let mut c = small_cache();
         let mut resident: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for &a in &addrs {
+        for _ in 0..n {
+            let a: u64 = rng.gen_range(0..1 << 16);
             let line = a & !63;
             match c.access(a, false) {
-                Lookup::Hit => prop_assert!(resident.contains(&line), "hit on absent line {line:#x}"),
-                Lookup::SectorMiss => prop_assert!(resident.contains(&line)),
+                Lookup::Hit => assert!(resident.contains(&line), "hit on absent line {line:#x}"),
+                Lookup::SectorMiss => assert!(resident.contains(&line)),
                 Lookup::Miss(ev) => {
                     if let Some(ev) = ev {
-                        prop_assert!(resident.remove(&ev.line_addr), "evicted non-resident line");
+                        assert!(resident.remove(&ev.line_addr), "evicted non-resident line");
                     }
                     resident.insert(line);
                 }
             }
-            prop_assert!(c.occupied_lines() <= 32, "4 ways x 8 sets");
-            prop_assert_eq!(c.occupied_lines(), resident.len());
+            assert!(c.occupied_lines() <= 32, "4 ways x 8 sets");
+            assert_eq!(c.occupied_lines(), resident.len());
         }
     }
+}
 
-    /// DRAM accesses never travel back in time, bank service is exclusive
-    /// and page hits are only reported for genuinely open rows.
-    #[test]
-    fn dram_bank_state_machine_is_legal(
-        addrs in prop::collection::vec(0u64..1 << 20, 1..200),
-        times in prop::collection::vec(0u64..50, 1..200),
-    ) {
+/// DRAM accesses never travel back in time, bank service is exclusive and
+/// page hits are only reported for genuinely open rows.
+#[test]
+fn dram_bank_state_machine_is_legal() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..200);
         let mut d = DramArray::new(DramConfig {
             banks: 4,
             page_size: 512,
@@ -64,72 +68,94 @@ proptest! {
         });
         let mut clock = 0u64;
         let mut bank_free = [0u64; 4];
-        for (a, dt) in addrs.iter().zip(times.iter().cycle()) {
-            clock += dt;
-            let acc = d.access(*a, clock);
-            prop_assert!(acc.start >= clock, "service before arrival");
-            prop_assert!(acc.done > acc.start, "zero-latency access");
-            prop_assert!(acc.start >= bank_free[acc.bank as usize], "bank double-booked");
+        for _ in 0..n {
+            let a: u64 = rng.gen_range(0..1 << 20);
+            clock += rng.gen_range(0u64..50);
+            let acc = d.access(a, clock);
+            assert!(acc.start >= clock, "service before arrival");
+            assert!(acc.done > acc.start, "zero-latency access");
+            assert!(
+                acc.start >= bank_free[acc.bank as usize],
+                "bank double-booked"
+            );
             // the bank is busy for at least the burst after service start
             bank_free[acc.bank as usize] = acc.start + 8;
         }
     }
+}
 
-    /// The bus conserves bytes and never overlaps transfers.
-    #[test]
-    fn bus_transfers_never_overlap(
-        sizes in prop::collection::vec(1u64..512, 1..100),
-        gaps in prop::collection::vec(0u64..40, 1..100),
-    ) {
+/// The bus conserves bytes and never overlaps transfers.
+#[test]
+fn bus_transfers_never_overlap() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..100);
         let mut bus = Bus::new(BusConfig::table3());
         let mut t = 0u64;
         let mut prev_done = 0u64;
         let mut bytes = 0u64;
-        for (s, g) in sizes.iter().zip(gaps.iter().cycle()) {
-            t += g;
-            let x = bus.transfer(*s, t);
-            prop_assert!(x.start >= prev_done, "transfer overlap");
-            prop_assert!(x.start >= t);
-            prop_assert!(x.done > x.start);
+        for _ in 0..n {
+            let s: u64 = rng.gen_range(1..512);
+            t += rng.gen_range(0u64..40);
+            let x = bus.transfer(s, t);
+            assert!(x.start >= prev_done, "transfer overlap");
+            assert!(x.start >= t);
+            assert!(x.done > x.start);
             prev_done = x.done;
             bytes += s + BusConfig::table3().overhead_bytes;
         }
-        prop_assert_eq!(bus.bytes(), bytes);
+        assert_eq!(bus.bytes(), bytes);
     }
+}
 
-    /// Random (valid) traces round-trip through the binary codec.
-    #[test]
-    fn trace_codec_roundtrip(
-        ops in prop::collection::vec((0u8..3, 0u64..1 << 40, 0u64..1 << 30, any::<bool>(), 0u8..4), 0..300),
-    ) {
+/// Random (valid) traces round-trip through the binary codec.
+#[test]
+fn trace_codec_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0usize..300);
         let mut b = TraceBuilder::new();
-        for (op, addr, ip, has_dep, cpu) in ops {
-            let op = match op { 0 => MemOp::Load, 1 => MemOp::Store, _ => MemOp::IFetch };
-            let dep = if has_dep { b.last_id() } else { None };
+        for _ in 0..n {
+            let op = match rng.gen_range(0u8..3) {
+                0 => MemOp::Load,
+                1 => MemOp::Store,
+                _ => MemOp::IFetch,
+            };
+            let addr: u64 = rng.gen_range(0..1 << 40);
+            let ip: u64 = rng.gen_range(0..1 << 30);
+            let dep = if rng.gen_bool(0.5) { b.last_id() } else { None };
+            let cpu = rng.gen_range(0u8..4);
             b.record_dep(CpuId::new(cpu), op, addr, ip, dep);
         }
         let t = b.build();
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         let back = read_trace(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    /// The engine is a pure function of (trace, config): same inputs, same
-    /// timing — with and without dependencies honoured.
-    #[test]
-    fn engine_is_deterministic(
-        addrs in prop::collection::vec(0u64..1 << 22, 1..300),
-        window in 1usize..32,
-    ) {
+/// The engine is a pure function of (trace, config): same inputs, same
+/// timing — with and without dependencies honoured.
+#[test]
+fn engine_is_deterministic() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..300);
+        let window = rng.gen_range(1usize..32);
         let mut b = TraceBuilder::new();
-        for (i, &a) in addrs.iter().enumerate() {
+        for i in 0..n {
+            let a: u64 = rng.gen_range(0..1 << 22);
             let dep = if i % 3 == 0 { b.last_id() } else { None };
-            let op = if i % 5 == 0 { MemOp::Store } else { MemOp::Load };
+            let op = if i % 5 == 0 {
+                MemOp::Store
+            } else {
+                MemOp::Load
+            };
             b.record_dep(CpuId::new((i % 2) as u8), op, a, 0, dep);
         }
         let t = b.build();
-        let cfg = EngineConfig { window, ..EngineConfig::default() };
+        let cfg = EngineConfig::builder().window(window).build();
         let run = || {
             let mut e = Engine::new(
                 MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()),
@@ -139,47 +165,57 @@ proptest! {
         };
         let a = run();
         let b2 = run();
-        prop_assert_eq!(a.total_cycles, b2.total_cycles);
-        prop_assert_eq!(a.offdie_bytes, b2.offdie_bytes);
+        assert_eq!(a.total_cycles, b2.total_cycles);
+        assert_eq!(a.offdie_bytes, b2.offdie_bytes);
     }
+}
 
-    /// Power-grid resampling conserves total power at any resolution.
-    #[test]
-    fn power_grid_resample_conserves(
-        cells in prop::collection::vec(0.0f64..10.0, 12),
-        nx in 1usize..9,
-        ny in 1usize..9,
-    ) {
+/// Power-grid resampling conserves total power at any resolution.
+#[test]
+fn power_grid_resample_conserves() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut g = PowerGrid::zero(4, 3, 8.0, 6.0);
-        for (k, w) in cells.iter().enumerate() {
-            g.add(k % 4, k / 4, *w);
+        for k in 0..12 {
+            g.add(k % 4, k / 4, rng.gen_range(0.0..10.0));
         }
+        let nx = rng.gen_range(1usize..9);
+        let ny = rng.gen_range(1usize..9);
         let r = g.resampled(nx, ny);
-        prop_assert!((r.total() - g.total()).abs() < 1e-9 * (1.0 + g.total()));
+        assert!((r.total() - g.total()).abs() < 1e-9 * (1.0 + g.total()));
     }
+}
 
-    /// Thermal maximum principle: with convective boundaries at ambient,
-    /// no cell is ever colder than ambient or hotter than a lumped bound.
-    #[test]
-    fn thermal_solution_is_bounded(
-        watts in prop::collection::vec(0.0f64..30.0, 9),
-        h in 500.0f64..50_000.0,
-    ) {
+/// Thermal maximum principle: with convective boundaries at ambient, no
+/// cell is ever colder than ambient or hotter than a lumped bound.
+#[test]
+fn thermal_solution_is_bounded() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut g = PowerGrid::zero(3, 3, 9.0, 9.0);
-        for (k, w) in watts.iter().enumerate() {
-            g.add(k % 3, k / 3, *w);
+        for k in 0..9 {
+            g.add(k % 3, k / 3, rng.gen_range(0.0..30.0));
         }
+        let h = rng.gen_range(500.0..50_000.0);
         let total = g.total();
         let mut stack = LayerStack::new(9.0, 9.0);
         stack.push(Layer::passive("lid", 1e-3, 200.0));
         stack.push(Layer::active("die", 0.5e-3, 120.0, g));
-        let bc = Boundary { h_top: h, h_bottom: 10.0, ambient: 40.0 };
-        let cfg = SolverConfig { nx: 3, ny: 3, ..SolverConfig::default() };
+        let bc = Boundary {
+            h_top: h,
+            h_bottom: 10.0,
+            ambient: 40.0,
+        };
+        let cfg = SolverConfig::builder().nx(3).ny(3).build();
         let f = solve(&stack, bc, cfg).unwrap();
-        prop_assert!(f.min() >= 40.0 - 1e-6, "below ambient: {}", f.min());
+        assert!(f.min() >= 40.0 - 1e-6, "below ambient: {}", f.min());
         // lumped upper bound: all power through the weakest single-cell path
         let cell_area = (3e-3f64) * (3e-3);
         let r_worst = 1.0 / (h * cell_area) + 1e-3 / (200.0 * cell_area);
-        prop_assert!(f.peak() <= 40.0 + total * r_worst + 1e-6, "peak {} too hot", f.peak());
+        assert!(
+            f.peak() <= 40.0 + total * r_worst + 1e-6,
+            "peak {} too hot",
+            f.peak()
+        );
     }
 }

@@ -9,11 +9,7 @@ use stacksim::floorplan::{fold, worst_case_stack, FoldOptions};
 use stacksim::thermal::{solve, Boundary, LayerStack, SolverConfig};
 
 fn quick_cfg() -> SolverConfig {
-    SolverConfig {
-        nx: 20,
-        ny: 17,
-        ..SolverConfig::default()
-    }
+    SolverConfig::builder().nx(20).ny(17).build()
 }
 
 #[test]
@@ -121,11 +117,7 @@ fn solver_grid_refinement_converges() {
     // the discretisation is fine enough for the study's conclusions
     let cpu = core2_duo_92w();
     let run = |nx: usize, ny: usize| {
-        let cfg = SolverConfig {
-            nx,
-            ny,
-            ..SolverConfig::default()
-        };
+        let cfg = SolverConfig::builder().nx(nx).ny(ny).build();
         let stack = LayerStack::planar(cpu.width(), cpu.height(), cpu.power_grid(nx, ny));
         solve(&stack, Boundary::desktop(), cfg).unwrap().peak()
     };
