@@ -68,6 +68,20 @@ pub enum Error {
         /// The artifact asked for.
         wanted: String,
     },
+    /// Static validation rejected an experiment's machine description
+    /// before dispatch (the `stacksim check` preflight).
+    InvalidModel {
+        /// The experiment whose model failed validation.
+        experiment: String,
+        /// The lint report with the rejecting diagnostics.
+        report: stacksim_lint::Report,
+    },
+    /// An internal invariant of the harness was violated — a bug in the
+    /// harness itself, not in the caller's configuration.
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -107,6 +121,14 @@ impl fmt::Display for Error {
                 f,
                 "experiment '{experiment}' asked for unavailable artifact '{wanted}'"
             ),
+            Error::InvalidModel { experiment, report } => write!(
+                f,
+                "experiment '{experiment}' failed model validation:\n{}",
+                report.render_pretty()
+            ),
+            Error::Internal { detail } => {
+                write!(f, "internal harness invariant violated: {detail}")
+            }
         }
     }
 }
@@ -163,5 +185,26 @@ mod tests {
         };
         assert!(u.to_string().contains("fig99"));
         assert!(u.source().is_none());
+    }
+
+    #[test]
+    fn invalid_model_carries_the_report() {
+        let mut report = stacksim_lint::Report::new();
+        report.error("SL001", "fig8.die0", "blocks overlap");
+        let e = Error::InvalidModel {
+            experiment: "fig8".into(),
+            report,
+        };
+        let text = e.to_string();
+        assert!(text.contains("fig8"));
+        assert!(text.contains("SL001"));
+    }
+
+    #[test]
+    fn internal_names_the_invariant() {
+        let e = Error::Internal {
+            detail: "ready queue empty with work pending".into(),
+        };
+        assert!(e.to_string().contains("ready queue"));
     }
 }

@@ -35,12 +35,68 @@ pub trait Experiment: Send + Sync {
     /// the digest.
     fn params_digest(&self, params: &WorkloadParams) -> String;
 
+    /// Which [`WorkloadParams`] fields this experiment's result depends on.
+    /// The digest-coverage audit (`SL050`/`SL051`) perturbs each field and
+    /// verifies the declaration against [`params_digest`]'s actual
+    /// behaviour, so a new config field cannot silently alias cache
+    /// entries. Defaults to "sensitive to everything" — the safe answer
+    /// for experiments that thread the whole parameter set through.
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::all()
+    }
+
     /// Produces the artifact, recording telemetry into `ctx`.
     ///
     /// # Errors
     ///
     /// Any study failure; the runner records it and skips dependents.
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error>;
+}
+
+/// Which [`WorkloadParams`] fields an experiment declares as inputs to its
+/// [`Experiment::params_digest`]. One flag per field; adding a field to
+/// `WorkloadParams` means adding a flag here, which makes the digest audit
+/// re-examine every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSensitivity {
+    /// The digest depends on `params.scale`.
+    pub scale: bool,
+    /// The digest depends on `params.seed`.
+    pub seed: bool,
+    /// The digest depends on `params.threads`.
+    pub threads: bool,
+    /// The digest depends on `params.chunk`.
+    pub chunk: bool,
+}
+
+impl ParamSensitivity {
+    /// Sensitive to every workload parameter.
+    pub fn all() -> Self {
+        ParamSensitivity {
+            scale: true,
+            seed: true,
+            threads: true,
+            chunk: true,
+        }
+    }
+
+    /// Sensitive to no workload parameter (a fixed-input experiment).
+    pub fn none() -> Self {
+        ParamSensitivity {
+            scale: false,
+            seed: false,
+            threads: false,
+            chunk: false,
+        }
+    }
+
+    /// Sensitive only to the generation scale.
+    pub fn scale_only() -> Self {
+        ParamSensitivity {
+            scale: true,
+            ..Self::none()
+        }
+    }
 }
 
 /// Telemetry accumulated while one experiment runs.

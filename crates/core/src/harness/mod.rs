@@ -39,6 +39,7 @@
 
 mod artifact;
 mod cache;
+pub mod check;
 mod digest;
 mod experiment;
 pub mod json;
@@ -48,7 +49,8 @@ mod runner;
 
 pub use artifact::Artifact;
 pub use cache::{default_cache_dir, MemoCache};
+pub use check::{check_experiment, check_registry, digest_audit, model_for, preflight};
 pub use digest::Digest;
-pub use experiment::{Ctx, Experiment, MemRun, Telemetry};
+pub use experiment::{Ctx, Experiment, MemRun, ParamSensitivity, Telemetry};
 pub use registry::Registry;
 pub use runner::{run_one, ExperimentReport, RunOptions, RunOutcome, RunReport, Runner};

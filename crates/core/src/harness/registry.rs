@@ -7,7 +7,7 @@ use stacksim_workloads::{RmsBenchmark, WorkloadParams};
 
 use super::artifact::Artifact;
 use super::digest::Digest;
-use super::experiment::{Ctx, Experiment};
+use super::experiment::{Ctx, Experiment, ParamSensitivity};
 use crate::error::Error;
 use crate::logic_logic;
 use crate::memory_logic::{self, Fig5Data};
@@ -147,6 +147,10 @@ impl Experiment for Fig3Exp {
         "fig3"
     }
 
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::none()
+    }
+
     fn params_digest(&self, _params: &WorkloadParams) -> String {
         let mut d = base_digest(self.name());
         absorb_solver(&mut d);
@@ -250,6 +254,10 @@ impl Experiment for Fig6Exp {
         "fig6"
     }
 
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::none()
+    }
+
     fn params_digest(&self, _params: &WorkloadParams) -> String {
         let mut d = base_digest(self.name());
         absorb_solver(&mut d);
@@ -268,6 +276,10 @@ struct Fig8Exp;
 impl Experiment for Fig8Exp {
     fn name(&self) -> &str {
         "fig8"
+    }
+
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::none()
     }
 
     fn params_digest(&self, _params: &WorkloadParams) -> String {
@@ -290,6 +302,10 @@ impl Experiment for Fig11Exp {
         "fig11"
     }
 
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::none()
+    }
+
     fn params_digest(&self, _params: &WorkloadParams) -> String {
         let mut d = base_digest(self.name());
         absorb_solver(&mut d);
@@ -310,6 +326,10 @@ impl Experiment for Table4Exp {
         "table4"
     }
 
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::scale_only()
+    }
+
     fn params_digest(&self, params: &WorkloadParams) -> String {
         let mut d = base_digest(self.name());
         d.usize(table4_uops(params)).u64(TABLE4_SEED);
@@ -327,6 +347,10 @@ struct Table5Exp;
 impl Experiment for Table5Exp {
     fn name(&self) -> &str {
         "table5"
+    }
+
+    fn sensitivity(&self) -> ParamSensitivity {
+        ParamSensitivity::none()
     }
 
     fn params_digest(&self, _params: &WorkloadParams) -> String {

@@ -29,6 +29,12 @@ pub struct RunOptions {
     pub jobs: usize,
     /// The memo cache (disabled by default).
     pub cache: MemoCache,
+    /// Run the `stacksim check` lint passes over an experiment's model
+    /// before dispatching it (cache misses only — a hit proves the same
+    /// configuration already ran to completion). On by default; invalid
+    /// models fail fast with [`Error::InvalidModel`] instead of panicking
+    /// mid-run.
+    pub preflight: bool,
 }
 
 impl Default for RunOptions {
@@ -37,6 +43,7 @@ impl Default for RunOptions {
             params: WorkloadParams::paper(),
             jobs: 0,
             cache: MemoCache::disabled(),
+            preflight: true,
         }
     }
 }
@@ -203,7 +210,9 @@ impl Runner {
         let mut remaining_deps = HashMap::new();
         let mut dependents: HashMap<String, Vec<String>> = HashMap::new();
         for name in &selection {
-            let exp = self.registry.get(name).expect("expanded from registry");
+            let exp = self.registry.get(name).ok_or_else(|| Error::Internal {
+                detail: format!("selection '{name}' vanished from the registry"),
+            })?;
             let deps = exp.deps();
             remaining_deps.insert(name.clone(), deps.len());
             for dep in deps {
@@ -212,13 +221,19 @@ impl Runner {
         }
         {
             let mut counts = remaining_deps.clone();
-            let mut queue: VecDeque<&String> =
-                selection.iter().filter(|n| counts[*n] == 0).collect();
+            let mut queue: VecDeque<&String> = selection
+                .iter()
+                .filter(|n| counts.get(*n) == Some(&0))
+                .collect();
             let mut seen = 0;
             while let Some(n) = queue.pop_front() {
                 seen += 1;
                 for d in dependents.get(n.as_str()).into_iter().flatten() {
-                    let c = counts.get_mut(d).expect("dependent is selected");
+                    let Some(c) = counts.get_mut(d) else {
+                        return Err(Error::Internal {
+                            detail: format!("dependent '{d}' missing from the selection"),
+                        });
+                    };
                     *c -= 1;
                     if *c == 0 {
                         queue.push_back(d);
@@ -228,8 +243,10 @@ impl Runner {
             if seen != total {
                 let on_cycle = selection
                     .iter()
-                    .find(|n| counts[*n] > 0)
-                    .expect("some node left");
+                    .find(|n| counts.get(*n).is_some_and(|c| *c > 0))
+                    .ok_or_else(|| Error::Internal {
+                        detail: "cycle detected but no node with open deps".to_string(),
+                    })?;
                 return Err(Error::DependencyCycle {
                     name: on_cycle.clone(),
                 });
@@ -238,7 +255,7 @@ impl Runner {
 
         let ready: VecDeque<String> = selection
             .iter()
-            .filter(|n| remaining_deps[*n] == 0)
+            .filter(|n| remaining_deps.get(*n) == Some(&0))
             .cloned()
             .collect();
         let state = Mutex::new(State {
@@ -268,13 +285,19 @@ impl Runner {
             }
         });
 
-        let mut st = state.into_inner().expect("workers exited cleanly");
-        // report rows in deterministic (selection) order
+        // A worker can only poison the mutex by panicking between lock and
+        // unlock; the state it guards is still structurally sound, so
+        // recover it rather than cascading the panic.
+        let mut st = state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // report rows in deterministic (selection) order; unknown names
+        // (impossible unless a worker misbehaved) sort last
         st.reports.sort_by_key(|r| {
             selection
                 .iter()
                 .position(|n| *n == r.name)
-                .expect("reported experiment was selected")
+                .unwrap_or(usize::MAX)
         });
         Ok(RunOutcome {
             report: RunReport {
@@ -301,7 +324,9 @@ impl Runner {
             }
         }
         while let Some(name) = stack.pop() {
-            let exp = self.registry.get(&name).expect("checked on insert");
+            let exp = self.registry.get(&name).ok_or_else(|| Error::Internal {
+                detail: format!("'{name}' vanished from the registry mid-expansion"),
+            })?;
             for dep in exp.deps() {
                 if self.registry.get(&dep).is_none() {
                     return Err(Error::MissingDependency {
@@ -323,10 +348,18 @@ impl Runner {
             .collect())
     }
 
+    /// Locks the scheduler state, recovering from poisoning (the guarded
+    /// bookkeeping stays structurally sound even if a worker panicked).
+    fn lock_state<'a>(state: &'a Mutex<State>) -> std::sync::MutexGuard<'a, State> {
+        state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn worker(&self, state: &Mutex<State>, cv: &Condvar) {
         loop {
             let name = {
-                let mut st = state.lock().expect("scheduler lock");
+                let mut st = Self::lock_state(state);
                 loop {
                     if let Some(n) = st.ready.pop_front() {
                         st.active += 1;
@@ -335,7 +368,9 @@ impl Runner {
                     if st.done == st.total {
                         break None;
                     }
-                    st = cv.wait(st).expect("scheduler lock");
+                    st = cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
             };
             let Some(name) = name else {
@@ -343,17 +378,37 @@ impl Runner {
                 return;
             };
 
-            let exp = self.registry.get(&name).expect("scheduled from registry");
-            let deps: HashMap<String, Arc<Artifact>> = {
-                let st = state.lock().expect("scheduler lock");
-                exp.deps()
-                    .into_iter()
-                    .filter_map(|d| st.results.get(&d).map(|a| (d, a.clone())))
-                    .collect()
+            let outcome = match self.registry.get(&name) {
+                Some(exp) => {
+                    let deps: HashMap<String, Arc<Artifact>> = {
+                        let st = Self::lock_state(state);
+                        exp.deps()
+                            .into_iter()
+                            .filter_map(|d| st.results.get(&d).map(|a| (d, a.clone())))
+                            .collect()
+                    };
+                    self.execute(exp.as_ref(), deps)
+                }
+                None => {
+                    // Unreachable unless the registry changed under us;
+                    // record the invariant violation instead of panicking
+                    // the worker pool.
+                    let error = Error::Internal {
+                        detail: format!("scheduled experiment '{name}' is not registered"),
+                    };
+                    let report = ExperimentReport {
+                        name: name.clone(),
+                        digest: String::new(),
+                        cached: false,
+                        wall_s: 0.0,
+                        error: Some(error.to_string()),
+                        telemetry: Telemetry::default(),
+                    };
+                    (report, Err(error))
+                }
             };
-            let outcome = self.execute(exp.as_ref(), deps);
 
-            let mut st = state.lock().expect("scheduler lock");
+            let mut st = Self::lock_state(state);
             st.active -= 1;
             st.done += 1;
             match outcome {
@@ -364,13 +419,13 @@ impl Runner {
                     let unblocked: Vec<String> =
                         st.dependents.get(&name).cloned().unwrap_or_default();
                     for d in unblocked {
-                        let c = st
-                            .remaining_deps
-                            .get_mut(&d)
-                            .expect("dependent is selected");
-                        *c -= 1;
-                        if *c == 0 && !st.failed.contains(&d) {
-                            st.ready.push_back(d);
+                        // absent counters (impossible for a selected
+                        // dependent) are simply left alone
+                        if let Some(c) = st.remaining_deps.get_mut(&d) {
+                            *c -= 1;
+                            if *c == 0 && !st.failed.contains(&d) {
+                                st.ready.push_back(d);
+                            }
                         }
                     }
                 }
@@ -438,6 +493,9 @@ impl Runner {
                 Ok(artifact)
             }
             None => {
+                if self.options.preflight {
+                    super::check::preflight(&name, &self.options.params)?;
+                }
                 let ctx = Ctx::new(&name, self.options.params, deps);
                 let run = catch_unwind(AssertUnwindSafe(|| {
                     let artifact = exp.run(&ctx)?;

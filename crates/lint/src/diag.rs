@@ -1,0 +1,259 @@
+//! The diagnostics engine: stable codes, severities, config-path spans and
+//! two renderers (pretty terminal text and machine-readable JSON).
+//!
+//! Every diagnostic carries a stable `SLnnn` code so tooling (CI greps,
+//! baselines, editors) can match on the *kind* of problem independent of
+//! message wording. The span is a config path — `fig8.stack[1].block 'l2'` —
+//! pointing at the offending field of the machine description, not a source
+//! location: the descriptions being checked are built in code.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not fatal; the model can still be simulated.
+    Warning,
+    /// The model is inconsistent; simulating it would produce garbage or
+    /// panic mid-run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding of a lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`SL001`-style). Never reuse a retired code.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Config path to the offending field, e.g. `fig8.stack.die 'dram32'`.
+    pub span: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}",
+            self.severity, self.code, self.message, self.span
+        )
+    }
+}
+
+/// An ordered collection of diagnostics plus summary queries and renderers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Records an error.
+    pub fn error(
+        &mut self,
+        code: &'static str,
+        span: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diags.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: span.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Records a warning.
+    pub fn warn(
+        &mut self,
+        code: &'static str,
+        span: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diags.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span: span.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Appends every diagnostic of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// Appends every diagnostic of `other` with `prefix.` prepended to each
+    /// span (used to scope a per-experiment report into a combined one).
+    pub fn merge_under(&mut self, prefix: &str, other: Report) {
+        for mut d in other.diags {
+            d.span = format!("{prefix}.{}", d.span);
+            self.diags.push(d);
+        }
+    }
+
+    /// All diagnostics, in the order they were recorded.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diags.len() - self.error_count()
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the report is completely empty (no errors, no warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// The distinct codes present, sorted.
+    pub fn codes(&self) -> BTreeSet<&'static str> {
+        self.diags.iter().map(|d| d.code).collect()
+    }
+
+    /// Whether a diagnostic with the given code was recorded.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// Pretty terminal rendering: one `error[SLnnn]` block per diagnostic
+    /// plus a summary line.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error{}, {} warning{}",
+            self.error_count(),
+            if self.error_count() == 1 { "" } else { "s" },
+            self.warning_count(),
+            if self.warning_count() == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering: a single object with a
+    /// `diagnostics` array plus `errors`/`warnings` counts. Output order is
+    /// the recording order, so it is deterministic for a fixed model.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":{},\"severity\":{},\"span\":{},\"message\":{}}}",
+                json_str(d.code),
+                json_str(&d.severity.to_string()),
+                json_str(&d.span),
+                json_str(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{}}}",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+}
+
+/// Encodes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_flags() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        r.warn("SL999", "a.b", "looks odd");
+        r.error("SL998", "a.c", "broken");
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors() && !r.is_clean());
+        assert!(r.has_code("SL998") && !r.has_code("SL000"));
+        assert_eq!(r.codes().len(), 2);
+    }
+
+    #[test]
+    fn pretty_rendering_names_code_and_span() {
+        let mut r = Report::new();
+        r.error("SL001", "fig8.die0", "blocks overlap");
+        let text = r.render_pretty();
+        assert!(text.contains("error[SL001]: blocks overlap"));
+        assert!(text.contains("--> fig8.die0"));
+        assert!(text.contains("1 error, 0 warnings"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let mut r = Report::new();
+        r.warn("SL010", "stack.layer \"tim\"", "odd\norder");
+        let json = r.render_json();
+        assert!(json.contains("\\\"tim\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"errors\":0"));
+        assert!(json.contains("\"warnings\":1"));
+        assert!(json.contains("\"severity\":\"warning\""));
+    }
+
+    #[test]
+    fn merge_under_prefixes_spans() {
+        let mut inner = Report::new();
+        inner.error("SL001", "die0", "overlap");
+        let mut outer = Report::new();
+        outer.merge_under("fig8", inner);
+        assert_eq!(outer.diagnostics()[0].span, "fig8.die0");
+    }
+}

@@ -1,0 +1,145 @@
+//! The [`Pass`] trait and the pass registry.
+//!
+//! Mirrors the experiment harness's `Registry`: passes are cheap,
+//! shareable, named units registered once and run as a batch. Each pass
+//! inspects the components of a [`Model`] it understands and records
+//! diagnostics; components it does not understand are ignored, so one
+//! registry serves every experiment's model.
+
+use crate::diag::Report;
+use crate::model::Model;
+use crate::passes;
+
+/// One static validation rule over a machine description.
+pub trait Pass: Send + Sync {
+    /// Stable registry id, kebab-case (e.g. `floorplan-overlap`).
+    fn id(&self) -> &'static str;
+
+    /// The diagnostic codes this pass can emit.
+    fn codes(&self) -> &'static [&'static str];
+
+    /// One-line description of what the pass rejects.
+    fn description(&self) -> &'static str;
+
+    /// Checks `model`, recording findings in `report`.
+    fn run(&self, model: &Model, report: &mut Report);
+}
+
+/// A named collection of lint passes.
+pub struct PassRegistry {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl std::fmt::Debug for PassRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassRegistry")
+            .field("passes", &self.ids())
+            .finish()
+    }
+}
+
+impl PassRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PassRegistry { passes: Vec::new() }
+    }
+
+    /// Every model-validation pass shipped with the linter.
+    pub fn standard() -> Self {
+        let mut r = PassRegistry::new();
+        for p in passes::all() {
+            r.add(p);
+        }
+        r
+    }
+
+    /// Registers a pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already taken — two passes sharing an id would
+    /// make diagnostics untraceable to their rule.
+    pub fn add(&mut self, pass: Box<dyn Pass>) {
+        assert!(
+            self.get(pass.id()).is_none(),
+            "duplicate pass id '{}'",
+            pass.id()
+        );
+        self.passes.push(pass);
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.id()).collect()
+    }
+
+    /// Looks a pass up by id.
+    pub fn get(&self, id: &str) -> Option<&dyn Pass> {
+        self.passes.iter().find(|p| p.id() == id).map(AsRef::as_ref)
+    }
+
+    /// All passes, in registration order.
+    pub fn passes(&self) -> impl Iterator<Item = &dyn Pass> {
+        self.passes.iter().map(AsRef::as_ref)
+    }
+
+    /// Runs every pass over `model` and returns the combined report.
+    pub fn run(&self, model: &Model) -> Report {
+        let mut report = Report::new();
+        for p in &self.passes {
+            p.run(model, &mut report);
+        }
+        report
+    }
+}
+
+impl Default for PassRegistry {
+    fn default() -> Self {
+        PassRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_unique_ids_and_codes() {
+        let r = PassRegistry::standard();
+        let ids = r.ids();
+        assert!(ids.len() >= 12, "at least 12 passes, got {}", ids.len());
+        let unique: std::collections::BTreeSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "duplicate pass id");
+
+        let mut codes = Vec::new();
+        for p in r.passes() {
+            assert!(!p.codes().is_empty(), "{} declares no codes", p.id());
+            assert!(!p.description().is_empty());
+            codes.extend_from_slice(p.codes());
+        }
+        let unique_codes: std::collections::BTreeSet<_> = codes.iter().collect();
+        assert_eq!(unique_codes.len(), codes.len(), "a code is claimed twice");
+        for c in &codes {
+            assert!(c.starts_with("SL") && c.len() == 5, "malformed code {c:?}");
+        }
+    }
+
+    #[test]
+    fn empty_model_is_clean() {
+        let r = PassRegistry::standard();
+        let report = r.run(&Model::new());
+        assert!(report.is_clean(), "{}", report.render_pretty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pass id")]
+    fn duplicate_registration_panics() {
+        let mut r = PassRegistry::standard();
+        let first = PassRegistry::standard().ids()[0];
+        for p in passes::all() {
+            if p.id() == first {
+                r.add(p);
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Floorplan passes: block legality, fold conservation, wire routing and
+//! die-to-die alignment (§4 of the paper).
+
+use super::positive;
+use crate::diag::Report;
+use crate::model::{DieDesc, Model};
+use crate::pass::Pass;
+
+/// Geometric slack in mm below which differences are floating-point noise
+/// (matches `StackedFloorplan::validate`).
+const GEOM_EPS: f64 = 1e-9;
+
+/// Overlap area in mm² below which two blocks merely abut (matches
+/// `Floorplan::validate`'s `EPS_AREA`).
+const OVERLAP_EPS_AREA: f64 = 1e-6;
+
+/// Out-of-frame slack in mm (matches `Floorplan::validate`).
+const BOUNDS_EPS: f64 = 1e-6;
+
+/// Relative tolerance for the fold conservation checks.
+const FOLD_RTOL: f64 = 1e-6;
+
+/// `SL001`: no two blocks of one die may overlap.
+pub struct BlockOverlap;
+
+impl Pass for BlockOverlap {
+    fn id(&self) -> &'static str {
+        "floorplan-overlap"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL001"]
+    }
+
+    fn description(&self) -> &'static str {
+        "blocks placed on one die must not overlap"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, die) in model.all_dies() {
+            for (i, a) in die.blocks.iter().enumerate() {
+                for b in &die.blocks[i + 1..] {
+                    let ov = a.overlap_area(b);
+                    if ov > OVERLAP_EPS_AREA {
+                        report.error(
+                            "SL001",
+                            format!("{path}.block '{}'", a.name),
+                            format!(
+                                "block '{}' overlaps block '{}' by {ov:.4} mm²",
+                                a.name, b.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `SL002`: every block must be degenerate-free and inside its die frame.
+pub struct BlockBounds;
+
+impl Pass for BlockBounds {
+    fn id(&self) -> &'static str {
+        "floorplan-bounds"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL002"]
+    }
+
+    fn description(&self) -> &'static str {
+        "blocks must have positive dimensions and lie inside the die frame"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, die) in model.all_dies() {
+            for b in &die.blocks {
+                let span = format!("{path}.block '{}'", b.name);
+                if !positive(b.w) || !positive(b.h) {
+                    report.error(
+                        "SL002",
+                        span,
+                        format!("degenerate block: {} × {} mm", b.w, b.h),
+                    );
+                    continue;
+                }
+                if b.x < -BOUNDS_EPS
+                    || b.y < -BOUNDS_EPS
+                    || b.x + b.w > die.width + BOUNDS_EPS
+                    || b.y + b.h > die.height + BOUNDS_EPS
+                {
+                    report.error(
+                        "SL002",
+                        span,
+                        format!(
+                            "block at ({}, {}) size {} × {} leaves the {} × {} mm die frame",
+                            b.x, b.y, b.w, b.h, die.width, die.height
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SL003`: a 2D→3D fold must conserve total block area — the fold splits
+/// blocks across dies, it does not shrink or grow them.
+pub struct FoldAreaConservation;
+
+impl Pass for FoldAreaConservation {
+    fn id(&self) -> &'static str {
+        "fold-area"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL003"]
+    }
+
+    fn description(&self) -> &'static str {
+        "folding a planar die must conserve total block area"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for f in &model.folds {
+            let planar = f.planar.block_area();
+            let folded: f64 = f.folded.dies.iter().map(DieDesc::block_area).sum();
+            if (folded - planar).abs() > FOLD_RTOL * planar.max(GEOM_EPS) {
+                report.error(
+                    "SL003",
+                    format!("{}.folded", f.path),
+                    format!(
+                        "fold changed total block area: planar {planar:.4} mm², folded {folded:.4} mm²"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `SL004`: a fold must conserve power up to its declared scale factor
+/// (§4: shorter wires save ~15%, so the scale is typically 0.85).
+pub struct FoldPowerConservation;
+
+impl Pass for FoldPowerConservation {
+    fn id(&self) -> &'static str {
+        "fold-power"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL004"]
+    }
+
+    fn description(&self) -> &'static str {
+        "folded power must equal planar power times the declared scale"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for f in &model.folds {
+            if !positive(f.power_scale) || f.power_scale > 1.0 + FOLD_RTOL {
+                report.error(
+                    "SL004",
+                    format!("{}.power_scale", f.path),
+                    format!(
+                        "power scale {} is outside (0, 1]: a fold cannot add power",
+                        f.power_scale
+                    ),
+                );
+                continue;
+            }
+            let expected = f.planar.total_power() * f.power_scale;
+            let folded: f64 = f.folded.dies.iter().map(DieDesc::total_power).sum();
+            if (folded - expected).abs() > FOLD_RTOL * expected.max(GEOM_EPS) {
+                report.error(
+                    "SL004",
+                    format!("{}.folded", f.path),
+                    format!(
+                        "folded power {folded:.3} W differs from planar {:.3} W × scale {} = {expected:.3} W",
+                        f.planar.total_power(),
+                        f.power_scale
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `SL005`: every wire-route endpoint must name a block that exists in the
+/// floorplan the route is drawn on.
+pub struct OrphanWire;
+
+impl Pass for OrphanWire {
+    fn id(&self) -> &'static str {
+        "wire-endpoints"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL005"]
+    }
+
+    fn description(&self) -> &'static str {
+        "wire routes must connect blocks that exist in the floorplan"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for w in &model.wires {
+            for ep in &w.endpoints {
+                if !w.available.contains(ep) {
+                    report.error(
+                        "SL005",
+                        format!("{}.route '{}'", w.path, w.route),
+                        format!("endpoint block '{ep}' does not exist in the floorplan"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SL006`: all dies of a stack must share one frame — face-to-face vias
+/// between misaligned die frames cannot be placed.
+pub struct StackAlignment;
+
+impl Pass for StackAlignment {
+    fn id(&self) -> &'static str {
+        "stack-alignment"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL006"]
+    }
+
+    fn description(&self) -> &'static str {
+        "stacked dies must share the same frame for F2F via alignment"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, stack) in model.all_stacks() {
+            if stack.dies.is_empty() {
+                report.error("SL006", path, "stack contains no dies");
+                continue;
+            }
+            let first = &stack.dies[0];
+            for (i, d) in stack.dies.iter().enumerate().skip(1) {
+                if (d.width - first.width).abs() > GEOM_EPS
+                    || (d.height - first.height).abs() > GEOM_EPS
+                {
+                    report.error(
+                        "SL006",
+                        format!("{path}.die[{i}] '{}'", d.name),
+                        format!(
+                            "die frame {} × {} mm does not match die[0] '{}' at {} × {} mm",
+                            d.width, d.height, first.name, first.width, first.height
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BlockDesc, FoldDesc, StackDesc, WireDesc};
+
+    fn block(name: &str, x: f64, y: f64, w: f64, h: f64, power: f64) -> BlockDesc {
+        BlockDesc {
+            name: name.into(),
+            x,
+            y,
+            w,
+            h,
+            power,
+        }
+    }
+
+    fn die(name: &str, w: f64, h: f64, blocks: Vec<BlockDesc>) -> DieDesc {
+        DieDesc {
+            name: name.into(),
+            width: w,
+            height: h,
+            blocks,
+        }
+    }
+
+    fn run(pass: &dyn Pass, model: &Model) -> Report {
+        let mut r = Report::new();
+        pass.run(model, &mut r);
+        r
+    }
+
+    #[test]
+    fn sl001_fires_on_overlapping_blocks() {
+        let model = Model {
+            dies: vec![(
+                "fx".into(),
+                die(
+                    "d",
+                    10.0,
+                    10.0,
+                    vec![
+                        block("a", 0.0, 0.0, 5.0, 5.0, 1.0),
+                        block("b", 4.0, 4.0, 5.0, 5.0, 1.0),
+                    ],
+                ),
+            )],
+            ..Model::new()
+        };
+        let r = run(&BlockOverlap, &model);
+        assert!(r.has_code("SL001"), "{}", r.render_pretty());
+        assert!(r.has_errors());
+        // non-overlapping pair is clean
+        let clean = Model {
+            dies: vec![(
+                "fx".into(),
+                die(
+                    "d",
+                    10.0,
+                    10.0,
+                    vec![
+                        block("a", 0.0, 0.0, 5.0, 5.0, 1.0),
+                        block("b", 5.0, 5.0, 5.0, 5.0, 1.0),
+                    ],
+                ),
+            )],
+            ..Model::new()
+        };
+        assert!(run(&BlockOverlap, &clean).is_clean());
+    }
+
+    #[test]
+    fn sl002_fires_on_out_of_bounds_and_degenerate_blocks() {
+        let model = Model {
+            dies: vec![(
+                "fx".into(),
+                die(
+                    "d",
+                    10.0,
+                    10.0,
+                    vec![
+                        block("off", 8.0, 8.0, 5.0, 5.0, 1.0),
+                        block("flat", 0.0, 0.0, 0.0, 2.0, 0.0),
+                    ],
+                ),
+            )],
+            ..Model::new()
+        };
+        let r = run(&BlockBounds, &model);
+        assert!(r.has_code("SL002"));
+        assert_eq!(r.error_count(), 2);
+    }
+
+    #[test]
+    fn sl003_fires_when_fold_loses_area() {
+        let planar = die(
+            "p",
+            10.0,
+            10.0,
+            vec![block("a", 0.0, 0.0, 10.0, 10.0, 50.0)],
+        );
+        let model = Model {
+            folds: vec![FoldDesc {
+                path: "fx".into(),
+                planar: planar.clone(),
+                folded: StackDesc {
+                    name: "f".into(),
+                    // only half the area survived the fold
+                    dies: vec![die(
+                        "f0",
+                        7.1,
+                        7.1,
+                        vec![block("a", 0.0, 0.0, 7.1, 7.1, 42.5)],
+                    )],
+                },
+                power_scale: 0.85,
+            }],
+            ..Model::new()
+        };
+        let r = run(&FoldAreaConservation, &model);
+        assert!(r.has_code("SL003"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn sl004_fires_on_power_mismatch_and_bad_scale() {
+        let planar = die(
+            "p",
+            10.0,
+            10.0,
+            vec![block("a", 0.0, 0.0, 10.0, 10.0, 100.0)],
+        );
+        let folded = StackDesc {
+            name: "f".into(),
+            dies: vec![die(
+                "f0",
+                10.0,
+                10.0,
+                vec![block("a", 0.0, 0.0, 10.0, 10.0, 100.0)],
+            )],
+        };
+        // folded keeps 100 W but the scale promises 85 W
+        let model = Model {
+            folds: vec![FoldDesc {
+                path: "fx".into(),
+                planar: planar.clone(),
+                folded: folded.clone(),
+                power_scale: 0.85,
+            }],
+            ..Model::new()
+        };
+        assert!(run(&FoldPowerConservation, &model).has_code("SL004"));
+
+        // a scale above 1 is rejected outright
+        let model = Model {
+            folds: vec![FoldDesc {
+                path: "fx".into(),
+                planar,
+                folded,
+                power_scale: 1.5,
+            }],
+            ..Model::new()
+        };
+        assert!(run(&FoldPowerConservation, &model).has_code("SL004"));
+    }
+
+    #[test]
+    fn sl005_fires_on_orphan_wire() {
+        let model = Model {
+            wires: vec![WireDesc {
+                path: "fx".into(),
+                route: "load-to-use".into(),
+                endpoints: vec!["dcache".into(), "alu9".into()],
+                available: vec!["dcache".into(), "fu".into()],
+            }],
+            ..Model::new()
+        };
+        let r = run(&OrphanWire, &model);
+        assert!(r.has_code("SL005"));
+        assert_eq!(r.error_count(), 1, "only the missing endpoint fires");
+    }
+
+    #[test]
+    fn sl006_fires_on_mismatched_die_frames() {
+        let model = Model {
+            stacks: vec![(
+                "fx".into(),
+                StackDesc {
+                    name: "s".into(),
+                    dies: vec![
+                        die("cpu", 13.0, 11.0, vec![]),
+                        die("dram", 10.0, 10.0, vec![]),
+                    ],
+                },
+            )],
+            ..Model::new()
+        };
+        let r = run(&StackAlignment, &model);
+        assert!(r.has_code("SL006"), "{}", r.render_pretty());
+    }
+}

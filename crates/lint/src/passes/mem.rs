@@ -1,0 +1,247 @@
+//! Memory-hierarchy passes: cache geometry, inclusion capacity and
+//! bus/DRAM timing (§3, Table 3 of the paper).
+
+use stacksim_mem::{HierarchyConfig, StackedLevel};
+
+use super::positive;
+use crate::diag::Report;
+use crate::model::Model;
+use crate::pass::Pass;
+
+/// `SL020`: every cache and DRAM array must have internally consistent
+/// geometry (power-of-two sets, non-zero ways, sector/line divisibility…).
+/// Delegates to the config types' own `validate` so the rules live with
+/// the types.
+pub struct CacheGeometry;
+
+impl Pass for CacheGeometry {
+    fn id(&self) -> &'static str {
+        "mem-geometry"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL020"]
+    }
+
+    fn description(&self) -> &'static str {
+        "cache and DRAM geometry must be internally consistent"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, h) in &model.hierarchies {
+            if h.cpus == 0 {
+                report.error("SL020", format!("{path}.cpus"), "hierarchy has no CPUs");
+            }
+            let caches = [("l1i", Some(h.l1i)), ("l1d", Some(h.l1d)), ("l2", h.l2)];
+            for (field, cache) in caches {
+                if let Some(c) = cache {
+                    if let Err(e) = c.validate() {
+                        report.error("SL020", format!("{path}.{field}"), e.to_string());
+                    }
+                }
+            }
+            if let StackedLevel::Dram { cache, dram } = &h.stacked {
+                if let Err(e) = cache.validate() {
+                    report.error("SL020", format!("{path}.stacked.cache"), e.to_string());
+                }
+                if let Err(e) = dram.validate() {
+                    report.error("SL020", format!("{path}.stacked.dram"), e.to_string());
+                }
+                if cache.sector_size() != h.l1d.line_size {
+                    report.error(
+                        "SL020",
+                        format!("{path}.stacked.cache"),
+                        format!(
+                            "stacked sector size {} B must equal the L1 line size {} B",
+                            cache.sector_size(),
+                            h.l1d.line_size
+                        ),
+                    );
+                }
+            }
+            if let Err(e) = h.memory.dram.validate() {
+                report.error("SL020", format!("{path}.memory.dram"), e.to_string());
+            }
+        }
+    }
+}
+
+/// `SL021`: capacities must nest — L1 ⊆ L2 ⊆ stacked LLC — or an inclusive
+/// hierarchy cannot hold its own inner levels.
+pub struct InclusionCapacity;
+
+fn check_inclusion(path: &str, h: &HierarchyConfig, report: &mut Report) {
+    if let Some(l2) = &h.l2 {
+        for (field, l1) in [("l1i", &h.l1i), ("l1d", &h.l1d)] {
+            if l1.capacity > l2.capacity {
+                report.error(
+                    "SL021",
+                    format!("{path}.{field}"),
+                    format!(
+                        "{field} capacity {} B exceeds the L2 capacity {} B",
+                        l1.capacity, l2.capacity
+                    ),
+                );
+            }
+        }
+    }
+    if let StackedLevel::Dram { cache, .. } = &h.stacked {
+        let (inner_name, inner) = match &h.l2 {
+            Some(l2) => ("l2", l2.capacity),
+            None => ("l1d", h.l1d.capacity),
+        };
+        if inner > cache.capacity {
+            report.error(
+                "SL021",
+                format!("{path}.stacked.cache"),
+                format!(
+                    "stacked LLC capacity {} B is smaller than the inner {inner_name} ({} B)",
+                    cache.capacity, inner
+                ),
+            );
+        }
+    }
+}
+
+impl Pass for InclusionCapacity {
+    fn id(&self) -> &'static str {
+        "mem-inclusion"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL021"]
+    }
+
+    fn description(&self) -> &'static str {
+        "cache capacities must nest: L1 ⊆ L2 ⊆ stacked LLC"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, h) in &model.hierarchies {
+            check_inclusion(path, h, report);
+        }
+    }
+}
+
+/// `SL022`: the off-die bus needs positive bandwidth and clock, and the
+/// DRAM bank state machines need non-zero delays.
+pub struct BusTiming;
+
+impl Pass for BusTiming {
+    fn id(&self) -> &'static str {
+        "mem-bus-timing"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL022"]
+    }
+
+    fn description(&self) -> &'static str {
+        "bus bandwidth/clock and DRAM delays must be non-zero"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, h) in &model.hierarchies {
+            for (what, v) in [
+                ("bandwidth", h.bus.bandwidth_bytes_per_sec),
+                ("core frequency", h.bus.core_hz),
+            ] {
+                if !positive(v) || !v.is_finite() {
+                    report.error(
+                        "SL022",
+                        format!("{path}.bus"),
+                        format!("bus {what} is {v}; it must be positive and finite"),
+                    );
+                }
+            }
+            let mut timings = vec![("memory.dram", h.memory.dram.timing)];
+            if let StackedLevel::Dram { dram, .. } = &h.stacked {
+                timings.push(("stacked.dram", dram.timing));
+            }
+            for (field, t) in timings {
+                for (what, cycles) in [
+                    ("page-open", t.page_open),
+                    ("precharge", t.precharge),
+                    ("read", t.read),
+                    ("burst", t.burst),
+                ] {
+                    if cycles == 0 {
+                        report.error(
+                            "SL022",
+                            format!("{path}.{field}.timing"),
+                            format!("{what} delay is 0 cycles"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_mem::CacheConfig;
+
+    fn with(h: HierarchyConfig) -> Model {
+        Model {
+            hierarchies: vec![("fx".into(), h)],
+            ..Model::new()
+        }
+    }
+
+    fn run(pass: &dyn Pass, model: &Model) -> Report {
+        let mut r = Report::new();
+        pass.run(model, &mut r);
+        r
+    }
+
+    #[test]
+    fn sl020_fires_on_non_power_of_two_sets() {
+        let mut h = HierarchyConfig::core2_baseline();
+        h.l1d.line_size = 48; // not a power of two
+        let r = run(&CacheGeometry, &with(h));
+        assert!(r.has_code("SL020"), "{}", r.render_pretty());
+
+        let mut h = HierarchyConfig::core2_baseline();
+        h.l2 = Some(CacheConfig {
+            ways: 0,
+            ..CacheConfig::l2_4mb()
+        });
+        assert!(run(&CacheGeometry, &with(h)).has_code("SL020"));
+    }
+
+    #[test]
+    fn sl020_accepts_all_fig7_options() {
+        for (_, h) in HierarchyConfig::fig7_options() {
+            assert!(run(&CacheGeometry, &with(h)).is_clean());
+        }
+    }
+
+    #[test]
+    fn sl021_fires_when_l1_exceeds_l2() {
+        let mut h = HierarchyConfig::core2_baseline();
+        h.l1d.capacity = 8 << 20; // 8 MB L1 over a 4 MB L2
+        let r = run(&InclusionCapacity, &with(h));
+        assert!(r.has_code("SL021"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn sl021_fires_when_stacked_llc_is_too_small() {
+        let mut h = HierarchyConfig::stacked_dram_32mb();
+        if let StackedLevel::Dram { cache, .. } = &mut h.stacked {
+            cache.capacity = 16 << 10; // smaller than the 32 KB L1
+        }
+        assert!(run(&InclusionCapacity, &with(h)).has_code("SL021"));
+    }
+
+    #[test]
+    fn sl022_fires_on_zero_bus_and_zero_dram_read() {
+        let mut h = HierarchyConfig::core2_baseline();
+        h.bus.bandwidth_bytes_per_sec = 0.0;
+        h.memory.dram.timing.read = 0;
+        let r = run(&BusTiming, &with(h));
+        assert!(r.has_code("SL022"));
+        assert_eq!(r.error_count(), 2);
+    }
+}

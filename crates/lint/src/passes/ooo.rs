@@ -1,0 +1,193 @@
+//! Out-of-order core passes: wire-stage consistency across the 3D split
+//! and resource sanity (§4, Table 4 of the paper).
+
+use stacksim_ooo::WireConfig;
+
+use crate::diag::Report;
+use crate::model::Model;
+use crate::pass::Pass;
+
+/// A stage-count accessor for one Table-4 wire path.
+type StageGetter = fn(&WireConfig) -> u32;
+
+/// The ten Table-4 wire paths, as field accessors on [`WireConfig`].
+fn wire_paths() -> [(&'static str, StageGetter); 10] {
+    [
+        ("front_end", |w| w.front_end),
+        ("trace_cache", |w| w.trace_cache),
+        ("rename_alloc", |w| w.rename_alloc),
+        ("fp_bypass", |w| w.fp_bypass),
+        ("int_rf_read", |w| w.int_rf_read),
+        ("dcache_read", |w| w.dcache_read),
+        ("instruction_loop", |w| w.instruction_loop),
+        ("retire_dealloc", |w| w.retire_dealloc),
+        ("fp_load", |w| w.fp_load),
+        ("store_lifetime", |w| w.store_lifetime),
+    ]
+}
+
+/// `SL030` (error) / `SL031` (warning): folding shortens wires, so no path
+/// may gain stages, and the total elimination should land near the paper's
+/// ~25% ("% of Stages Eliminated", Table 4).
+pub struct WireStages;
+
+impl Pass for WireStages {
+    fn id(&self) -> &'static str {
+        "ooo-wire-stages"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL030", "SL031"]
+    }
+
+    fn description(&self) -> &'static str {
+        "folded wire paths may not gain stages; total elimination should be ~10–40%"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for pair in &model.wire_pairs {
+            for (name, get) in wire_paths() {
+                let planar = get(&pair.planar);
+                let folded = get(&pair.folded);
+                if folded > planar {
+                    report.error(
+                        "SL030",
+                        format!("{}.{name}", pair.path),
+                        format!(
+                            "folded path has {folded} stages but the planar machine only {planar}; \
+                             folding cannot lengthen a wire"
+                        ),
+                    );
+                }
+            }
+            let planar_total = pair.planar.total_stages();
+            if planar_total == 0 {
+                report.error(
+                    "SL030",
+                    pair.path.clone(),
+                    "planar wire configuration has no stages at all",
+                );
+                continue;
+            }
+            let eliminated = 1.0 - f64::from(pair.folded.total_stages()) / f64::from(planar_total);
+            if !(0.10..=0.40).contains(&eliminated) {
+                report.warn(
+                    "SL031",
+                    pair.path.clone(),
+                    format!(
+                        "total stage elimination is {:.0}%, outside the 10–40% band around \
+                         Table 4's ~25%",
+                        eliminated * 100.0
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `SL032`: a core with a zero-sized structural resource cannot retire a
+/// single instruction — the simulation would deadlock or divide by zero.
+pub struct CoreResources;
+
+impl Pass for CoreResources {
+    fn id(&self) -> &'static str {
+        "ooo-core-resources"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL032"]
+    }
+
+    fn description(&self) -> &'static str {
+        "core widths, queues and units must all be non-zero"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        for (path, c) in &model.cores {
+            let resources = [
+                ("rename_width", c.rename_width as usize),
+                ("issue_width", c.issue_width as usize),
+                ("retire_width", c.retire_width as usize),
+                ("rob", c.rob),
+                ("rs", c.rs),
+                ("store_queue", c.store_queue),
+                ("phys_regs", c.phys_regs),
+                ("int_units", c.int_units as usize),
+                ("mem_ports", c.mem_ports as usize),
+            ];
+            for (field, v) in resources {
+                if v == 0 {
+                    report.error(
+                        "SL032",
+                        format!("{path}.{field}"),
+                        format!("{field} is 0; the core cannot make progress"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WirePairDesc;
+    use stacksim_ooo::CoreConfig;
+
+    fn run(pass: &dyn Pass, model: &Model) -> Report {
+        let mut r = Report::new();
+        pass.run(model, &mut r);
+        r
+    }
+
+    fn pair(planar: WireConfig, folded: WireConfig) -> Model {
+        Model {
+            wire_pairs: vec![WirePairDesc {
+                path: "fx".into(),
+                planar,
+                folded,
+            }],
+            ..Model::new()
+        }
+    }
+
+    #[test]
+    fn sl030_fires_when_a_folded_path_gains_stages() {
+        let mut folded = WireConfig::folded_3d();
+        folded.dcache_read = WireConfig::planar().dcache_read + 2;
+        let r = run(&WireStages, &pair(WireConfig::planar(), folded));
+        assert!(r.has_code("SL030"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn sl031_warns_when_elimination_is_implausible() {
+        // identical configs: 0% eliminated, below the 10% floor
+        let r = run(
+            &WireStages,
+            &pair(WireConfig::planar(), WireConfig::planar()),
+        );
+        assert!(r.has_code("SL031"));
+        assert!(!r.has_errors(), "SL031 is a warning");
+    }
+
+    #[test]
+    fn table4_pair_is_clean() {
+        let r = run(
+            &WireStages,
+            &pair(WireConfig::planar(), WireConfig::folded_3d()),
+        );
+        assert!(r.is_clean(), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn sl032_fires_on_zero_rob() {
+        let mut c = CoreConfig::planar();
+        c.rob = 0;
+        let model = Model {
+            cores: vec![("fx".into(), c)],
+            ..Model::new()
+        };
+        let r = run(&CoreResources, &model);
+        assert!(r.has_code("SL032"), "{}", r.render_pretty());
+    }
+}

@@ -444,7 +444,7 @@ impl ConfigError {
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid hierarchy configuration: {}", self.message)
+        write!(f, "invalid memory configuration: {}", self.message)
     }
 }
 

@@ -9,7 +9,7 @@
 
 use stacksim_trace::{Trace, TraceRecord};
 
-use crate::config::Cycles;
+use crate::config::{ConfigError, Cycles};
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{HierarchyStats, RunResult};
 
@@ -55,6 +55,24 @@ impl EngineConfig {
             cfg: EngineConfig::default(),
         }
     }
+
+    /// Checks internal consistency. The lint pass `SL041` and the builder's
+    /// [`EngineConfigBuilder::build`] both delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::new(
+                "outstanding-reference window must be at least 1",
+            ));
+        }
+        if self.issue_interval == 0 {
+            return Err(ConfigError::new("issue interval must be at least 1 cycle"));
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`EngineConfig`].
@@ -92,10 +110,30 @@ impl EngineConfigBuilder {
         self
     }
 
-    /// Finishes the configuration.
+    /// Finishes the configuration, validating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`EngineConfig::validate`]). Use [`Self::try_build`] to handle the
+    /// error instead.
     #[must_use]
     pub fn build(self) -> EngineConfig {
-        self.cfg
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finishes the configuration, returning the first constraint violation
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation reported by [`EngineConfig::validate`].
+    pub fn try_build(self) -> Result<EngineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -338,6 +376,31 @@ mod tests {
             MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
             EngineConfig::default(),
         )
+    }
+
+    #[test]
+    fn builder_accepts_valid_config() {
+        let cfg = EngineConfig::builder().window(8).issue_interval(2).build();
+        assert_eq!(cfg.window, 8);
+        assert_eq!(cfg.issue_interval, 2);
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let err = EngineConfig::builder().window(0).try_build();
+        assert!(err.unwrap_err().to_string().contains("window"));
+    }
+
+    #[test]
+    fn zero_issue_interval_rejected() {
+        let err = EngineConfig::builder().issue_interval(0).try_build();
+        assert!(err.unwrap_err().to_string().contains("issue interval"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memory configuration")]
+    fn build_panics_on_invalid() {
+        let _ = EngineConfig::builder().window(0).build();
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use field::TemperatureField;
 pub use resistor::ResistorStack;
 pub use solver::{
     solve, solve_transient, solve_with_stats, Solution, SolveError, SolveStats, SolverConfig,
-    SolverConfigBuilder, System, TransientPoint,
+    SolverConfigBuilder, SolverConfigError, System, TransientPoint,
 };
 pub use stack::{Boundary, Layer, LayerStack, DESKTOP_H_TOP};

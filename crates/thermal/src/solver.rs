@@ -50,7 +50,52 @@ impl SolverConfig {
             cfg: SolverConfig::default(),
         }
     }
+
+    /// Checks internal consistency. The lint pass `SL042` and the builder's
+    /// [`SolverConfigBuilder::build`] both delegate here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), SolverConfigError> {
+        if self.nx == 0 || self.ny == 0 {
+            return Err(SolverConfigError::new(
+                "grid must have at least one cell in each direction",
+            ));
+        }
+        if self.max_iters == 0 {
+            return Err(SolverConfigError::new(
+                "solver must be allowed at least one iteration",
+            ));
+        }
+        if self.tolerance.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(SolverConfigError::new(
+                "residual tolerance must be positive and not NaN",
+            ));
+        }
+        Ok(())
+    }
 }
+
+/// A solver-configuration validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfigError {
+    message: &'static str,
+}
+
+impl SolverConfigError {
+    fn new(message: &'static str) -> Self {
+        SolverConfigError { message }
+    }
+}
+
+impl fmt::Display for SolverConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid solver configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for SolverConfigError {}
 
 /// Builder for [`SolverConfig`].
 #[derive(Debug, Clone)]
@@ -87,10 +132,30 @@ impl SolverConfigBuilder {
         self
     }
 
-    /// Finishes the configuration.
+    /// Finishes the configuration, validating it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SolverConfig::validate`]). Use [`Self::try_build`] to handle the
+    /// error instead.
     #[must_use]
     pub fn build(self) -> SolverConfig {
-        self.cfg
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finishes the configuration, returning the first constraint violation
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation reported by [`SolverConfig::validate`].
+    pub fn try_build(self) -> Result<SolverConfig, SolverConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -541,6 +606,40 @@ mod tests {
     use super::*;
     use crate::stack::Layer;
     use stacksim_floorplan::PowerGrid;
+
+    #[test]
+    fn builder_accepts_valid_config() {
+        let cfg = SolverConfig::builder().nx(8).ny(8).build();
+        assert_eq!((cfg.nx, cfg.ny), (8, 8));
+    }
+
+    #[test]
+    fn zero_grid_rejected() {
+        let err = SolverConfig::builder().nx(0).try_build();
+        assert!(err.unwrap_err().to_string().contains("grid"));
+        assert!(SolverConfig::builder().ny(0).try_build().is_err());
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        assert!(SolverConfig::builder().max_iters(0).try_build().is_err());
+    }
+
+    #[test]
+    fn bad_tolerance_rejected() {
+        assert!(SolverConfig::builder().tolerance(0.0).try_build().is_err());
+        assert!(SolverConfig::builder().tolerance(-1.0).try_build().is_err());
+        assert!(SolverConfig::builder()
+            .tolerance(f64::NAN)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid solver configuration")]
+    fn build_panics_on_invalid() {
+        let _ = SolverConfig::builder().max_iters(0).build();
+    }
 
     fn uniform_power(nx: usize, ny: usize, w: f64) -> PowerGrid {
         let mut g = PowerGrid::zero(nx, ny, 10.0, 10.0);

@@ -32,7 +32,7 @@ mod sparse;
 mod tracer;
 
 pub use layout::{AddressSpace, Region};
-pub use params::{Scale, WorkloadParams, WorkloadParamsBuilder};
+pub use params::{ParamsError, Scale, WorkloadParams, WorkloadParamsBuilder};
 pub use rms::RmsBenchmark;
 pub use sparse::SparsePattern;
 pub use tracer::{KernelTracer, ReduceChain};

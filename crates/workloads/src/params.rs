@@ -1,5 +1,27 @@
 //! Workload generation parameters.
 
+use std::fmt;
+
+/// A workload-parameter validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamsError {
+    message: &'static str,
+}
+
+impl ParamsError {
+    fn new(message: &'static str) -> Self {
+        ParamsError { message }
+    }
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload parameters: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// How big a trace to generate.
 ///
 /// The paper collects one billion memory references per benchmark from a
@@ -77,6 +99,28 @@ impl WorkloadParams {
             params: WorkloadParams::default(),
         }
     }
+
+    /// Checks internal consistency. The lint pass `SL040` and the builder's
+    /// [`WorkloadParamsBuilder::build`] both delegate here, so the
+    /// constraints live in exactly one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if self.threads == 0 {
+            return Err(ParamsError::new("thread count must be at least 1"));
+        }
+        if self.threads > 1024 {
+            return Err(ParamsError::new("thread count must be at most 1024"));
+        }
+        if self.chunk == 0 {
+            return Err(ParamsError::new(
+                "interleave chunk must be at least 1 record",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`WorkloadParams`].
@@ -114,10 +158,30 @@ impl WorkloadParamsBuilder {
         self
     }
 
-    /// Finishes the parameters.
+    /// Finishes the parameters, validating them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid (see
+    /// [`WorkloadParams::validate`]). Use [`Self::try_build`] to handle the
+    /// error instead.
     #[must_use]
     pub fn build(self) -> WorkloadParams {
-        self.params
+        match self.try_build() {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Finishes the parameters, returning the first constraint violation
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation reported by [`WorkloadParams::validate`].
+    pub fn try_build(self) -> Result<WorkloadParams, ParamsError> {
+        self.params.validate()?;
+        Ok(self.params)
     }
 }
 
@@ -137,5 +201,36 @@ mod tests {
     fn pick_respects_scale() {
         assert_eq!(WorkloadParams::test().pick(1, 100), 1);
         assert_eq!(WorkloadParams::paper().pick(1, 100), 100);
+    }
+
+    #[test]
+    fn builder_accepts_valid_params() {
+        let p = WorkloadParams::builder().threads(4).chunk(16).build();
+        assert_eq!(p.threads, 4);
+        assert_eq!(p.chunk, 16);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let err = WorkloadParams::builder().threads(0).try_build();
+        assert!(err.is_err());
+        assert!(err.unwrap_err().to_string().contains("thread count"));
+    }
+
+    #[test]
+    fn absurd_thread_count_rejected() {
+        assert!(WorkloadParams::builder().threads(4096).try_build().is_err());
+    }
+
+    #[test]
+    fn zero_chunk_rejected() {
+        let err = WorkloadParams::builder().chunk(0).try_build();
+        assert!(err.unwrap_err().to_string().contains("chunk"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload parameters")]
+    fn build_panics_on_invalid() {
+        let _ = WorkloadParams::builder().chunk(0).build();
     }
 }

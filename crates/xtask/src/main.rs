@@ -1,0 +1,624 @@
+//! Repository automation (`cargo xtask <task>`).
+//!
+//! The one task so far is `lint`: source-level checks that `clippy` does
+//! not cover because they are policy, not correctness:
+//!
+//! * **unwrap ratchet** — no *new* `unwrap`/`expect` calls outside
+//!   `#[cfg(test)]` blocks. Existing calls are recorded in
+//!   `lint-baseline.txt` at the repo root; the count per file may only go
+//!   down. Shrink it with `cargo xtask lint --update-baseline` after
+//!   converting call sites to `Result`.
+//! * **map-iteration lint** — functions that feed a digest or serialized
+//!   artifact must not iterate a `HashMap`/`HashSet`, whose order is
+//!   nondeterministic and would break memo-cache keys and golden outputs.
+//!   Waive a deliberate use with a `// lint:allow(map-iteration)` comment
+//!   inside the function.
+//!
+//! The scanner is deliberately textual (no syn, no new dependencies): it
+//! strips `//` comments, tracks brace depth to skip `#[cfg(test)]`
+//! modules, and never matches the `_or`/`_or_else`/`_or_default` and
+//! `_err` variants, which are fine.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One ratchet finding: an `unwrap`/`expect` call outside tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    line: usize,
+    kind: &'static str,
+    text: String,
+}
+
+/// One map-iteration finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MapFinding {
+    line: usize,
+    function: String,
+    receiver: String,
+}
+
+/// The needles are assembled at runtime so the scanner never matches its
+/// own source (which is excluded from the walk anyway, but belt and
+/// braces).
+fn needles() -> [(String, &'static str); 2] {
+    [
+        ([".un", "wrap("].concat(), "unwrap"),
+        ([".ex", "pect("].concat(), "expect"),
+    ]
+}
+
+/// Strips a `//` comment from one line, respecting string literals well
+/// enough for this codebase (no multi-line strings in scanned positions).
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == b'\\' {
+                escaped = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else if c == b'"' {
+            in_str = true;
+        } else if c == b'\'' && i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+            // simple char literal like '"'
+            i += 2;
+        } else if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            return &line[..i];
+        }
+        i += 1;
+    }
+    line
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0;
+    for c in line.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Marks each line as test code (inside a `#[cfg(test)]` module or item)
+/// or not.
+fn test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut skip_until: Option<i64> = None;
+    let mut pending_cfg_test = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comment(raw);
+        if let Some(until) = skip_until {
+            mask[i] = true;
+            depth += brace_delta(line);
+            if depth <= until {
+                skip_until = None;
+            }
+            continue;
+        }
+        if line.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            mask[i] = true;
+            depth += brace_delta(line);
+            continue;
+        }
+        if pending_cfg_test {
+            mask[i] = true;
+            let before = depth;
+            depth += brace_delta(line);
+            if depth > before {
+                // the guarded item opened its block
+                skip_until = Some(before);
+                pending_cfg_test = false;
+            } else if line.trim().ends_with(';') {
+                // a guarded one-liner (`mod tests;`, `use ...;`)
+                pending_cfg_test = false;
+            }
+            continue;
+        }
+        depth += brace_delta(line);
+    }
+    mask
+}
+
+/// Scans one file's source for `unwrap`/`expect` calls outside tests.
+fn scan_ratchet(source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mask = test_mask(&lines);
+    let needles = needles();
+    let mut out = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        if mask[i] || raw.contains("lint:allow(unwrap)") {
+            continue;
+        }
+        let line = strip_comment(raw);
+        for (needle, kind) in &needles {
+            if line.contains(needle.as_str()) {
+                out.push(Finding {
+                    line: i + 1,
+                    kind,
+                    text: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The identifier immediately preceding byte offset `end` of `line`.
+fn receiver_before(line: &str, end: usize) -> String {
+    let bytes = line.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    line[start..end].to_string()
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` in a function (params and
+/// `let` bindings), textually.
+fn map_bindings(body: &[&str]) -> Vec<String> {
+    let mut names = Vec::new();
+    for raw in body {
+        let line = strip_comment(raw);
+        if !line.contains("HashMap") && !line.contains("HashSet") {
+            continue;
+        }
+        // `let [mut] name: HashMap<...>` or `let [mut] name = HashMap::...`
+        if let Some(rest) = line.trim_start().strip_prefix("let ") {
+            let rest = rest.trim_start().trim_start_matches("mut ");
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                names.push(name);
+            }
+        }
+        // `name: &HashMap<...>` parameter style
+        for (idx, _) in line.match_indices(": ") {
+            let after = &line[idx + 2..];
+            let after = after.trim_start_matches('&');
+            if after.starts_with("HashMap") || after.starts_with("HashSet") {
+                let name = receiver_before(line, idx);
+                if !name.is_empty() {
+                    names.push(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Whether a function body feeds order-sensitive sinks: digests or
+/// serialized artifacts.
+fn has_digest_sink(body: &[&str]) -> bool {
+    let sinks = [
+        ["dig", "est"].concat(),
+        ["abs", "orb"].concat(),
+        ["render_", "json"].concat(),
+        [".enc", "ode("].concat(),
+    ];
+    body.iter().any(|raw| {
+        let line = strip_comment(raw);
+        sinks.iter().any(|s| line.contains(s.as_str()))
+    })
+}
+
+/// Scans one file for HashMap/HashSet iteration inside digest-feeding
+/// functions.
+fn scan_map_iteration(source: &str) -> Vec<MapFinding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mask = test_mask(&lines);
+    let iter_methods = [".keys()", ".values()", ".iter()", ".iter_mut()", ".drain("];
+    let mut out = Vec::new();
+
+    // function extents, by brace depth
+    let mut depth: i64 = 0;
+    let mut open: Vec<(usize, i64, String)> = Vec::new(); // (start line, entry depth, name)
+    let mut extents: Vec<(usize, usize, String)> = Vec::new();
+    for (i, raw) in lines.iter().enumerate() {
+        let line = strip_comment(raw);
+        let before = depth;
+        depth += brace_delta(line);
+        if let Some(pos) = line.find("fn ") {
+            let is_decl = pos == 0
+                || line[..pos].ends_with(' ')
+                || line[..pos].ends_with('(')
+                || line[..pos].ends_with('>');
+            if is_decl && !line.trim_end().ends_with(';') {
+                let name: String = line[pos + 3..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                open.push((i, before, name));
+            }
+        }
+        while let Some((start, entry, name)) = open.last().cloned() {
+            if depth <= entry && i > start {
+                extents.push((start, i, name));
+                open.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    for (start, end, name) in extents {
+        let body: Vec<&str> = lines[start..=end].to_vec();
+        if body.iter().any(|l| l.contains("lint:allow(map-iteration)")) {
+            continue;
+        }
+        if mask[start] || !has_digest_sink(&body) {
+            continue;
+        }
+        let bindings = map_bindings(&body);
+        if bindings.is_empty() {
+            continue;
+        }
+        for (j, raw) in body.iter().enumerate() {
+            let line = strip_comment(raw);
+            for m in iter_methods {
+                for (idx, _) in line.match_indices(m) {
+                    let recv = receiver_before(line, idx);
+                    if bindings.contains(&recv) {
+                        out.push(MapFinding {
+                            line: start + j + 1,
+                            function: name.clone(),
+                            receiver: recv,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects the non-test source trees to scan: `src/` and every
+/// `crates/*/src/` except `crates/xtask` (this tool's own source holds the
+/// needle fragments as data).
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut dirs = vec![root.join("src")];
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let path = entry?.path();
+        if path.is_dir() && path.file_name().is_some_and(|n| n != "xtask") {
+            dirs.push(path.join("src"));
+        }
+    }
+    let mut files = Vec::new();
+    while let Some(dir) = dirs.pop() {
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                dirs.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Parses `lint-baseline.txt`: `<count> <path>` per line.
+fn parse_baseline(text: &str) -> Vec<(String, usize)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.split_whitespace();
+            let count: usize = parts.next()?.parse().ok()?;
+            let path = parts.next()?.to_string();
+            Some((path, count))
+        })
+        .collect()
+}
+
+fn render_baseline(counts: &[(String, usize)]) -> String {
+    let mut out = String::from(
+        "# unwrap/expect ratchet baseline: `<count> <file>` of calls outside tests.\n\
+         # Counts may only decrease; regenerate with `cargo xtask lint --update-baseline`.\n",
+    );
+    for (path, count) in counts {
+        let _ = writeln!(out, "{count} {path}");
+    }
+    out
+}
+
+/// Compares fresh per-file counts against the baseline. Returns
+/// human-readable problems; empty means the ratchet holds exactly.
+fn compare_to_baseline(
+    current: &[(String, Vec<Finding>)],
+    baseline: &[(String, usize)],
+) -> Vec<String> {
+    let mut problems = Vec::new();
+    for (path, findings) in current {
+        let allowed = baseline
+            .iter()
+            .find(|(p, _)| p == path)
+            .map_or(0, |(_, c)| *c);
+        if findings.len() > allowed {
+            let mut msg = format!(
+                "{path}: {} unwrap/expect call(s), baseline allows {allowed}:",
+                findings.len()
+            );
+            for f in findings {
+                let _ = write!(msg, "\n  line {}: [{}] {}", f.line, f.kind, f.text);
+            }
+            problems.push(msg);
+        } else if findings.len() < allowed {
+            problems.push(format!(
+                "{path}: baseline is stale ({allowed} allowed, {} present); \
+                 run `cargo xtask lint --update-baseline` to ratchet down",
+                findings.len()
+            ));
+        }
+    }
+    for (path, allowed) in baseline {
+        if *allowed > 0 && !current.iter().any(|(p, _)| p == path) {
+            problems.push(format!(
+                "{path}: in the baseline ({allowed} allowed) but no longer scanned; \
+                 run `cargo xtask lint --update-baseline`"
+            ));
+        }
+    }
+    problems
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn lint(update_baseline: bool) -> Result<bool, String> {
+    let root = repo_root();
+    let files = collect_sources(&root).map_err(|e| format!("walking sources: {e}"))?;
+
+    let mut current: Vec<(String, Vec<Finding>)> = Vec::new();
+    let mut map_findings: Vec<(String, Vec<MapFinding>)> = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let findings = scan_ratchet(&text);
+        if !findings.is_empty() {
+            current.push((rel.clone(), findings));
+        }
+        let maps = scan_map_iteration(&text);
+        if !maps.is_empty() {
+            map_findings.push((rel, maps));
+        }
+    }
+
+    let baseline_path = root.join("lint-baseline.txt");
+    if update_baseline {
+        let counts: Vec<(String, usize)> =
+            current.iter().map(|(p, f)| (p.clone(), f.len())).collect();
+        std::fs::write(&baseline_path, render_baseline(&counts))
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline updated: {} file(s), {} call(s)",
+            counts.len(),
+            counts.iter().map(|(_, c)| c).sum::<usize>()
+        );
+        return Ok(true);
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "{}: {e} (run `cargo xtask lint --update-baseline` once)",
+            baseline_path.display()
+        )
+    })?;
+    let baseline = parse_baseline(&baseline_text);
+    let mut ok = true;
+
+    for problem in compare_to_baseline(&current, &baseline) {
+        eprintln!("ratchet: {problem}");
+        ok = false;
+    }
+    for (path, findings) in &map_findings {
+        for f in findings {
+            eprintln!(
+                "map-iteration: {path}:{}: fn {} iterates '{}' (a HashMap/HashSet) while \
+                 feeding a digest or serialized artifact; iterate a sorted or \
+                 registration-ordered collection instead, or waive with \
+                 `// lint:allow(map-iteration)`",
+                f.line, f.function, f.receiver
+            );
+            ok = false;
+        }
+    }
+
+    if ok {
+        let total: usize = current.iter().map(|(_, f)| f.len()).sum();
+        println!(
+            "lint clean: {} source file(s), ratchet at {total} grandfathered call(s)",
+            files.len()
+        );
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (task, rest) = match args.split_first() {
+        Some((t, r)) => (t.as_str(), r),
+        None => ("", &args[..]),
+    };
+    match task {
+        "lint" => {
+            let update = rest.iter().any(|a| a == "--update-baseline");
+            let unknown: Vec<&String> = rest.iter().filter(|a| *a != "--update-baseline").collect();
+            if !unknown.is_empty() {
+                eprintln!("xtask lint: unknown option(s) {unknown:?}");
+                return ExitCode::from(2);
+            }
+            match lint(update) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_unwrap_and_expect_outside_tests() {
+        let src = "fn f() {\n    let x = g().unwrap();\n    let y = h().expect(\"boom\");\n}\n";
+        let found = scan_ratchet(src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].kind, "unwrap");
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[1].kind, "expect");
+    }
+
+    #[test]
+    fn ignores_test_modules_fallbacks_and_comments() {
+        let src = "\
+fn f() {
+    let a = g().unwrap_or_else(|e| e.into_inner());
+    let b = g().unwrap_or_default();
+    // calling .unwrap() here would be bad
+    let c = o.expect_err(\"must fail\");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        g().unwrap();
+        h().expect(\"fine in tests\");
+    }
+}
+";
+        assert!(scan_ratchet(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_a_line() {
+        let src = "fn f() {\n    g().unwrap(); // lint:allow(unwrap) poisoning is unrecoverable here\n}\n";
+        assert!(scan_ratchet(src).is_empty());
+    }
+
+    #[test]
+    fn a_new_unwrap_fails_against_the_baseline() {
+        // the scenario the ratchet exists for: someone adds an unwrap to a
+        // clean file
+        let src = "fn f() {\n    g().unwrap();\n}\n";
+        let current = vec![("crates/foo/src/lib.rs".to_string(), scan_ratchet(src))];
+        let baseline: Vec<(String, usize)> = Vec::new();
+        let problems = compare_to_baseline(&current, &baseline);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("baseline allows 0"));
+    }
+
+    #[test]
+    fn grandfathered_counts_pass_and_stale_baselines_fail() {
+        let src = "fn f() {\n    g().unwrap();\n}\n";
+        let current = vec![("a.rs".to_string(), scan_ratchet(src))];
+        let exact = vec![("a.rs".to_string(), 1)];
+        assert!(compare_to_baseline(&current, &exact).is_empty());
+
+        let stale = vec![("a.rs".to_string(), 5)];
+        let problems = compare_to_baseline(&current, &stale);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stale"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let counts = vec![("a.rs".to_string(), 3), ("b/c.rs".to_string(), 1)];
+        assert_eq!(parse_baseline(&render_baseline(&counts)), counts);
+    }
+
+    #[test]
+    fn map_iteration_feeding_a_digest_is_flagged() {
+        let src = "\
+fn digest_of(things: &HashMap<String, u32>) -> String {
+    let mut d = Digest::new();
+    for (k, v) in things.iter() {
+        d.absorb(k).absorb(v);
+    }
+    d.finish()
+}
+";
+        let found = scan_map_iteration(src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].function, "digest_of");
+        assert_eq!(found[0].receiver, "things");
+    }
+
+    #[test]
+    fn ordered_collections_and_waivers_are_fine() {
+        let ordered = "\
+fn digest_of(things: &[u32]) -> String {
+    let mut d = Digest::new();
+    for v in things.iter() {
+        d.absorb(v);
+    }
+    d.finish()
+}
+";
+        assert!(scan_map_iteration(ordered).is_empty());
+
+        let waived = "\
+fn digest_of(things: &HashMap<String, u32>) -> String {
+    // lint:allow(map-iteration) keys are absorbed into an order-free sum
+    let mut d = Digest::new();
+    for (k, _) in things.iter() {
+        d.absorb(k);
+    }
+    d.finish()
+}
+";
+        assert!(scan_map_iteration(waived).is_empty());
+    }
+
+    #[test]
+    fn map_iteration_without_a_sink_is_fine() {
+        let src = "\
+fn count(things: &HashMap<String, u32>) -> usize {
+    things.iter().count()
+}
+";
+        assert!(scan_map_iteration(src).is_empty());
+    }
+}

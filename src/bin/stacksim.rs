@@ -6,6 +6,8 @@
 //! stacksim run --all [--jobs N] [--serial] [--no-cache] [--cache-dir D]
 //!              [--test-scale] [--report FILE] [--show]
 //! stacksim run fig5 table4 ...
+//! stacksim check --all [--format json] [--test-scale]
+//! stacksim check fig8 table4 ...
 //! stacksim clean [--cache-dir D]
 //! ```
 //!
@@ -19,7 +21,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use stacksim::core::harness::{default_cache_dir, render, MemoCache, Registry, RunOptions, Runner};
+use stacksim::core::harness::{
+    check, default_cache_dir, render, MemoCache, Registry, RunOptions, Runner,
+};
 use stacksim::core::{fmt_f, TextTable};
 use stacksim::workloads::WorkloadParams;
 
@@ -30,6 +34,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 list                      list registered experiments and dependencies\n\
          \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
+         \x20 check [NAMES | --all]     statically validate experiment models\n\
          \x20 clean                     delete the memo cache\n\
          \n\
          run options:\n\
@@ -40,7 +45,12 @@ fn usage() -> ExitCode {
          \x20 --cache-dir D    cache directory (default: target/stacksim-cache)\n\
          \x20 --test-scale     small traces for a fast smoke run\n\
          \x20 --report FILE    write the JSON run report to FILE\n\
-         \x20 --show           print each artifact's rendered table"
+         \x20 --show           print each artifact's rendered table\n\
+         \n\
+         check options:\n\
+         \x20 --all            check every registered experiment + the digest audit\n\
+         \x20 --format FMT     output format: pretty (default) or json\n\
+         \x20 --test-scale     validate the test-scale parameter set"
     );
     ExitCode::from(2)
 }
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "list" => list(),
         "run" => run(&args[1..]),
+        "check" => check(&args[1..]),
         "clean" => clean(&args[1..]),
         _ => usage(),
     }
@@ -141,6 +152,7 @@ fn run(args: &[String]) -> ExitCode {
             params,
             jobs: run_args.jobs,
             cache,
+            preflight: true,
         },
     );
     let outcome = if run_args.all {
@@ -206,6 +218,67 @@ fn run(args: &[String]) -> ExitCode {
         failed = true;
     }
     if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `stacksim check`: run the static lint passes over experiment models
+/// (plus the digest-coverage audit with `--all`) without simulating
+/// anything. Exit code 1 if any error-severity diagnostic fires.
+fn check(args: &[String]) -> ExitCode {
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut json = false;
+    let mut test_scale = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--test-scale" => test_scale = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("pretty") => json = false,
+                Some("json") => json = true,
+                _ => return usage(),
+            },
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            _ => return usage(),
+        }
+    }
+    // valid: either --all with no names, or names with no --all
+    if all != names.is_empty() {
+        return usage();
+    }
+
+    let params = if test_scale {
+        WorkloadParams::test()
+    } else {
+        WorkloadParams::paper()
+    };
+    let registry = Registry::standard();
+    let report = if all {
+        check::check_registry(&registry, &params)
+    } else {
+        let mut combined = stacksim::lint::Report::new();
+        for name in &names {
+            match check::check_experiment(&registry, name, &params) {
+                Ok(r) => combined.merge_under(name, r),
+                Err(e) => {
+                    eprintln!("stacksim: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        combined
+    };
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        println!("{}", report.render_pretty());
+    }
+    if report.has_errors() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

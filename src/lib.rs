@@ -13,6 +13,7 @@
 //! * [`floorplan`] — block floorplans, power maps and 2D→3D folding
 //! * [`thermal`] — the stacked-die heat-conduction solver (§2.3)
 //! * [`power`] — bus power, cache power and voltage/frequency scaling
+//! * [`lint`] — static model validation (the `stacksim check` passes)
 //! * [`core`] — study drivers reproducing every table and figure
 //!
 //! # Quickstart
@@ -32,6 +33,7 @@
 
 pub use stacksim_core as core;
 pub use stacksim_floorplan as floorplan;
+pub use stacksim_lint as lint;
 pub use stacksim_mem as mem;
 pub use stacksim_ooo as ooo;
 pub use stacksim_power as power;

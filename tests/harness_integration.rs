@@ -22,6 +22,7 @@ fn runner(params: WorkloadParams, jobs: usize, cache: MemoCache) -> Runner {
             params,
             jobs,
             cache,
+            preflight: true,
         },
     )
 }
