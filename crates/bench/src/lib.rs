@@ -3,6 +3,7 @@
 
 use stacksim_core::TextTable;
 
+pub mod perf;
 pub mod timing;
 
 /// Prints a standard banner naming the artefact being regenerated.

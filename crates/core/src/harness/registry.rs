@@ -35,12 +35,26 @@ fn absorb_workload(d: &mut Digest, params: &WorkloadParams) {
         .usize(params.chunk);
 }
 
+/// The solver configuration the thermal experiments run under:
+/// semantically the default, with the execution knobs (worker threads)
+/// taken from the run's parameters.
+fn solver_config(params: &WorkloadParams) -> SolverConfig {
+    SolverConfig::builder()
+        .threads(params.solver_threads)
+        .build()
+}
+
 fn absorb_solver(d: &mut Digest) {
     let cfg = SolverConfig::default();
+    // `threads` is deliberately absent: the solver is bit-identical for
+    // any thread count (its determinism contract), so it must not split
+    // the cache. The preconditioner changes the iteration path, so it is
+    // absorbed.
     d.usize(cfg.nx)
         .usize(cfg.ny)
         .usize(cfg.max_iters)
-        .f64(cfg.tolerance);
+        .f64(cfg.tolerance)
+        .str(cfg.preconditioner.label());
 }
 
 /// How many µops per workload class Table 4 simulates at each scale.
@@ -158,7 +172,7 @@ impl Experiment for Fig3Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (data, stats) = sensitivity::fig3_instrumented()?;
+        let (data, stats) = sensitivity::fig3_with(solver_config(&ctx.params))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig3(data))
     }
@@ -265,7 +279,7 @@ impl Experiment for Fig6Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let ((power, field), stats) = memory_logic::fig6_instrumented()?;
+        let ((power, field), stats) = memory_logic::fig6_with(solver_config(&ctx.params))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig6 { power, field })
     }
@@ -289,7 +303,7 @@ impl Experiment for Fig8Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (points, stats) = memory_logic::fig8_instrumented()?;
+        let (points, stats) = memory_logic::fig8_with(solver_config(&ctx.params))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig8(points))
     }
@@ -313,7 +327,7 @@ impl Experiment for Fig11Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (points, stats) = logic_logic::fig11_instrumented()?;
+        let (points, stats) = logic_logic::fig11_with(solver_config(&ctx.params))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig11(points))
     }
@@ -360,7 +374,7 @@ impl Experiment for Table5Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (rows, stats) = logic_logic::table5_instrumented()?;
+        let (rows, stats) = logic_logic::table5_with(solver_config(&ctx.params))?;
         ctx.record_solver(stats);
         Ok(Artifact::Table5(rows))
     }
@@ -411,6 +425,19 @@ mod tests {
             fig8.params_digest(&WorkloadParams::test()),
             fig8.params_digest(&WorkloadParams::paper())
         );
+    }
+
+    #[test]
+    fn solver_threads_never_split_the_cache() {
+        // the execution knob is result-neutral by the solver's determinism
+        // contract, so the cache key must not react to it
+        let r = Registry::standard();
+        for name in r.names() {
+            let exp = r.get(name).expect("registered");
+            let base = exp.params_digest(&WorkloadParams::paper());
+            let threaded = exp.params_digest(&WorkloadParams::builder().solver_threads(8).build());
+            assert_eq!(base, threaded, "{name} digest reacted to solver_threads");
+        }
     }
 
     #[test]

@@ -96,8 +96,8 @@ pub fn folded_p4() -> StackedFloorplan {
 fn solve_p4_stack(
     stack3d: &StackedFloorplan,
     power_scale: f64,
+    cfg: SolverConfig,
 ) -> Result<(f64, SolveStats), Error> {
-    let cfg = SolverConfig::default();
     let d0 = &stack3d.dies()[0];
     let d1 = &stack3d.dies()[1];
     let ny = (cfg.nx * 17 / 20).max(1);
@@ -132,7 +132,17 @@ pub fn fig11() -> Result<Vec<Fig11Point>, Error> {
 ///
 /// Propagates the first solver failure.
 pub fn fig11_instrumented() -> Result<(Vec<Fig11Point>, SolveStats), Error> {
-    let cfg = SolverConfig::default();
+    fig11_with(SolverConfig::default())
+}
+
+/// [`fig11_instrumented`] under an explicit solver configuration — the
+/// harness threads its execution knobs (worker threads, preconditioner)
+/// through here.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig11_with(cfg: SolverConfig) -> Result<(Vec<Fig11Point>, SolveStats), Error> {
     let planar = pentium4_147w();
     let ny = (cfg.nx * 17 / 20).max(1);
     let mut stats = SolveStats::default();
@@ -149,11 +159,11 @@ pub fn fig11_instrumented() -> Result<(Vec<Fig11Point>, SolveStats), Error> {
     stats.absorb(base.stats);
 
     let folded = folded_p4();
-    let (folded_peak, s) = solve_p4_stack(&folded, 1.0)?;
+    let (folded_peak, s) = solve_p4_stack(&folded, 1.0, cfg)?;
     stats.absorb(s);
 
     let wc = worst_case_stack(&planar);
-    let (wc_peak, s) = solve_p4_stack(&wc, 1.0)?;
+    let (wc_peak, s) = solve_p4_stack(&wc, 1.0, cfg)?;
     stats.absorb(s);
 
     let points = vec![
@@ -217,7 +227,17 @@ pub fn table5() -> Result<Vec<Table5Row>, Error> {
 ///
 /// Propagates the first thermal-solver failure.
 pub fn table5_instrumented() -> Result<(Vec<Table5Row>, SolveStats), Error> {
-    let cfg = SolverConfig::default();
+    table5_with(SolverConfig::default())
+}
+
+/// [`table5_instrumented`] under an explicit solver configuration — the
+/// harness threads its execution knobs (worker threads, preconditioner)
+/// through here.
+///
+/// # Errors
+///
+/// Propagates the first thermal-solver failure.
+pub fn table5_with(cfg: SolverConfig) -> Result<(Vec<Table5Row>, SolveStats), Error> {
     let planar = pentium4_147w();
     let ny = (cfg.nx * 17 / 20).max(1);
     let mut stats = SolveStats::default();
@@ -253,7 +273,7 @@ pub fn table5_instrumented() -> Result<(Vec<Table5Row>, SolveStats), Error> {
     let make_row =
         |label: &'static str, point: OperatingPoint| -> Result<(Table5Row, SolveStats), Error> {
             let power = model.power(point);
-            let (temp, s) = solve_p4_stack(&folded, power / folded_nominal)?;
+            let (temp, s) = solve_p4_stack(&folded, power / folded_nominal, cfg)?;
             Ok((
                 Table5Row {
                     label,
@@ -282,7 +302,7 @@ pub fn table5_instrumented() -> Result<(Vec<Table5Row>, SolveStats), Error> {
         for _ in 0..24 {
             let mid = 0.5 * (lo + hi);
             let point = OperatingPoint::scaled_together(mid);
-            let (t, s) = solve_p4_stack(&folded, point.power_factor())?;
+            let (t, s) = solve_p4_stack(&folded, point.power_factor(), cfg)?;
             stats.absorb(s);
             if t > baseline_temp {
                 hi = mid;

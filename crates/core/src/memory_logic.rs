@@ -230,7 +230,17 @@ pub fn fig8() -> Result<Vec<ThermalPoint>, Error> {
 ///
 /// Propagates the first solver failure.
 pub fn fig8_instrumented() -> Result<(Vec<ThermalPoint>, SolveStats), Error> {
-    let cfg = SolverConfig::default();
+    fig8_with(SolverConfig::default())
+}
+
+/// [`fig8_instrumented`] under an explicit solver configuration — the
+/// harness threads its execution knobs (worker threads, preconditioner)
+/// through here.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig8_with(cfg: SolverConfig) -> Result<(Vec<ThermalPoint>, SolveStats), Error> {
     let bc = Boundary::desktop();
     let mut stats = SolveStats::default();
     let mut points = Vec::new();
@@ -265,7 +275,15 @@ pub fn fig6() -> Result<(PowerGrid, TemperatureField), Error> {
 ///
 /// Propagates solver failure.
 pub fn fig6_instrumented() -> Result<((PowerGrid, TemperatureField), SolveStats), Error> {
-    let cfg = SolverConfig::default();
+    fig6_with(SolverConfig::default())
+}
+
+/// [`fig6_instrumented`] under an explicit solver configuration.
+///
+/// # Errors
+///
+/// Propagates solver failure.
+pub fn fig6_with(cfg: SolverConfig) -> Result<((PowerGrid, TemperatureField), SolveStats), Error> {
     let option = StackOption::Planar4M;
     let cpu = option.cpu_floorplan();
     let ny = (cfg.nx * 17 / 20).max(1);

@@ -53,10 +53,104 @@ pub fn fig3() -> Result<Fig3Data, Error> {
 ///
 /// Propagates the first solver failure.
 pub fn fig3_instrumented() -> Result<(Fig3Data, SolveStats), Error> {
+    fig3_with(SolverConfig::default())
+}
+
+/// [`fig3_instrumented`] under an explicit solver configuration — the
+/// harness threads its execution knobs (worker threads, preconditioner)
+/// through here; `stacksim bench` uses it to time the sweep end to end.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig3_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
+    let (stack, bc) = fig3_stack(&cfg);
+    let ks = fig3_conductivities();
+    let mut stats = SolveStats::default();
+    // "the traditional metal stack on the two die": both metal layers
+    let (cu_metal, s) =
+        conductivity_sweep_multi_stats(&stack, &["cu metal 1", "cu metal 2"], &ks, bc, cfg)?;
+    stats.absorb(s);
+    let (bond, s) = conductivity_sweep_stats(&stack, "bond", &ks, bc, cfg)?;
+    stats.absorb(s);
+    Ok((Fig3Data { cu_metal, bond }, stats))
+}
+
+/// The Fig. 3 sweep with every point solved by the frozen pre-optimization
+/// solver ([`stacksim_thermal::reference`]): branchy stencil, unfused CG,
+/// cold starts. `stacksim bench` uses this as the baseline every speedup
+/// is measured against. Results are identical to [`fig3_with`] up to the
+/// solver tolerance.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig3_reference(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
+    let (stack, bc) = fig3_stack(&cfg);
+    let ks = fig3_conductivities();
+    let mut stats = SolveStats::default();
+    let mut sweep_ref = |layers: &[&str]| -> Result<Vec<SweepPoint>, Error> {
+        let mut out = Vec::with_capacity(ks.len());
+        for &k in &ks {
+            let mut swept = stack.clone();
+            for name in layers {
+                swept = swept.with_layer_conductivity(name, k);
+            }
+            let sol = stacksim_thermal::reference::solve_with_stats(&swept, bc, cfg)?;
+            stats.absorb(sol.stats);
+            out.push(SweepPoint {
+                k,
+                peak_c: sol.field.peak(),
+            });
+        }
+        Ok(out)
+    };
+    let cu_metal = sweep_ref(&["cu metal 1", "cu metal 2"])?;
+    let bond = sweep_ref(&["bond"])?;
+    Ok((Fig3Data { cu_metal, bond }, stats))
+}
+
+/// The Fig. 3 sweep with every point solved cold (from ambient) by the
+/// *optimized* kernel, ignoring the warm-start chaining [`fig3_with`]
+/// uses. `stacksim bench` reports it as the kernel-only leg, isolating the
+/// stencil/fusion gains from the warm-start and preconditioner gains.
+/// Results are identical to [`fig3_with`] up to the solver tolerance.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn fig3_cold_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
+    let (stack, bc) = fig3_stack(&cfg);
+    let ks = fig3_conductivities();
+    let mut stats = SolveStats::default();
+    let mut sweep_cold = |layers: &[&str]| -> Result<Vec<SweepPoint>, Error> {
+        let mut out = Vec::with_capacity(ks.len());
+        for &k in &ks {
+            let mut swept = stack.clone();
+            for name in layers {
+                swept = swept.with_layer_conductivity(name, k);
+            }
+            let sol = stacksim_thermal::solve_with_stats(&swept, bc, cfg)?;
+            stats.absorb(sol.stats);
+            out.push(SweepPoint {
+                k,
+                peak_c: sol.field.peak(),
+            });
+        }
+        Ok(out)
+    };
+    let cu_metal = sweep_cold(&["cu metal 1", "cu metal 2"])?;
+    let bond = sweep_cold(&["bond"])?;
+    Ok((Fig3Data { cu_metal, bond }, stats))
+}
+
+/// The two-die stack and boundary condition both Fig. 3 sweeps run over.
+/// Public so `stacksim bench` can report the grid it timed (layer count,
+/// cell count) without duplicating the construction.
+pub fn fig3_stack(cfg: &SolverConfig) -> (LayerStack, Boundary) {
     let folded = folded_p4();
     let d0 = &folded.dies()[0];
     let d1 = &folded.dies()[1];
-    let cfg = SolverConfig::default();
     let ny = (cfg.nx * 17 / 20).max(1);
     let planar_area = stacksim_floorplan::p4::pentium4_147w().area();
     let bc = Boundary::performance().scaled_to_area(planar_area, d0.area());
@@ -67,15 +161,7 @@ pub fn fig3_instrumented() -> Result<(Fig3Data, SolveStats), Error> {
         d1.power_grid(cfg.nx, ny),
         false,
     );
-    let ks = fig3_conductivities();
-    let mut stats = SolveStats::default();
-    // "the traditional metal stack on the two die": both metal layers
-    let (cu_metal, s) =
-        conductivity_sweep_multi_stats(&stack, &["cu metal 1", "cu metal 2"], &ks, bc, cfg)?;
-    stats.absorb(s);
-    let (bond, s) = conductivity_sweep_stats(&stack, "bond", &ks, bc, cfg)?;
-    stats.absorb(s);
-    Ok((Fig3Data { cu_metal, bond }, stats))
+    (stack, bc)
 }
 
 #[cfg(test)]

@@ -48,6 +48,14 @@ impl TemperatureField {
         &self.layer_names
     }
 
+    /// Every cell temperature, layer-major then row-major — the raw solver
+    /// vector. Used to warm-start a related solve
+    /// ([`System::steady_from`](crate::System::steady_from)) and by the
+    /// bit-identity tests of the solver's determinism contract.
+    pub fn cells(&self) -> &[f64] {
+        &self.t
+    }
+
     /// Peak temperature anywhere in the stack (°C).
     pub fn peak(&self) -> f64 {
         self.t.iter().cloned().fold(f64::NEG_INFINITY, f64::max)

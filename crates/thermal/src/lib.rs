@@ -34,6 +34,7 @@
 
 mod field;
 pub mod materials;
+mod pool;
 mod resistor;
 mod solver;
 mod stack;
@@ -41,8 +42,10 @@ pub mod sweep;
 
 pub use field::TemperatureField;
 pub use resistor::ResistorStack;
+pub use solver::reference;
 pub use solver::{
-    solve, solve_transient, solve_with_stats, Solution, SolveError, SolveStats, SolverConfig,
-    SolverConfigBuilder, SolverConfigError, System, TransientPoint,
+    solve, solve_transient, solve_with_stats, Preconditioner, Solution, SolveError, SolveStats,
+    SolverConfig, SolverConfigBuilder, SolverConfigError, System, TransientPoint,
+    MAX_SOLVER_THREADS,
 };
 pub use stack::{Boundary, Layer, LayerStack, DESKTOP_H_TOP};

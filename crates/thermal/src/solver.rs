@@ -6,12 +6,68 @@
 //! and motherboard faces. The steady solver drops the time term; the
 //! transient solver integrates it with implicit Euler. Both reduce to
 //! symmetric positive-definite systems solved matrix-free with
-//! Jacobi-preconditioned conjugate gradients.
+//! preconditioned conjugate gradients.
+//!
+//! # Kernel layout
+//!
+//! The hot loop is the 7-point stencil in [`stencil_row`]: one x-row per
+//! call, west/east terms fused into `gx·(xr[i−1]+xr[i+1])`, boundary
+//! columns peeled out of the interior loop. Absent north/south/above/below
+//! neighbours are handled without branches by passing a zero coefficient
+//! together with an aliased row, so the interior loop body is identical
+//! for every cell and vectorisable. The CG vector passes are fused:
+//! the axpy pair (`x += αp`, `r -= αap`) also accumulates `‖r‖²`, and the
+//! Jacobi precondition pass also accumulates `r·z`, so the residual norm
+//! is never recomputed from scratch.
+//!
+//! # Determinism contract
+//!
+//! With `SolverConfig::threads > 1` each solve spawns its workers **once**
+//! on scoped threads ([`std::thread::scope`] — no dependencies) and drives
+//! them through the CG phases with a spin barrier (per-phase spawning
+//! costs more than a phase's arithmetic at these grid sizes). Work is
+//! partitioned into fixed contiguous layer slabs (plane rows for the
+//! line-z phases). Every reduction is accumulated into fixed per-layer
+//! (per-row) partials in index order and folded in layer (row) order on
+//! worker 0. The partition only decides *who* computes a partial, never
+//! how it is rounded, so results are **bit-identical for any thread
+//! count** — the same contract as the harness's parallel==serial test.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::field::TemperatureField;
+use crate::pool::{SharedSlice, SpinBarrier};
 use crate::stack::{Boundary, LayerStack};
+
+/// Hard upper bound on [`SolverConfig::threads`], shared with the `SL043`
+/// lint pass.
+pub const MAX_SOLVER_THREADS: usize = 512;
+
+/// Preconditioner choice for the CG solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Preconditioner {
+    /// Diagonal (Jacobi) scaling — one multiply per cell per iteration.
+    #[default]
+    Jacobi,
+    /// Exact solve of each (i, j) cell column's vertical tridiagonal via a
+    /// precomputed Thomas factorisation. The vertical coupling `gz ≈ k·A/t`
+    /// dwarfs the lateral terms `gx, gy ≈ k·t·Δy/Δx` in a thin stack
+    /// (`t` is sub-millimetre while the cell area `A` spans the die), so
+    /// solving the z-direction exactly cuts CG iterations several-fold.
+    LineZ,
+}
+
+impl Preconditioner {
+    /// Stable lowercase label, used by digests, CLI output and bench files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Preconditioner::Jacobi => "jacobi",
+            Preconditioner::LineZ => "line-z",
+        }
+    }
+}
 
 /// Solver parameters.
 ///
@@ -29,6 +85,13 @@ pub struct SolverConfig {
     pub max_iters: usize,
     /// Relative residual tolerance.
     pub tolerance: f64,
+    /// Worker threads for the stencil and vector phases. Purely an
+    /// execution knob: results are bit-identical for any value (see the
+    /// module-level determinism contract), so digests must not include it.
+    pub threads: usize,
+    /// Preconditioner choice. Changes the iteration path (and therefore
+    /// rounding), not the converged answer beyond the tolerance.
+    pub preconditioner: Preconditioner,
 }
 
 impl Default for SolverConfig {
@@ -38,6 +101,8 @@ impl Default for SolverConfig {
             ny: 34,
             max_iters: 20_000,
             tolerance: 1e-10,
+            threads: 1,
+            preconditioner: Preconditioner::Jacobi,
         }
     }
 }
@@ -51,8 +116,8 @@ impl SolverConfig {
         }
     }
 
-    /// Checks internal consistency. The lint pass `SL042` and the builder's
-    /// [`SolverConfigBuilder::build`] both delegate here.
+    /// Checks internal consistency. The lint passes `SL042`/`SL043` and the
+    /// builder's [`SolverConfigBuilder::build`] both delegate here.
     ///
     /// # Errors
     ///
@@ -71,6 +136,11 @@ impl SolverConfig {
         if self.tolerance.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SolverConfigError::new(
                 "residual tolerance must be positive and not NaN",
+            ));
+        }
+        if self.threads == 0 || self.threads > MAX_SOLVER_THREADS {
+            return Err(SolverConfigError::new(
+                "solver threads must be between 1 and 512",
             ));
         }
         Ok(())
@@ -129,6 +199,21 @@ impl SolverConfigBuilder {
     #[must_use]
     pub fn tolerance(mut self, tolerance: f64) -> Self {
         self.cfg.tolerance = tolerance;
+        self
+    }
+
+    /// Worker threads for the stencil and vector phases (results are
+    /// bit-identical for any value).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Preconditioner choice.
+    #[must_use]
+    pub fn preconditioner(mut self, preconditioner: Preconditioner) -> Self {
+        self.cfg.preconditioner = preconditioner;
         self
     }
 
@@ -242,9 +327,314 @@ pub struct TransientPoint {
     pub peak_c: f64,
 }
 
+/// One x-row of the 7-point stencil:
+/// `out = (d + extra)·xr − gx·(west + east) − gyn·xn − gys·xs − gzu·xu − gzd·xd`,
+/// with the west/east terms peeled at the row ends. Absent neighbours are
+/// passed with a **zero coefficient and an aliased row**, which keeps the
+/// interior loop body branch-free and identical for every cell. The
+/// diagonal is two scalars — `de` for the row's end cells, `dm` for its
+/// interior — because within a layer the assembled diagonal only varies
+/// with the cell's neighbour-count class (see [`row_cls`]); not streaming
+/// a per-cell diagonal array saves a full vector read per apply.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn stencil_row(
+    out: &mut [f64],
+    de: f64,
+    dm: f64,
+    extra: f64,
+    gx: f64,
+    xr: &[f64],
+    gyn: f64,
+    xn: &[f64],
+    gys: f64,
+    xs: &[f64],
+    gzu: f64,
+    xu: &[f64],
+    gzd: f64,
+    xd: &[f64],
+) {
+    let nx = out.len();
+    // Pin every slice to the same length so the bounds checks hoist out of
+    // the interior loop and it autovectorizes.
+    let xr = &xr[..nx];
+    let (xn, xs) = (&xn[..nx], &xs[..nx]);
+    let (xu, xd) = (&xu[..nx], &xd[..nx]);
+    if nx == 1 {
+        out[0] = (de + extra) * xr[0] - gyn * xn[0] - gys * xs[0] - gzu * xu[0] - gzd * xd[0];
+        return;
+    }
+    out[0] =
+        (de + extra) * xr[0] - gx * xr[1] - gyn * xn[0] - gys * xs[0] - gzu * xu[0] - gzd * xd[0];
+    for i in 1..nx - 1 {
+        out[i] = (dm + extra) * xr[i]
+            - gx * (xr[i - 1] + xr[i + 1])
+            - gyn * xn[i]
+            - gys * xs[i]
+            - gzu * xu[i]
+            - gzd * xd[i];
+    }
+    let e = nx - 1;
+    out[e] = (de + extra) * xr[e]
+        - gx * xr[e - 1]
+        - gyn * xn[e]
+        - gys * xs[e]
+        - gzu * xu[e]
+        - gzd * xd[e];
+}
+
+/// Looks up a per-row coefficient pair `(end, mid)` in a per-layer class
+/// table.
+///
+/// The assembled diagonal (and everything factored from it) takes at most
+/// nine distinct values per layer — one per (x-neighbour-count,
+/// y-neighbour-count) class — because each layer's material is uniform.
+/// The solver therefore stores those values in `nl × 3` tables indexed by
+/// `layer · 3 + y-class` with the three x-class values inline, and the hot
+/// loops read two scalars per row instead of streaming `n`-element
+/// coefficient arrays. The tables are built with the exact addition chains
+/// the per-cell assembly uses, so the looked-up values are bit-identical
+/// to the per-cell ones.
+#[inline]
+fn row_cls(t: &[[f64; 3]], l: usize, j: usize, ny: usize, nx: usize) -> (f64, f64) {
+    let yn = if ny == 1 {
+        0
+    } else if j == 0 || j + 1 == ny {
+        1
+    } else {
+        2
+    };
+    let c = &t[l * 3 + yn];
+    (c[if nx == 1 { 0 } else { 1 }], c[2])
+}
+
+/// Dot product of one row, accumulated in four fixed lanes.
+///
+/// Every reduction in this module folds its rows through this function: a
+/// single `s += a·b` chain keeps the whole surrounding loop scalar (LLVM
+/// will not reassociate floats), while four independent lanes map onto one
+/// vector accumulator and let the loop autovectorize. The lane assignment
+/// (`i mod 4`), the `(l0+l1) + (l2+l3)` combine and the in-order scalar
+/// tail are fixed functions of the row length, so the result is
+/// deterministic and identical for the serial and threaded drivers.
+#[inline]
+fn dot_row(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let b = &b[..n];
+    let mut l = [0.0f64; 4];
+    for (qa, qb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        l[0] += qa[0] * qb[0];
+        l[1] += qa[1] * qb[1];
+        l[2] += qa[2] * qb[2];
+        l[3] += qa[3] * qb[3];
+    }
+    let mut s = (l[0] + l[1]) + (l[2] + l[3]);
+    for i in (n / 4) * 4..n {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Contiguous slab bounds for each of `workers` workers over `total`
+/// units — a fixed function of `(total, workers)` alone, so the partition
+/// is deterministic.
+fn slab_bounds(total: usize, workers: usize) -> Vec<(usize, usize)> {
+    (0..workers)
+        .map(|w| (total * w / workers, total * (w + 1) / workers))
+        .collect()
+}
+
+/// Worker count actually used for a solve: the configured thread count,
+/// clamped to the partitionable units (layers, plane rows) *and* to the
+/// hardware parallelism — CG phases are lockstep, so running more spinning
+/// workers than cores only adds scheduler churn. The clamp never changes
+/// results (bit-identity across worker counts is the module's contract),
+/// only how many threads compute them.
+fn effective_workers(threads: usize, nl: usize, ny: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    threads.min(nl).min(ny).min(cores).max(1)
+}
+
+/// In-place `r ← b − r` (where `r` holds `A·x` on entry) with per-row
+/// (`nx`-chunk) `‖b‖²` and `‖r‖²` partials.
+///
+/// All reduction partials in this module are **per plane row**, not per
+/// layer, and every row folds through [`dot_row`]'s four lanes: short
+/// independent chains vectorize and let the CPU overlap their FP-add
+/// latency, where a per-layer chain of `nx·ny` dependent adds would
+/// serialise at ~4 cycles each and dominate the whole iteration. The
+/// chain boundaries are a fixed function of the grid, so results stay
+/// bit-identical for any thread count.
+fn residual_slab(b: &[f64], r: &mut [f64], ptb: &mut [f64], ptr2: &mut [f64], nx: usize) {
+    for (ci, (bc, rc)) in b.chunks_exact(nx).zip(r.chunks_exact_mut(nx)).enumerate() {
+        for i in 0..nx {
+            rc[i] = bc[i] - rc[i];
+        }
+        ptb[ci] = dot_row(bc, bc);
+        ptr2[ci] = dot_row(rc, rc);
+    }
+}
+
+/// Fused CG update: `x += α·p`, `r −= α·ap`, per-row `‖r‖²` partials.
+fn update_slab(
+    alpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    pt: &mut [f64],
+    nx: usize,
+) {
+    for (ci, (((pc, apc), xc), rc)) in p
+        .chunks_exact(nx)
+        .zip(ap.chunks_exact(nx))
+        .zip(x.chunks_exact_mut(nx))
+        .zip(r.chunks_exact_mut(nx))
+        .enumerate()
+    {
+        for i in 0..nx {
+            xc[i] += alpha * pc[i];
+            rc[i] -= alpha * apc[i];
+        }
+        pt[ci] = dot_row(rc, rc);
+    }
+}
+
+/// Fully fused Jacobi iteration tail: the update above **plus**
+/// `z = inv·r` and per-row `r·z` partials, one pass over memory. The
+/// reciprocal diagonal comes from the [`row_cls`] class table (`l0` is the
+/// slab's first absolute layer), not a per-cell array.
+#[allow(clippy::too_many_arguments)]
+fn update_jacobi_slab(
+    alpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    inv: &[[f64; 3]],
+    l0: usize,
+    ny: usize,
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    ptr2: &mut [f64],
+    ptrz: &mut [f64],
+    nx: usize,
+) {
+    #[inline(always)]
+    fn cell(alpha: f64, iv: f64, p: f64, ap: f64, x: &mut f64, r: &mut f64, z: &mut f64) {
+        *x += alpha * p;
+        let rv = *r - alpha * ap;
+        *r = rv;
+        *z = rv * iv;
+    }
+    for (ci, ((((pc, apc), xc), rc), zc)) in p
+        .chunks_exact(nx)
+        .zip(ap.chunks_exact(nx))
+        .zip(x.chunks_exact_mut(nx))
+        .zip(r.chunks_exact_mut(nx))
+        .zip(z.chunks_exact_mut(nx))
+        .enumerate()
+    {
+        let (ie, im) = row_cls(inv, l0 + ci / ny, ci % ny, ny, nx);
+        cell(alpha, ie, pc[0], apc[0], &mut xc[0], &mut rc[0], &mut zc[0]);
+        for i in 1..nx.saturating_sub(1) {
+            cell(alpha, im, pc[i], apc[i], &mut xc[i], &mut rc[i], &mut zc[i]);
+        }
+        let e = nx - 1;
+        if e > 0 {
+            cell(alpha, ie, pc[e], apc[e], &mut xc[e], &mut rc[e], &mut zc[e]);
+        }
+        ptr2[ci] = dot_row(rc, rc);
+        ptrz[ci] = dot_row(rc, zc);
+    }
+}
+
+/// Jacobi precondition: `z = inv·r` with per-row `r·z` partials, the
+/// reciprocal diagonal looked up per row in the [`row_cls`] class table
+/// (`l0` is the slab's first absolute layer).
+fn jacobi_slab(
+    inv: &[[f64; 3]],
+    l0: usize,
+    ny: usize,
+    r: &[f64],
+    z: &mut [f64],
+    pt: &mut [f64],
+    nx: usize,
+) {
+    for (ci, (rc, zc)) in r.chunks_exact(nx).zip(z.chunks_exact_mut(nx)).enumerate() {
+        let (ie, im) = row_cls(inv, l0 + ci / ny, ci % ny, ny, nx);
+        zc[0] = rc[0] * ie;
+        for i in 1..nx.saturating_sub(1) {
+            zc[i] = rc[i] * im;
+        }
+        let e = nx - 1;
+        if e > 0 {
+            zc[e] = rc[e] * ie;
+        }
+        pt[ci] = dot_row(rc, zc);
+    }
+}
+
+/// Precomputed preconditioner factors for one `(system, shift)` pair.
+/// Both variants are [`row_cls`] class tables (`nl × 3` entries of three
+/// x-class values), not per-cell arrays: every cell of a neighbour-count
+/// class shares its diagonal, so it shares its factorisation too, and the
+/// tables stay resident in L1 while the per-cell arrays they replace cost
+/// a vector read per pass.
+enum Factors {
+    /// Reciprocal of the (shifted) diagonal — the hoisted `1/pre(u)`.
+    Jacobi { inv: Vec<[f64; 3]> },
+    /// Thomas factorisation of the vertical tridiagonal of each cell
+    /// class: `inv_w = 1/w_l` with `w_0 = d_0`,
+    /// `w_l = d_l − gz[l−1]²/w_{l−1}`, and `cp = gz[l]·inv_w` for the
+    /// back-substitution (`cp` is unused on the last layer).
+    LineZ {
+        inv_w: Vec<[f64; 3]>,
+        cp: Vec<[f64; 3]>,
+    },
+}
+
+/// Everything one CG worker needs, shared by copy. All slices alias
+/// buffers owned by [`System::cg_mt`]'s stack frame, which outlives the
+/// thread scope; disjointness of concurrent writes is guaranteed by the
+/// fixed slab/row partitions and the barrier discipline (see
+/// [`SharedSlice::range_mut`]).
+#[derive(Clone, Copy)]
+struct MtShared<'a> {
+    shift: f64,
+    b: &'a [f64],
+    x: SharedSlice<'a>,
+    r: SharedSlice<'a>,
+    z: SharedSlice<'a>,
+    p: SharedSlice<'a>,
+    ap: SharedSlice<'a>,
+    /// Per-row partials at `l·ny + j`: `‖b‖²` at init, `p·ap` / `‖r‖²` in
+    /// the loop.
+    pt_a: SharedSlice<'a>,
+    /// Per-row partials at `l·ny + j`: `‖r‖²` at init, `r·z` in the Jacobi
+    /// loop.
+    pt_b: SharedSlice<'a>,
+    /// Precondition partials: per `(row, layer)` at `j·nl + l` for line-z,
+    /// per row at `l·ny + j` for Jacobi.
+    pt_pre: SharedSlice<'a>,
+    /// `[α, β]`, published by worker 0 between barriers.
+    scal: SharedSlice<'a>,
+    fac: &'a Factors,
+    /// Fixed layer slab `(l0, l1)` per worker.
+    layer_bounds: &'a [(usize, usize)],
+    /// Fixed plane-row slab `(j0, j1)` per worker (line-z phases).
+    row_bounds: &'a [(usize, usize)],
+    barrier: &'a SpinBarrier,
+    /// 0 = keep iterating, 1 = converged. Checked by every worker only
+    /// after barriers that *all* workers cross, so barrier counts stay
+    /// equal and nobody deadlocks.
+    stop: &'a AtomicUsize,
+}
+
 /// The assembled finite-volume system for one stack/boundary/grid triple.
-/// Build once with [`System::assemble`], then run [`System::steady`] or
-/// [`System::transient`].
+/// Build once with [`System::assemble`], then run [`System::steady`],
+/// [`System::steady_from`] or [`System::transient`].
 #[derive(Debug, Clone)]
 pub struct System {
     nx: usize,
@@ -256,6 +646,10 @@ pub struct System {
     g_top: f64,
     g_bot: f64,
     diag: Vec<f64>,
+    /// The diagonal's [`row_cls`] class table — what the hot loops read
+    /// instead of `diag` (kept per-cell only for the frozen [`reference`]
+    /// solver).
+    dcls: Vec<[f64; 3]>,
     rhs: Vec<f64>,
     /// Thermal mass per cell of each layer (J/K).
     mass: Vec<f64>,
@@ -367,6 +761,39 @@ impl System {
             }
         }
 
+        // The diagonal's class table (see `row_cls`): one entry per
+        // (layer, y-neighbour-count) pair holding the three
+        // x-neighbour-count values. Built with the same addition chain as
+        // the per-cell loop above, so each entry is bit-identical to the
+        // `diag` value of every cell in its class.
+        let mut dcls = vec![[0.0f64; 3]; nl * 3];
+        for l in 0..nl {
+            for yn in 0..3 {
+                for (xn, slot) in dcls[l * 3 + yn].iter_mut().enumerate() {
+                    let mut d = 0.0;
+                    for _ in 0..xn {
+                        d += gx[l];
+                    }
+                    for _ in 0..yn {
+                        d += gy[l];
+                    }
+                    if l > 0 {
+                        d += gz[l - 1];
+                    }
+                    if l + 1 < nl {
+                        d += gz[l];
+                    }
+                    if l == 0 {
+                        d += g_top;
+                    }
+                    if l == last {
+                        d += g_bot;
+                    }
+                    *slot = d;
+                }
+            }
+        }
+
         Ok(System {
             nx,
             ny,
@@ -377,6 +804,7 @@ impl System {
             g_top,
             g_bot,
             diag,
+            dcls,
             rhs,
             mass,
             names: layers.iter().map(|l| l.name().to_string()).collect(),
@@ -395,96 +823,766 @@ impl System {
         (self.g_top, self.g_bot)
     }
 
-    /// Applies `(A + shift·M) x` where `A` is the conduction operator and
-    /// `M` the diagonal mass matrix (shift = 0 for steady state).
-    fn apply(&self, shift: f64, x: &[f64], out: &mut [f64]) {
+    /// Applies `(A + shift·M)` to `x`, writing the layers starting at `l0`
+    /// into the (locally indexed) slab `out`.
+    fn apply_slab(&self, shift: f64, x: &[f64], out: &mut [f64], l0: usize) {
+        self.apply_slab_impl::<false>(shift, x, out, l0, &mut []);
+    }
+
+    /// [`System::apply_slab`] fused with the per-row `x·out` partials —
+    /// CG's `p·ap` reduction folded while each stencil output row is still
+    /// in cache (`pt` holds one partial per plane row of the slab, index
+    /// order, the granularity every reduction here uses — see
+    /// [`residual_slab`]).
+    fn apply_dot_slab(&self, shift: f64, x: &[f64], out: &mut [f64], l0: usize, pt: &mut [f64]) {
+        self.apply_slab_impl::<true>(shift, x, out, l0, pt);
+    }
+
+    fn apply_slab_impl<const DOT: bool>(
+        &self,
+        shift: f64,
+        x: &[f64],
+        out: &mut [f64],
+        l0: usize,
+        pt: &mut [f64],
+    ) {
         let (nx, ny, nl) = (self.nx, self.ny, self.nl);
         let nxy = self.nxy();
-        for l in 0..nl {
+        let layers = out.len() / nxy;
+        for li in 0..layers {
+            let l = l0 + li;
             let extra = shift * self.mass[l];
+            let gx = self.gx[l];
+            let gy = self.gy[l];
+            let (gzu, du) = if l > 0 {
+                (self.gz[l - 1], nxy)
+            } else {
+                (0.0, 0)
+            };
+            let (gzd, dd) = if l + 1 < nl {
+                (self.gz[l], nxy)
+            } else {
+                (0.0, 0)
+            };
             for j in 0..ny {
-                for i in 0..nx {
-                    let u = l * nxy + j * nx + i;
-                    let mut acc = (self.diag[u] + extra) * x[u];
-                    if i > 0 {
-                        acc -= self.gx[l] * x[u - 1];
-                    }
-                    if i + 1 < nx {
-                        acc -= self.gx[l] * x[u + 1];
-                    }
-                    if j > 0 {
-                        acc -= self.gy[l] * x[u - nx];
-                    }
-                    if j + 1 < ny {
-                        acc -= self.gy[l] * x[u + nx];
-                    }
-                    if l > 0 {
-                        acc -= self.gz[l - 1] * x[u - nxy];
-                    }
-                    if l + 1 < nl {
-                        acc -= self.gz[l] * x[u + nxy];
-                    }
-                    out[u] = acc;
+                let g = l * nxy + j * nx;
+                let lb = li * nxy + j * nx;
+                let (gyn, dn) = if j > 0 { (gy, nx) } else { (0.0, 0) };
+                let (gys, ds) = if j + 1 < ny { (gy, nx) } else { (0.0, 0) };
+                let (de, dm) = row_cls(&self.dcls, l, j, ny, nx);
+                stencil_row(
+                    &mut out[lb..lb + nx],
+                    de,
+                    dm,
+                    extra,
+                    gx,
+                    &x[g..g + nx],
+                    gyn,
+                    &x[g - dn..g - dn + nx],
+                    gys,
+                    &x[g + ds..g + ds + nx],
+                    gzu,
+                    &x[g - du..g - du + nx],
+                    gzd,
+                    &x[g + dd..g + dd + nx],
+                );
+                if DOT {
+                    pt[li * ny + j] = dot_row(&out[lb..lb + nx], &x[g..g + nx]);
                 }
             }
         }
     }
 
-    /// Jacobi-preconditioned CG for `(A + shift·M) x = b`, warm-started at
-    /// `x0`. On success also returns the iteration count and final
-    /// relative residual.
-    fn cg(
+    /// Builds the preconditioner factors for one `shift` — class tables
+    /// mirroring [`System::dcls`], one factorisation per cell class.
+    fn factorize(&self, shift: f64) -> Factors {
+        match self.cfg.preconditioner {
+            Preconditioner::Jacobi => {
+                let inv = self
+                    .dcls
+                    .iter()
+                    .enumerate()
+                    .map(|(e, c)| {
+                        let extra = shift * self.mass[e / 3];
+                        [
+                            1.0 / (c[0] + extra),
+                            1.0 / (c[1] + extra),
+                            1.0 / (c[2] + extra),
+                        ]
+                    })
+                    .collect();
+                Factors::Jacobi { inv }
+            }
+            Preconditioner::LineZ => {
+                let mut inv_w = vec![[0.0f64; 3]; self.nl * 3];
+                let mut cp = vec![[0.0f64; 3]; self.nl * 3];
+                for yn in 0..3 {
+                    for xn in 0..3 {
+                        inv_w[yn][xn] = 1.0 / (self.dcls[yn][xn] + shift * self.mass[0]);
+                        for l in 1..self.nl {
+                            let g = self.gz[l - 1];
+                            let extra = shift * self.mass[l];
+                            let cprev = g * inv_w[(l - 1) * 3 + yn][xn];
+                            cp[(l - 1) * 3 + yn][xn] = cprev;
+                            inv_w[l * 3 + yn][xn] =
+                                1.0 / (self.dcls[l * 3 + yn][xn] + extra - g * cprev);
+                        }
+                    }
+                }
+                Factors::LineZ { inv_w, cp }
+            }
+        }
+    }
+
+    /// Serial precondition pass `z ← M⁻¹·r` over the whole grid. Returns
+    /// `r·z` folded from the partials in index order. `scratch` must hold
+    /// `n` elements for line-z (the forward-elimination buffer); Jacobi
+    /// ignores it.
+    ///
+    /// The line-z sweeps run whole contiguous planes per layer — the
+    /// per-element arithmetic and the per-row fold order are exactly those
+    /// of the row-partitioned [`System::linez_rows`] the threaded driver
+    /// uses, so both produce bit-identical results.
+    fn precondition_full(
+        &self,
+        fac: &Factors,
+        r: &[f64],
+        z: &mut [f64],
+        pt: &mut [f64],
+        scratch: &mut [f64],
+    ) -> f64 {
+        let nxy = self.nxy();
+        match fac {
+            Factors::Jacobi { inv } => jacobi_slab(inv, 0, self.ny, r, z, pt, self.nx),
+            Factors::LineZ { inv_w, cp } => {
+                let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+                // forward: y_0 = r_0/w_0, y_l = (r_l + gz[l−1]·y_{l−1})/w_l
+                for j in 0..ny {
+                    let (iwe, iwm) = row_cls(inv_w, 0, j, ny, nx);
+                    let o = j * nx;
+                    scratch[o] = r[o] * iwe;
+                    for i in 1..nx.saturating_sub(1) {
+                        scratch[o + i] = r[o + i] * iwm;
+                    }
+                    if nx > 1 {
+                        scratch[o + nx - 1] = r[o + nx - 1] * iwe;
+                    }
+                }
+                for l in 1..nl {
+                    let g = self.gz[l - 1];
+                    let (prev, cur) = scratch.split_at_mut(l * nxy);
+                    let prev = &prev[(l - 1) * nxy..];
+                    let base = l * nxy;
+                    for j in 0..ny {
+                        let (iwe, iwm) = row_cls(inv_w, l, j, ny, nx);
+                        let o = j * nx;
+                        cur[o] = (r[base + o] + g * prev[o]) * iwe;
+                        for i in 1..nx.saturating_sub(1) {
+                            cur[o + i] = (r[base + o + i] + g * prev[o + i]) * iwm;
+                        }
+                        if nx > 1 {
+                            let e = o + nx - 1;
+                            cur[e] = (r[base + e] + g * prev[e]) * iwe;
+                        }
+                    }
+                }
+                // backward: z_{nl−1} = y_{nl−1}, z_l = y_l + cp_l·z_{l+1}
+                z[(nl - 1) * nxy..].copy_from_slice(&scratch[(nl - 1) * nxy..]);
+                for l in (0..nl - 1).rev() {
+                    let (lo, hi) = z.split_at_mut((l + 1) * nxy);
+                    let zu = &hi[..nxy];
+                    let zl = &mut lo[l * nxy..];
+                    let base = l * nxy;
+                    for j in 0..ny {
+                        let (cpe, cpm) = row_cls(cp, l, j, ny, nx);
+                        let o = j * nx;
+                        zl[o] = scratch[base + o] + cpe * zu[o];
+                        for i in 1..nx.saturating_sub(1) {
+                            zl[o + i] = scratch[base + o + i] + cpm * zu[o + i];
+                        }
+                        if nx > 1 {
+                            let e = o + nx - 1;
+                            zl[e] = scratch[base + e] + cpe * zu[e];
+                        }
+                    }
+                }
+                // r·z partials, one per (row, layer) at pt[j·nl + l] —
+                // the same lanes, in the same slots, as [`System::linez_rows`]
+                for j in 0..self.ny {
+                    for l in 0..nl {
+                        let g = l * nxy + j * nx;
+                        pt[j * nl + l] = dot_row(&r[g..g + nx], &z[g..g + nx]);
+                    }
+                }
+            }
+        }
+        pt.iter().sum()
+    }
+
+    /// Thomas forward/back substitution for the rows `j0..j1` of every
+    /// layer. `rows[l]` is that layer's `(j1−j0)·nx` mutable window of `z`;
+    /// `scratch` holds the `nl·nx` forward-elimination buffer; `pt` gets
+    /// one `r·z` partial per `(row, layer)` pair at `pt[jj·nl + l]`.
+    #[allow(clippy::too_many_arguments)]
+    fn linez_rows(
+        &self,
+        inv_w: &[[f64; 3]],
+        cp: &[[f64; 3]],
+        r: &[f64],
+        rows: &mut [&mut [f64]],
+        j0: usize,
+        j1: usize,
+        pt: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let nxy = self.nxy();
+        for j in j0..j1 {
+            let jj = j - j0;
+            // forward: y_0 = r_0/w_0, y_l = (r_l + gz[l−1]·y_{l−1})/w_l
+            let g0 = j * nx;
+            let (iwe, iwm) = row_cls(inv_w, 0, j, ny, nx);
+            scratch[0] = r[g0] * iwe;
+            for i in 1..nx.saturating_sub(1) {
+                scratch[i] = r[g0 + i] * iwm;
+            }
+            if nx > 1 {
+                scratch[nx - 1] = r[g0 + nx - 1] * iwe;
+            }
+            for l in 1..nl {
+                let g = l * nxy + j * nx;
+                let gzc = self.gz[l - 1];
+                let (iwe, iwm) = row_cls(inv_w, l, j, ny, nx);
+                let (prev, cur) = scratch.split_at_mut(l * nx);
+                let prev = &prev[(l - 1) * nx..];
+                cur[0] = (r[g] + gzc * prev[0]) * iwe;
+                for i in 1..nx.saturating_sub(1) {
+                    cur[i] = (r[g + i] + gzc * prev[i]) * iwm;
+                }
+                if nx > 1 {
+                    cur[nx - 1] = (r[g + nx - 1] + gzc * prev[nx - 1]) * iwe;
+                }
+            }
+            // backward: z_{nl−1} = y_{nl−1}, z_l = y_l + cp_l·z_{l+1}
+            rows[nl - 1][jj * nx..(jj + 1) * nx].copy_from_slice(&scratch[(nl - 1) * nx..nl * nx]);
+            for l in (0..nl.saturating_sub(1)).rev() {
+                let (lo, hi) = rows.split_at_mut(l + 1);
+                let zu = &hi[0][jj * nx..(jj + 1) * nx];
+                let zl = &mut lo[l][jj * nx..(jj + 1) * nx];
+                let (cpe, cpm) = row_cls(cp, l, j, ny, nx);
+                zl[0] = scratch[l * nx] + cpe * zu[0];
+                for i in 1..nx.saturating_sub(1) {
+                    zl[i] = scratch[l * nx + i] + cpm * zu[i];
+                }
+                if nx > 1 {
+                    zl[nx - 1] = scratch[l * nx + nx - 1] + cpe * zu[nx - 1];
+                }
+            }
+            // r·z partials for this row, one per (row, layer)
+            for (l, row) in rows.iter().enumerate() {
+                let zr = &row[jj * nx..(jj + 1) * nx];
+                let g = l * nxy + j * nx;
+                pt[jj * nl + l] = dot_row(&r[g..g + nx], zr);
+            }
+        }
+    }
+
+    /// Serial line-z iteration tail, fully fused: per layer, the CG update
+    /// (`x += αp`, `r −= αap`, per-row `‖r‖²` partials into `pt_r2`)
+    /// immediately feeds the Thomas forward elimination while the fresh
+    /// residual is still in cache; the back-substitution then writes `z`
+    /// and folds the per-`(row, layer)` `r·z` partials into `pt_rz` in the
+    /// same pass. Every chain and partial slot matches the threaded
+    /// driver's unfused update + [`System::linez_rows`] phases, so the
+    /// results are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn linez_cycle(
+        &self,
+        alpha: f64,
+        p: &[f64],
+        ap: &[f64],
+        inv_w: &[[f64; 3]],
+        cp: &[[f64; 3]],
+        x: &mut [f64],
+        r: &mut [f64],
+        z: &mut [f64],
+        pt_r2: &mut [f64],
+        pt_rz: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        let (nx, ny, nl) = (self.nx, self.ny, self.nl);
+        let nxy = self.nxy();
+        // CG update + forward elimination, layer by layer
+        for l in 0..nl {
+            let base = l * nxy;
+            update_slab(
+                alpha,
+                &p[base..base + nxy],
+                &ap[base..base + nxy],
+                &mut x[base..base + nxy],
+                &mut r[base..base + nxy],
+                &mut pt_r2[l * ny..(l + 1) * ny],
+                nx,
+            );
+            if l == 0 {
+                for j in 0..ny {
+                    let (iwe, iwm) = row_cls(inv_w, 0, j, ny, nx);
+                    let o = j * nx;
+                    scratch[o] = r[o] * iwe;
+                    for i in 1..nx.saturating_sub(1) {
+                        scratch[o + i] = r[o + i] * iwm;
+                    }
+                    if nx > 1 {
+                        scratch[o + nx - 1] = r[o + nx - 1] * iwe;
+                    }
+                }
+            } else {
+                let g = self.gz[l - 1];
+                let (prev, cur) = scratch.split_at_mut(base);
+                let prev = &prev[base - nxy..];
+                for j in 0..ny {
+                    let (iwe, iwm) = row_cls(inv_w, l, j, ny, nx);
+                    let o = j * nx;
+                    cur[o] = (r[base + o] + g * prev[o]) * iwe;
+                    for i in 1..nx.saturating_sub(1) {
+                        cur[o + i] = (r[base + o + i] + g * prev[o + i]) * iwm;
+                    }
+                    if nx > 1 {
+                        let e = o + nx - 1;
+                        cur[e] = (r[base + e] + g * prev[e]) * iwe;
+                    }
+                }
+            }
+        }
+        // back substitution fused with the r·z fold
+        let top = (nl - 1) * nxy;
+        z[top..].copy_from_slice(&scratch[top..]);
+        for j in 0..ny {
+            let g = top + j * nx;
+            pt_rz[j * nl + (nl - 1)] = dot_row(&r[g..g + nx], &z[g..g + nx]);
+        }
+        for l in (0..nl - 1).rev() {
+            let base = l * nxy;
+            let (zlo, zhi) = z.split_at_mut(base + nxy);
+            let zl = &mut zlo[base..];
+            let zu = &zhi[..nxy];
+            for j in 0..ny {
+                let (cpe, cpm) = row_cls(cp, l, j, ny, nx);
+                let o = j * nx;
+                zl[o] = scratch[base + o] + cpe * zu[o];
+                for i in 1..nx.saturating_sub(1) {
+                    zl[o + i] = scratch[base + o + i] + cpm * zu[o + i];
+                }
+                if nx > 1 {
+                    let e = o + nx - 1;
+                    zl[e] = scratch[base + e] + cpe * zu[e];
+                }
+                pt_rz[j * nl + l] = dot_row(&r[base + o..base + o + nx], &zl[o..o + nx]);
+            }
+        }
+    }
+
+    /// Preconditioned CG for `(A + shift·M) x = b`, warm-started at `x`.
+    /// On success also returns the iteration count and final relative
+    /// residual. The residual norm is carried over from the fused update
+    /// pass — never recomputed — and the preconditioner divisions are
+    /// hoisted into the precomputed [`Factors`]. Dispatches to the
+    /// persistent-worker driver when more than one thread is useful; both
+    /// drivers produce bit-identical results (see the module docs).
+    fn cg(&self, shift: f64, b: &[f64], x: Vec<f64>) -> Result<(Vec<f64>, SolveStats), SolveError> {
+        let fac = self.factorize(shift);
+        let workers = effective_workers(self.cfg.threads, self.nl, self.ny);
+        if workers > 1 {
+            self.cg_mt(shift, b, x, &fac, workers)
+        } else {
+            self.cg_serial(shift, b, x, &fac)
+        }
+    }
+
+    /// The single-threaded CG driver: straight-line calls into the slab
+    /// kernels, folding each reduction's per-layer (per-row) partials in
+    /// index order.
+    fn cg_serial(
         &self,
         shift: f64,
         b: &[f64],
         mut x: Vec<f64>,
+        fac: &Factors,
     ) -> Result<(Vec<f64>, SolveStats), SolveError> {
         let n = x.len();
+        let nx = self.nx;
+        let linez = matches!(fac, Factors::LineZ { .. });
+        let rows = self.nl * self.ny;
+        let mut pt_a = vec![0.0f64; rows];
+        let mut pt_b = vec![0.0f64; rows];
+        let mut pt_pre = vec![0.0f64; rows];
+        let mut scratch = vec![0.0f64; if linez { n } else { 0 }];
+
         let mut r = vec![0.0f64; n];
-        let mut ax = vec![0.0f64; n];
-        self.apply(shift, &x, &mut ax);
-        for u in 0..n {
-            r[u] = b[u] - ax[u];
-        }
-        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
-        let nxy = self.nxy();
-        let pre = |u: usize| self.diag[u] + shift * self.mass[u / nxy];
-        let mut z: Vec<f64> = (0..n).map(|u| r[u] / pre(u)).collect();
+        self.apply_slab(shift, &x, &mut r, 0);
+        residual_slab(b, &mut r, &mut pt_a, &mut pt_b, nx);
+        let bnorm = pt_a.iter().sum::<f64>().sqrt().max(1e-300);
+        let mut rnorm2: f64 = pt_b.iter().sum();
+
+        let mut z = vec![0.0f64; n];
+        let mut rz = self.precondition_full(fac, &r, &mut z, &mut pt_pre, &mut scratch);
         let mut p = z.clone();
-        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
         let mut ap = vec![0.0f64; n];
+
         for iter in 0..self.cfg.max_iters {
-            let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
-            if rnorm / bnorm < self.cfg.tolerance {
+            let rel = rnorm2.sqrt() / bnorm;
+            if rel < self.cfg.tolerance {
                 let stats = SolveStats {
                     solves: 1,
                     iterations: iter,
-                    residual: rnorm / bnorm,
+                    residual: rel,
                 };
                 return Ok((x, stats));
             }
-            self.apply(shift, &p, &mut ap);
-            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            self.apply_dot_slab(shift, &p, &mut ap, 0, &mut pt_a);
+            let pap: f64 = pt_a.iter().sum();
             let alpha = rz / pap;
-            for u in 0..n {
-                x[u] += alpha * p[u];
-                r[u] -= alpha * ap[u];
-            }
-            for (u, zv) in z.iter_mut().enumerate() {
-                *zv = r[u] / pre(u);
-            }
-            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let rz_new = match fac {
+                Factors::Jacobi { inv } => {
+                    update_jacobi_slab(
+                        alpha, &p, &ap, inv, 0, self.ny, &mut x, &mut r, &mut z, &mut pt_a,
+                        &mut pt_b, nx,
+                    );
+                    rnorm2 = pt_a.iter().sum();
+                    pt_b.iter().sum()
+                }
+                Factors::LineZ { inv_w, cp } => {
+                    self.linez_cycle(
+                        alpha,
+                        &p,
+                        &ap,
+                        inv_w,
+                        cp,
+                        &mut x,
+                        &mut r,
+                        &mut z,
+                        &mut pt_a,
+                        &mut pt_pre,
+                        &mut scratch,
+                    );
+                    rnorm2 = pt_a.iter().sum();
+                    pt_pre.iter().sum()
+                }
+            };
             let beta = rz_new / rz;
             rz = rz_new;
-            for u in 0..n {
-                p[u] = z[u] + beta * p[u];
+            for (pv, &zv) in p.iter_mut().zip(&z) {
+                *pv = zv + beta * *pv;
             }
         }
-        let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
         Err(SolveError::NoConvergence {
             iters: self.cfg.max_iters,
-            residual: rnorm / bnorm,
+            residual: rnorm2.sqrt() / bnorm,
         })
+    }
+
+    /// The persistent-worker CG driver: spawns `workers − 1` scoped threads
+    /// **once per solve** (the calling thread is worker 0) and coordinates
+    /// the phases with a [`SpinBarrier`] — at these grid sizes a per-phase
+    /// `thread::scope` costs more than the phase's arithmetic, a barrier
+    /// crossing doesn't. Worker 0 folds every reduction's partials in index
+    /// order, exactly as the serial driver does, so the result is
+    /// bit-identical to `cg_serial` for any worker count.
+    fn cg_mt(
+        &self,
+        shift: f64,
+        b: &[f64],
+        mut x: Vec<f64>,
+        fac: &Factors,
+        workers: usize,
+    ) -> Result<(Vec<f64>, SolveStats), SolveError> {
+        let n = x.len();
+        let (nl, ny) = (self.nl, self.ny);
+        let mut r = vec![0.0f64; n];
+        let mut z = vec![0.0f64; n];
+        let mut p = vec![0.0f64; n];
+        let mut ap = vec![0.0f64; n];
+        let rows = nl * ny;
+        let mut pt_a = vec![0.0f64; rows];
+        let mut pt_b = vec![0.0f64; rows];
+        let mut pt_pre = vec![0.0f64; rows];
+        let mut scal = [0.0f64; 2];
+        let layer_bounds = slab_bounds(nl, workers);
+        let row_bounds = slab_bounds(ny, workers);
+        let barrier = SpinBarrier::new(workers);
+        let stop = AtomicUsize::new(0);
+
+        let shared = MtShared {
+            shift,
+            b,
+            x: SharedSlice::new(&mut x),
+            r: SharedSlice::new(&mut r),
+            z: SharedSlice::new(&mut z),
+            p: SharedSlice::new(&mut p),
+            ap: SharedSlice::new(&mut ap),
+            pt_a: SharedSlice::new(&mut pt_a),
+            pt_b: SharedSlice::new(&mut pt_b),
+            pt_pre: SharedSlice::new(&mut pt_pre),
+            scal: SharedSlice::new(&mut scal),
+            fac,
+            layer_bounds: &layer_bounds,
+            row_bounds: &row_bounds,
+            barrier: &barrier,
+            stop: &stop,
+        };
+        let outcome = std::thread::scope(|s| {
+            for w in 1..workers {
+                s.spawn(move || {
+                    self.cg_mt_worker(w, shared);
+                });
+            }
+            self.cg_mt_worker(0, shared)
+        });
+        match outcome {
+            (true, iterations, residual) => Ok((
+                x,
+                SolveStats {
+                    solves: 1,
+                    iterations,
+                    residual,
+                },
+            )),
+            (false, _, residual) => Err(SolveError::NoConvergence {
+                iters: self.cfg.max_iters,
+                residual,
+            }),
+        }
+    }
+
+    /// One worker of [`System::cg_mt`]. Every worker crosses the same
+    /// barrier sequence; worker 0 additionally folds the reduction partials
+    /// (always in index order) between barriers and publishes `α`/`β`
+    /// through `scal` and convergence through `stop`. Returns
+    /// `(converged, iterations, relative residual)` — meaningful only on
+    /// worker 0.
+    ///
+    /// Every `unsafe` block below follows the [`SharedSlice`] contract: the
+    /// ranges derived between two consecutive barrier crossings are
+    /// pairwise disjoint across workers (fixed layer slabs, or fixed plane
+    /// rows for the line-z phases), shared reads never overlap a concurrent
+    /// mutable range, and every derived slice dies before the next barrier.
+    fn cg_mt_worker(&self, w: usize, c: MtShared<'_>) -> (bool, usize, f64) {
+        let nxy = self.nxy();
+        let (nx, ny) = (self.nx, self.ny);
+        let (l0, l1) = c.layer_bounds[w];
+        let (a, e) = (l0 * nxy, l1 * nxy);
+        // This worker's slice of the per-row partial arrays (layer-slab
+        // phases are partitioned by layer, so their rows are contiguous).
+        let (ra, re) = (l0 * ny, l1 * ny);
+        let linez = matches!(c.fac, Factors::LineZ { .. });
+        let mut scratch = if linez {
+            vec![0.0f64; self.nl * self.nx]
+        } else {
+            Vec::new()
+        };
+
+        // Worker-0 solve-lifetime state (dead weight on the others).
+        let (mut bnorm, mut rnorm2, mut rz) = (0.0f64, 0.0f64, 0.0f64);
+        let mut outcome = (false, 0usize, 0.0f64);
+
+        // init: r ← A·x on the slab, then r ← b − r with norm partials,
+        // then z ← M⁻¹·r, then fold + convergence check, then p ← z.
+        unsafe {
+            self.apply_slab(c.shift, c.x.whole(), c.r.range_mut(a, e), l0);
+        }
+        c.barrier.wait();
+        unsafe {
+            residual_slab(
+                &c.b[a..e],
+                c.r.range_mut(a, e),
+                c.pt_a.range_mut(ra, re),
+                c.pt_b.range_mut(ra, re),
+                nx,
+            );
+        }
+        c.barrier.wait();
+        self.precondition_mt(w, &c, &mut scratch);
+        c.barrier.wait();
+        if w == 0 {
+            // Only worker 0 touches the partials between these barriers.
+            unsafe {
+                bnorm = c.pt_a.whole().iter().sum::<f64>().sqrt().max(1e-300);
+                rnorm2 = c.pt_b.whole().iter().sum();
+                rz = c.pt_pre.whole().iter().sum();
+            }
+            let rel = rnorm2.sqrt() / bnorm;
+            if rel < self.cfg.tolerance {
+                outcome = (true, 0, rel);
+                c.stop.store(1, Ordering::Release);
+            }
+        }
+        c.barrier.wait();
+        if c.stop.load(Ordering::Acquire) != 0 {
+            return outcome;
+        }
+        unsafe {
+            c.p.range_mut(a, e).copy_from_slice(c.z.range(a, e));
+        }
+        c.barrier.wait();
+
+        for iter in 0..self.cfg.max_iters {
+            // ap ← A·p fused with the per-layer p·ap partials.
+            unsafe {
+                self.apply_dot_slab(
+                    c.shift,
+                    c.p.whole(),
+                    c.ap.range_mut(a, e),
+                    l0,
+                    c.pt_a.range_mut(ra, re),
+                );
+            }
+            c.barrier.wait();
+            if w == 0 {
+                unsafe {
+                    let pap: f64 = c.pt_a.whole().iter().sum();
+                    c.scal.range_mut(0, 2)[0] = rz / pap;
+                }
+            }
+            c.barrier.wait();
+            let alpha = unsafe { c.scal.range(0, 2)[0] };
+            match c.fac {
+                Factors::Jacobi { inv } => unsafe {
+                    update_jacobi_slab(
+                        alpha,
+                        c.p.range(a, e),
+                        c.ap.range(a, e),
+                        inv,
+                        l0,
+                        ny,
+                        c.x.range_mut(a, e),
+                        c.r.range_mut(a, e),
+                        c.z.range_mut(a, e),
+                        c.pt_a.range_mut(ra, re),
+                        c.pt_b.range_mut(ra, re),
+                        nx,
+                    );
+                },
+                Factors::LineZ { inv_w, cp } => {
+                    unsafe {
+                        update_slab(
+                            alpha,
+                            c.p.range(a, e),
+                            c.ap.range(a, e),
+                            c.x.range_mut(a, e),
+                            c.r.range_mut(a, e),
+                            c.pt_a.range_mut(ra, re),
+                            nx,
+                        );
+                    }
+                    // The line-z solve reads whole residual columns, so it
+                    // repartitions by plane rows behind a barrier.
+                    c.barrier.wait();
+                    let (j0, j1) = c.row_bounds[w];
+                    self.linez_mt(&c, inv_w, cp, j0, j1, &mut scratch);
+                }
+            }
+            c.barrier.wait();
+            if w == 0 {
+                unsafe {
+                    rnorm2 = c.pt_a.whole().iter().sum();
+                    let rz_new: f64 = if linez {
+                        c.pt_pre.whole().iter().sum()
+                    } else {
+                        c.pt_b.whole().iter().sum()
+                    };
+                    c.scal.range_mut(0, 2)[1] = rz_new / rz;
+                    rz = rz_new;
+                }
+                // Match the serial driver exactly: it only checks at the
+                // top of the *next* iteration, so a solve that first meets
+                // tolerance after the final allowed update still errors.
+                let rel = rnorm2.sqrt() / bnorm;
+                if rel < self.cfg.tolerance && iter + 1 < self.cfg.max_iters {
+                    outcome = (true, iter + 1, rel);
+                    c.stop.store(1, Ordering::Release);
+                }
+            }
+            c.barrier.wait();
+            if c.stop.load(Ordering::Acquire) != 0 {
+                return outcome;
+            }
+            let beta = unsafe { c.scal.range(0, 2)[1] };
+            unsafe {
+                let ps = c.p.range_mut(a, e);
+                let zs = c.z.range(a, e);
+                for (pv, &zv) in ps.iter_mut().zip(zs) {
+                    *pv = zv + beta * *pv;
+                }
+            }
+            c.barrier.wait();
+        }
+        if w == 0 {
+            outcome = (false, self.cfg.max_iters, rnorm2.sqrt() / bnorm);
+        }
+        outcome
+    }
+
+    /// One worker's share of the precondition pass `z ← M⁻¹·r`: its layer
+    /// slab for Jacobi, its plane rows for line-z.
+    fn precondition_mt(&self, w: usize, c: &MtShared<'_>, scratch: &mut [f64]) {
+        let nxy = self.nxy();
+        match c.fac {
+            Factors::Jacobi { inv } => {
+                let (l0, l1) = c.layer_bounds[w];
+                let (a, e) = (l0 * nxy, l1 * nxy);
+                // SAFETY: layer slabs are pairwise disjoint; `r` is only
+                // read this phase.
+                unsafe {
+                    jacobi_slab(
+                        inv,
+                        l0,
+                        self.ny,
+                        c.r.range(a, e),
+                        c.z.range_mut(a, e),
+                        c.pt_pre.range_mut(l0 * self.ny, l1 * self.ny),
+                        self.nx,
+                    );
+                }
+            }
+            Factors::LineZ { inv_w, cp } => {
+                let (j0, j1) = c.row_bounds[w];
+                self.linez_mt(c, inv_w, cp, j0, j1, scratch);
+            }
+        }
+    }
+
+    /// One worker's line-z precondition share: whole vertical columns for
+    /// plane rows `j0..j1` of every layer, with per-`(row, layer)` `r·z`
+    /// partials.
+    fn linez_mt(
+        &self,
+        c: &MtShared<'_>,
+        inv_w: &[[f64; 3]],
+        cp: &[[f64; 3]],
+        j0: usize,
+        j1: usize,
+        scratch: &mut [f64],
+    ) {
+        let nx = self.nx;
+        let nxy = self.nxy();
+        // SAFETY: each worker's row windows are disjoint from every other
+        // worker's in every layer; `r` is only read this phase.
+        unsafe {
+            let r = c.r.whole();
+            let mut rows: Vec<&mut [f64]> = (0..self.nl)
+                .map(|l| c.z.range_mut(l * nxy + j0 * nx, l * nxy + j1 * nx))
+                .collect();
+            self.linez_rows(
+                inv_w,
+                cp,
+                r,
+                &mut rows,
+                j0,
+                j1,
+                c.pt_pre.range_mut(j0 * self.nl, j1 * self.nl),
+                scratch,
+            );
+        }
     }
 
     fn field(&self, t: Vec<f64>) -> TemperatureField {
@@ -509,6 +1607,35 @@ impl System {
     pub fn steady_with_stats(&self) -> Result<Solution, SolveError> {
         let x0 = vec![self.ambient; self.rhs.len()];
         let (t, stats) = self.cg(0.0, &self.rhs, x0)?;
+        Ok(Solution {
+            field: self.field(t),
+            stats,
+        })
+    }
+
+    /// Solves the steady-state problem warm-started from `x0` — typically
+    /// the previous point of a parameter sweep. The answer matches
+    /// [`System::steady_with_stats`] to within the solver tolerance; only
+    /// the iteration count drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoConvergence`] if CG stalls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0`'s grid or layer count differs from this system's.
+    pub fn steady_from(&self, x0: &TemperatureField) -> Result<Solution, SolveError> {
+        let (fnx, fny) = x0.dims();
+        let fl = x0.layer_names().len();
+        assert!(
+            fnx == self.nx && fny == self.ny && fl == self.nl,
+            "warm-start field is {fnx}x{fny}x{fl} but the system is {}x{}x{}",
+            self.nx,
+            self.ny,
+            self.nl
+        );
+        let (t, stats) = self.cg(0.0, &self.rhs, x0.cells().to_vec())?;
         Ok(Solution {
             field: self.field(t),
             stats,
@@ -601,6 +1728,138 @@ pub fn solve_transient(
     System::assemble(stack, bc, cfg)?.transient(bc.ambient, dt_s, steps)
 }
 
+/// The solver as it stood **before** the performance work, frozen verbatim
+/// as the benchmark baseline (`stacksim bench` reports speedups against
+/// it). Branchy per-cell stencil, unfused CG vector passes, per-iteration
+/// preconditioner divisions, residual norm recomputed every iteration,
+/// always cold-started, always single-threaded, always Jacobi —
+/// [`SolverConfig::threads`] and [`SolverConfig::preconditioner`] are
+/// ignored here. Do not optimise this module; its whole value is standing
+/// still.
+pub mod reference {
+    use super::*;
+
+    /// Applies `(A + shift·M) x` with the original branchy per-cell loop.
+    fn apply(sys: &System, shift: f64, x: &[f64], out: &mut [f64]) {
+        let (nx, ny, nl) = (sys.nx, sys.ny, sys.nl);
+        let nxy = sys.nxy();
+        for l in 0..nl {
+            let extra = shift * sys.mass[l];
+            for j in 0..ny {
+                for i in 0..nx {
+                    let u = l * nxy + j * nx + i;
+                    let mut acc = (sys.diag[u] + extra) * x[u];
+                    if i > 0 {
+                        acc -= sys.gx[l] * x[u - 1];
+                    }
+                    if i + 1 < nx {
+                        acc -= sys.gx[l] * x[u + 1];
+                    }
+                    if j > 0 {
+                        acc -= sys.gy[l] * x[u - nx];
+                    }
+                    if j + 1 < ny {
+                        acc -= sys.gy[l] * x[u + nx];
+                    }
+                    if l > 0 {
+                        acc -= sys.gz[l - 1] * x[u - nxy];
+                    }
+                    if l + 1 < nl {
+                        acc -= sys.gz[l] * x[u + nxy];
+                    }
+                    out[u] = acc;
+                }
+            }
+        }
+    }
+
+    /// The original Jacobi-preconditioned CG: separate passes for every
+    /// vector update and reduction.
+    fn cg(
+        sys: &System,
+        shift: f64,
+        b: &[f64],
+        mut x: Vec<f64>,
+    ) -> Result<(Vec<f64>, SolveStats), SolveError> {
+        let n = x.len();
+        let mut r = vec![0.0f64; n];
+        let mut ax = vec![0.0f64; n];
+        apply(sys, shift, &x, &mut ax);
+        for u in 0..n {
+            r[u] = b[u] - ax[u];
+        }
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        let nxy = sys.nxy();
+        let pre = |u: usize| sys.diag[u] + shift * sys.mass[u / nxy];
+        let mut z: Vec<f64> = (0..n).map(|u| r[u] / pre(u)).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let mut ap = vec![0.0f64; n];
+        for iter in 0..sys.cfg.max_iters {
+            let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rnorm / bnorm < sys.cfg.tolerance {
+                let stats = SolveStats {
+                    solves: 1,
+                    iterations: iter,
+                    residual: rnorm / bnorm,
+                };
+                return Ok((x, stats));
+            }
+            apply(sys, shift, &p, &mut ap);
+            let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            let alpha = rz / pap;
+            for u in 0..n {
+                x[u] += alpha * p[u];
+                r[u] -= alpha * ap[u];
+            }
+            for (u, zv) in z.iter_mut().enumerate() {
+                *zv = r[u] / pre(u);
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for u in 0..n {
+                p[u] = z[u] + beta * p[u];
+            }
+        }
+        let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        Err(SolveError::NoConvergence {
+            iters: sys.cfg.max_iters,
+            residual: rnorm / bnorm,
+        })
+    }
+
+    /// Steady-state solve with the frozen baseline solver (always a cold
+    /// start from ambient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoConvergence`] if CG stalls.
+    pub fn steady_with_stats(sys: &System) -> Result<Solution, SolveError> {
+        let x0 = vec![sys.ambient; sys.rhs.len()];
+        let (t, stats) = cg(sys, 0.0, &sys.rhs, x0)?;
+        Ok(Solution {
+            field: sys.field(t),
+            stats,
+        })
+    }
+
+    /// Assemble-and-solve convenience wrapper around
+    /// [`steady_with_stats`], mirroring [`super::solve_with_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] under the same conditions as
+    /// [`super::solve_with_stats`].
+    pub fn solve_with_stats(
+        stack: &LayerStack,
+        bc: Boundary,
+        cfg: SolverConfig,
+    ) -> Result<Solution, SolveError> {
+        steady_with_stats(&System::assemble(stack, bc, cfg)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +1870,8 @@ mod tests {
     fn builder_accepts_valid_config() {
         let cfg = SolverConfig::builder().nx(8).ny(8).build();
         assert_eq!((cfg.nx, cfg.ny), (8, 8));
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.preconditioner, Preconditioner::Jacobi);
     }
 
     #[test]
@@ -633,6 +1894,17 @@ mod tests {
             .tolerance(f64::NAN)
             .try_build()
             .is_err());
+    }
+
+    #[test]
+    fn thread_bounds_enforced() {
+        assert!(SolverConfig::builder().threads(0).try_build().is_err());
+        assert!(SolverConfig::builder()
+            .threads(MAX_SOLVER_THREADS + 1)
+            .try_build()
+            .is_err());
+        let cfg = SolverConfig::builder().threads(MAX_SOLVER_THREADS).build();
+        assert_eq!(cfg.threads, MAX_SOLVER_THREADS);
     }
 
     #[test]
@@ -805,6 +2077,150 @@ mod tests {
         assert!(strong < weak, "{strong} < {weak}");
     }
 
+    /// A five-layer stack with an off-centre hotspot — enough structure to
+    /// exercise every peeled boundary and both preconditioners.
+    fn layered_stack() -> (LayerStack, Boundary) {
+        let mut g = PowerGrid::zero(8, 7, 10.0, 10.0);
+        g.add(1, 1, 10.0);
+        g.add(6, 5, 25.0);
+        let mut stack = LayerStack::new(10.0, 10.0);
+        stack.push(Layer::passive("sink", 3e-3, 300.0));
+        stack.push(Layer::passive("lid", 1e-3, 50.0));
+        stack.push(Layer::active("die", 0.5e-3, 120.0, g));
+        stack.push(Layer::passive("bond", 0.05e-3, 1.0));
+        stack.push(Layer::passive("base", 2e-3, 10.0));
+        let bc = Boundary {
+            h_top: 4000.0,
+            h_bottom: 30.0,
+            ambient: 40.0,
+        };
+        (stack, bc)
+    }
+
+    /// The determinism contract: any thread count returns byte-identical
+    /// fields, for both preconditioners.
+    #[test]
+    fn thread_count_never_changes_a_bit() {
+        let (stack, bc) = layered_stack();
+        for pre in [Preconditioner::Jacobi, Preconditioner::LineZ] {
+            let run = |threads: usize| {
+                let cfg = SolverConfig::builder()
+                    .nx(8)
+                    .ny(7)
+                    .threads(threads)
+                    .preconditioner(pre)
+                    .build();
+                solve(&stack, bc, cfg).unwrap()
+            };
+            let bits = |f: &TemperatureField| -> Vec<u64> {
+                f.cells().iter().map(|v| v.to_bits()).collect()
+            };
+            let one = run(1);
+            for threads in [2, 8] {
+                assert_eq!(
+                    bits(&one),
+                    bits(&run(threads)),
+                    "{} with {threads} threads drifted",
+                    pre.label()
+                );
+            }
+        }
+    }
+
+    /// The determinism contract exercised through the worker driver
+    /// directly: [`effective_workers`] clamps the public path to the
+    /// machine's cores, so on a single-core box `solve` never actually
+    /// fans out — this forces `cg_mt` through real multi-worker barrier
+    /// schedules and compares every output bit against the serial driver.
+    #[test]
+    fn forced_worker_counts_match_serial_bit_for_bit() {
+        let (stack, bc) = layered_stack();
+        for pre in [Preconditioner::Jacobi, Preconditioner::LineZ] {
+            let cfg = SolverConfig::builder()
+                .nx(8)
+                .ny(7)
+                .preconditioner(pre)
+                .build();
+            let sys = System::assemble(&stack, bc, cfg).unwrap();
+            let fac = sys.factorize(0.0);
+            let x0 = vec![bc.ambient; sys.rhs.len()];
+            let (serial, sstats) = sys.cg_serial(0.0, &sys.rhs, x0.clone(), &fac).unwrap();
+            let bits = |v: &[f64]| v.iter().map(|c| c.to_bits()).collect::<Vec<_>>();
+            for workers in [2, 3, 5] {
+                let (mt, mstats) = sys.cg_mt(0.0, &sys.rhs, x0.clone(), &fac, workers).unwrap();
+                assert_eq!(
+                    sstats.iterations,
+                    mstats.iterations,
+                    "{} with {workers} forced workers changed the iteration count",
+                    pre.label()
+                );
+                assert_eq!(
+                    bits(&serial),
+                    bits(&mt),
+                    "{} with {workers} forced workers drifted",
+                    pre.label()
+                );
+            }
+        }
+    }
+
+    /// Line-z reaches the same answer as Jacobi in strictly fewer
+    /// iterations — the vertical coupling dominates in a thin stack.
+    #[test]
+    fn linez_agrees_with_jacobi_and_cuts_iterations() {
+        let (stack, bc) = layered_stack();
+        let run = |pre: Preconditioner| {
+            let cfg = SolverConfig::builder()
+                .nx(8)
+                .ny(7)
+                .preconditioner(pre)
+                .build();
+            solve_with_stats(&stack, bc, cfg).unwrap()
+        };
+        let jacobi = run(Preconditioner::Jacobi);
+        let linez = run(Preconditioner::LineZ);
+        assert!(
+            (jacobi.field.peak() - linez.field.peak()).abs() < 1e-6,
+            "peaks disagree: {} vs {}",
+            jacobi.field.peak(),
+            linez.field.peak()
+        );
+        assert!(
+            linez.stats.iterations < jacobi.stats.iterations,
+            "line-z took {} iterations, jacobi {}",
+            linez.stats.iterations,
+            jacobi.stats.iterations
+        );
+    }
+
+    /// Warm-starting from the converged solution is (nearly) free, and the
+    /// answer does not move.
+    #[test]
+    fn warm_start_from_the_solution_is_free() {
+        let (stack, bc) = layered_stack();
+        let cfg = SolverConfig::builder().nx(8).ny(7).build();
+        let sys = System::assemble(&stack, bc, cfg).unwrap();
+        let cold = sys.steady_with_stats().unwrap();
+        let warm = sys.steady_from(&cold.field).unwrap();
+        assert!(
+            warm.stats.iterations * 4 < cold.stats.iterations,
+            "warm start took {} iterations vs {} cold",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+        assert!((warm.field.peak() - cold.field.peak()).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start field")]
+    fn warm_start_shape_mismatch_panics() {
+        let (stack, bc) = layered_stack();
+        let cfg = SolverConfig::builder().nx(8).ny(7).build();
+        let sys = System::assemble(&stack, bc, cfg).unwrap();
+        let wrong = TemperatureField::new(4, 4, vec!["only".into()], vec![40.0; 16]);
+        let _ = sys.steady_from(&wrong);
+    }
+
     fn transient_stack() -> (LayerStack, Boundary, SolverConfig) {
         let mut stack = LayerStack::new(10.0, 10.0);
         stack.push(Layer::passive("lid", 2e-3, 100.0));
@@ -885,5 +2301,25 @@ mod tests {
     fn zero_dt_panics() {
         let (stack, bc, cfg) = transient_stack();
         let _ = solve_transient(&stack, bc, cfg, 0.0, 10);
+    }
+
+    /// Transient integration is also covered by the determinism contract —
+    /// the shifted system goes through the same phase drivers.
+    #[test]
+    fn transient_is_bit_identical_across_threads() {
+        let (stack, bc, _) = transient_stack();
+        let run = |threads: usize| {
+            let cfg = SolverConfig::builder().nx(4).ny(4).threads(threads).build();
+            solve_transient(&stack, bc, cfg, 0.05, 20).unwrap()
+        };
+        let (traj1, f1) = run(1);
+        let (traj4, f4) = run(4);
+        assert_eq!(
+            f1.cells().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            f4.cells().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for (a, b) in traj1.iter().zip(&traj4) {
+            assert_eq!(a.peak_c.to_bits(), b.peak_c.to_bits());
+        }
     }
 }

@@ -1,7 +1,71 @@
 //! Conductivity sensitivity sweeps (Fig. 3 of the paper).
 
-use crate::solver::{solve_with_stats, SolveError, SolveStats, SolverConfig};
+use crate::field::TemperatureField;
+use crate::solver::{SolveError, SolveStats, SolverConfig, System};
 use crate::stack::{Boundary, LayerStack};
+
+/// Solves one sweep point, warm-starting from the previous point's field
+/// when one is available. Consecutive sweep points differ only in one
+/// layer's conductivity, so the previous solution is an excellent initial
+/// guess and CG converges in a fraction of the cold-start iterations.
+fn solve_point(
+    stack: &LayerStack,
+    bc: Boundary,
+    cfg: SolverConfig,
+    prev: Option<&TemperatureField>,
+) -> Result<crate::solver::Solution, SolveError> {
+    let system = System::assemble(stack, bc, cfg)?;
+    match prev {
+        Some(x0) => system.steady_from(x0),
+        None => system.steady_with_stats(),
+    }
+}
+
+/// Builds the warm-start guess for the sweep point at conductivity `k`
+/// from the (up to two) most recent solutions, oldest first.
+///
+/// With one prior solution the guess is that field unchanged. With two,
+/// the guess is the secant extrapolation in thermal resistance `1/k`: the
+/// temperature drop across the swept layer is proportional to its
+/// resistance, so each cell temperature is nearly affine in `1/k` and the
+/// secant through the last two solutions lands far closer than the last
+/// solution alone. On the Fig. 3 sweep this cuts the warm-start CG
+/// iterations well below what plain chaining achieves; the converged
+/// answer is unchanged up to the solver tolerance because the guess only
+/// moves the starting point, never the system being solved.
+fn warm_guess(hist: &[(f64, TemperatureField)], k: f64) -> Option<TemperatureField> {
+    match hist {
+        [] => None,
+        [(_, f1)] => Some(f1.clone()),
+        [.., (k0, f0), (k1, f1)] => {
+            let t = (1.0 / k - 1.0 / k1) / (1.0 / k1 - 1.0 / k0);
+            if !t.is_finite() {
+                return Some(f1.clone());
+            }
+            let cells = f1
+                .cells()
+                .iter()
+                .zip(f0.cells())
+                .map(|(&a, &b)| t.mul_add(a - b, a))
+                .collect();
+            let (nx, ny) = f1.dims();
+            Some(TemperatureField::from_parts(
+                nx,
+                ny,
+                f1.layer_names().to_vec(),
+                cells,
+            ))
+        }
+    }
+}
+
+/// Pushes a solved point into the two-deep warm-start history.
+fn remember(hist: &mut Vec<(f64, TemperatureField)>, k: f64, field: TemperatureField) {
+    if hist.len() == 2 {
+        hist.remove(0);
+    }
+    hist.push((k, field));
+}
 
 /// One sweep point: the conductivity tried and the resulting peak
 /// temperature.
@@ -53,14 +117,17 @@ pub fn conductivity_sweep_stats(
 ) -> Result<(Vec<SweepPoint>, SolveStats), SolveError> {
     let mut out = Vec::with_capacity(ks.len());
     let mut stats = SolveStats::default();
+    let mut hist: Vec<(f64, TemperatureField)> = Vec::new();
     for &k in ks {
         let swept = stack.with_layer_conductivity(layer, k);
-        let sol = solve_with_stats(&swept, bc, cfg)?;
+        let guess = warm_guess(&hist, k);
+        let sol = solve_point(&swept, bc, cfg, guess.as_ref())?;
         stats.absorb(sol.stats);
         out.push(SweepPoint {
             k,
             peak_c: sol.field.peak(),
         });
+        remember(&mut hist, k, sol.field);
     }
     Ok((out, stats))
 }
@@ -104,17 +171,20 @@ pub fn conductivity_sweep_multi_stats(
 ) -> Result<(Vec<SweepPoint>, SolveStats), SolveError> {
     let mut out = Vec::with_capacity(ks.len());
     let mut stats = SolveStats::default();
+    let mut hist: Vec<(f64, TemperatureField)> = Vec::new();
     for &k in ks {
         let mut swept = stack.clone();
         for name in layers {
             swept = swept.with_layer_conductivity(name, k);
         }
-        let sol = solve_with_stats(&swept, bc, cfg)?;
+        let guess = warm_guess(&hist, k);
+        let sol = solve_point(&swept, bc, cfg, guess.as_ref())?;
         stats.absorb(sol.stats);
         out.push(SweepPoint {
             k,
             peak_c: sol.field.peak(),
         });
+        remember(&mut hist, k, sol.field);
     }
     Ok((out, stats))
 }
@@ -158,6 +228,40 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert!(pts[0].peak_c < pts[1].peak_c);
         assert!(pts[1].peak_c < pts[2].peak_c);
+    }
+
+    /// Warm-starting each point from the previous field must beat solving
+    /// every point cold from ambient.
+    #[test]
+    fn warm_started_sweep_does_less_cg_work_than_cold_solves() {
+        let bc = Boundary {
+            h_top: 10.0,
+            h_bottom: 2000.0,
+            ambient: 40.0,
+        };
+        let cfg = SolverConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        };
+        let ks = [60.0, 40.0, 20.0, 12.0, 6.0, 3.0];
+        let (_, warm) = conductivity_sweep_stats(&stack(), "metal", &ks, bc, cfg).unwrap();
+        let mut cold = SolveStats::default();
+        for &k in &ks {
+            let swept = stack().with_layer_conductivity("metal", k);
+            cold.absorb(
+                crate::solver::solve_with_stats(&swept, bc, cfg)
+                    .unwrap()
+                    .stats,
+            );
+        }
+        assert_eq!(warm.solves, cold.solves);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm sweep took {} iterations, cold {}",
+            warm.iterations,
+            cold.iterations
+        );
     }
 
     #[test]

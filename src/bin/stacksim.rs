@@ -8,6 +8,7 @@
 //! stacksim run fig5 table4 ...
 //! stacksim check --all [--format json] [--test-scale]
 //! stacksim check fig8 table4 ...
+//! stacksim bench [--quick] [--threads N] [--out-dir D]
 //! stacksim clean [--cache-dir D]
 //! ```
 //!
@@ -35,22 +36,30 @@ fn usage() -> ExitCode {
          \x20 list                      list registered experiments and dependencies\n\
          \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
          \x20 check [NAMES | --all]     statically validate experiment models\n\
+         \x20 bench                     time solver + memory suites, write BENCH_*.json\n\
          \x20 clean                     delete the memo cache\n\
          \n\
          run options:\n\
-         \x20 --all            run every registered experiment\n\
-         \x20 --jobs N         worker threads (default: all CPUs)\n\
-         \x20 --serial         one worker thread (same results, bit-identical)\n\
-         \x20 --no-cache       neither read nor write the memo cache\n\
-         \x20 --cache-dir D    cache directory (default: target/stacksim-cache)\n\
-         \x20 --test-scale     small traces for a fast smoke run\n\
-         \x20 --report FILE    write the JSON run report to FILE\n\
-         \x20 --show           print each artifact's rendered table\n\
+         \x20 --all              run every registered experiment\n\
+         \x20 --jobs N           worker threads (default: all CPUs)\n\
+         \x20 --serial           one worker thread (same results, bit-identical)\n\
+         \x20 --solver-threads N CG solver threads per experiment (default: 1;\n\
+         \x20                    results are bit-identical for any value)\n\
+         \x20 --no-cache         neither read nor write the memo cache\n\
+         \x20 --cache-dir D      cache directory (default: target/stacksim-cache)\n\
+         \x20 --test-scale       small traces for a fast smoke run\n\
+         \x20 --report FILE      write the JSON run report to FILE\n\
+         \x20 --show             print each artifact's rendered table\n\
          \n\
          check options:\n\
          \x20 --all            check every registered experiment + the digest audit\n\
          \x20 --format FMT     output format: pretty (default) or json\n\
-         \x20 --test-scale     validate the test-scale parameter set"
+         \x20 --test-scale     validate the test-scale parameter set\n\
+         \n\
+         bench options:\n\
+         \x20 --quick          one timed sample per benchmark (CI smoke)\n\
+         \x20 --threads N      solver threads for the fast thermal leg (default: 4)\n\
+         \x20 --out-dir D      where BENCH_*.json land (default: .)"
     );
     ExitCode::from(2)
 }
@@ -64,6 +73,7 @@ fn main() -> ExitCode {
         "list" => list(),
         "run" => run(&args[1..]),
         "check" => check(&args[1..]),
+        "bench" => bench(&args[1..]),
         "clean" => clean(&args[1..]),
         _ => usage(),
     }
@@ -91,6 +101,7 @@ struct RunArgs {
     names: Vec<String>,
     all: bool,
     jobs: usize,
+    solver_threads: usize,
     no_cache: bool,
     cache_dir: PathBuf,
     test_scale: bool,
@@ -103,6 +114,7 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         names: Vec::new(),
         all: false,
         jobs: 0,
+        solver_threads: 1,
         no_cache: false,
         cache_dir: default_cache_dir(),
         test_scale: false,
@@ -118,6 +130,7 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
             "--test-scale" => out.test_scale = true,
             "--show" => out.show = true,
             "--jobs" => out.jobs = it.next()?.parse().ok()?,
+            "--solver-threads" => out.solver_threads = it.next()?.parse().ok()?,
             "--cache-dir" => out.cache_dir = PathBuf::from(it.next()?),
             "--report" => out.report = Some(PathBuf::from(it.next()?)),
             name if !name.starts_with('-') => out.names.push(name.to_string()),
@@ -136,11 +149,16 @@ fn run(args: &[String]) -> ExitCode {
     let Some(run_args) = parse_run_args(args) else {
         return usage();
     };
-    let params = if run_args.test_scale {
+    let mut params = if run_args.test_scale {
         WorkloadParams::test()
     } else {
         WorkloadParams::paper()
     };
+    params.solver_threads = run_args.solver_threads;
+    if let Err(e) = params.validate() {
+        eprintln!("stacksim: {e}");
+        return ExitCode::FAILURE;
+    }
     let cache = if run_args.no_cache {
         MemoCache::disabled()
     } else {
@@ -282,6 +300,36 @@ fn check(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `stacksim bench`: time the thermal-solver fast path against the
+/// pre-optimization baseline plus memory-pipeline throughput, writing
+/// `BENCH_thermal.json` and `BENCH_mem.json` (re-parsed after writing, so
+/// a malformed artefact fails the command).
+fn bench(args: &[String]) -> ExitCode {
+    let mut opts = stacksim::bench::perf::BenchOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => opts.threads = n,
+                _ => return usage(),
+            },
+            "--out-dir" => match it.next() {
+                Some(d) => opts.out_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match stacksim::bench::perf::run(&opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stacksim: bench failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -15,6 +15,7 @@
 //! * [`power`] — bus power, cache power and voltage/frequency scaling
 //! * [`lint`] — static model validation (the `stacksim check` passes)
 //! * [`core`] — study drivers reproducing every table and figure
+//! * [`bench`] — wall-clock benchmark harness (the `stacksim bench` suites)
 //!
 //! # Quickstart
 //!
@@ -31,6 +32,7 @@
 //! println!("CPMA = {:.2}", result.cpma);
 //! ```
 
+pub use stacksim_bench as bench;
 pub use stacksim_core as core;
 pub use stacksim_floorplan as floorplan;
 pub use stacksim_lint as lint;

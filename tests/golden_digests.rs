@@ -1,0 +1,60 @@
+//! Golden digest-stability tests for the fig3 and fig8 artifacts.
+//!
+//! Each test runs the real experiment, serializes the artifact through its
+//! canonical JSON codec, and hashes the bytes. The hex constants below were
+//! captured from a known-good run; they pin the solver's *exact* floating
+//! point behaviour, so any change to summation order, stencil layout,
+//! partitioning, or warm-start logic that moves a single bit shows up here.
+//! Running the same experiment at a different thread count must reproduce
+//! the same constant — that is the solver's determinism contract.
+//!
+//! If a deliberate numeric change lands (new reduction order, different
+//! convergence path), re-capture the constants from the failure message.
+
+use stacksim::core::harness::{Artifact, Digest};
+use stacksim::core::{memory_logic, sensitivity};
+use stacksim::thermal::SolverConfig;
+
+/// Digest of the encoded artifact: length-prefixed FNV-1a over the
+/// canonical JSON text.
+fn digest(artifact: &Artifact) -> String {
+    Digest::new().str(&artifact.encode()).hex()
+}
+
+/// A reduced grid keeps the debug-profile runtime reasonable while still
+/// exercising the full sweep (warm starts, multi-layer sweeps, both
+/// curves). nx=20 -> ny=17, 14 layers.
+fn cfg(threads: usize) -> SolverConfig {
+    SolverConfig::builder()
+        .nx(20)
+        .ny(17)
+        .threads(threads)
+        .build()
+}
+
+const GOLDEN_FIG3: &str = "96e4ca5a7dc6bc4f";
+const GOLDEN_FIG8: &str = "bbc49dedf247dddf";
+
+#[test]
+fn fig3_artifact_digest_is_stable_across_thread_counts() {
+    for threads in [1, 8] {
+        let (data, _) = sensitivity::fig3_with(cfg(threads)).unwrap();
+        let d = digest(&Artifact::Fig3(data));
+        assert_eq!(
+            d, GOLDEN_FIG3,
+            "fig3 digest moved at threads={threads}: got {d}"
+        );
+    }
+}
+
+#[test]
+fn fig8_artifact_digest_is_stable_across_thread_counts() {
+    for threads in [1, 8] {
+        let (points, _) = memory_logic::fig8_with(cfg(threads)).unwrap();
+        let d = digest(&Artifact::Fig8(points));
+        assert_eq!(
+            d, GOLDEN_FIG8,
+            "fig8 digest moved at threads={threads}: got {d}"
+        );
+    }
+}
