@@ -13,7 +13,10 @@
 //!   disagreement between baseline and fast as a correctness guard.
 //! - `BENCH_mem.json` — trace-generation and memory-hierarchy simulation
 //!   throughput for the `gauss` RMS benchmark on the 32 MB stacked-DRAM
-//!   option, in records per second.
+//!   option, in records per second; the engine leg is timed twice, with
+//!   observability disabled (the shipping default) and enabled, and the
+//!   artefact records the enabled/disabled wall-time ratio as
+//!   `obs_overhead` — the live cost of the metrics layer (DESIGN.md §10).
 //!
 //! Both files are re-parsed after writing, so a malformed artefact fails
 //! the run — CI's bench-smoke job relies on that.
@@ -248,6 +251,24 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
         e.run(&trace)
     });
 
+    // The same leg with live metrics: counters resolve and count, no
+    // event sink. The ratio against the disabled leg is the price of
+    // turning observability on; disabled, the instruments cost one
+    // relaxed atomic load per call site.
+    stacksim_obs::enable();
+    let engine_obs_sample = bench_n("hierarchy_simulation/gauss_32mb_obs", samples, || {
+        let mut e = Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
+        e.run(&trace)
+    });
+    stacksim_obs::disable();
+    stacksim_obs::reset();
+    let obs_overhead = if engine_sample.median_s > 0.0 {
+        engine_obs_sample.median_s / engine_sample.median_s
+    } else {
+        0.0
+    };
+    println!("obs overhead: {obs_overhead:.3}x (enabled vs disabled engine leg)");
+
     let per_sec = |s: Sample| {
         if s.median_s > 0.0 {
             records / s.median_s
@@ -275,6 +296,17 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
                 ("records_per_sec", Json::Num(per_sec(engine_sample))),
             ]),
         ),
+        (
+            "engine_obs",
+            Json::obj(vec![
+                (
+                    "wall_ns",
+                    Json::Num((engine_obs_sample.median_s * 1e9).round()),
+                ),
+                ("records_per_sec", Json::Num(per_sec(engine_obs_sample))),
+            ]),
+        ),
+        ("obs_overhead", Json::Num(obs_overhead)),
     ])
 }
 
@@ -325,8 +357,15 @@ mod tests {
             "baseline and fast paths disagree by {disagreement} C"
         );
         let mem = Json::parse(&std::fs::read_to_string(&paths[1]).unwrap()).unwrap();
-        for key in ["trace_generation", "engine", "records"] {
+        for key in [
+            "trace_generation",
+            "engine",
+            "engine_obs",
+            "obs_overhead",
+            "records",
+        ] {
             assert!(mem.get(key).is_some(), "BENCH_mem.json lacks {key}");
         }
+        assert!(mem.get("obs_overhead").unwrap().as_f64().unwrap() > 0.0);
     }
 }

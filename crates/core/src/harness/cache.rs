@@ -83,8 +83,13 @@ impl MemoCache {
         // write-then-rename so a crash mid-write never leaves a corrupt
         // entry that poisons later runs
         let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, artifact.encode()).map_err(|e| Error::io(tmp.clone(), e))?;
-        fs::rename(&tmp, &path).map_err(|e| Error::io(path, e))
+        let encoded = artifact.encode();
+        fs::write(&tmp, &encoded).map_err(|e| Error::io(tmp.clone(), e))?;
+        fs::rename(&tmp, &path).map_err(|e| Error::io(path, e))?;
+        if stacksim_obs::enabled() {
+            stacksim_obs::counter(super::obs::CACHE_BYTES_WRITTEN).add(encoded.len() as u64);
+        }
+        Ok(())
     }
 
     /// Deletes every cache entry. Missing directories are fine.

@@ -19,7 +19,7 @@
 use stacksim_floorplan::p4::pentium4_147w;
 use stacksim_floorplan::{worst_case_stack, Floorplan, StackedFloorplan};
 use stacksim_lint::{
-    DieDesc, FoldDesc, Model, PassRegistry, Report, StackDesc, ThermalDesc, WireDesc,
+    DieDesc, FoldDesc, Model, ObsTableDesc, PassRegistry, Report, StackDesc, ThermalDesc, WireDesc,
 };
 use stacksim_mem::EngineConfig;
 use stacksim_ooo::{CoreConfig, WireConfig};
@@ -166,6 +166,60 @@ fn table4_model(params: &WorkloadParams) -> Model {
     });
     m.workloads.push(("params".into(), *params));
     m
+}
+
+/// The statically declared observability-instrument tables of every
+/// instrumented crate, as a model for the SL060 pass.
+pub fn obs_model() -> Model {
+    let mut m = Model::new();
+    for (path, component, names) in [
+        (
+            "obs.mem",
+            stacksim_mem::obs::COMPONENT,
+            stacksim_mem::obs::NAMES,
+        ),
+        (
+            "obs.thermal",
+            stacksim_thermal::obs::COMPONENT,
+            stacksim_thermal::obs::NAMES,
+        ),
+        ("obs.harness", super::obs::COMPONENT, super::obs::NAMES),
+    ] {
+        m.obs_tables.push(ObsTableDesc {
+            path: path.to_string(),
+            component: component.to_string(),
+            names: names.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    m
+}
+
+/// The runtime half of `SL060`: every instrument name present in the
+/// process-global registry must appear in a declared table — an
+/// undeclared registration is an instrument the linter cannot vouch
+/// for. Trivially clean before anything has been instrumented.
+pub fn obs_audit() -> Report {
+    audit_registered_names(&stacksim_obs::registry().names())
+}
+
+fn audit_registered_names(registered: &[String]) -> Report {
+    let mut report = Report::new();
+    let model = obs_model();
+    let declared: std::collections::BTreeSet<&str> = model
+        .obs_tables
+        .iter()
+        .flat_map(|t| t.names.iter().map(String::as_str))
+        .collect();
+    for name in registered {
+        if !declared.contains(name.as_str()) {
+            report.error(
+                "SL060",
+                format!("obs.registry.\"{name}\""),
+                "instrument registered at runtime but declared in no obs table".to_string(),
+            );
+        }
+    }
+    report
 }
 
 /// Builds the machine description one standard experiment will simulate.
@@ -327,6 +381,8 @@ pub fn check_registry(registry: &Registry, params: &WorkloadParams) -> Report {
             combined.merge_under(exp.name(), passes.run(&model));
         }
     }
+    combined.merge_under("obs", passes.run(&obs_model()));
+    combined.merge(obs_audit());
     combined.merge(digest_audit(registry, params));
     combined
 }
@@ -463,5 +519,25 @@ mod tests {
     fn preflight_accepts_standard_and_skips_unknown() {
         preflight("table4", &WorkloadParams::test()).unwrap();
         preflight("not-registered", &WorkloadParams::test()).unwrap();
+    }
+
+    #[test]
+    fn declared_obs_tables_are_clean() {
+        let report = PassRegistry::standard().run(&obs_model());
+        assert!(report.is_clean(), "{}", report.render_pretty());
+    }
+
+    #[test]
+    fn sl060_catches_undeclared_runtime_registration() {
+        // declared names from every component table pass the audit
+        let declared: Vec<String> = obs_model()
+            .obs_tables
+            .iter()
+            .flat_map(|t| t.names.iter().cloned())
+            .collect();
+        assert!(audit_registered_names(&declared).is_clean());
+        let report = audit_registered_names(&["mem.unheard_of".to_string()]);
+        assert!(report.has_code("SL060"), "{}", report.render_pretty());
+        assert!(report.has_errors());
     }
 }

@@ -43,13 +43,17 @@ pub mod check;
 mod digest;
 mod experiment;
 pub mod json;
+pub mod obs;
+pub mod obs_report;
 mod registry;
 pub mod render;
 mod runner;
 
 pub use artifact::Artifact;
 pub use cache::{default_cache_dir, MemoCache};
-pub use check::{check_experiment, check_registry, digest_audit, model_for, preflight};
+pub use check::{
+    check_experiment, check_registry, digest_audit, model_for, obs_audit, obs_model, preflight,
+};
 pub use digest::Digest;
 pub use experiment::{Ctx, Experiment, MemRun, ParamSensitivity, Telemetry};
 pub use registry::Registry;

@@ -1,0 +1,54 @@
+//! Observability instruments of the experiment harness.
+//!
+//! The declared-name table is the SL060 lint contract: every instrument
+//! the harness registers at runtime must appear in [`NAMES`].
+
+/// Component tag of every instrument the harness owns.
+pub const COMPONENT: &str = "harness";
+
+/// Experiments executed (cache hits included).
+pub const EXPERIMENTS: &str = "harness.experiments";
+/// Experiments satisfied from the memo cache.
+pub const CACHE_HITS: &str = "harness.cache_hits";
+/// Experiments that missed the cache and actually ran.
+pub const CACHE_MISSES: &str = "harness.cache_misses";
+/// Bytes written to the memo cache by artifact stores.
+pub const CACHE_BYTES_WRITTEN: &str = "harness.cache.bytes_written";
+/// Experiments that failed (root causes and dependency skips).
+pub const FAILURES: &str = "harness.failures";
+/// Histogram of per-experiment wall time, microseconds.
+pub const EXPERIMENT_WALL_US: &str = "harness.experiment.wall_us";
+
+/// Every instrument name the harness may register.
+pub const NAMES: &[&str] = &[
+    EXPERIMENTS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_BYTES_WRITTEN,
+    FAILURES,
+    EXPERIMENT_WALL_US,
+];
+
+/// Span wrapping one harness invocation (`begin` at scheduling, `end`
+/// with `experiments`/`wall_us` fields).
+pub const EVENT_RUN: &str = "harness.run";
+/// Span wrapping one experiment execution (`end` carries
+/// `experiment`/`cached`/`wall_us` fields).
+pub const EVENT_EXPERIMENT: &str = "harness.experiment";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_names_are_unique_and_prefixed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in NAMES {
+            assert!(seen.insert(name), "duplicate declared name {name}");
+            assert!(
+                name.starts_with("harness."),
+                "{name} must carry the {COMPONENT} prefix"
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Reading, validating and rendering observability artifacts — the
+//! backend of `--metrics-out`, `--events` and `stacksim stats`.
+//!
+//! The snapshot document is the `stacksim-obs/1` schema produced by
+//! [`stacksim_obs::Snapshot::encode`]; it round-trips through the
+//! harness [`Json`] parser (both sides share the `Infinity` / `NaN`
+//! float extensions), so everything here validates structurally, not
+//! textually.
+
+use std::path::{Path, PathBuf};
+
+use super::json::Json;
+use crate::error::Error;
+use crate::report::TextTable;
+
+/// Where `stacksim run` / `bench` drop the most recent metrics snapshot
+/// for `stacksim stats` to pick up.
+pub fn default_snapshot_path() -> PathBuf {
+    Path::new("target").join("stacksim-obs").join("last.json")
+}
+
+/// Encode the current global registry snapshot and write it to `path`,
+/// creating parent directories as needed.
+///
+/// # Errors
+///
+/// [`Error::Io`] on filesystem failure.
+pub fn write_snapshot(path: &Path) -> Result<(), Error> {
+    let text = stacksim_obs::registry().snapshot().encode();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| Error::io(parent.to_path_buf(), e))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| Error::io(path.to_path_buf(), e))
+}
+
+/// Structural summary of a validated snapshot document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Counter instruments present.
+    pub counters: usize,
+    /// Gauge instruments present.
+    pub gauges: usize,
+    /// Histogram instruments present.
+    pub histograms: usize,
+}
+
+fn num_map<'a>(doc: &'a Json, key: &str) -> Result<&'a [(String, Json)], String> {
+    match doc.get(key) {
+        Some(Json::Obj(m)) => Ok(m),
+        Some(_) => Err(format!("'{key}' must be an object")),
+        None => Err(format!("missing '{key}' object")),
+    }
+}
+
+/// Validate a `stacksim-obs/1` snapshot document.
+///
+/// # Errors
+///
+/// A human-readable description of the first schema violation: bad
+/// JSON, wrong `schema` tag, non-numeric instrument values, or
+/// malformed histogram records.
+pub fn validate_snapshot(text: &str) -> Result<SnapshotSummary, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == stacksim_obs::SNAPSHOT_SCHEMA => {}
+        Some(s) => {
+            return Err(format!(
+                "schema '{s}' is not '{}'",
+                stacksim_obs::SNAPSHOT_SCHEMA
+            ))
+        }
+        None => return Err("missing 'schema' string".to_string()),
+    }
+    let counters = num_map(&doc, "counters")?;
+    for (name, v) in counters {
+        v.as_u64()
+            .ok_or_else(|| format!("counter '{name}' is not a non-negative integer"))?;
+    }
+    let gauges = num_map(&doc, "gauges")?;
+    for (name, v) in gauges {
+        v.as_f64()
+            .ok_or_else(|| format!("gauge '{name}' is not a number"))?;
+    }
+    let histograms = num_map(&doc, "histograms")?;
+    for (name, h) in histograms {
+        let field = |k: &str| -> Result<u64, String> {
+            h.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram '{name}' field '{k}' is not an integer"))
+        };
+        let count = field("count")?;
+        field("sum")?;
+        let min = field("min")?;
+        let max = field("max")?;
+        if count > 0 && min > max {
+            return Err(format!("histogram '{name}' has min {min} > max {max}"));
+        }
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("histogram '{name}' is missing 'buckets'"))?;
+        let mut total = 0u64;
+        for b in buckets {
+            let pair = b
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("histogram '{name}' bucket is not an [index,count] pair"))?;
+            let idx = pair[0]
+                .as_u64()
+                .ok_or_else(|| format!("histogram '{name}' bucket index is not an integer"))?;
+            if idx > 64 {
+                return Err(format!(
+                    "histogram '{name}' bucket index {idx} out of range"
+                ));
+            }
+            total += pair[1]
+                .as_u64()
+                .ok_or_else(|| format!("histogram '{name}' bucket count is not an integer"))?;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram '{name}' bucket counts sum to {total}, not count {count}"
+            ));
+        }
+    }
+    Ok(SnapshotSummary {
+        counters: counters.len(),
+        gauges: gauges.len(),
+        histograms: histograms.len(),
+    })
+}
+
+/// Structural summary of a validated event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventsSummary {
+    /// Completed spans (matched `begin`/`end` pairs).
+    pub spans: usize,
+    /// Point events.
+    pub points: usize,
+}
+
+/// Validate a JSONL event log: every line parses, carries a known
+/// `ev` kind, a name and a monotone-clock timestamp; every `end`
+/// matches an open `begin` of the same span id and name, and no span
+/// is left open at EOF.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation, prefixed with
+/// its 1-based line number.
+pub fn validate_events(text: &str) -> Result<EventsSummary, String> {
+    let mut open: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    let mut spans = 0usize;
+    let mut points = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let ev = doc
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing 'ev' kind"))?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing 'name'"))?
+            .to_string();
+        doc.get("t_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing integer 't_us'"))?;
+        match ev {
+            "begin" | "end" => {
+                let id = doc
+                    .get("span")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: missing integer 'span' id"))?;
+                if id == 0 {
+                    return Err(format!(
+                        "line {lineno}: span id 0 is reserved for inert spans"
+                    ));
+                }
+                if ev == "begin" {
+                    if open.insert(id, name).is_some() {
+                        return Err(format!("line {lineno}: span {id} began twice"));
+                    }
+                } else {
+                    match open.remove(&id) {
+                        Some(opened) if opened == name => spans += 1,
+                        Some(opened) => {
+                            return Err(format!(
+                                "line {lineno}: span {id} ended as '{name}' but began as '{opened}'"
+                            ))
+                        }
+                        None => {
+                            return Err(format!("line {lineno}: span {id} ended without a begin"))
+                        }
+                    }
+                }
+            }
+            "point" => points += 1,
+            other => return Err(format!("line {lineno}: unknown event kind '{other}'")),
+        }
+    }
+    if let Some((id, name)) = open.iter().next() {
+        return Err(format!("span {id} ('{name}') never ended"));
+    }
+    Ok(EventsSummary { spans, points })
+}
+
+/// Render a validated snapshot as the table `stacksim stats` prints.
+///
+/// # Errors
+///
+/// The same schema violations as [`validate_snapshot`].
+pub fn render_snapshot(text: &str) -> Result<String, String> {
+    validate_snapshot(text)?;
+    let doc = Json::parse(text)?;
+    let mut out = String::new();
+    let counters = num_map(&doc, "counters")?;
+    if !counters.is_empty() {
+        let mut t = TextTable::new(["counter", "value"]);
+        for (name, v) in counters {
+            t.row([name.clone(), v.as_u64().unwrap_or(0).to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    let gauges = num_map(&doc, "gauges")?;
+    if !gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut t = TextTable::new(["gauge", "value"]);
+        for (name, v) in gauges {
+            t.row([name.clone(), format!("{}", v.as_f64().unwrap_or(0.0))]);
+        }
+        out.push_str(&t.render());
+    }
+    let histograms = num_map(&doc, "histograms")?;
+    if !histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut t = TextTable::new(["histogram", "count", "sum", "min", "max", "mean"]);
+        for (name, h) in histograms {
+            let get = |k: &str| h.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let (count, sum) = (get("count"), get("sum"));
+            let mean = if count == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", sum as f64 / count as f64)
+            };
+            t.row([
+                name.clone(),
+                count.to_string(),
+                sum.to_string(),
+                get("min").to_string(),
+                get("max").to_string(),
+                mean,
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    if out.is_empty() {
+        out.push_str("no instruments registered\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let snap = stacksim_obs::Snapshot {
+            counters: vec![("mem.accesses".into(), 42)],
+            gauges: vec![("mem.bus.backlog_cycles".into(), 1.5)],
+            histograms: vec![stacksim_obs::HistogramSnapshot {
+                name: "mem.bus.queue_cycles".into(),
+                count: 3,
+                sum: 9,
+                min: 1,
+                max: 5,
+                buckets: vec![(1, 2), (3, 1)],
+            }],
+        };
+        snap.encode()
+    }
+
+    #[test]
+    fn encoded_snapshot_validates_and_renders() {
+        let text = sample();
+        let s = validate_snapshot(&text).expect("valid");
+        assert_eq!(
+            s,
+            SnapshotSummary {
+                counters: 1,
+                gauges: 1,
+                histograms: 1
+            }
+        );
+        let rendered = render_snapshot(&text).expect("renders");
+        assert!(rendered.contains("mem.accesses"));
+        assert!(rendered.contains("42"));
+        assert!(rendered.contains("mem.bus.queue_cycles"));
+    }
+
+    #[test]
+    fn snapshot_validation_rejects_schema_and_structure_errors() {
+        assert!(validate_snapshot("not json").is_err());
+        assert!(validate_snapshot("{\"schema\":\"other/9\"}").is_err());
+        let bad_sum = sample().replace("\"count\":3", "\"count\":4");
+        let err = validate_snapshot(&bad_sum).expect_err("bucket sum mismatch");
+        assert!(err.contains("bucket counts"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn event_logs_validate_pairing() {
+        let good = "\
+{\"ev\":\"begin\",\"span\":1,\"name\":\"harness.run\",\"t_us\":0}\n\
+{\"ev\":\"point\",\"name\":\"thermal.cg.solve\",\"t_us\":3,\"fields\":{\"iters\":7}}\n\
+{\"ev\":\"end\",\"span\":1,\"name\":\"harness.run\",\"t_us\":9,\"fields\":{}}\n";
+        assert_eq!(
+            validate_events(good).expect("valid"),
+            EventsSummary {
+                spans: 1,
+                points: 1
+            }
+        );
+        let unclosed = "{\"ev\":\"begin\",\"span\":2,\"name\":\"x\",\"t_us\":0}\n";
+        assert!(validate_events(unclosed).is_err());
+        let mismatched = "\
+{\"ev\":\"begin\",\"span\":3,\"name\":\"a\",\"t_us\":0}\n\
+{\"ev\":\"end\",\"span\":3,\"name\":\"b\",\"t_us\":1}\n";
+        assert!(validate_events(mismatched).is_err());
+    }
+}

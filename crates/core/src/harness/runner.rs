@@ -204,6 +204,8 @@ impl Runner {
         let start = Instant::now();
         let selection = self.expand(names)?;
         let total = selection.len();
+        let mut run_span = stacksim_obs::span(super::obs::EVENT_RUN);
+        run_span.field("experiments", total as u64);
 
         // Kahn's algorithm both validates acyclicity and seeds the ready
         // queue deterministically (registration order among ties).
@@ -299,10 +301,13 @@ impl Runner {
                 .position(|n| *n == r.name)
                 .unwrap_or(usize::MAX)
         });
+        let wall_s = start.elapsed().as_secs_f64();
+        run_span.field("wall_us", (wall_s * 1e6) as u64);
+        drop(run_span);
         Ok(RunOutcome {
             report: RunReport {
                 jobs: workers,
-                wall_s: start.elapsed().as_secs_f64(),
+                wall_s,
                 entries: st.reports,
             },
             artifacts: st.results,
@@ -449,6 +454,9 @@ impl Runner {
                 continue;
             }
             st.done += 1;
+            if stacksim_obs::enabled() {
+                stacksim_obs::counter(super::obs::FAILURES).add(1);
+            }
             st.reports.push(ExperimentReport {
                 name: name.clone(),
                 digest: String::new(),
@@ -478,6 +486,8 @@ impl Runner {
         let name = exp.name().to_string();
         let digest = exp.params_digest(&self.options.params);
         let start = Instant::now();
+        let mut span = stacksim_obs::span(super::obs::EVENT_EXPERIMENT);
+        span.field("experiment", name.clone());
         let mut report = ExperimentReport {
             name: name.clone(),
             digest: digest.clone(),
@@ -519,6 +529,24 @@ impl Runner {
         if let Err(e) = &result {
             report.error = Some(e.to_string());
         }
+        if stacksim_obs::enabled() {
+            let wall_us = (report.wall_s * 1e6) as u64;
+            stacksim_obs::counter(super::obs::EXPERIMENTS).add(1);
+            stacksim_obs::counter(if report.cached {
+                super::obs::CACHE_HITS
+            } else {
+                super::obs::CACHE_MISSES
+            })
+            .add(1);
+            if result.is_err() {
+                stacksim_obs::counter(super::obs::FAILURES).add(1);
+            }
+            stacksim_obs::histogram(super::obs::EXPERIMENT_WALL_US).record(wall_us);
+            span.field("cached", report.cached);
+            span.field("ok", result.is_ok());
+            span.field("wall_us", wall_us);
+        }
+        drop(span);
         (report, result)
     }
 }

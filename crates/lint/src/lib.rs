@@ -29,7 +29,8 @@
 //! The diagnostic code space is allocated in blocks: `SL00x` floorplan,
 //! `SL01x` thermal, `SL02x` memory hierarchy, `SL03x` out-of-order core,
 //! `SL04x` parameter sets, `SL05x` harness digest audit (emitted by
-//! `stacksim-core`, which owns the experiment registry the audit inspects).
+//! `stacksim-core`, which owns the experiment registry the audit inspects)
+//! and `SL06x` observability instrument tables.
 
 pub mod diag;
 pub mod model;
@@ -38,7 +39,7 @@ pub mod passes;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use model::{
-    BlockDesc, DieDesc, FoldDesc, LayerDesc, Model, PowerDesc, StackDesc, ThermalDesc, WireDesc,
-    WirePairDesc,
+    BlockDesc, DieDesc, FoldDesc, LayerDesc, Model, ObsTableDesc, PowerDesc, StackDesc,
+    ThermalDesc, WireDesc, WirePairDesc,
 };
 pub use pass::{Pass, PassRegistry};

@@ -225,6 +225,20 @@ impl ThermalDesc {
     }
 }
 
+/// One component's statically declared observability-instrument table
+/// (the `NAMES` slice of its `obs` module). The SL060 pass checks the
+/// tables themselves; the harness separately proves runtime
+/// registrations stay inside the declared union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsTableDesc {
+    /// Config path of this table (e.g. `obs.mem`).
+    pub path: String,
+    /// Component tag every name must be prefixed with (e.g. `mem`).
+    pub component: String,
+    /// Declared instrument names.
+    pub names: Vec<String>,
+}
+
 /// A planar/folded wire-stage pair for the §4 pipeline-consistency checks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WirePairDesc {
@@ -264,6 +278,8 @@ pub struct Model {
     pub engines: Vec<(String, EngineConfig)>,
     /// Thermal-solver configurations, with their config paths.
     pub solvers: Vec<(String, SolverConfig)>,
+    /// Declared observability-instrument tables, one per component.
+    pub obs_tables: Vec<ObsTableDesc>,
 }
 
 impl Model {

@@ -2,6 +2,7 @@
 
 pub mod floorplan;
 pub mod mem;
+pub mod obs;
 pub mod ooo;
 pub mod params;
 pub mod thermal;
@@ -36,5 +37,6 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(params::EngineConfigValid),
         Box::new(params::SolverConfigValid),
         Box::new(params::SolverThreads),
+        Box::new(obs::ObsInstrumentNames),
     ]
 }

@@ -1,0 +1,154 @@
+//! Observability-instrument table passes.
+//!
+//! Every instrumented crate declares its instrument names in a static
+//! table (its `obs` module's `NAMES` slice). Mirroring those tables into
+//! the model lets the linter prove the namespace is well-formed without
+//! running anything: names carry their component prefix, no component
+//! declares a name twice, and no name is claimed by two components (a
+//! collision would silently merge two unrelated instruments in the
+//! process-global registry).
+
+use crate::diag::Report;
+use crate::model::Model;
+use crate::pass::Pass;
+
+/// `SL060` (error): declared instrument names must be unique — within a
+/// component's table and across components — and every name must be
+/// `<component>.<metric>` under its own component tag.
+pub struct ObsInstrumentNames;
+
+impl Pass for ObsInstrumentNames {
+    fn id(&self) -> &'static str {
+        "obs-instrument-names"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL060"]
+    }
+
+    fn description(&self) -> &'static str {
+        "observability instrument names must be well-formed and collision-free"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        let mut owner: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
+        for table in &model.obs_tables {
+            if table.component.is_empty() || table.component.contains('.') {
+                report.error(
+                    "SL060",
+                    table.path.clone(),
+                    format!(
+                        "component tag '{}' must be a non-empty dot-free identifier",
+                        table.component
+                    ),
+                );
+            }
+            let prefix = format!("{}.", table.component);
+            let mut local = std::collections::BTreeSet::new();
+            for name in &table.names {
+                let span = format!("{}.\"{}\"", table.path, name);
+                if !local.insert(name.as_str()) {
+                    report.error(
+                        "SL060",
+                        span.clone(),
+                        format!("instrument '{name}' is declared twice in this table"),
+                    );
+                    continue;
+                }
+                match name.strip_prefix(&prefix) {
+                    Some(metric) if !metric.is_empty() => {}
+                    _ => {
+                        report.error(
+                            "SL060",
+                            span.clone(),
+                            format!(
+                                "instrument '{name}' must be '{}<metric>' under its component tag",
+                                prefix
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                match owner.get(name.as_str()) {
+                    Some(other) => report.error(
+                        "SL060",
+                        span,
+                        format!("instrument '{name}' collides with component '{other}'"),
+                    ),
+                    None => {
+                        owner.insert(name.as_str(), table.component.as_str());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ObsTableDesc;
+
+    fn table(component: &str, names: &[&str]) -> ObsTableDesc {
+        ObsTableDesc {
+            path: format!("obs.{component}"),
+            component: component.to_string(),
+            names: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn run(tables: Vec<ObsTableDesc>) -> Report {
+        let model = Model {
+            obs_tables: tables,
+            ..Model::new()
+        };
+        let mut report = Report::new();
+        ObsInstrumentNames.run(&model, &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_tables_pass() {
+        let r = run(vec![
+            table("mem", &["mem.accesses", "mem.bus.bytes"]),
+            table("thermal", &["thermal.cg.solves"]),
+        ]);
+        assert!(r.is_clean(), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn duplicate_within_a_table_is_an_error() {
+        let r = run(vec![table("mem", &["mem.accesses", "mem.accesses"])]);
+        assert!(
+            r.has_code("SL060") && r.has_errors(),
+            "{}",
+            r.render_pretty()
+        );
+    }
+
+    #[test]
+    fn missing_or_foreign_prefix_is_an_error() {
+        let r = run(vec![table("mem", &["accesses"])]);
+        assert!(r.has_code("SL060"), "{}", r.render_pretty());
+        let r = run(vec![table("mem", &["thermal.cg.solves"])]);
+        assert!(r.has_code("SL060"), "{}", r.render_pretty());
+        // a bare "mem." with no metric part is also malformed
+        let r = run(vec![table("mem", &["mem."])]);
+        assert!(r.has_code("SL060"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn cross_component_collision_is_an_error() {
+        // two tables claiming one name: only reachable when a table
+        // mis-tags its component, but the registry would merge them
+        let r = run(vec![
+            table("mem", &["mem.accesses"]),
+            ObsTableDesc {
+                path: "obs.rogue".into(),
+                component: "mem".into(),
+                names: vec!["mem.accesses".into()],
+            },
+        ]);
+        assert!(r.has_code("SL060"), "{}", r.render_pretty());
+    }
+}

@@ -160,6 +160,15 @@ impl CpuState {
     }
 }
 
+/// Issue time and completion time of one stepped record.
+#[derive(Debug, Clone, Copy)]
+struct Issued {
+    /// Cycle the record issued (after dependency / window stalls).
+    at: Cycles,
+    /// Cycle the reference was satisfied.
+    done: Cycles,
+}
+
 /// Drives a [`MemoryHierarchy`] with a dependency-annotated trace.
 #[derive(Debug)]
 pub struct Engine {
@@ -192,39 +201,66 @@ impl Engine {
     /// records from the reported metrics. The excluded prefix still updates
     /// cache, bank and bus state, so large caches are measured warm.
     ///
+    /// The measured interval is bounded by *issue* and *completion* times
+    /// of the measured records themselves: it opens at the earliest issue
+    /// among them and closes at their latest completion. Pre-warmup
+    /// references still in flight at the boundary therefore no longer
+    /// deflate the interval (they used to: the interval previously opened
+    /// at the max completion over the whole warmup prefix, which can lie
+    /// *beyond* most of the measured work).
+    ///
     /// # Panics
     ///
-    /// Panics if `warmup` is not within `0.0..1.0`.
+    /// Panics if `warmup` is not within `0.0..1.0`, or if `warmup` rounds
+    /// the warm prefix up to the entire (non-empty) trace and would leave
+    /// an empty measurement window — which would otherwise silently
+    /// report a CPMA of 0.0.
     pub fn run_warmed(&mut self, trace: &Trace, warmup: f64) -> RunResult {
         assert!(
             (0.0..1.0).contains(&warmup),
             "warmup fraction must be in [0, 1)"
         );
         let warm_records = (trace.len() as f64 * warmup) as usize;
+        assert!(
+            trace.is_empty() || warm_records < trace.len(),
+            "warmup fraction {warmup} warms all {} records and leaves an \
+             empty measurement window",
+            trace.len()
+        );
         let mut completion: Vec<Cycles> = vec![0; trace.len()];
         let mut cpus: Vec<CpuState> = vec![CpuState::default(); trace.cpu_count().max(1)];
 
-        let mut measured_from: Cycles = 0;
         let mut stats_at_warmup = HierarchyStats::default();
         let mut bus_bytes_at_warmup = 0u64;
-        let mut last_done: Cycles = 0;
+        // Earliest issue / latest completion over the *measured* records.
+        let mut measured_from: Option<Cycles> = None;
+        let mut measured_last: Cycles = 0;
 
         for (i, r) in trace.iter().enumerate() {
             if i == warm_records && i > 0 {
-                measured_from = last_done;
                 stats_at_warmup = *self.hierarchy.stats();
                 bus_bytes_at_warmup = self.hierarchy.bus().bytes();
             }
-            let done = self.step(r, &mut cpus, &completion);
-            completion[r.id.index()] = done;
-            last_done = last_done.max(done);
+            let issued = self.step(r, &mut cpus, &completion);
+            completion[r.id.index()] = issued.done;
+            if i >= warm_records {
+                measured_from = Some(measured_from.map_or(issued.at, |m| m.min(issued.at)));
+                measured_last = measured_last.max(issued.done);
+            }
+        }
+        if stacksim_obs::enabled() {
+            stacksim_obs::counter(crate::obs::ENGINE_RECORDS).add(trace.len() as u64);
         }
 
         let end_stats = *self.hierarchy.stats();
         let stats = diff_stats(end_stats, stats_at_warmup);
         let bytes = self.hierarchy.bus().bytes() - bus_bytes_at_warmup;
-        let total_cycles = last_done.saturating_sub(measured_from);
+        let total_cycles = measured_last.saturating_sub(measured_from.unwrap_or(0));
         let references = stats.accesses;
+        debug_assert!(
+            references > 0 || trace.is_empty(),
+            "non-empty trace produced an empty measurement window"
+        );
         let cpma = if references == 0 {
             0.0
         } else {
@@ -269,6 +305,13 @@ impl Engine {
         for r in records {
             assert_eq!(r.id.raw(), n, "stream ids must be dense from zero");
             if let Some(dep) = r.dep {
+                // A distance of *exactly* `dep_window` is legal: the
+                // dependency's completion still sits in
+                // `ring[dep % dep_window]` — the very slot this record
+                // overwrites below — and the issue step reads it before
+                // that overwrite. Any greater distance has already been
+                // clobbered by an intervening record, so it must panic
+                // rather than silently use a younger completion time.
                 assert!(
                     r.id.raw() - dep.raw() <= dep_window as u64,
                     "dependency distance {} exceeds the window {dep_window}",
@@ -278,28 +321,14 @@ impl Engine {
             if r.cpu.index() >= cpus.len() {
                 cpus.resize_with(r.cpu.index() + 1, CpuState::default);
             }
-            let done = {
-                let cpu = &mut cpus[r.cpu.index()];
-                let mut t = cpu.cursor;
-                if !self.cfg.ignore_deps {
-                    if let Some(dep) = r.dep {
-                        t = t.max(ring[dep.index() % dep_window]);
-                    }
-                }
-                cpu.drain_before(t);
-                while cpu.outstanding.len() >= self.cfg.window {
-                    let earliest = cpu.outstanding.remove(0);
-                    t = t.max(earliest);
-                }
-                let res = self.hierarchy.access(r.cpu, r.op, r.addr, t);
-                cpu.insert(res.done);
-                cpu.cursor = cpu.cursor.max(t.saturating_sub(self.cfg.rob_lookahead))
-                    + self.cfg.issue_interval;
-                res.done
-            };
-            ring[r.id.index() % dep_window] = done;
-            last_done = last_done.max(done);
+            let dep_done = r.dep.map_or(0, |dep| ring[dep.index() % dep_window]);
+            let issued = self.issue(&r, &mut cpus[r.cpu.index()], dep_done);
+            ring[r.id.index() % dep_window] = issued.done;
+            last_done = last_done.max(issued.done);
             n += 1;
+        }
+        if stacksim_obs::enabled() {
+            stacksim_obs::counter(crate::obs::ENGINE_RECORDS).add(n);
         }
         let stats = *self.hierarchy.stats();
         let bytes = self.hierarchy.bus().bytes();
@@ -324,13 +353,24 @@ impl Engine {
         }
     }
 
-    fn step(&mut self, r: &TraceRecord, cpus: &mut [CpuState], completion: &[Cycles]) -> Cycles {
-        let cpu = &mut cpus[r.cpu.index()];
+    /// Materialised-trace step: resolves the dependency against the full
+    /// completion table, then delegates to the shared [`Engine::issue`]
+    /// core.
+    fn step(&mut self, r: &TraceRecord, cpus: &mut [CpuState], completion: &[Cycles]) -> Issued {
+        let dep_done = r.dep.map_or(0, |dep| completion[dep.index()]);
+        self.issue(r, &mut cpus[r.cpu.index()], dep_done)
+    }
+
+    /// The one issue/drain/access/cursor sequence shared by the
+    /// materialised ([`Engine::run_warmed`]) and streaming
+    /// ([`Engine::run_stream`]) paths, which previously duplicated it and
+    /// could drift. `dep_done` is the completion time of the record's
+    /// dependency (0 when it has none); it is ignored under the
+    /// `ignore_deps` ablation.
+    fn issue(&mut self, r: &TraceRecord, cpu: &mut CpuState, dep_done: Cycles) -> Issued {
         let mut t = cpu.cursor;
         if !self.cfg.ignore_deps {
-            if let Some(dep) = r.dep {
-                t = t.max(completion[dep.index()]);
-            }
+            t = t.max(dep_done);
         }
         cpu.drain_before(t);
         while cpu.outstanding.len() >= self.cfg.window {
@@ -344,7 +384,10 @@ impl Engine {
         // only as far as the reorder window reaches
         cpu.cursor =
             cpu.cursor.max(t.saturating_sub(self.cfg.rob_lookahead)) + self.cfg.issue_interval;
-        res.done
+        Issued {
+            at: t,
+            done: res.done,
+        }
     }
 }
 
@@ -524,6 +567,58 @@ mod tests {
     }
 
     #[test]
+    fn warmup_interval_opens_at_measured_issue_not_warmup_completion() {
+        // One cold off-die miss (completes ~262) followed by an L1 hit.
+        // With warmup=0.5 the measured window is just the hit: it issues
+        // at cycle 1 and completes at cycle 5. The old accounting opened
+        // the interval at the *warmup prefix's* max completion (262),
+        // saturating-subtracted its way to 0 cycles and reported CPMA 0.
+        let mut b = TraceBuilder::new();
+        b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+        b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+        let t = b.build();
+        let r = engine().run_warmed(&t, 0.5);
+        assert_eq!(r.references, 1);
+        assert_eq!(r.stats.l1_hits, 1);
+        assert_eq!(r.total_cycles, 4, "issue at 1, L1 hit completes at 5");
+        assert!((r.cpma - 4.0).abs() < 1e-12, "cpma = {}", r.cpma);
+    }
+
+    #[test]
+    fn warmup_near_one_on_short_trace_still_measures() {
+        let mut b = TraceBuilder::new();
+        b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+        b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+        let t = b.build();
+        // 2 * 0.9 floors to 1 warm record: one measured reference remains.
+        let r = engine().run_warmed(&t, 0.9);
+        assert_eq!(r.references, 1);
+        assert!(r.cpma > 0.0, "a measured reference must cost cycles");
+    }
+
+    #[test]
+    fn extreme_warmup_never_empties_the_measurement_window() {
+        // The largest f64 below 1.0. For any trace length the product
+        // `len * warmup` stays strictly below `len` (the real value
+        // `len - len * 2^-53` never rounds up to `len`), so at least one
+        // record is always measured — and the explicit assert in
+        // `run_warmed` guards the invariant should the computation ever
+        // change. Before the accounting fix this scenario reported a
+        // silent CPMA of 0.0; now it must always cost cycles.
+        let warmup = f64::from_bits(0x3FEF_FFFF_FFFF_FFFF);
+        for len in [1usize, 2, 3, 1024] {
+            let mut b = TraceBuilder::new();
+            for _ in 0..len {
+                b.record(CpuId::new(0), MemOp::Load, 0x1000, 0);
+            }
+            let t = b.build();
+            let r = engine().run_warmed(&t, warmup);
+            assert!(r.references >= 1, "len {len} measured nothing");
+            assert!(r.cpma > 0.0, "len {len}: measured work must cost cycles");
+        }
+    }
+
+    #[test]
     fn empty_trace_is_a_zero_run() {
         let r = engine().run(&Trace::new());
         assert_eq!(r.references, 0);
@@ -537,11 +632,10 @@ mod tests {
         let _ = engine().run_warmed(&Trace::new(), 1.5);
     }
 
-    #[test]
-    fn run_stream_matches_run_on_materialised_traces() {
+    fn mixed_trace(n: u64) -> Trace {
         let mut b = TraceBuilder::new();
         let mut prev = None;
-        for i in 0..5_000u64 {
+        for i in 0..n {
             let dep = if i % 4 == 0 { prev } else { None };
             prev = Some(b.record_dep(
                 CpuId::new((i % 2) as u8),
@@ -555,13 +649,85 @@ mod tests {
                 dep,
             ));
         }
+        b.build()
+    }
+
+    fn assert_stream_matches_run(cfg: EngineConfig, t: &Trace, dep_window: usize) {
+        let mut batch_engine =
+            Engine::new(MemoryHierarchy::new(HierarchyConfig::core2_baseline()), cfg);
+        let batch = batch_engine.run(t);
+        let mut stream_engine =
+            Engine::new(MemoryHierarchy::new(HierarchyConfig::core2_baseline()), cfg);
+        let stream = stream_engine.run_stream(t.iter().copied(), dep_window);
+        assert_eq!(batch.total_cycles, stream.total_cycles, "cfg {cfg:?}");
+        assert_eq!(batch.offdie_bytes, stream.offdie_bytes, "cfg {cfg:?}");
+        assert_eq!(batch.references, stream.references, "cfg {cfg:?}");
+        assert_eq!(batch.stats, stream.stats, "cfg {cfg:?}");
+    }
+
+    #[test]
+    fn run_stream_matches_run_on_materialised_traces() {
+        assert_stream_matches_run(EngineConfig::default(), &mixed_trace(5_000), 64);
+    }
+
+    #[test]
+    fn run_stream_matches_run_with_nonzero_lookahead_variants() {
+        // The shared issue core must agree for lookahead 0 (cursor pinned
+        // to the newest issue), the default 192, and an effectively
+        // unbounded lookahead.
+        let t = mixed_trace(5_000);
+        for rob_lookahead in [0, 192, 1 << 40] {
+            let cfg = EngineConfig {
+                rob_lookahead,
+                ..EngineConfig::default()
+            };
+            assert_stream_matches_run(cfg, &t, 64);
+        }
+    }
+
+    #[test]
+    fn run_stream_matches_run_with_saturated_window() {
+        // window=2 forces the outstanding-miss drain loop to run on nearly
+        // every record, exercising the full-window path of the shared core.
+        let cfg = EngineConfig {
+            window: 2,
+            ..EngineConfig::default()
+        };
+        assert_stream_matches_run(cfg, &mixed_trace(5_000), 64);
+    }
+
+    #[test]
+    fn run_stream_accepts_dependency_at_exactly_dep_window() {
+        // Distance == dep_window is the boundary the ring invariant makes
+        // legal: the dependency's slot is read before this record
+        // overwrites it. The stream must also agree with the batch path.
+        let dep_window = 16usize;
+        let mut b = TraceBuilder::new();
+        let first = b.record_dep(CpuId::new(0), MemOp::Load, 0, 0, None);
+        for i in 1..dep_window as u64 {
+            b.record(CpuId::new(0), MemOp::Load, i << 20, 0);
+        }
+        // id == dep_window, dep id == 0: distance exactly dep_window
+        b.record_dep(CpuId::new(0), MemOp::Load, 64, 0, Some(first));
         let t = b.build();
-        let batch = engine().run(&t);
-        let mut e = engine();
-        let stream = e.run_stream(t.iter().copied(), 64);
-        assert_eq!(batch.total_cycles, stream.total_cycles);
-        assert_eq!(batch.offdie_bytes, stream.offdie_bytes);
-        assert_eq!(batch.references, stream.references);
+        assert_stream_matches_run(EngineConfig::default(), &t, dep_window);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the window")]
+    fn run_stream_rejects_dependency_at_dep_window_plus_one() {
+        // One past the boundary: the slot has been overwritten by the
+        // depending record's predecessor, so the engine must refuse.
+        let dep_window = 16usize;
+        let mut b = TraceBuilder::new();
+        let first = b.record_dep(CpuId::new(0), MemOp::Load, 0, 0, None);
+        for i in 1..=dep_window as u64 {
+            b.record(CpuId::new(0), MemOp::Load, i << 20, 0);
+        }
+        // id == dep_window + 1, dep id == 0
+        b.record_dep(CpuId::new(0), MemOp::Load, 64, 0, Some(first));
+        let t = b.build();
+        let _ = engine().run_stream(t.iter().copied(), dep_window);
     }
 
     #[test]

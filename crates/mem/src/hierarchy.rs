@@ -13,6 +13,7 @@ use crate::bus::Bus;
 use crate::cache::{Cache, Evicted, Lookup};
 use crate::config::{Cycles, HierarchyConfig, StackedLevel};
 use crate::dram::DramArray;
+use crate::obs::HierObs;
 use crate::stats::HierarchyStats;
 
 /// Which level satisfied an access.
@@ -58,6 +59,9 @@ pub struct MemoryHierarchy {
     /// (consulted only when `fill_latency` is enabled).
     inflight: HashMap<u64, Cycles>,
     stats: HierarchyStats,
+    /// Observability handles (process-global cells; recording is a
+    /// no-op branch while `stacksim_obs` is disabled).
+    obs: HierObs,
 }
 
 impl MemoryHierarchy {
@@ -85,6 +89,7 @@ impl MemoryHierarchy {
             memory: DramArray::new(cfg.memory.dram),
             inflight: HashMap::new(),
             stats: HierarchyStats::default(),
+            obs: HierObs::new(),
             cfg,
         }
     }
@@ -121,6 +126,7 @@ impl MemoryHierarchy {
         assert!(cpu.index() < self.cfg.cpus, "cpu {cpu} out of range");
         let is_write = op.is_write();
         self.stats.accesses += 1;
+        self.obs.accesses.inc();
 
         // ---- L1 ----
         let l1 = if op == MemOp::IFetch {
@@ -132,6 +138,7 @@ impl MemoryHierarchy {
         match l1.access(addr, is_write) {
             Lookup::Hit | Lookup::SectorMiss => {
                 self.stats.l1_hits += 1;
+                self.obs.l1_hits.inc();
                 let done = self.fill_gate(addr, t);
                 let result = AccessResult {
                     done,
@@ -160,6 +167,7 @@ impl MemoryHierarchy {
             match l2.access(addr, false) {
                 Lookup::Hit | Lookup::SectorMiss => {
                     self.stats.l2_hits += 1;
+                    self.obs.l2_hits.inc();
                     let done = self.fill_gate(addr, t);
                     let result = AccessResult {
                         done,
@@ -196,6 +204,8 @@ impl MemoryHierarchy {
                     let s = self.stacked.as_mut().expect("stacked present");
                     let acc = s.data.access(addr, t);
                     self.stats.stacked_hits += 1;
+                    self.obs.stacked_hits.inc();
+                    self.obs.stacked_pages.record(acc.outcome);
                     let result = AccessResult {
                         done: acc.done,
                         level: ServiceLevel::Stacked,
@@ -206,6 +216,7 @@ impl MemoryHierarchy {
                 Lookup::SectorMiss => {
                     // tag match, sector absent: fetch just this sector off-die
                     self.stats.stacked_sector_misses += 1;
+                    self.obs.stacked_sector_misses.inc();
                     let line = self.cfg.l1d.line_size;
                     let done = self.fetch_from_memory(addr, line, t);
                     // the returning sector is written into the DRAM array by
@@ -244,10 +255,14 @@ impl MemoryHierarchy {
     /// the fixed transport latency. `bytes` is the payload size.
     fn fetch_from_memory(&mut self, addr: u64, bytes: u64, at: Cycles) -> Cycles {
         let xfer = self.bus.transfer(bytes, at);
+        self.obs
+            .record_bus(bytes + self.cfg.bus.overhead_bytes, at, xfer);
         let mem = self
             .memory
             .access(addr, xfer.start + self.cfg.memory.transport);
         self.stats.memory_accesses += 1;
+        self.obs.memory_accesses.inc();
+        self.obs.dram_pages.record(mem.outcome);
         let done = mem.done.max(xfer.done);
         if self.cfg.fill_latency {
             let line = addr & !(self.cfg.l1d.line_size - 1);
@@ -269,6 +284,7 @@ impl MemoryHierarchy {
         match self.inflight.get(&line) {
             Some(&fill) if fill > done => {
                 self.stats.fill_waits += 1;
+                self.obs.fill_waits.inc();
                 fill
             }
             _ => done,
@@ -279,6 +295,7 @@ impl MemoryHierarchy {
     /// update; write-backs are posted and do not delay the triggering access.
     fn writeback_below_l1(&mut self, ev: Evicted, at: Cycles) {
         self.stats.l1_writebacks += 1;
+        self.obs.l1_writebacks.inc();
         if let Some(l2) = self.l2.as_mut() {
             match l2.access(ev.line_addr, true) {
                 Lookup::Hit | Lookup::SectorMiss => {}
@@ -370,7 +387,10 @@ impl MemoryHierarchy {
     fn offdie_writeback(&mut self, bytes: u64, addr: u64, at: Cycles) {
         let _ = addr;
         self.stats.offdie_writebacks += 1;
-        let _ = self.bus.transfer(bytes, at);
+        self.obs.offdie_writebacks.inc();
+        let xfer = self.bus.transfer(bytes, at);
+        self.obs
+            .record_bus(bytes + self.cfg.bus.overhead_bytes, at, xfer);
     }
 
     fn finish(&mut self, issued: Cycles, result: AccessResult) {
@@ -379,7 +399,10 @@ impl MemoryHierarchy {
             ServiceLevel::L1 => {}
             ServiceLevel::L2 => {}
             ServiceLevel::Stacked => {}
-            ServiceLevel::Memory => self.stats.memory_served += 1,
+            ServiceLevel::Memory => {
+                self.stats.memory_served += 1;
+                self.obs.memory_served.inc();
+            }
         }
         self.stats.last_completion = self.stats.last_completion.max(result.done);
     }

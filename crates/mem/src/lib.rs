@@ -48,6 +48,7 @@ pub mod config;
 pub mod dram;
 pub mod engine;
 pub mod hierarchy;
+pub mod obs;
 pub mod stats;
 
 pub use bus::{Bus, BusTransfer};

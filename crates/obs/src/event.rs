@@ -1,0 +1,247 @@
+//! Structured events: spans, point events, and sinks.
+//!
+//! # Event schema (one JSON object per line)
+//!
+//! ```text
+//! {"ev":"begin","span":ID,"name":NAME,"t_us":T}
+//! {"ev":"end","span":ID,"name":NAME,"t_us":T,"fields":{...}}
+//! {"ev":"point","name":NAME,"t_us":T,"fields":{...}}
+//! ```
+//!
+//! `t_us` is microseconds on a process-monotonic clock anchored at
+//! [`crate::enable`] (or the first event, whichever comes first); span
+//! ids are unique per process and strictly positive. Fields are flat
+//! `string → number | string | bool` maps.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::json::{write_f64, write_str};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static CLOCK: OnceLock<Instant> = OnceLock::new();
+
+pub(crate) fn init_clock() {
+    let _ = CLOCK.get_or_init(Instant::now);
+}
+
+/// Microseconds since the monotonic clock anchor.
+pub fn now_us() -> u64 {
+    CLOCK.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Receiver for pre-formatted JSONL event lines. Implementations must
+/// tolerate concurrent calls.
+pub trait EventSink: Send + Sync {
+    /// Deliver one complete JSON line (no trailing newline).
+    fn line(&self, s: &str);
+    /// Flush buffered lines; called when the sink is uninstalled.
+    fn flush(&self) {}
+}
+
+static HAS_SINK: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::type_complexity)]
+fn sink_slot() -> &'static Mutex<Option<Arc<dyn EventSink>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<dyn EventSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or with `None`, remove) the global event sink. The
+/// outgoing sink is flushed.
+pub fn set_sink(sink: Option<Arc<dyn EventSink>>) {
+    let prev = {
+        let mut slot = lock(sink_slot());
+        HAS_SINK.store(sink.is_some(), Ordering::SeqCst);
+        std::mem::replace(&mut *slot, sink)
+    };
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+}
+
+#[inline]
+fn sink_active() -> bool {
+    crate::enabled() && HAS_SINK.load(Ordering::Relaxed)
+}
+
+fn emit(line: &str) {
+    let sink = lock(sink_slot()).clone();
+    if let Some(sink) = sink {
+        sink.line(line);
+    }
+}
+
+/// A field value attached to an event or span end record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float (shortest round-trip formatting).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+fn write_fields(fields: &[(&str, FieldValue)], out: &mut String) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(k, out);
+        out.push(':');
+        match v {
+            FieldValue::U64(n) => out.push_str(&n.to_string()),
+            FieldValue::F64(f) => write_f64(*f, out),
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Str(s) => write_str(s, out),
+        }
+    }
+    out.push('}');
+}
+
+/// Emit a point event with fields. No-op unless enabled and a sink is
+/// installed.
+pub fn event(name: &str, fields: &[(&str, FieldValue)]) {
+    if !sink_active() {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"ev\":\"point\",\"name\":");
+    write_str(name, &mut line);
+    line.push_str(&format!(",\"t_us\":{}", now_us()));
+    write_fields(fields, &mut line);
+    line.push('}');
+    emit(&line);
+}
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// An in-flight span. Emits `begin` at creation ([`span`]) and `end`
+/// (with any attached fields) on drop.
+#[derive(Debug)]
+pub struct Span {
+    id: u64,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Open a span. Inert (id 0, fields ignored, nothing emitted) unless
+/// enabled and a sink is installed at creation time.
+pub fn span(name: &'static str) -> Span {
+    if !sink_active() {
+        return Span {
+            id: 0,
+            name,
+            fields: Vec::new(),
+        };
+    }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    let mut line = String::with_capacity(64);
+    line.push_str(&format!("{{\"ev\":\"begin\",\"span\":{id},\"name\":"));
+    write_str(name, &mut line);
+    line.push_str(&format!(",\"t_us\":{}}}", now_us()));
+    emit(&line);
+    Span {
+        id,
+        name,
+        fields: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attach a field, reported on the `end` record. No-op on inert
+    /// spans.
+    pub fn field(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if self.id != 0 {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let mut line = String::with_capacity(64);
+        line.push_str(&format!("{{\"ev\":\"end\",\"span\":{},\"name\":", self.id));
+        write_str(self.name, &mut line);
+        line.push_str(&format!(",\"t_us\":{}", now_us()));
+        write_fields(&self.fields, &mut line);
+        line.push('}');
+        emit(&line);
+    }
+}
+
+/// An [`EventSink`] appending lines to a buffered file — the `--events
+/// FILE.jsonl` backend.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the output file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn line(&self, s: &str) {
+        let mut w = lock(&self.writer);
+        let _ = writeln!(w, "{s}");
+    }
+
+    fn flush(&self) {
+        let _ = lock(&self.writer).flush();
+    }
+}

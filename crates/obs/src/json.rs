@@ -1,0 +1,63 @@
+//! Minimal deterministic JSON writing helpers.
+//!
+//! Mirrors the conventions of the core harness encoder so snapshots
+//! written here re-parse with the harness `Json` parser: shortest
+//! round-trip floats via `Display`, plus the `Infinity` / `-Infinity` /
+//! `NaN` extensions for non-finite values.
+
+use std::fmt::Write as _;
+
+pub(crate) fn write_f64(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+pub(crate) fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_use_extensions() {
+        let mut s = String::new();
+        write_f64(0.1, &mut s);
+        assert_eq!(s, "0.1");
+        s.clear();
+        write_f64(f64::INFINITY, &mut s);
+        assert_eq!(s, "Infinity");
+        s.clear();
+        write_f64(f64::NAN, &mut s);
+        assert_eq!(s, "NaN");
+    }
+
+    #[test]
+    fn strings_escape_controls() {
+        let mut s = String::new();
+        write_str("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

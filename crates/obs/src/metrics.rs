@@ -1,0 +1,352 @@
+//! Instrument handles and the process-global registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::json::{write_f64, write_str};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A monotonically increasing `u64` counter.
+///
+/// Handles are cheap clones of an `Arc`; resolve them once (component
+/// construction) and call [`Counter::add`] on the hot path.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n`; a relaxed-atomic branch + `fetch_add` when enabled, the
+    /// branch alone when disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Power-of-two bucket count: 0 → bucket 0, otherwise
+/// `floor(log2(v)) + 1`, so bucket `i ≥ 1` spans `[2^(i-1), 2^i - 1]`.
+pub(crate) const HIST_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistCells {
+    fn default() -> Self {
+        HistCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistCells {
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// A histogram of `u64` samples over power-of-two buckets, tracking
+/// count, sum, min and max exactly.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cells: Arc<HistCells>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let c = &*self.cells;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time values of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 if none recorded).
+    pub min: u64,
+    /// Largest sample (0 if none recorded).
+    pub max: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Point-in-time values of every registered instrument, sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Encode as the schema-stable `stacksim-obs/1` JSON document.
+    ///
+    /// Deterministic: instruments sort by name, keys are emitted in a
+    /// fixed order, floats print with shortest-round-trip formatting.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        write_str(crate::SNAPSHOT_SCHEMA, &mut out);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(name, &mut out);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(name, &mut out);
+            out.push(':');
+            write_f64(*v, &mut out);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&h.name, &mut out);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (j, (b, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{b},{c}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The instrument registry: name → shared cells.
+///
+/// Resolving a handle registers the name; the registry never forgets a
+/// name ([`Registry::reset`] only zeroes values), so snapshots list
+/// every instrument the process ever touched, including zeros.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistCells>>>,
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (registering on first use) a counter by name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Counter { cell }
+    }
+
+    /// Resolve (registering on first use) a gauge by name.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        let cell = map.entry(name.to_string()).or_default().clone();
+        Gauge { cell }
+    }
+
+    /// Resolve (registering on first use) a histogram by name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.histograms);
+        let cells = map.entry(name.to_string()).or_default().clone();
+        Histogram { cells }
+    }
+
+    /// Every registered instrument name, sorted, deduplicated across
+    /// kinds. Used by the lint layer to prove runtime registrations
+    /// stay within the statically declared tables.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = lock(&self.counters).keys().cloned().collect();
+        names.extend(lock(&self.gauges).keys().cloned());
+        names.extend(lock(&self.histograms).keys().cloned());
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Zero every instrument, keeping names registered.
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.gauges).values() {
+            cell.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for cells in lock(&self.histograms).values() {
+            cells.reset();
+        }
+    }
+
+    /// Capture the current value of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(n, c)| (n.clone(), f64::from_bits(c.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(n, c)| {
+                let count = c.count.load(Ordering::Relaxed);
+                let min = c.min.load(Ordering::Relaxed);
+                HistogramSnapshot {
+                    name: n.clone(),
+                    count,
+                    sum: c.sum.load(Ordering::Relaxed),
+                    min: if count == 0 { 0 } else { min },
+                    max: c.max.load(Ordering::Relaxed),
+                    buckets: c
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let v = b.load(Ordering::Relaxed);
+                            (v > 0).then_some((i as u32, v))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_log2_plus_one() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn snapshot_encodes_deterministically() {
+        let snap = Snapshot {
+            counters: vec![("a.one".into(), 1), ("b.two".into(), 2)],
+            gauges: vec![("g.x".into(), 0.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "h.y".into(),
+                count: 2,
+                sum: 5,
+                min: 1,
+                max: 4,
+                buckets: vec![(1, 1), (3, 1)],
+            }],
+        };
+        assert_eq!(
+            snap.encode(),
+            "{\"schema\":\"stacksim-obs/1\",\"counters\":{\"a.one\":1,\"b.two\":2},\
+             \"gauges\":{\"g.x\":0.5},\"histograms\":{\"h.y\":{\"count\":2,\"sum\":5,\
+             \"min\":1,\"max\":4,\"buckets\":[[1,1],[3,1]]}}}"
+        );
+    }
+}

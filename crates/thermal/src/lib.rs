@@ -34,6 +34,7 @@
 
 mod field;
 pub mod materials;
+pub mod obs;
 mod pool;
 mod resistor;
 mod solver;

@@ -1192,11 +1192,39 @@ impl System {
     fn cg(&self, shift: f64, b: &[f64], x: Vec<f64>) -> Result<(Vec<f64>, SolveStats), SolveError> {
         let fac = self.factorize(shift);
         let workers = effective_workers(self.cfg.threads, self.nl, self.ny);
-        if workers > 1 {
+        if !stacksim_obs::enabled() {
+            return if workers > 1 {
+                self.cg_mt(shift, b, x, &fac, workers)
+            } else {
+                self.cg_serial(shift, b, x, &fac)
+            };
+        }
+        // Observability wrapper: pure timing and counter updates around
+        // the unchanged numeric path — results stay bit-identical.
+        let t0 = std::time::Instant::now();
+        let result = if workers > 1 {
             self.cg_mt(shift, b, x, &fac, workers)
         } else {
             self.cg_serial(shift, b, x, &fac)
+        };
+        let wall_us = t0.elapsed().as_micros() as u64;
+        stacksim_obs::counter(crate::obs::CG_SOLVE_US).add(wall_us);
+        if let Ok((_, stats)) = &result {
+            stacksim_obs::counter(crate::obs::CG_SOLVES).inc();
+            stacksim_obs::counter(crate::obs::CG_ITERATIONS).add(stats.iterations as u64);
+            stacksim_obs::histogram(crate::obs::CG_ITERS_PER_SOLVE).record(stats.iterations as u64);
+            stacksim_obs::gauge(crate::obs::CG_RESIDUAL).set(stats.residual);
+            stacksim_obs::event(
+                crate::obs::EVENT_SOLVE,
+                &[
+                    ("iters", stacksim_obs::FieldValue::from(stats.iterations)),
+                    ("residual", stacksim_obs::FieldValue::from(stats.residual)),
+                    ("workers", stacksim_obs::FieldValue::from(workers)),
+                    ("wall_us", stacksim_obs::FieldValue::from(wall_us)),
+                ],
+            );
         }
+        result
     }
 
     /// The single-threaded CG driver: straight-line calls into the slab
@@ -1218,30 +1246,47 @@ impl System {
         let mut pt_pre = vec![0.0f64; rows];
         let mut scratch = vec![0.0f64; if linez { n } else { 0 }];
 
+        // Observability: phase wall clocks plus the relative-residual
+        // trajectory (sampled at power-of-two iterations), all inert and
+        // allocation-free unless the obs layer is enabled.
+        let observe = stacksim_obs::enabled();
+        let mut clock = crate::obs::PhaseClock::new(observe);
+        let mut trajectory: Vec<f64> = Vec::new();
+
         let mut r = vec![0.0f64; n];
         self.apply_slab(shift, &x, &mut r, 0);
         residual_slab(b, &mut r, &mut pt_a, &mut pt_b, nx);
         let bnorm = pt_a.iter().sum::<f64>().sqrt().max(1e-300);
         let mut rnorm2: f64 = pt_b.iter().sum();
+        clock.lap(crate::obs::PH_APPLY);
 
         let mut z = vec![0.0f64; n];
         let mut rz = self.precondition_full(fac, &r, &mut z, &mut pt_pre, &mut scratch);
         let mut p = z.clone();
         let mut ap = vec![0.0f64; n];
+        clock.lap(crate::obs::PH_PRECOND);
 
         for iter in 0..self.cfg.max_iters {
             let rel = rnorm2.sqrt() / bnorm;
+            if observe && (iter.is_power_of_two() || iter == 0) {
+                trajectory.push(rel);
+            }
             if rel < self.cfg.tolerance {
                 let stats = SolveStats {
                     solves: 1,
                     iterations: iter,
                     residual: rel,
                 };
+                if observe {
+                    Self::emit_trajectory_event(iter, rel, &trajectory);
+                }
                 return Ok((x, stats));
             }
             self.apply_dot_slab(shift, &p, &mut ap, 0, &mut pt_a);
+            clock.lap(crate::obs::PH_APPLY);
             let pap: f64 = pt_a.iter().sum();
             let alpha = rz / pap;
+            clock.lap(crate::obs::PH_REDUCE);
             let rz_new = match fac {
                 Factors::Jacobi { inv } => {
                     update_jacobi_slab(
@@ -1269,16 +1314,36 @@ impl System {
                     pt_pre.iter().sum()
                 }
             };
+            clock.lap(crate::obs::PH_UPDATE);
             let beta = rz_new / rz;
             rz = rz_new;
             for (pv, &zv) in p.iter_mut().zip(&z) {
                 *pv = zv + beta * *pv;
             }
+            clock.lap(crate::obs::PH_UPDATE);
         }
         Err(SolveError::NoConvergence {
             iters: self.cfg.max_iters,
             residual: rnorm2.sqrt() / bnorm,
         })
+    }
+
+    /// Emit the serial driver's residual-trajectory point event.
+    #[cold]
+    fn emit_trajectory_event(iters: usize, final_rel: f64, samples: &[f64]) {
+        let joined = samples
+            .iter()
+            .map(|v| format!("{v:e}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        stacksim_obs::event(
+            crate::obs::EVENT_TRAJECTORY,
+            &[
+                ("iters", stacksim_obs::FieldValue::from(iters)),
+                ("residual", stacksim_obs::FieldValue::from(final_rel)),
+                ("samples", stacksim_obs::FieldValue::from(joined)),
+            ],
+        );
     }
 
     /// The persistent-worker CG driver: spawns `workers − 1` scoped threads
@@ -1384,6 +1449,11 @@ impl System {
         // Worker-0 solve-lifetime state (dead weight on the others).
         let (mut bnorm, mut rnorm2, mut rz) = (0.0f64, 0.0f64, 0.0f64);
         let mut outcome = (false, 0usize, 0.0f64);
+        // Worker 0 reports pool phase wall time (its barrier-to-barrier
+        // intervals, which include waiting for stragglers). Flushes to
+        // the phase counters on drop, covering every return path; purely
+        // timing, so worker-count bit-identicality is preserved.
+        let mut clock = crate::obs::PhaseClock::new(w == 0 && stacksim_obs::enabled());
 
         // init: r ← A·x on the slab, then r ← b − r with norm partials,
         // then z ← M⁻¹·r, then fold + convergence check, then p ← z.
@@ -1401,8 +1471,10 @@ impl System {
             );
         }
         c.barrier.wait();
+        clock.lap(crate::obs::PH_APPLY);
         self.precondition_mt(w, &c, &mut scratch);
         c.barrier.wait();
+        clock.lap(crate::obs::PH_PRECOND);
         if w == 0 {
             // Only worker 0 touches the partials between these barriers.
             unsafe {
@@ -1417,6 +1489,7 @@ impl System {
             }
         }
         c.barrier.wait();
+        clock.lap(crate::obs::PH_REDUCE);
         if c.stop.load(Ordering::Acquire) != 0 {
             return outcome;
         }
@@ -1424,6 +1497,7 @@ impl System {
             c.p.range_mut(a, e).copy_from_slice(c.z.range(a, e));
         }
         c.barrier.wait();
+        clock.lap(crate::obs::PH_UPDATE);
 
         for iter in 0..self.cfg.max_iters {
             // ap ← A·p fused with the per-layer p·ap partials.
@@ -1437,6 +1511,7 @@ impl System {
                 );
             }
             c.barrier.wait();
+            clock.lap(crate::obs::PH_APPLY);
             if w == 0 {
                 unsafe {
                     let pap: f64 = c.pt_a.whole().iter().sum();
@@ -1444,6 +1519,7 @@ impl System {
                 }
             }
             c.barrier.wait();
+            clock.lap(crate::obs::PH_REDUCE);
             let alpha = unsafe { c.scal.range(0, 2)[0] };
             match c.fac {
                 Factors::Jacobi { inv } => unsafe {
@@ -1482,6 +1558,7 @@ impl System {
                 }
             }
             c.barrier.wait();
+            clock.lap(crate::obs::PH_UPDATE);
             if w == 0 {
                 unsafe {
                     rnorm2 = c.pt_a.whole().iter().sum();
@@ -1503,6 +1580,7 @@ impl System {
                 }
             }
             c.barrier.wait();
+            clock.lap(crate::obs::PH_REDUCE);
             if c.stop.load(Ordering::Acquire) != 0 {
                 return outcome;
             }
@@ -1515,6 +1593,7 @@ impl System {
                 }
             }
             c.barrier.wait();
+            clock.lap(crate::obs::PH_UPDATE);
         }
         if w == 0 {
             outcome = (false, self.cfg.max_iters, rnorm2.sqrt() / bnorm);

@@ -5,10 +5,13 @@
 //! stacksim list
 //! stacksim run --all [--jobs N] [--serial] [--no-cache] [--cache-dir D]
 //!              [--test-scale] [--report FILE] [--show]
+//!              [--metrics-out FILE] [--events FILE]
 //! stacksim run fig5 table4 ...
 //! stacksim check --all [--format json] [--test-scale]
 //! stacksim check fig8 table4 ...
 //! stacksim bench [--quick] [--threads N] [--out-dir D]
+//!                [--metrics-out FILE] [--events FILE]
+//! stacksim stats [FILE] [--events FILE] [--format json]
 //! stacksim clean [--cache-dir D]
 //! ```
 //!
@@ -18,12 +21,19 @@
 //! iterations, simulated trace lengths. A second `run` with the same
 //! configuration completes from cache — the telemetry shows zero solver
 //! iterations and zero trace records.
+//!
+//! `--metrics-out` / `--events` turn on the observability layer
+//! (DESIGN.md §10): the run additionally writes a `stacksim-obs/1`
+//! metrics snapshot and/or a JSONL span log, and `stacksim stats`
+//! renders the most recent snapshot (also kept at
+//! `target/stacksim-obs/last.json`). Simulation artifacts are
+//! bit-identical with observability on or off.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stacksim::core::harness::{
-    check, default_cache_dir, render, MemoCache, Registry, RunOptions, Runner,
+    check, default_cache_dir, obs_report, render, MemoCache, Registry, RunOptions, Runner,
 };
 use stacksim::core::{fmt_f, TextTable};
 use stacksim::workloads::WorkloadParams;
@@ -37,6 +47,7 @@ fn usage() -> ExitCode {
          \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
          \x20 check [NAMES | --all]     statically validate experiment models\n\
          \x20 bench                     time solver + memory suites, write BENCH_*.json\n\
+         \x20 stats [FILE]              validate + render an observability snapshot\n\
          \x20 clean                     delete the memo cache\n\
          \n\
          run options:\n\
@@ -50,6 +61,8 @@ fn usage() -> ExitCode {
          \x20 --test-scale       small traces for a fast smoke run\n\
          \x20 --report FILE      write the JSON run report to FILE\n\
          \x20 --show             print each artifact's rendered table\n\
+         \x20 --metrics-out FILE write a stacksim-obs/1 metrics snapshot to FILE\n\
+         \x20 --events FILE      append span/point events to FILE (JSONL)\n\
          \n\
          check options:\n\
          \x20 --all            check every registered experiment + the digest audit\n\
@@ -59,7 +72,13 @@ fn usage() -> ExitCode {
          bench options:\n\
          \x20 --quick          one timed sample per benchmark (CI smoke)\n\
          \x20 --threads N      solver threads for the fast thermal leg (default: 4)\n\
-         \x20 --out-dir D      where BENCH_*.json land (default: .)"
+         \x20 --out-dir D      where BENCH_*.json land (default: .)\n\
+         \x20 --metrics-out FILE / --events FILE  as for run\n\
+         \n\
+         stats options:\n\
+         \x20 FILE             snapshot to read (default: target/stacksim-obs/last.json)\n\
+         \x20 --events FILE    also validate a JSONL event log\n\
+         \x20 --format FMT     output format: pretty (default) or json"
     );
     ExitCode::from(2)
 }
@@ -74,8 +93,52 @@ fn main() -> ExitCode {
         "run" => run(&args[1..]),
         "check" => check(&args[1..]),
         "bench" => bench(&args[1..]),
+        "stats" => stats(&args[1..]),
         "clean" => clean(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// Observability session bracketing a `run` or `bench` invocation:
+/// enable + install the event sink up front, then flush, snapshot and
+/// disable on drop (so every exit path of the command reports).
+struct ObsSession {
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Start observability if either output flag was given.
+    fn start(
+        metrics_out: Option<&PathBuf>,
+        events: Option<&PathBuf>,
+    ) -> Result<Option<Self>, String> {
+        if metrics_out.is_none() && events.is_none() {
+            return Ok(None);
+        }
+        stacksim::obs::reset();
+        stacksim::obs::enable();
+        if let Some(path) = events {
+            let sink = stacksim::obs::JsonlSink::create(path)
+                .map_err(|e| format!("cannot create event log {}: {e}", path.display()))?;
+            stacksim::obs::set_sink(Some(std::sync::Arc::new(sink)));
+        }
+        Ok(Some(ObsSession {
+            metrics_out: metrics_out.cloned(),
+        }))
+    }
+
+    /// Flush the event sink, write snapshots, disable observability.
+    fn finish(self) -> Result<(), String> {
+        stacksim::obs::set_sink(None);
+        let mut targets = vec![obs_report::default_snapshot_path()];
+        if let Some(path) = &self.metrics_out {
+            targets.push(path.clone());
+        }
+        let result = targets
+            .iter()
+            .try_for_each(|path| obs_report::write_snapshot(path).map_err(|e| e.to_string()));
+        stacksim::obs::disable();
+        result
     }
 }
 
@@ -107,6 +170,8 @@ struct RunArgs {
     test_scale: bool,
     report: Option<PathBuf>,
     show: bool,
+    metrics_out: Option<PathBuf>,
+    events: Option<PathBuf>,
 }
 
 fn parse_run_args(args: &[String]) -> Option<RunArgs> {
@@ -120,6 +185,8 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         test_scale: false,
         report: None,
         show: false,
+        metrics_out: None,
+        events: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -133,6 +200,8 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
             "--solver-threads" => out.solver_threads = it.next()?.parse().ok()?,
             "--cache-dir" => out.cache_dir = PathBuf::from(it.next()?),
             "--report" => out.report = Some(PathBuf::from(it.next()?)),
+            "--metrics-out" => out.metrics_out = Some(PathBuf::from(it.next()?)),
+            "--events" => out.events = Some(PathBuf::from(it.next()?)),
             name if !name.starts_with('-') => out.names.push(name.to_string()),
             _ => return None,
         }
@@ -173,11 +242,30 @@ fn run(args: &[String]) -> ExitCode {
             preflight: true,
         },
     );
+    let obs = match ObsSession::start(run_args.metrics_out.as_ref(), run_args.events.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let outcome = if run_args.all {
         runner.run_all()
     } else {
         runner.run(&run_args.names)
     };
+    if let Some(obs) = obs {
+        if let Err(e) = obs.finish() {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Some(path) = &run_args.metrics_out {
+            println!("metrics snapshot written to {}", path.display());
+        }
+        if let Some(path) = &run_args.events {
+            println!("event log written to {}", path.display());
+        }
+    }
     let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {
@@ -309,6 +397,8 @@ fn check(args: &[String]) -> ExitCode {
 /// a malformed artefact fails the command).
 fn bench(args: &[String]) -> ExitCode {
     let mut opts = stacksim::bench::perf::BenchOptions::default();
+    let mut metrics_out = None;
+    let mut events = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -321,16 +411,122 @@ fn bench(args: &[String]) -> ExitCode {
                 Some(d) => opts.out_dir = PathBuf::from(d),
                 None => return usage(),
             },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--events" => match it.next() {
+                Some(p) => events = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
-    match stacksim::bench::perf::run(&opts) {
+    let obs = match ObsSession::start(metrics_out.as_ref(), events.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = stacksim::bench::perf::run(&opts);
+    if let Some(obs) = obs {
+        if let Err(e) = obs.finish() {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match result {
         Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("stacksim: bench failed: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `stacksim stats`: validate an observability snapshot (default: the
+/// one the last `run`/`bench` left at `target/stacksim-obs/last.json`)
+/// and render it as tables, optionally validating a JSONL event log
+/// alongside. Exit code 1 on any schema violation.
+fn stats(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => match it.next() {
+                Some(p) => events = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("pretty") => json = false,
+                Some("json") => json = true,
+                _ => return usage(),
+            },
+            name if !name.starts_with('-') && file.is_none() => file = Some(PathBuf::from(name)),
+            _ => return usage(),
+        }
+    }
+    let path = file.unwrap_or_else(obs_report::default_snapshot_path);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("stacksim: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = match obs_report::validate_snapshot(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stacksim: invalid snapshot {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        // already validated: the file itself is the machine-readable form
+        println!("{}", text.trim_end());
+    } else {
+        match obs_report::render_snapshot(&text) {
+            Ok(rendered) => {
+                println!("{rendered}");
+                println!(
+                    "{} counters, {} gauges, {} histograms ({})",
+                    summary.counters,
+                    summary.gauges,
+                    summary.histograms,
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("stacksim: invalid snapshot {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(events_path) = events {
+        let text = match std::fs::read_to_string(&events_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stacksim: cannot read {}: {e}", events_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match obs_report::validate_events(&text) {
+            Ok(s) => println!(
+                "event log {}: {} spans, {} point events",
+                events_path.display(),
+                s.spans,
+                s.points
+            ),
+            Err(e) => {
+                eprintln!("stacksim: invalid event log {}: {e}", events_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn clean(args: &[String]) -> ExitCode {

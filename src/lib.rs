@@ -14,6 +14,8 @@
 //! * [`thermal`] — the stacked-die heat-conduction solver (§2.3)
 //! * [`power`] — bus power, cache power and voltage/frequency scaling
 //! * [`lint`] — static model validation (the `stacksim check` passes)
+//! * [`obs`] — zero-cost-when-disabled observability (metrics, spans,
+//!   event log) behind `--metrics-out` / `--events` / `stacksim stats`
 //! * [`core`] — study drivers reproducing every table and figure
 //! * [`bench`] — wall-clock benchmark harness (the `stacksim bench` suites)
 //!
@@ -37,6 +39,7 @@ pub use stacksim_core as core;
 pub use stacksim_floorplan as floorplan;
 pub use stacksim_lint as lint;
 pub use stacksim_mem as mem;
+pub use stacksim_obs as obs;
 pub use stacksim_ooo as ooo;
 pub use stacksim_power as power;
 pub use stacksim_thermal as thermal;

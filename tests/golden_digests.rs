@@ -58,3 +58,43 @@ fn fig8_artifact_digest_is_stable_across_thread_counts() {
         );
     }
 }
+
+/// The observability contract (DESIGN.md §10): with metrics live and an
+/// event sink installed, the solver produces bit-identical artifacts —
+/// instrumentation reads the simulation, never feeds back into it.
+#[test]
+fn fig3_digest_is_identical_with_observability_enabled() {
+    struct Capture(std::sync::Mutex<Vec<String>>);
+    impl stacksim::obs::EventSink for Capture {
+        fn line(&self, s: &str) {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(s.to_string());
+        }
+    }
+    let sink = std::sync::Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
+    stacksim::obs::enable();
+    stacksim::obs::set_sink(Some(sink.clone()));
+    let (data, _) = sensitivity::fig3_with(cfg(2)).unwrap();
+    stacksim::obs::set_sink(None);
+    stacksim::obs::disable();
+
+    let d = digest(&Artifact::Fig3(data));
+    assert_eq!(
+        d, GOLDEN_FIG3,
+        "observability moved the fig3 digest: got {d}"
+    );
+
+    let lines = sink
+        .0
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(
+        lines.iter().any(|l| l.contains("thermal.cg.solve")),
+        "no solve events captured"
+    );
+    // every instrument the run registered is statically declared (SL060)
+    let report = stacksim::core::harness::obs_audit();
+    assert!(!report.has_errors(), "{}", report.render_pretty());
+}

@@ -108,6 +108,51 @@ fn bus_transfers_never_overlap() {
     }
 }
 
+/// Under random arrival patterns (bursts, idle gaps, occasional
+/// out-of-order arrival times) the bus's cycle accounting stays
+/// consistent with the per-transfer timestamps: `busy_cycles` is exactly
+/// the wire time summed over transfers, `queue_cycles` exactly the
+/// arrival-to-start delays, and utilisation over any interval covering
+/// the traffic never exceeds 1.0.
+#[test]
+fn bus_utilisation_bounded_and_cycle_accounting_consistent() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..200);
+        let mut bus = Bus::new(BusConfig::table3());
+        let mut at = 0u64;
+        let mut busy = 0u64;
+        let mut queue = 0u64;
+        let mut last_done = 0u64;
+        for _ in 0..n {
+            let payload: u64 = rng.gen_range(0..4096);
+            // Mix of back-to-back bursts, idle gaps, and (one time in
+            // eight) a re-issued earlier arrival time: the bus must
+            // tolerate non-monotone `at` because queued requesters
+            // present their original arrival cycles.
+            match rng.gen_range(0u32..8) {
+                0 => at = at.saturating_sub(rng.gen_range(0u64..50)),
+                1..=4 => {}
+                _ => at += rng.gen_range(1u64..200),
+            }
+            let x = bus.transfer(payload, at);
+            assert!(x.start >= at, "service cannot precede arrival");
+            busy += x.done - x.start;
+            queue += x.start - at;
+            last_done = last_done.max(x.done);
+        }
+        assert_eq!(bus.busy_cycles(), busy, "busy != Σ(done - start)");
+        assert_eq!(bus.queue_cycles(), queue, "queue != Σ(start - arrival)");
+        let u = bus.utilisation(last_done);
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "utilisation {u} outside [0, 1] over {last_done} cycles"
+        );
+        // A longer interval only dilutes utilisation further.
+        assert!(bus.utilisation(last_done * 2 + 1) <= u);
+    }
+}
+
 /// Random (valid) traces round-trip through the binary codec.
 #[test]
 fn trace_codec_roundtrip() {
