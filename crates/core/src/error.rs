@@ -68,6 +68,40 @@ pub enum Error {
         /// The artifact asked for.
         wanted: String,
     },
+    /// An artifact was present but of a different kind than the reader
+    /// expected — a typed mismatch the runner can degrade on instead of
+    /// panicking a worker.
+    ArtifactKind {
+        /// The experiment reading the artifact.
+        experiment: String,
+        /// Which artifact (usually a dependency name) was read.
+        artifact: String,
+        /// The kind the reader expected.
+        expected: String,
+        /// The kind actually found.
+        actual: String,
+    },
+    /// The per-experiment wall-clock budget ran out before the
+    /// experiment recovered (see
+    /// [`Resilience::deadline_s`](crate::harness::Resilience)).
+    DeadlineExceeded {
+        /// The experiment that ran out of time.
+        experiment: String,
+        /// The configured budget in seconds.
+        limit_s: f64,
+    },
+    /// A per-experiment iteration budget was exceeded by a (successful)
+    /// run — a runaway guard, not a solver failure.
+    BudgetExceeded {
+        /// The experiment over budget.
+        experiment: String,
+        /// Which budget (e.g. `cg-iterations`).
+        what: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// What the run actually used.
+        used: u64,
+    },
     /// Static validation rejected an experiment's machine description
     /// before dispatch (the `stacksim check` preflight).
     InvalidModel {
@@ -121,6 +155,32 @@ impl fmt::Display for Error {
                 f,
                 "experiment '{experiment}' asked for unavailable artifact '{wanted}'"
             ),
+            Error::ArtifactKind {
+                experiment,
+                artifact,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "experiment '{experiment}' read artifact '{artifact}' expecting kind \
+                 '{expected}' but found '{actual}'"
+            ),
+            Error::DeadlineExceeded {
+                experiment,
+                limit_s,
+            } => write!(
+                f,
+                "experiment '{experiment}' exceeded its {limit_s} s deadline budget"
+            ),
+            Error::BudgetExceeded {
+                experiment,
+                what,
+                limit,
+                used,
+            } => write!(
+                f,
+                "experiment '{experiment}' exceeded its {what} budget: used {used} of {limit}"
+            ),
             Error::InvalidModel { experiment, report } => write!(
                 f,
                 "experiment '{experiment}' failed model validation:\n{}",
@@ -156,6 +216,35 @@ impl Error {
             path: path.into(),
             source,
         }
+    }
+
+    /// A stable machine-readable tag for this failure class, used by the
+    /// `stacksim-failures/1` report (so consumers never parse Display
+    /// text).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Solve(_) => "solve",
+            Error::Io { .. } => "io",
+            Error::CacheCorrupt { .. } => "cache-corrupt",
+            Error::UnknownExperiment { .. } => "unknown-experiment",
+            Error::MissingDependency { .. } => "missing-dependency",
+            Error::DependencyCycle { .. } => "dependency-cycle",
+            Error::DependencyFailed { .. } => "dependency-failed",
+            Error::WorkerPanic { .. } => "worker-panic",
+            Error::ArtifactUnavailable { .. } => "artifact-unavailable",
+            Error::ArtifactKind { .. } => "artifact-kind",
+            Error::DeadlineExceeded { .. } => "deadline",
+            Error::BudgetExceeded { .. } => "budget",
+            Error::InvalidModel { .. } => "invalid-model",
+            Error::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether this failure class is worth retrying: transient I/O and
+    /// worker panics often clear on a re-run (and injected transients
+    /// always do); everything else is deterministic.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Io { .. } | Error::WorkerPanic { .. })
     }
 }
 

@@ -48,6 +48,11 @@ impl MemoCache {
 
     /// Loads a memoized artifact, if one exists.
     ///
+    /// A zero-length file is treated as a miss and deleted: it is the
+    /// footprint of a crash between `create` and `write` (or of a full
+    /// disk), carries no data worth reporting, and would otherwise wedge
+    /// the entry as permanently "corrupt".
+    ///
     /// # Errors
     ///
     /// [`Error::Io`] on filesystem failure other than "not found";
@@ -56,15 +61,73 @@ impl MemoCache {
         let Some(path) = self.path_for(name, digest) else {
             return Ok(None);
         };
-        let text = match fs::read_to_string(&path) {
+        let mut text = match fs::read_to_string(&path) {
             Ok(t) => t,
             Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(Error::io(path, e)),
         };
+        if stacksim_faults::armed() {
+            use super::resilience;
+            match stacksim_faults::check(resilience::SITE_CACHE_LOAD, name) {
+                // corrupt only the in-memory copy: the on-disk file stays
+                // intact for the quarantine path to move
+                Some(stacksim_faults::Fault::Corrupt) => {
+                    text.insert_str(0, "#injected-corruption\n");
+                }
+                Some(stacksim_faults::Fault::Truncate) => text.clear(),
+                Some(stacksim_faults::Fault::IoTransient) => {
+                    return Err(resilience::injected_io(resilience::SITE_CACHE_LOAD, name));
+                }
+                _ => {}
+            }
+        }
+        if text.is_empty() {
+            fs::remove_file(&path).map_err(|e| Error::io(path, e))?;
+            return Ok(None);
+        }
         match Artifact::decode(&text) {
             Ok(a) => Ok(Some(a)),
             Err(detail) => Err(Error::CacheCorrupt { path, detail }),
         }
+    }
+
+    /// Moves a (corrupt) cache entry into the `quarantine/` subdirectory
+    /// so it never hits again but stays on disk for post-mortems.
+    /// Returns the quarantined path, or `None` when the entry does not
+    /// exist (or the cache is disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on filesystem failure.
+    pub fn quarantine(&self, name: &str, digest: &str) -> Result<Option<PathBuf>, Error> {
+        let Some(path) = self.path_for(name, digest) else {
+            return Ok(None);
+        };
+        let Some(file_name) = path.file_name() else {
+            return Ok(None);
+        };
+        let dir = path
+            .parent()
+            .unwrap_or_else(|| Path::new("."))
+            .join(QUARANTINE_DIR);
+        fs::create_dir_all(&dir).map_err(|e| Error::io(dir.clone(), e))?;
+        let mut dest = dir.join(file_name);
+        let mut suffix = 0u32;
+        while dest.exists() {
+            suffix += 1;
+            let mut stamped = file_name.to_os_string();
+            stamped.push(format!(".{suffix}"));
+            dest = dir.join(stamped);
+        }
+        match fs::rename(&path, &dest) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(Error::io(path, e)),
+        }
+        if stacksim_obs::enabled() {
+            stacksim_obs::counter(super::obs::CACHE_QUARANTINED).add(1);
+        }
+        Ok(Some(dest))
     }
 
     /// Stores an artifact, creating the cache directory if needed.
@@ -77,6 +140,14 @@ impl MemoCache {
         let Some(path) = self.path_for(name, digest) else {
             return Ok(());
         };
+        if stacksim_faults::armed() {
+            use super::resilience;
+            if let Some(stacksim_faults::Fault::IoTransient) =
+                stacksim_faults::check(resilience::SITE_CACHE_STORE, name)
+            {
+                return Err(resilience::injected_io(resilience::SITE_CACHE_STORE, name));
+            }
+        }
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent).map_err(|e| Error::io(parent.to_path_buf(), e))?;
         }
@@ -92,7 +163,8 @@ impl MemoCache {
         Ok(())
     }
 
-    /// Deletes every cache entry. Missing directories are fine.
+    /// Deletes every cache entry, including quarantined ones. Missing
+    /// directories are fine.
     ///
     /// # Errors
     ///
@@ -101,22 +173,45 @@ impl MemoCache {
         let Some(dir) = self.dir.as_ref() else {
             return Ok(0);
         };
-        let entries = match fs::read_dir(dir) {
-            Ok(e) => e,
-            Err(e) if e.kind() == ErrorKind::NotFound => return Ok(0),
-            Err(e) => return Err(Error::io(dir.clone(), e)),
-        };
-        let mut removed = 0;
-        for entry in entries {
-            let entry = entry.map_err(|e| Error::io(dir.clone(), e))?;
-            let path = entry.path();
-            if path.extension().is_some_and(|x| x == "json" || x == "tmp") {
-                fs::remove_file(&path).map_err(|e| Error::io(path, e))?;
-                removed += 1;
-            }
+        let mut removed = clean_dir(dir)?;
+        let quarantine = dir.join(QUARANTINE_DIR);
+        removed += clean_dir(&quarantine)?;
+        match fs::remove_dir(&quarantine) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            // a foreign file keeps the directory alive; entries are gone
+            Err(e) if e.kind() == ErrorKind::DirectoryNotEmpty => {}
+            Err(e) => return Err(Error::io(quarantine, e)),
         }
         Ok(removed)
     }
+}
+
+/// Subdirectory corrupt entries are moved to.
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Removes every cache entry of one directory (non-recursive). Matches
+/// `.json`, in-flight `.json.tmp`, and quarantined `.json.N` names.
+fn clean_dir(dir: &Path) -> Result<usize, Error> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(Error::io(dir.to_path_buf(), e)),
+    };
+    let mut removed = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let is_entry = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(".json"));
+        if path.is_file() && is_entry {
+            fs::remove_file(&path).map_err(|e| Error::io(path, e))?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Convenience: the default cache location under the target directory.
@@ -169,5 +264,56 @@ mod tests {
         assert_eq!(c.clean().unwrap(), 2);
         assert!(c.load("fig5:gauss", "0011").unwrap().is_none());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A zero-length cache file is a crash footprint, not data: loading
+    /// it must read as a miss and remove the file so the entry heals.
+    #[test]
+    fn zero_byte_entry_is_a_miss_and_is_deleted() {
+        let dir = std::env::temp_dir().join(format!("stacksim-cache-zero-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let c = MemoCache::at(&dir);
+        c.store("fig3", "aa", &sample()).unwrap();
+        let path = c.path_for("fig3", "aa").unwrap();
+        fs::write(&path, "").unwrap();
+        assert!(c.load("fig3", "aa").unwrap().is_none(), "reads as a miss");
+        assert!(!path.exists(), "the empty file is deleted");
+        // and the entry is usable again
+        c.store("fig3", "aa", &sample()).unwrap();
+        assert_eq!(c.load("fig3", "aa").unwrap(), Some(sample()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_moves_entries_aside_and_clean_sweeps_them() {
+        let dir = std::env::temp_dir().join(format!("stacksim-cache-quar-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let c = MemoCache::at(&dir);
+        assert!(
+            c.quarantine("fig3", "aa").unwrap().is_none(),
+            "no entry, nothing to quarantine"
+        );
+        c.store("fig3", "aa", &sample()).unwrap();
+        let original = c.path_for("fig3", "aa").unwrap();
+        let dest = c.quarantine("fig3", "aa").unwrap().expect("moved");
+        assert!(!original.exists());
+        assert!(dest.exists());
+        assert!(dest.parent().unwrap().ends_with("quarantine"));
+        assert!(c.load("fig3", "aa").unwrap().is_none(), "never hits again");
+        // a second quarantine of the same name gets a distinct file
+        c.store("fig3", "aa", &sample()).unwrap();
+        let dest2 = c.quarantine("fig3", "aa").unwrap().expect("moved again");
+        assert_ne!(dest, dest2);
+        // clean() sweeps live and quarantined entries alike
+        c.store("fig3", "aa", &sample()).unwrap();
+        assert_eq!(c.clean().unwrap(), 3);
+        assert!(!dest2.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_quarantines_nothing() {
+        let c = MemoCache::disabled();
+        assert!(c.quarantine("fig3", "aa").unwrap().is_none());
     }
 }

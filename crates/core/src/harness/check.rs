@@ -19,7 +19,8 @@
 use stacksim_floorplan::p4::pentium4_147w;
 use stacksim_floorplan::{worst_case_stack, Floorplan, StackedFloorplan};
 use stacksim_lint::{
-    DieDesc, FoldDesc, Model, ObsTableDesc, PassRegistry, Report, StackDesc, ThermalDesc, WireDesc,
+    DieDesc, FaultSiteDesc, FoldDesc, Model, ObsTableDesc, PassRegistry, Report, StackDesc,
+    ThermalDesc, WireDesc,
 };
 use stacksim_mem::EngineConfig;
 use stacksim_ooo::{CoreConfig, WireConfig};
@@ -184,12 +185,60 @@ pub fn obs_model() -> Model {
             stacksim_thermal::obs::NAMES,
         ),
         ("obs.harness", super::obs::COMPONENT, super::obs::NAMES),
+        (
+            "obs.faults",
+            stacksim_faults::obs::COMPONENT,
+            stacksim_faults::obs::NAMES,
+        ),
+        (
+            "obs.runner",
+            super::obs::RUNNER_COMPONENT,
+            super::obs::RUNNER_NAMES,
+        ),
+        (
+            "obs.cache",
+            super::obs::CACHE_COMPONENT,
+            super::obs::CACHE_NAMES,
+        ),
+        (
+            "obs.solver",
+            super::obs::SOLVER_COMPONENT,
+            super::obs::SOLVER_NAMES,
+        ),
     ] {
         m.obs_tables.push(ObsTableDesc {
             path: path.to_string(),
             component: component.to_string(),
             names: names.iter().map(|s| s.to_string()).collect(),
         });
+    }
+    m
+}
+
+/// The statically declared fault-site tables of every instrumented crate,
+/// plus the injection points referencing them, as a model for the SL070
+/// pass. The reference list mirrors the actual `stacksim_faults::check`
+/// call sites; a site declared here but absent from the list turns into
+/// an SL070 staleness warning.
+pub fn fault_model() -> Model {
+    let mut m = Model::new();
+    for (path, component, sites) in super::resilience::declared_fault_sites() {
+        m.fault_sites.push(FaultSiteDesc {
+            path: path.to_string(),
+            component: component.to_string(),
+            sites: sites.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    for (path, site) in [
+        ("harness.cache.load()", super::resilience::SITE_CACHE_LOAD),
+        ("harness.cache.store()", super::resilience::SITE_CACHE_STORE),
+        (
+            "harness.runner.dispatch()",
+            super::resilience::SITE_DISPATCH,
+        ),
+        ("thermal.system.cg()", stacksim_thermal::faults::SITE_CG),
+    ] {
+        m.fault_refs.push((path.to_string(), site.to_string()));
     }
     m
 }
@@ -382,6 +431,7 @@ pub fn check_registry(registry: &Registry, params: &WorkloadParams) -> Report {
         }
     }
     combined.merge_under("obs", passes.run(&obs_model()));
+    combined.merge_under("faults", passes.run(&fault_model()));
     combined.merge(obs_audit());
     combined.merge(digest_audit(registry, params));
     combined
@@ -524,6 +574,14 @@ mod tests {
     #[test]
     fn declared_obs_tables_are_clean() {
         let report = PassRegistry::standard().run(&obs_model());
+        assert!(report.is_clean(), "{}", report.render_pretty());
+    }
+
+    /// Every declared fault site is well-formed and referenced by an
+    /// injection point — SL070 over the real tables.
+    #[test]
+    fn declared_fault_sites_are_clean() {
+        let report = PassRegistry::standard().run(&fault_model());
         assert!(report.is_clean(), "{}", report.render_pretty());
     }
 

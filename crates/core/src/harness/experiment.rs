@@ -5,11 +5,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use stacksim_mem::MemTelemetry;
-use stacksim_thermal::SolveStats;
+use stacksim_thermal::{SolveStats, SolverConfig};
 use stacksim_workloads::WorkloadParams;
 
 use super::artifact::Artifact;
 use super::json::Json;
+use super::resilience::SolverDegrade;
 use crate::error::Error;
 
 /// One table or figure of the paper, registered with the harness.
@@ -177,6 +178,7 @@ pub struct Ctx {
     experiment: String,
     deps: HashMap<String, Arc<Artifact>>,
     telemetry: RefCell<Telemetry>,
+    degrade: SolverDegrade,
 }
 
 impl Ctx {
@@ -192,7 +194,28 @@ impl Ctx {
             experiment: experiment.into(),
             deps,
             telemetry: RefCell::new(Telemetry::default()),
+            degrade: SolverDegrade::AsConfigured,
         }
+    }
+
+    /// Sets the degradation-ladder rung this attempt runs at (the runner's
+    /// resilience loop sets this on retries after non-convergence).
+    #[must_use]
+    pub fn with_degrade(mut self, degrade: SolverDegrade) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// The degradation rung of this attempt.
+    pub fn degrade(&self) -> SolverDegrade {
+        self.degrade
+    }
+
+    /// Applies this attempt's degradation rung to an experiment's base
+    /// solver configuration. Experiments build their config as usual and
+    /// route it through here so the runner's ladder can soften it.
+    pub fn solver_config(&self, base: SolverConfig) -> SolverConfig {
+        self.degrade.apply(base)
     }
 
     /// The artifact of a declared dependency.

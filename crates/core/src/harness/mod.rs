@@ -47,14 +47,17 @@ pub mod obs;
 pub mod obs_report;
 mod registry;
 pub mod render;
+pub mod resilience;
 mod runner;
 
 pub use artifact::Artifact;
 pub use cache::{default_cache_dir, MemoCache};
 pub use check::{
-    check_experiment, check_registry, digest_audit, model_for, obs_audit, obs_model, preflight,
+    check_experiment, check_registry, digest_audit, fault_model, model_for, obs_audit, obs_model,
+    preflight,
 };
 pub use digest::Digest;
 pub use experiment::{Ctx, Experiment, MemRun, ParamSensitivity, Telemetry};
 pub use registry::Registry;
+pub use resilience::{FailureEntry, FailureReport, Resilience, SolverDegrade};
 pub use runner::{run_one, ExperimentReport, RunOptions, RunOutcome, RunReport, Runner};

@@ -29,6 +29,27 @@ pub const NAMES: &[&str] = &[
     EXPERIMENT_WALL_US,
 ];
 
+/// Component tag of the runner's resilience instruments.
+pub const RUNNER_COMPONENT: &str = "runner";
+/// Transient-failure retries performed by the runner.
+pub const RUNNER_RETRIES: &str = "runner.retries";
+/// Every instrument name of the `runner` component.
+pub const RUNNER_NAMES: &[&str] = &[RUNNER_RETRIES];
+
+/// Component tag of the memo cache's resilience instruments.
+pub const CACHE_COMPONENT: &str = "cache";
+/// Corrupt cache entries moved to `quarantine/`.
+pub const CACHE_QUARANTINED: &str = "cache.quarantined";
+/// Every instrument name of the `cache` component.
+pub const CACHE_NAMES: &[&str] = &[CACHE_QUARANTINED];
+
+/// Component tag of the solver degradation instruments.
+pub const SOLVER_COMPONENT: &str = "solver";
+/// Solver degradation ladder steps taken after non-convergence.
+pub const SOLVER_FALLBACKS: &str = "solver.fallbacks";
+/// Every instrument name of the `solver` component.
+pub const SOLVER_NAMES: &[&str] = &[SOLVER_FALLBACKS];
+
 /// Span wrapping one harness invocation (`begin` at scheduling, `end`
 /// with `experiments`/`wall_us` fields).
 pub const EVENT_RUN: &str = "harness.run";
@@ -43,12 +64,19 @@ mod tests {
     #[test]
     fn declared_names_are_unique_and_prefixed() {
         let mut seen = std::collections::BTreeSet::new();
-        for name in NAMES {
-            assert!(seen.insert(name), "duplicate declared name {name}");
-            assert!(
-                name.starts_with("harness."),
-                "{name} must carry the {COMPONENT} prefix"
-            );
+        for (component, names) in [
+            (COMPONENT, NAMES),
+            (RUNNER_COMPONENT, RUNNER_NAMES),
+            (CACHE_COMPONENT, CACHE_NAMES),
+            (SOLVER_COMPONENT, SOLVER_NAMES),
+        ] {
+            for name in names {
+                assert!(seen.insert(name), "duplicate declared name {name}");
+                assert!(
+                    name.starts_with(&format!("{component}.")),
+                    "{name} must carry the {component} prefix"
+                );
+            }
         }
     }
 }

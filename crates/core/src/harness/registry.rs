@@ -37,11 +37,14 @@ fn absorb_workload(d: &mut Digest, params: &WorkloadParams) {
 
 /// The solver configuration the thermal experiments run under:
 /// semantically the default, with the execution knobs (worker threads)
-/// taken from the run's parameters.
-fn solver_config(params: &WorkloadParams) -> SolverConfig {
-    SolverConfig::builder()
-        .threads(params.solver_threads)
-        .build()
+/// taken from the run's parameters, and the runner's degradation ladder
+/// applied on retry attempts after non-convergence.
+fn solver_config(ctx: &Ctx) -> SolverConfig {
+    ctx.solver_config(
+        SolverConfig::builder()
+            .threads(ctx.params.solver_threads)
+            .build(),
+    )
 }
 
 fn absorb_solver(d: &mut Digest) {
@@ -147,10 +150,12 @@ fn fig5_point_name(bench: RmsBenchmark) -> String {
     format!("fig5:{}", bench.name())
 }
 
-fn wrong_kind(experiment: &str, dep: &str, wanted: &str) -> Error {
-    Error::ArtifactUnavailable {
+fn wrong_kind(experiment: &str, dep: &str, wanted: &str, actual: &Artifact) -> Error {
+    Error::ArtifactKind {
         experiment: experiment.to_string(),
-        wanted: format!("{dep} (as {wanted})"),
+        artifact: dep.to_string(),
+        expected: wanted.to_string(),
+        actual: actual.kind().to_string(),
     }
 }
 
@@ -172,7 +177,7 @@ impl Experiment for Fig3Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (data, stats) = sensitivity::fig3_with(solver_config(&ctx.params))?;
+        let (data, stats) = sensitivity::fig3_with(solver_config(ctx))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig3(data))
     }
@@ -229,7 +234,7 @@ impl Experiment for Fig5Exp {
             let dep = fig5_point_name(bench);
             match ctx.dep(&dep)? {
                 Artifact::Fig5Row(row) => rows.push(row.clone()),
-                _ => return Err(wrong_kind(self.name(), &dep, "fig5_row")),
+                other => return Err(wrong_kind(self.name(), &dep, "fig5_row", other)),
             }
         }
         Ok(Artifact::Fig5(Fig5Data { rows }))
@@ -256,7 +261,7 @@ impl Experiment for HeadlineExp {
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
         match ctx.dep("fig5")? {
             Artifact::Fig5(data) => Ok(Artifact::Headline(data.headline())),
-            _ => Err(wrong_kind(self.name(), "fig5", "fig5")),
+            other => Err(wrong_kind(self.name(), "fig5", "fig5", other)),
         }
     }
 }
@@ -279,7 +284,7 @@ impl Experiment for Fig6Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let ((power, field), stats) = memory_logic::fig6_with(solver_config(&ctx.params))?;
+        let ((power, field), stats) = memory_logic::fig6_with(solver_config(ctx))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig6 { power, field })
     }
@@ -303,7 +308,7 @@ impl Experiment for Fig8Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (points, stats) = memory_logic::fig8_with(solver_config(&ctx.params))?;
+        let (points, stats) = memory_logic::fig8_with(solver_config(ctx))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig8(points))
     }
@@ -327,7 +332,7 @@ impl Experiment for Fig11Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (points, stats) = logic_logic::fig11_with(solver_config(&ctx.params))?;
+        let (points, stats) = logic_logic::fig11_with(solver_config(ctx))?;
         ctx.record_solver(stats);
         Ok(Artifact::Fig11(points))
     }
@@ -374,7 +379,7 @@ impl Experiment for Table5Exp {
     }
 
     fn run(&self, ctx: &Ctx) -> Result<Artifact, Error> {
-        let (rows, stats) = logic_logic::table5_with(solver_config(&ctx.params))?;
+        let (rows, stats) = logic_logic::table5_with(solver_config(ctx))?;
         ctx.record_solver(stats);
         Ok(Artifact::Table5(rows))
     }

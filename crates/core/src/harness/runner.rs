@@ -9,8 +9,9 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use stacksim_thermal::SolveError;
 use stacksim_workloads::WorkloadParams;
 
 use super::artifact::Artifact;
@@ -18,6 +19,7 @@ use super::cache::MemoCache;
 use super::experiment::{Ctx, Experiment, Telemetry};
 use super::json::Json;
 use super::registry::Registry;
+use super::resilience::{self, Resilience, SolverDegrade};
 use crate::error::Error;
 
 /// How a [`Runner`] executes.
@@ -35,6 +37,9 @@ pub struct RunOptions {
     /// models fail fast with [`Error::InvalidModel`] instead of panicking
     /// mid-run.
     pub preflight: bool,
+    /// Failure-handling policy: transient retries, cache quarantine, the
+    /// solver degradation ladder, and per-experiment budgets.
+    pub resilience: Resilience,
 }
 
 impl Default for RunOptions {
@@ -44,6 +49,7 @@ impl Default for RunOptions {
             jobs: 0,
             cache: MemoCache::disabled(),
             preflight: true,
+            resilience: Resilience::default(),
         }
     }
 }
@@ -61,25 +67,54 @@ pub struct ExperimentReport {
     pub wall_s: f64,
     /// The failure, if the experiment did not produce an artifact.
     pub error: Option<String>,
+    /// Stable machine-readable failure class ([`Error::kind`]), set
+    /// whenever `error` is.
+    pub error_kind: Option<String>,
+    /// Execution attempts made: 1 for a clean run or cache hit, more
+    /// when retries or ladder rungs were needed, 0 for dependency skips.
+    pub attempts: u64,
+    /// Whether a corrupt cache entry was quarantined along the way.
+    pub quarantined: bool,
+    /// The degradation-ladder rung that finally succeeded, if the run
+    /// needed one (`jacobi` / `raised-iters` / `cold-start`).
+    pub fallback: Option<String>,
     /// Solver/memory telemetry recorded during the run (empty for cache
     /// hits — nothing was simulated).
     pub telemetry: Telemetry,
 }
 
 impl ExperimentReport {
+    /// A fresh row with nothing recorded yet.
+    fn blank(name: &str, digest: String) -> ExperimentReport {
+        ExperimentReport {
+            name: name.to_string(),
+            digest,
+            cached: false,
+            wall_s: 0.0,
+            error: None,
+            error_kind: None,
+            attempts: 0,
+            quarantined: false,
+            fallback: None,
+            telemetry: Telemetry::default(),
+        }
+    }
+
     fn to_json(&self) -> Json {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => Json::Str(s.clone()),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("name", Json::Str(self.name.clone())),
             ("digest", Json::Str(self.digest.clone())),
             ("cached", Json::Bool(self.cached)),
             ("wall_s", Json::Num(self.wall_s)),
-            (
-                "error",
-                match &self.error {
-                    Some(e) => Json::Str(e.clone()),
-                    None => Json::Null,
-                },
-            ),
+            ("error", opt_str(&self.error)),
+            ("error_kind", opt_str(&self.error_kind)),
+            ("attempts", Json::Num(self.attempts as f64)),
+            ("quarantined", Json::Bool(self.quarantined)),
+            ("fallback", opt_str(&self.fallback)),
             ("telemetry", self.telemetry.to_json()),
         ])
     }
@@ -401,14 +436,9 @@ impl Runner {
                     let error = Error::Internal {
                         detail: format!("scheduled experiment '{name}' is not registered"),
                     };
-                    let report = ExperimentReport {
-                        name: name.clone(),
-                        digest: String::new(),
-                        cached: false,
-                        wall_s: 0.0,
-                        error: Some(error.to_string()),
-                        telemetry: Telemetry::default(),
-                    };
+                    let mut report = ExperimentReport::blank(&name, String::new());
+                    report.error = Some(error.to_string());
+                    report.error_kind = Some(error.kind().to_string());
                     (report, Err(error))
                 }
             };
@@ -457,27 +487,23 @@ impl Runner {
             if stacksim_obs::enabled() {
                 stacksim_obs::counter(super::obs::FAILURES).add(1);
             }
-            st.reports.push(ExperimentReport {
-                name: name.clone(),
-                digest: String::new(),
-                cached: false,
-                wall_s: 0.0,
-                error: Some(
-                    Error::DependencyFailed {
-                        experiment: name.clone(),
-                        dependency: root.to_string(),
-                    }
-                    .to_string(),
-                ),
-                telemetry: Telemetry::default(),
-            });
+            let skip = Error::DependencyFailed {
+                experiment: name.clone(),
+                dependency: root.to_string(),
+            };
+            let mut report = ExperimentReport::blank(&name, String::new());
+            report.error = Some(skip.to_string());
+            report.error_kind = Some(skip.kind().to_string());
+            st.reports.push(report);
             for d in st.dependents.get(&name).into_iter().flatten() {
                 queue.push_back(d.clone());
             }
         }
     }
 
-    /// Runs one experiment: cache probe, then the real run on a miss.
+    /// Runs one experiment under the resilience policy: cache probe, then
+    /// the real run on a miss, with retries, quarantine and the solver
+    /// degradation ladder wrapped around every attempt.
     fn execute(
         &self,
         exp: &dyn Experiment,
@@ -488,46 +514,14 @@ impl Runner {
         let start = Instant::now();
         let mut span = stacksim_obs::span(super::obs::EVENT_EXPERIMENT);
         span.field("experiment", name.clone());
-        let mut report = ExperimentReport {
-            name: name.clone(),
-            digest: digest.clone(),
-            cached: false,
-            wall_s: 0.0,
-            error: None,
-            telemetry: Telemetry::default(),
-        };
+        let mut report = ExperimentReport::blank(&name, digest);
 
-        let result = (|| match self.options.cache.load(&name, &digest)? {
-            Some(artifact) => {
-                report.cached = true;
-                Ok(artifact)
-            }
-            None => {
-                if self.options.preflight {
-                    super::check::preflight(&name, &self.options.params)?;
-                }
-                let ctx = Ctx::new(&name, self.options.params, deps);
-                let run = catch_unwind(AssertUnwindSafe(|| {
-                    let artifact = exp.run(&ctx)?;
-                    Ok((artifact, ctx.into_telemetry()))
-                }));
-                match run {
-                    Ok(Ok((artifact, telemetry))) => {
-                        report.telemetry = telemetry;
-                        self.options.cache.store(&name, &digest, &artifact)?;
-                        Ok(artifact)
-                    }
-                    Ok(Err(e)) => Err(e),
-                    Err(_) => Err(Error::WorkerPanic {
-                        experiment: name.clone(),
-                    }),
-                }
-            }
-        })();
+        let result = self.execute_attempts(exp, &deps, &mut report, start);
 
         report.wall_s = start.elapsed().as_secs_f64();
         if let Err(e) = &result {
             report.error = Some(e.to_string());
+            report.error_kind = Some(e.kind().to_string());
         }
         if stacksim_obs::enabled() {
             let wall_us = (report.wall_s * 1e6) as u64;
@@ -548,6 +542,124 @@ impl Runner {
         }
         drop(span);
         (report, result)
+    }
+
+    /// The resilience loop around [`Runner::attempt_once`]: retries
+    /// transient failures with deterministic exponential backoff, walks
+    /// the [`SolverDegrade`] ladder on non-convergence, and enforces the
+    /// per-experiment deadline and iteration budgets.
+    fn execute_attempts(
+        &self,
+        exp: &dyn Experiment,
+        deps: &HashMap<String, Arc<Artifact>>,
+        report: &mut ExperimentReport,
+        start: Instant,
+    ) -> Result<Artifact, Error> {
+        let policy = &self.options.resilience;
+        let mut degrade = SolverDegrade::AsConfigured;
+        let mut retries_left = policy.retries;
+        let mut backoff = Duration::from_millis(policy.backoff_ms);
+        loop {
+            match self.attempt_once(exp, deps, report, degrade) {
+                Ok(artifact) => {
+                    if let Some(limit) = policy.max_cg_iters {
+                        let used = report.telemetry.solver.iterations as u64;
+                        if used > limit as u64 {
+                            return Err(Error::BudgetExceeded {
+                                experiment: report.name.clone(),
+                                what: "cg-iterations",
+                                limit: limit as u64,
+                                used,
+                            });
+                        }
+                    }
+                    if degrade != SolverDegrade::AsConfigured {
+                        report.fallback = Some(degrade.label().to_string());
+                    }
+                    return Ok(artifact);
+                }
+                Err(e) => {
+                    // the deadline bounds recovery, not first failure: a
+                    // failed attempt past the budget stops retrying
+                    if let Some(limit_s) = policy.deadline_s {
+                        if start.elapsed().as_secs_f64() >= limit_s {
+                            return Err(Error::DeadlineExceeded {
+                                experiment: report.name.clone(),
+                                limit_s,
+                            });
+                        }
+                    }
+                    match &e {
+                        Error::Solve(SolveError::NoConvergence { .. }) if policy.ladder => {
+                            let Some(next) = degrade.next() else {
+                                return Err(e);
+                            };
+                            degrade = next;
+                            if stacksim_obs::enabled() {
+                                stacksim_obs::counter(super::obs::SOLVER_FALLBACKS).add(1);
+                            }
+                        }
+                        e if e.is_transient() && retries_left > 0 => {
+                            retries_left -= 1;
+                            if stacksim_obs::enabled() {
+                                stacksim_obs::counter(super::obs::RUNNER_RETRIES).add(1);
+                            }
+                            std::thread::sleep(backoff);
+                            backoff = backoff.saturating_mul(2);
+                        }
+                        _ => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt: cache probe (with quarantine on corruption), then
+    /// preflight and the run itself under `catch_unwind`.
+    fn attempt_once(
+        &self,
+        exp: &dyn Experiment,
+        deps: &HashMap<String, Arc<Artifact>>,
+        report: &mut ExperimentReport,
+        degrade: SolverDegrade,
+    ) -> Result<Artifact, Error> {
+        let name = report.name.clone();
+        let digest = report.digest.clone();
+        report.attempts += 1;
+        match self.options.cache.load(&name, &digest) {
+            Ok(Some(artifact)) => {
+                report.cached = true;
+                return Ok(artifact);
+            }
+            Ok(None) => {}
+            Err(Error::CacheCorrupt { .. }) if self.options.resilience.quarantine => {
+                // move the poisoned entry aside and recompute in place —
+                // the run heals the cache instead of failing on it
+                self.options.cache.quarantine(&name, &digest)?;
+                report.quarantined = true;
+            }
+            Err(e) => return Err(e),
+        }
+        if self.options.preflight {
+            super::check::preflight(&name, &self.options.params)?;
+        }
+        let ctx = Ctx::new(&name, self.options.params, deps.clone()).with_degrade(degrade);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            resilience::dispatch_fault(&name)?;
+            let artifact = exp.run(&ctx)?;
+            Ok((artifact, ctx.into_telemetry()))
+        }));
+        match run {
+            Ok(Ok((artifact, telemetry))) => {
+                report.telemetry = telemetry;
+                self.options.cache.store(&name, &digest, &artifact)?;
+                Ok(artifact)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(Error::WorkerPanic {
+                experiment: name.clone(),
+            }),
+        }
     }
 }
 

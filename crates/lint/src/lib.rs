@@ -30,7 +30,8 @@
 //! `SL01x` thermal, `SL02x` memory hierarchy, `SL03x` out-of-order core,
 //! `SL04x` parameter sets, `SL05x` harness digest audit (emitted by
 //! `stacksim-core`, which owns the experiment registry the audit inspects)
-//! and `SL06x` observability instrument tables.
+//! `SL06x` observability instrument tables and `SL07x` fault-injection
+//! site tables.
 
 pub mod diag;
 pub mod model;
@@ -39,7 +40,7 @@ pub mod passes;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use model::{
-    BlockDesc, DieDesc, FoldDesc, LayerDesc, Model, ObsTableDesc, PowerDesc, StackDesc,
-    ThermalDesc, WireDesc, WirePairDesc,
+    BlockDesc, DieDesc, FaultSiteDesc, FoldDesc, LayerDesc, Model, ObsTableDesc, PowerDesc,
+    StackDesc, ThermalDesc, WireDesc, WirePairDesc,
 };
 pub use pass::{Pass, PassRegistry};

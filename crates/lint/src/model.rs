@@ -239,6 +239,20 @@ pub struct ObsTableDesc {
     pub names: Vec<String>,
 }
 
+/// One crate's statically declared fault-site table (the `SITES` slice of
+/// its `faults` module). The SL070 pass checks the tables — and the
+/// declared injection points referencing them — the same way SL060 checks
+/// instrument tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSiteDesc {
+    /// Config path of this table (e.g. `faults.harness`).
+    pub path: String,
+    /// Component tag every site must be prefixed with (e.g. `harness`).
+    pub component: String,
+    /// Declared fault-site names.
+    pub sites: Vec<String>,
+}
+
 /// A planar/folded wire-stage pair for the §4 pipeline-consistency checks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WirePairDesc {
@@ -280,6 +294,12 @@ pub struct Model {
     pub solvers: Vec<(String, SolverConfig)>,
     /// Declared observability-instrument tables, one per component.
     pub obs_tables: Vec<ObsTableDesc>,
+    /// Declared fault-site tables, one per instrumented crate.
+    pub fault_sites: Vec<FaultSiteDesc>,
+    /// Fault-site references from injection points in the code, as
+    /// `(config path, site name)` pairs. Every reference must name a
+    /// declared site; a declared site nothing references is stale.
+    pub fault_refs: Vec<(String, String)>,
 }
 
 impl Model {

@@ -1,0 +1,224 @@
+//! Fault-site table passes.
+//!
+//! Every crate that hosts fault-injection points declares the site names
+//! in a static table (its `faults` module's `SITES` slice), and every
+//! injection point references a declared site. Mirroring both into the
+//! model lets the linter prove the fault namespace is sound without
+//! arming a plan: names are well-formed and collision-free, no injection
+//! point references an undeclared site, and no declared site is dead.
+
+use crate::diag::Report;
+use crate::model::Model;
+use crate::pass::Pass;
+
+/// `SL070`: fault-site names must be unique — within a table and across
+/// tables — and `<component>.<site>` under their component tag (errors);
+/// an injection point referencing an undeclared site is an error; a
+/// declared site with no injection point referencing it is a warning
+/// (stale declaration), checked only when the model carries references
+/// at all.
+pub struct FaultSiteNames;
+
+impl Pass for FaultSiteNames {
+    fn id(&self) -> &'static str {
+        "fault-site-names"
+    }
+
+    fn codes(&self) -> &'static [&'static str] {
+        &["SL070"]
+    }
+
+    fn description(&self) -> &'static str {
+        "fault-injection site names must be well-formed, collision-free and referenced"
+    }
+
+    fn run(&self, model: &Model, report: &mut Report) {
+        let mut owner: std::collections::BTreeMap<&str, &str> = std::collections::BTreeMap::new();
+        for table in &model.fault_sites {
+            if table.component.is_empty() || table.component.contains('.') {
+                report.error(
+                    "SL070",
+                    table.path.clone(),
+                    format!(
+                        "component tag '{}' must be a non-empty dot-free identifier",
+                        table.component
+                    ),
+                );
+            }
+            let prefix = format!("{}.", table.component);
+            let mut local = std::collections::BTreeSet::new();
+            for site in &table.sites {
+                let span = format!("{}.\"{}\"", table.path, site);
+                if !local.insert(site.as_str()) {
+                    report.error(
+                        "SL070",
+                        span.clone(),
+                        format!("fault site '{site}' is declared twice in this table"),
+                    );
+                    continue;
+                }
+                match site.strip_prefix(&prefix) {
+                    Some(rest) if !rest.is_empty() => {}
+                    _ => {
+                        report.error(
+                            "SL070",
+                            span.clone(),
+                            format!(
+                                "fault site '{site}' must be '{prefix}<site>' under its \
+                                 component tag"
+                            ),
+                        );
+                        continue;
+                    }
+                }
+                match owner.get(site.as_str()) {
+                    Some(other) => report.error(
+                        "SL070",
+                        span,
+                        format!("fault site '{site}' collides with component '{other}'"),
+                    ),
+                    None => {
+                        owner.insert(site.as_str(), table.component.as_str());
+                    }
+                }
+            }
+        }
+        for (path, site) in &model.fault_refs {
+            if !owner.contains_key(site.as_str()) {
+                report.error(
+                    "SL070",
+                    format!("{path}.\"{site}\""),
+                    format!("injection point references undeclared fault site '{site}'"),
+                );
+            }
+        }
+        // only meaningful when the model carries the reference inventory:
+        // a site-table-only model cannot distinguish "dead" from "unseen"
+        if !model.fault_refs.is_empty() {
+            let referenced: std::collections::BTreeSet<&str> = model
+                .fault_refs
+                .iter()
+                .map(|(_, site)| site.as_str())
+                .collect();
+            for table in &model.fault_sites {
+                for site in &table.sites {
+                    if !referenced.contains(site.as_str()) {
+                        report.warn(
+                            "SL070",
+                            format!("{}.\"{}\"", table.path, site),
+                            format!(
+                                "fault site '{site}' is declared but no injection point \
+                                 references it"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultSiteDesc;
+
+    fn table(component: &str, sites: &[&str]) -> FaultSiteDesc {
+        FaultSiteDesc {
+            path: format!("faults.{component}"),
+            component: component.to_string(),
+            sites: sites.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn run(tables: Vec<FaultSiteDesc>, refs: Vec<(&str, &str)>) -> Report {
+        let model = Model {
+            fault_sites: tables,
+            fault_refs: refs
+                .into_iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+            ..Model::new()
+        };
+        let mut report = Report::new();
+        FaultSiteNames.run(&model, &mut report);
+        report
+    }
+
+    #[test]
+    fn clean_tables_with_full_references_pass() {
+        let r = run(
+            vec![
+                table("harness", &["harness.dispatch", "harness.cache.load"]),
+                table("thermal", &["thermal.cg"]),
+            ],
+            vec![
+                ("runner", "harness.dispatch"),
+                ("cache", "harness.cache.load"),
+                ("solver", "thermal.cg"),
+            ],
+        );
+        assert!(r.is_clean(), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn duplicate_and_cross_table_collisions_are_errors() {
+        let r = run(vec![table("harness", &["harness.x", "harness.x"])], vec![]);
+        assert!(
+            r.has_code("SL070") && r.has_errors(),
+            "{}",
+            r.render_pretty()
+        );
+        let r = run(
+            vec![
+                table("harness", &["harness.x"]),
+                FaultSiteDesc {
+                    path: "faults.rogue".into(),
+                    component: "harness".into(),
+                    sites: vec!["harness.x".into()],
+                },
+            ],
+            vec![],
+        );
+        assert!(r.has_code("SL070"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn missing_or_foreign_prefix_is_an_error() {
+        let r = run(vec![table("harness", &["dispatch"])], vec![]);
+        assert!(r.has_code("SL070"), "{}", r.render_pretty());
+        let r = run(vec![table("harness", &["thermal.cg"])], vec![]);
+        assert!(r.has_code("SL070"), "{}", r.render_pretty());
+        let r = run(vec![table("harness", &["harness."])], vec![]);
+        assert!(r.has_code("SL070"), "{}", r.render_pretty());
+    }
+
+    #[test]
+    fn undeclared_reference_is_an_error() {
+        let r = run(
+            vec![table("harness", &["harness.dispatch"])],
+            vec![
+                ("runner", "harness.dispatch"),
+                ("runner", "harness.nonesuch"),
+            ],
+        );
+        assert!(
+            r.has_code("SL070") && r.has_errors(),
+            "{}",
+            r.render_pretty()
+        );
+    }
+
+    #[test]
+    fn unreferenced_site_is_a_warning_only_with_refs_present() {
+        let r = run(
+            vec![table("harness", &["harness.dispatch", "harness.dead"])],
+            vec![("runner", "harness.dispatch")],
+        );
+        assert!(r.has_code("SL070"), "{}", r.render_pretty());
+        assert!(!r.has_errors(), "stale declaration is a warning");
+        // with no reference inventory at all, no staleness is claimed
+        let r = run(vec![table("harness", &["harness.dead"])], vec![]);
+        assert!(r.is_clean(), "{}", r.render_pretty());
+    }
+}

@@ -1,5 +1,6 @@
 //! The concrete lint passes, grouped by the model crate they check.
 
+pub mod faults;
 pub mod floorplan;
 pub mod mem;
 pub mod obs;
@@ -38,5 +39,6 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(params::SolverConfigValid),
         Box::new(params::SolverThreads),
         Box::new(obs::ObsInstrumentNames),
+        Box::new(faults::FaultSiteNames),
     ]
 }

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 mod field;
 pub mod materials;
 pub mod obs;

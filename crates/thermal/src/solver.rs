@@ -92,6 +92,11 @@ pub struct SolverConfig {
     /// Preconditioner choice. Changes the iteration path (and therefore
     /// rounding), not the converged answer beyond the tolerance.
     pub preconditioner: Preconditioner,
+    /// Whether sweep drivers may warm-start consecutive solves from the
+    /// previous field. Like `threads`, an execution knob within the
+    /// solver tolerance; the resilience ladder's last rung clears it to
+    /// rule the warm-start path out of a non-convergence.
+    pub warm_start: bool,
 }
 
 impl Default for SolverConfig {
@@ -103,6 +108,7 @@ impl Default for SolverConfig {
             tolerance: 1e-10,
             threads: 1,
             preconditioner: Preconditioner::Jacobi,
+            warm_start: true,
         }
     }
 }
@@ -214,6 +220,15 @@ impl SolverConfigBuilder {
     #[must_use]
     pub fn preconditioner(mut self, preconditioner: Preconditioner) -> Self {
         self.cfg.preconditioner = preconditioner;
+        self
+    }
+
+    /// Whether sweep drivers may warm-start from the previous solution
+    /// (on by default; results stay within the solver tolerance either
+    /// way).
+    #[must_use]
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.cfg.warm_start = warm_start;
         self
     }
 
@@ -1190,6 +1205,20 @@ impl System {
     /// persistent-worker driver when more than one thread is useful; both
     /// drivers produce bit-identical results (see the module docs).
     fn cg(&self, shift: f64, b: &[f64], x: Vec<f64>) -> Result<(Vec<f64>, SolveStats), SolveError> {
+        if stacksim_faults::armed() {
+            match stacksim_faults::check(crate::faults::SITE_CG, self.cfg.preconditioner.label()) {
+                Some(stacksim_faults::Fault::NoConvergence) => {
+                    return Err(SolveError::NoConvergence {
+                        iters: 0,
+                        residual: f64::INFINITY,
+                    });
+                }
+                Some(stacksim_faults::Fault::Stall { ms }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                _ => {}
+            }
+        }
         let fac = self.factorize(shift);
         let workers = effective_workers(self.cfg.threads, self.nl, self.ny);
         if !stacksim_obs::enabled() {

@@ -16,8 +16,8 @@ fn solve_point(
 ) -> Result<crate::solver::Solution, SolveError> {
     let system = System::assemble(stack, bc, cfg)?;
     match prev {
-        Some(x0) => system.steady_from(x0),
-        None => system.steady_with_stats(),
+        Some(x0) if cfg.warm_start => system.steady_from(x0),
+        _ => system.steady_with_stats(),
     }
 }
 

@@ -6,12 +6,14 @@
 //! stacksim run --all [--jobs N] [--serial] [--no-cache] [--cache-dir D]
 //!              [--test-scale] [--report FILE] [--show]
 //!              [--metrics-out FILE] [--events FILE]
+//!              [--fault-plan FILE] [--keep-going] [--failures FILE]
+//!              [--retries N] [--deadline S]
 //! stacksim run fig5 table4 ...
 //! stacksim check --all [--format json] [--test-scale]
 //! stacksim check fig8 table4 ...
 //! stacksim bench [--quick] [--threads N] [--out-dir D]
 //!                [--metrics-out FILE] [--events FILE]
-//! stacksim stats [FILE] [--events FILE] [--format json]
+//! stacksim stats [FILE] [--events FILE] [--failures FILE] [--format json]
 //! stacksim clean [--cache-dir D]
 //! ```
 //!
@@ -28,12 +30,21 @@
 //! renders the most recent snapshot (also kept at
 //! `target/stacksim-obs/last.json`). Simulation artifacts are
 //! bit-identical with observability on or off.
+//!
+//! `--fault-plan` arms a deterministic `stacksim-faults/1` injection
+//! plan for the duration of the run (DESIGN.md §11); `--keep-going`
+//! completes every experiment the failures don't transitively poison and
+//! writes a machine-readable `stacksim-failures/1` report, which
+//! `stacksim stats --failures` validates. Resilience knobs: `--retries`
+//! caps transient retries per experiment, `--deadline` bounds each
+//! experiment's recovery time in seconds.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stacksim::core::harness::{
-    check, default_cache_dir, obs_report, render, MemoCache, Registry, RunOptions, Runner,
+    check, default_cache_dir, obs_report, render, resilience, FailureReport, MemoCache, Registry,
+    RunOptions, Runner,
 };
 use stacksim::core::{fmt_f, TextTable};
 use stacksim::workloads::WorkloadParams;
@@ -63,6 +74,13 @@ fn usage() -> ExitCode {
          \x20 --show             print each artifact's rendered table\n\
          \x20 --metrics-out FILE write a stacksim-obs/1 metrics snapshot to FILE\n\
          \x20 --events FILE      append span/point events to FILE (JSONL)\n\
+         \x20 --fault-plan FILE  arm a stacksim-faults/1 injection plan for this run\n\
+         \x20 --keep-going       complete unpoisoned experiments, write the failure\n\
+         \x20                    report, exit non-zero iff anything failed\n\
+         \x20 --failures FILE    where --keep-going writes the stacksim-failures/1\n\
+         \x20                    report (default: target/stacksim-failures.json)\n\
+         \x20 --retries N        transient-failure retries per experiment (default: 2)\n\
+         \x20 --deadline S       per-experiment recovery deadline in seconds\n\
          \n\
          check options:\n\
          \x20 --all            check every registered experiment + the digest audit\n\
@@ -78,6 +96,7 @@ fn usage() -> ExitCode {
          stats options:\n\
          \x20 FILE             snapshot to read (default: target/stacksim-obs/last.json)\n\
          \x20 --events FILE    also validate a JSONL event log\n\
+         \x20 --failures FILE  also validate a stacksim-failures/1 report\n\
          \x20 --format FMT     output format: pretty (default) or json"
     );
     ExitCode::from(2)
@@ -142,6 +161,32 @@ impl ObsSession {
     }
 }
 
+/// Fault-plane session bracketing a `run` invocation: arm the plan up
+/// front, disarm on drop so every exit path (including early errors)
+/// leaves the process-global plane clean.
+struct FaultSession;
+
+impl FaultSession {
+    /// Arms the plan at `path`, if one was given.
+    fn start(path: Option<&PathBuf>) -> Result<Option<Self>, String> {
+        let Some(path) = path else {
+            return Ok(None);
+        };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan {}: {e}", path.display()))?;
+        let plan = resilience::parse_fault_plan(&text)
+            .map_err(|e| format!("invalid fault plan {}: {e}", path.display()))?;
+        stacksim::faults::arm(plan);
+        Ok(Some(FaultSession))
+    }
+}
+
+impl Drop for FaultSession {
+    fn drop(&mut self) {
+        stacksim::faults::disarm();
+    }
+}
+
 fn list() -> ExitCode {
     let registry = Registry::standard();
     let mut t = TextTable::new(["experiment", "depends on"]);
@@ -172,6 +217,11 @@ struct RunArgs {
     show: bool,
     metrics_out: Option<PathBuf>,
     events: Option<PathBuf>,
+    fault_plan: Option<PathBuf>,
+    keep_going: bool,
+    failures: PathBuf,
+    retries: Option<usize>,
+    deadline_s: Option<f64>,
 }
 
 fn parse_run_args(args: &[String]) -> Option<RunArgs> {
@@ -187,6 +237,11 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
         show: false,
         metrics_out: None,
         events: None,
+        fault_plan: None,
+        keep_going: false,
+        failures: PathBuf::from("target").join("stacksim-failures.json"),
+        retries: None,
+        deadline_s: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -196,12 +251,20 @@ fn parse_run_args(args: &[String]) -> Option<RunArgs> {
             "--no-cache" => out.no_cache = true,
             "--test-scale" => out.test_scale = true,
             "--show" => out.show = true,
+            "--keep-going" => out.keep_going = true,
             "--jobs" => out.jobs = it.next()?.parse().ok()?,
             "--solver-threads" => out.solver_threads = it.next()?.parse().ok()?,
             "--cache-dir" => out.cache_dir = PathBuf::from(it.next()?),
             "--report" => out.report = Some(PathBuf::from(it.next()?)),
             "--metrics-out" => out.metrics_out = Some(PathBuf::from(it.next()?)),
             "--events" => out.events = Some(PathBuf::from(it.next()?)),
+            "--fault-plan" => out.fault_plan = Some(PathBuf::from(it.next()?)),
+            "--failures" => out.failures = PathBuf::from(it.next()?),
+            "--retries" => out.retries = Some(it.next()?.parse().ok()?),
+            "--deadline" => match it.next()?.parse::<f64>().ok() {
+                Some(s) if s.is_finite() && s > 0.0 => out.deadline_s = Some(s),
+                _ => return None,
+            },
             name if !name.starts_with('-') => out.names.push(name.to_string()),
             _ => return None,
         }
@@ -233,6 +296,11 @@ fn run(args: &[String]) -> ExitCode {
     } else {
         MemoCache::at(&run_args.cache_dir)
     };
+    let mut resilience = resilience::Resilience::default();
+    if let Some(retries) = run_args.retries {
+        resilience.retries = retries;
+    }
+    resilience.deadline_s = run_args.deadline_s;
     let runner = Runner::new(
         Registry::standard(),
         RunOptions {
@@ -240,8 +308,16 @@ fn run(args: &[String]) -> ExitCode {
             jobs: run_args.jobs,
             cache,
             preflight: true,
+            resilience,
         },
     );
+    let faults = match FaultSession::start(run_args.fault_plan.as_ref()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let obs = match ObsSession::start(run_args.metrics_out.as_ref(), run_args.events.as_ref()) {
         Ok(o) => o,
         Err(e) => {
@@ -254,6 +330,18 @@ fn run(args: &[String]) -> ExitCode {
     } else {
         runner.run(&run_args.names)
     };
+    if let Some(faults) = faults {
+        println!(
+            "fault plan {}: {} faults injected",
+            run_args
+                .fault_plan
+                .as_deref()
+                .unwrap_or_else(|| std::path::Path::new("?"))
+                .display(),
+            stacksim::faults::injected_total()
+        );
+        drop(faults);
+    }
     if let Some(obs) = obs {
         if let Err(e) = obs.finish() {
             eprintln!("stacksim: {e}");
@@ -283,7 +371,10 @@ fn run(args: &[String]) -> ExitCode {
             } else if entry.cached {
                 "cached".to_string()
             } else {
-                "ran".to_string()
+                match &entry.fallback {
+                    Some(rung) => format!("ran ({rung})"),
+                    None => "ran".to_string(),
+                }
             },
             fmt_f(entry.wall_s, 3),
             entry.telemetry.solver.iterations.to_string(),
@@ -316,6 +407,30 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());
+    }
+
+    if run_args.keep_going {
+        let failures = FailureReport::from_outcome(&outcome);
+        if let Err(e) = failures.write(&run_args.failures) {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "failure report written to {} ({} failures)",
+            run_args.failures.display(),
+            failures.failures.len()
+        );
+        for f in &failures.failures {
+            eprintln!(
+                "stacksim: {} failed [{}] after {} attempts: {}",
+                f.name, f.kind, f.attempts, f.error
+            );
+        }
+        return if failures.failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     let mut failed = false;
@@ -452,12 +567,17 @@ fn bench(args: &[String]) -> ExitCode {
 fn stats(args: &[String]) -> ExitCode {
     let mut file: Option<PathBuf> = None;
     let mut events: Option<PathBuf> = None;
+    let mut failures: Option<PathBuf> = None;
     let mut json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--events" => match it.next() {
                 Some(p) => events = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--failures" => match it.next() {
+                Some(p) => failures = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--format" => match it.next().map(String::as_str) {
@@ -522,6 +642,34 @@ fn stats(args: &[String]) -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("stacksim: invalid event log {}: {e}", events_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(failures_path) = failures {
+        let text = match std::fs::read_to_string(&failures_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stacksim: cannot read {}: {e}", failures_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match FailureReport::validate(&text) {
+            Ok(report) => {
+                println!(
+                    "failure report {}: {} failures",
+                    failures_path.display(),
+                    report.failures.len()
+                );
+                for f in &report.failures {
+                    println!("  {} [{}] attempts={}", f.name, f.kind, f.attempts);
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "stacksim: invalid failure report {}: {e}",
+                    failures_path.display()
+                );
                 return ExitCode::FAILURE;
             }
         }

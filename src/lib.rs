@@ -16,6 +16,8 @@
 //! * [`lint`] — static model validation (the `stacksim check` passes)
 //! * [`obs`] — zero-cost-when-disabled observability (metrics, spans,
 //!   event log) behind `--metrics-out` / `--events` / `stacksim stats`
+//! * [`faults`] — deterministic fault injection (the `--fault-plan`
+//!   chaos plane; zero-cost when no plan is armed)
 //! * [`core`] — study drivers reproducing every table and figure
 //! * [`bench`] — wall-clock benchmark harness (the `stacksim bench` suites)
 //!
@@ -36,6 +38,7 @@
 
 pub use stacksim_bench as bench;
 pub use stacksim_core as core;
+pub use stacksim_faults as faults;
 pub use stacksim_floorplan as floorplan;
 pub use stacksim_lint as lint;
 pub use stacksim_mem as mem;

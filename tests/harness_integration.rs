@@ -23,6 +23,7 @@ fn runner(params: WorkloadParams, jobs: usize, cache: MemoCache) -> Runner {
             jobs,
             cache,
             preflight: true,
+            ..RunOptions::default()
         },
     )
 }

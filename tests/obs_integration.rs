@@ -36,6 +36,7 @@ fn run_with_observability_produces_valid_artifacts() {
             jobs: 1,
             cache: MemoCache::at(dir.join("cache")),
             preflight: true,
+            ..RunOptions::default()
         },
     );
     let outcome = runner.run(&["fig5:gauss".to_string()]).unwrap();
@@ -99,6 +100,7 @@ fn cache_hit_shows_up_in_metrics() {
         jobs: 1,
         cache: MemoCache::at(dir.join("cache")),
         preflight: true,
+        ..RunOptions::default()
     };
 
     // seed the cache without metrics
