@@ -26,10 +26,7 @@ fn main() {
     };
     let runner = Runner::new(
         Registry::standard(),
-        RunOptions {
-            params,
-            ..RunOptions::default()
-        },
+        RunOptions::builder().params(params).build(),
     );
     let wanted: Vec<String> = ["headline", "fig8", "table4", "fig11", "table5"]
         .into_iter()

@@ -205,6 +205,11 @@ pub fn obs_model() -> Model {
             super::obs::SOLVER_COMPONENT,
             super::obs::SOLVER_NAMES,
         ),
+        (
+            "obs.serve",
+            super::obs::SERVE_COMPONENT,
+            super::obs::SERVE_NAMES,
+        ),
     ] {
         m.obs_tables.push(ObsTableDesc {
             path: path.to_string(),

@@ -27,10 +27,7 @@
 //!
 //! let runner = Runner::new(
 //!     Registry::standard(),
-//!     RunOptions {
-//!         params: WorkloadParams::test(),
-//!         ..RunOptions::default()
-//!     },
+//!     RunOptions::builder().params(WorkloadParams::test()).build(),
 //! );
 //! let outcome = runner.run(&["fig5:gauss".into()])?;
 //! assert!(outcome.artifacts.contains_key("fig5:gauss"));
@@ -49,8 +46,10 @@ mod registry;
 pub mod render;
 pub mod resilience;
 mod runner;
+mod session;
 
 pub use artifact::Artifact;
+pub use cache::MemoCacheBuilder;
 pub use cache::{default_cache_dir, MemoCache};
 pub use check::{
     check_experiment, check_registry, digest_audit, fault_model, model_for, obs_audit, obs_model,
@@ -60,4 +59,9 @@ pub use digest::Digest;
 pub use experiment::{Ctx, Experiment, MemRun, ParamSensitivity, Telemetry};
 pub use registry::Registry;
 pub use resilience::{FailureEntry, FailureReport, Resilience, SolverDegrade};
-pub use runner::{run_one, ExperimentReport, RunOptions, RunOutcome, RunReport, Runner};
+pub use runner::{
+    run_one, ExperimentReport, RunOptions, RunOptionsBuilder, RunOutcome, RunReport, Runner,
+};
+pub use session::{
+    ExperimentRequest, RequestHandle, RequestOutcome, RequestStatus, Sim, SimBuilder, SimStats,
+};

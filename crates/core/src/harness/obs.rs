@@ -40,8 +40,21 @@ pub const RUNNER_NAMES: &[&str] = &[RUNNER_RETRIES];
 pub const CACHE_COMPONENT: &str = "cache";
 /// Corrupt cache entries moved to `quarantine/`.
 pub const CACHE_QUARANTINED: &str = "cache.quarantined";
+/// Entries removed by LRU eviction on a size-bounded cache.
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
 /// Every instrument name of the `cache` component.
-pub const CACHE_NAMES: &[&str] = &[CACHE_QUARANTINED];
+pub const CACHE_NAMES: &[&str] = &[CACHE_QUARANTINED, CACHE_EVICTIONS];
+
+/// Component tag of the `Sim` session / `stacksim serve` instruments.
+pub const SERVE_COMPONENT: &str = "serve";
+/// Experiment requests submitted to a `Sim` session (HTTP or embedded).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests coalesced onto an identical in-flight request.
+pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
+/// Requests currently queued or running in the session (gauge).
+pub const SERVE_INFLIGHT: &str = "serve.inflight";
+/// Every instrument name of the `serve` component.
+pub const SERVE_NAMES: &[&str] = &[SERVE_REQUESTS, SERVE_DEDUP_HITS, SERVE_INFLIGHT];
 
 /// Component tag of the solver degradation instruments.
 pub const SOLVER_COMPONENT: &str = "solver";
@@ -69,6 +82,7 @@ mod tests {
             (RUNNER_COMPONENT, RUNNER_NAMES),
             (CACHE_COMPONENT, CACHE_NAMES),
             (SOLVER_COMPONENT, SOLVER_NAMES),
+            (SERVE_COMPONENT, SERVE_NAMES),
         ] {
             for name in names {
                 assert!(seen.insert(name), "duplicate declared name {name}");

@@ -66,6 +66,9 @@ fn table4_uops(params: &WorkloadParams) -> usize {
 }
 
 /// A named collection of experiments with dependency edges.
+///
+/// Cloning is cheap: experiments are shared behind [`Arc`]s.
+#[derive(Clone)]
 pub struct Registry {
     experiments: Vec<Arc<dyn Experiment>>,
 }

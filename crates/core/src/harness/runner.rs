@@ -23,7 +23,12 @@ use super::resilience::{self, Resilience, SolverDegrade};
 use crate::error::Error;
 
 /// How a [`Runner`] executes.
+///
+/// `#[non_exhaustive]`: construct via [`RunOptions::builder`] (or start
+/// from [`RunOptions::default`] and set fields) so new knobs can land
+/// without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Workload parameters handed to every experiment.
     pub params: WorkloadParams,
@@ -51,6 +56,73 @@ impl Default for RunOptions {
             preflight: true,
             resilience: Resilience::default(),
         }
+    }
+}
+
+impl RunOptions {
+    /// Starts a builder at the defaults (paper-scale params, one worker
+    /// per CPU, disabled cache, preflight on, default resilience).
+    #[must_use]
+    pub fn builder() -> RunOptionsBuilder {
+        RunOptionsBuilder {
+            options: RunOptions::default(),
+        }
+    }
+}
+
+/// Builds a [`RunOptions`]; the supported way to construct one now that
+/// the struct is `#[non_exhaustive]`.
+#[derive(Debug, Clone)]
+pub struct RunOptionsBuilder {
+    options: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// Workload parameters handed to every experiment.
+    #[must_use]
+    pub fn params(mut self, params: WorkloadParams) -> Self {
+        self.options.params = params;
+        self
+    }
+
+    /// Worker threads; `0` means one per available CPU.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
+    /// Run everything on one worker thread (`jobs = 1`).
+    #[must_use]
+    pub fn serial(self) -> Self {
+        self.jobs(1)
+    }
+
+    /// The memo cache to consult and fill.
+    #[must_use]
+    pub fn cache(mut self, cache: MemoCache) -> Self {
+        self.options.cache = cache;
+        self
+    }
+
+    /// Whether to lint an experiment's model before a cache-missing run.
+    #[must_use]
+    pub fn preflight(mut self, preflight: bool) -> Self {
+        self.options.preflight = preflight;
+        self
+    }
+
+    /// The failure-handling policy.
+    #[must_use]
+    pub fn resilience(mut self, resilience: Resilience) -> Self {
+        self.options.resilience = resilience;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> RunOptions {
+        self.options
     }
 }
 
@@ -100,7 +172,9 @@ impl ExperimentReport {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The row's JSON form, as embedded in [`RunReport::to_json`] (and
+    /// served by `stacksim serve`'s status endpoint).
+    pub fn to_json(&self) -> Json {
         let opt_str = |v: &Option<String>| match v {
             Some(s) => Json::Str(s.clone()),
             None => Json::Null,

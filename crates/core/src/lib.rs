@@ -60,6 +60,28 @@ pub mod report;
 pub mod sensitivity;
 pub mod stacking;
 
+pub mod prelude {
+    //! One-stop imports for driving the harness: the runner, the memo
+    //! cache, the `Sim` session types, and the workload parameters.
+    //!
+    //! ```
+    //! use stacksim_core::prelude::*;
+    //!
+    //! let sim = Sim::builder().params(WorkloadParams::test()).build();
+    //! let handle = sim.submit(&ExperimentRequest::new("fig5:gauss"))?;
+    //! assert!(handle.wait().is_ok());
+    //! # Ok::<(), stacksim_core::Error>(())
+    //! ```
+
+    pub use crate::error::Error;
+    pub use crate::harness::{
+        default_cache_dir, run_one, Artifact, ExperimentReport, ExperimentRequest, MemoCache,
+        MemoCacheBuilder, Registry, RequestHandle, RequestOutcome, RequestStatus, Resilience,
+        RunOptions, RunOptionsBuilder, RunOutcome, RunReport, Runner, Sim, SimBuilder, SimStats,
+    };
+    pub use stacksim_workloads::{Scale, WorkloadParams, WorkloadParamsBuilder};
+}
+
 pub use error::Error;
 pub use logic_logic::{Fig11Point, Table4, Table4Row, Table5Row};
 pub use memory_logic::{Fig5Data, Fig5Row, Headline, ThermalPoint};

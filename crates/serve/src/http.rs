@@ -1,0 +1,207 @@
+//! A minimal, dependency-free HTTP/1.1 subset: enough to parse the
+//! daemon's request shapes (method + path + optional JSON body) and to
+//! write plain responses. Not a general web server — requests are
+//! size-capped, connections are close-after-response, and anything
+//! outside the subset is rejected with a 4xx.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request head (request line + headers), bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Longest accepted request body, bytes.
+const MAX_BODY: usize = 256 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, query string included (e.g. `/v1/x?wait=1`).
+    pub target: String,
+    /// The body, when a `Content-Length` was present.
+    pub body: String,
+}
+
+impl Request {
+    /// The target's path without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the query string contains `key=1` or a bare `key`.
+    pub fn query_flag(&self, key: &str) -> bool {
+        let Some(query) = self.target.split_once('?').map(|(_, q)| q) else {
+            return false;
+        };
+        query
+            .split('&')
+            .any(|kv| kv == key || kv == format!("{key}=1") || kv == format!("{key}=true"))
+    }
+}
+
+/// Why a request could not be parsed; [`reject`] maps this to a 4xx.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket error or the peer hung up mid-request.
+    Io(std::io::Error),
+    /// The bytes were not the HTTP subset this server speaks.
+    Malformed(&'static str),
+    /// The head or body exceeded its size cap.
+    TooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o: {e}"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge => write!(f, "request too large"),
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`ParseError`] on socket failure, malformed framing, or a request
+/// exceeding the size caps.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+
+    // read until the blank line separating head from body
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ParseError::TooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(ParseError::Malformed("connection closed mid-head")),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("request line has no target"))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ParseError::TooLarge);
+    }
+
+    // body bytes already buffered past the head, then the remainder
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(ParseError::Malformed("connection closed mid-body")),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        target,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response and flushes. Connections are close-after-response,
+/// so this is the terminal act on the stream.
+pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // the peer may already be gone; a failed write only affects them
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Maps a parse failure to its 4xx response.
+pub fn reject(stream: &mut TcpStream, err: &ParseError) {
+    let (status, detail) = match err {
+        ParseError::TooLarge => (413, "request too large".to_string()),
+        other => (400, other.to_string()),
+    };
+    respond(
+        stream,
+        status,
+        "application/json",
+        &format!("{{\"error\":{:?}}}\n", detail),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_flags_parse() {
+        let r = Request {
+            method: "GET".into(),
+            target: "/v1/experiments/3?wait=1&x=2".into(),
+            body: String::new(),
+        };
+        assert_eq!(r.path(), "/v1/experiments/3");
+        assert!(r.query_flag("wait"));
+        assert!(!r.query_flag("nope"));
+        let bare = Request {
+            method: "GET".into(),
+            target: "/x?wait".into(),
+            body: String::new(),
+        };
+        assert!(bare.query_flag("wait"));
+    }
+}

@@ -1,0 +1,371 @@
+//! # stacksim-serve
+//!
+//! The `stacksim serve` daemon: a thin HTTP/JSON layer over the
+//! embeddable [`Sim`] session API (`stacksim_core::harness`). The server
+//! owns one long-lived `Sim` — one warm memo cache, one registry, one
+//! resilience policy — and translates requests onto it; everything
+//! interesting (dedup, batching, memoization, fault opt-in) happens in
+//! the session, so embedded and served callers behave identically and
+//! artifacts are bit-identical across both paths.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness: `{"status":"ok"}` |
+//! | `GET /metrics` | the `stacksim-obs/1` metrics snapshot |
+//! | `POST /v1/experiments` | submit; body `{"experiment":"fig3", ...}` |
+//! | `GET /v1/experiments/<id>` | status + report; `?wait=1` blocks until done |
+//! | `GET /v1/experiments/<id>/artifact` | the artifact's canonical JSON, verbatim |
+//!
+//! Submission bodies accept the same parameter overrides as
+//! [`ExperimentRequest`]: `seed`, `scale` (`"test"`/`"paper"`),
+//! `threads`, `chunk`, `solver_threads`, and `faults` (opt this request
+//! into the server's armed fault plan). Identical in-flight submissions
+//! deduplicate onto one execution and return the same `id`.
+//!
+//! The accept loop runs on the caller's thread ([`Server::run`]) with a
+//! small worker pool for connections, and drains gracefully: when the
+//! shutdown flag flips, the listener stops accepting, in-flight
+//! connections finish, and the session completes everything already
+//! submitted before `run` returns.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod http;
+
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use stacksim_core::harness::json::Json;
+use stacksim_core::harness::{
+    ExperimentRequest, MemoCache, RequestHandle, RequestStatus, Resilience, Sim,
+};
+use stacksim_faults::FaultPlan;
+use stacksim_workloads::{Scale, WorkloadParams};
+
+use http::{read_request, reject, respond, Request};
+
+/// How the daemon is configured; see field docs. `Default` gives a
+/// loopback server at paper scale with a disabled cache.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port `0` picks a free one
+    /// (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection worker threads.
+    pub pool: usize,
+    /// Base workload parameters requests resolve overrides against.
+    pub params: WorkloadParams,
+    /// Worker threads per experiment batch; `0` means one per CPU.
+    pub jobs: usize,
+    /// The shared memo cache.
+    pub cache: MemoCache,
+    /// The failure-handling policy.
+    pub resilience: Resilience,
+    /// The fault plan requests may opt into with `"faults": true`.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            pool: 4,
+            params: WorkloadParams::paper(),
+            jobs: 0,
+            cache: MemoCache::disabled(),
+            resilience: Resilience::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+/// Requests the daemon has accepted, by id, shared across connection
+/// workers. A `BTreeMap` keeps iteration order deterministic.
+type RequestMap = Arc<Mutex<BTreeMap<u64, RequestHandle>>>;
+
+/// A bound (but not yet serving) daemon. Call [`Server::run`] to serve.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    sim: Arc<Sim>,
+    requests: RequestMap,
+    pool: usize,
+}
+
+impl Server {
+    /// Binds the listen socket, builds the [`Sim`] session, and enables
+    /// the process metrics registry (the `/metrics` source).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the address cannot be bound.
+    pub fn bind(options: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        stacksim_obs::enable();
+        let sim = Sim::builder()
+            .params(options.params)
+            .jobs(options.jobs)
+            .cache(options.cache)
+            .resilience(options.resilience)
+            .fault_plan(options.fault_plan)
+            .build();
+        Ok(Server {
+            listener,
+            sim: Arc::new(sim),
+            requests: Arc::new(Mutex::new(BTreeMap::new())),
+            pool: options.pool.clamp(1, 64),
+        })
+    }
+
+    /// The bound address (the real port when `addr` asked for `:0`).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] if the socket has no local address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The underlying session, for embedding tests and in-process
+    /// clients.
+    pub fn sim(&self) -> &Arc<Sim> {
+        &self.sim
+    }
+
+    /// Serves until `shutdown` flips to `true`, then drains: the
+    /// listener stops accepting, connection workers finish, and every
+    /// experiment already submitted runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] on a non-transient accept failure.
+    pub fn run(self, shutdown: &AtomicBool) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(self.pool);
+        for i in 0..self.pool {
+            let rx = rx.clone();
+            let sim = self.sim.clone();
+            let requests = self.requests.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("serve-conn-{i}"))
+                .spawn(move || loop {
+                    let next = {
+                        let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match next {
+                        Ok(mut stream) => handle_connection(&mut stream, &sim, &requests),
+                        Err(_) => return, // channel closed: drain complete
+                    }
+                });
+            if let Ok(handle) = worker {
+                workers.push(handle);
+            }
+        }
+
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break; // every worker died; nothing can serve
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                // a signal interrupting accept re-checks the flag
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // graceful drain: close the funnel, finish connections, then let
+        // the session complete everything already submitted
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.sim.shutdown();
+        Ok(())
+    }
+}
+
+/// Routes one connection's request and writes its response.
+fn handle_connection(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap) {
+    let request = match read_request(stream) {
+        Ok(r) => r,
+        Err(e) => {
+            reject(stream, &e);
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => respond(stream, 200, "application/json", "{\"status\":\"ok\"}\n"),
+        ("GET", "/metrics") => {
+            let snapshot = stacksim_obs::registry().snapshot().encode();
+            respond(stream, 200, "application/json", &snapshot);
+        }
+        ("POST", "/v1/experiments") => submit(stream, sim, requests, &request),
+        ("GET", path) if path.starts_with("/v1/experiments/") => {
+            let rest = &path["/v1/experiments/".len()..];
+            if let Some(id_text) = rest.strip_suffix("/artifact") {
+                artifact(stream, requests, id_text);
+            } else {
+                status(stream, requests, rest, request.query_flag("wait"));
+            }
+        }
+        ("GET" | "POST", _) => error_response(stream, 404, "no such endpoint"),
+        _ => error_response(stream, 405, "method not allowed"),
+    }
+}
+
+/// `POST /v1/experiments`: parse the body, submit, answer with the
+/// request's id and current status. Deduplicated submissions answer with
+/// the existing id.
+fn submit(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap, request: &Request) {
+    let experiment_request = match parse_submission(&request.body) {
+        Ok(r) => r,
+        Err(detail) => {
+            error_response(stream, 400, &detail);
+            return;
+        }
+    };
+    let handle = match sim.submit(&experiment_request) {
+        Ok(h) => h,
+        Err(e) => {
+            let code = match e.kind() {
+                "unknown-experiment" => 404,
+                _ => 400,
+            };
+            error_response(stream, code, &e.to_string());
+            return;
+        }
+    };
+    requests
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(handle.id(), handle.clone());
+    let body = Json::obj(vec![
+        ("id", Json::Num(handle.id() as f64)),
+        ("experiment", Json::Str(handle.name().to_string())),
+        ("digest", Json::Str(handle.digest().to_string())),
+        ("status", Json::Str(handle.status().label().to_string())),
+    ]);
+    respond(stream, 200, "application/json", &body.encode());
+}
+
+/// Decodes a submission body into an [`ExperimentRequest`].
+fn parse_submission(body: &str) -> Result<ExperimentRequest, String> {
+    let doc = Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let name = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("body needs a string 'experiment' field")?;
+    let mut req = ExperimentRequest::new(name);
+    if let Some(v) = doc.get("seed") {
+        req = req.seed(v.as_u64().ok_or("'seed' must be an unsigned integer")?);
+    }
+    if let Some(v) = doc.get("scale") {
+        req = req.scale(match v.as_str() {
+            Some("test") => Scale::Test,
+            Some("paper") => Scale::Paper,
+            _ => return Err("'scale' must be \"test\" or \"paper\"".to_string()),
+        });
+    }
+    let usize_field = |v: &Json, what: &str| -> Result<usize, String> {
+        v.as_u64()
+            .map(|n| n as usize)
+            .ok_or(format!("'{what}' must be an unsigned integer"))
+    };
+    if let Some(v) = doc.get("threads") {
+        req = req.threads(usize_field(v, "threads")?);
+    }
+    if let Some(v) = doc.get("chunk") {
+        req = req.chunk(usize_field(v, "chunk")?);
+    }
+    if let Some(v) = doc.get("solver_threads") {
+        req = req.solver_threads(usize_field(v, "solver_threads")?);
+    }
+    if let Some(v) = doc.get("faults") {
+        req = req.faults(v.as_bool().ok_or("'faults' must be a boolean")?);
+    }
+    Ok(req)
+}
+
+/// `GET /v1/experiments/<id>`: the request's lifecycle state, with the
+/// full report row once done. `?wait=1` blocks until completion.
+fn status(stream: &mut TcpStream, requests: &RequestMap, id_text: &str, wait: bool) {
+    let Some(handle) = lookup(requests, id_text) else {
+        error_response(stream, 404, "no such request id");
+        return;
+    };
+    if wait {
+        let _ = handle.wait();
+    }
+    let (status_label, report, ok) = match handle.try_outcome() {
+        Some(outcome) => (
+            RequestStatus::Done.label(),
+            outcome.report.to_json(),
+            Json::Bool(outcome.is_ok()),
+        ),
+        None => (handle.status().label(), Json::Null, Json::Null),
+    };
+    let body = Json::obj(vec![
+        ("id", Json::Num(handle.id() as f64)),
+        ("experiment", Json::Str(handle.name().to_string())),
+        ("digest", Json::Str(handle.digest().to_string())),
+        ("status", Json::Str(status_label.to_string())),
+        ("ok", ok),
+        ("report", report),
+    ]);
+    respond(stream, 200, "application/json", &body.encode());
+}
+
+/// `GET /v1/experiments/<id>/artifact`: the artifact's canonical JSON
+/// encoding, byte-for-byte what the memo cache stores and the embedded
+/// API encodes — the service's bit-identity contract.
+fn artifact(stream: &mut TcpStream, requests: &RequestMap, id_text: &str) {
+    let Some(handle) = lookup(requests, id_text) else {
+        error_response(stream, 404, "no such request id");
+        return;
+    };
+    let Some(outcome) = handle.try_outcome() else {
+        error_response(stream, 409, "request has not finished");
+        return;
+    };
+    match &outcome.artifact {
+        Some(artifact) => respond(stream, 200, "application/json", &artifact.encode()),
+        None => {
+            let detail = outcome
+                .report
+                .error
+                .clone()
+                .unwrap_or_else(|| "request failed".to_string());
+            error_response(stream, 500, &detail);
+        }
+    }
+}
+
+fn lookup(requests: &RequestMap, id_text: &str) -> Option<RequestHandle> {
+    let id: u64 = id_text.parse().ok()?;
+    requests
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&id)
+        .cloned()
+}
+
+fn error_response(stream: &mut TcpStream, code: u16, detail: &str) {
+    let body = Json::obj(vec![("error", Json::Str(detail.to_string()))]);
+    respond(stream, code, "application/json", &body.encode());
+}

@@ -43,8 +43,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use stacksim::core::harness::{
-    check, default_cache_dir, obs_report, render, resilience, FailureReport, MemoCache, Registry,
-    RunOptions, Runner,
+    check, default_cache_dir, obs_report, render, resilience, ExperimentRequest, FailureReport,
+    MemoCache, Registry, RunOutcome, RunReport, Sim,
 };
 use stacksim::core::{fmt_f, TextTable};
 use stacksim::workloads::WorkloadParams;
@@ -56,6 +56,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 list                      list registered experiments and dependencies\n\
          \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
+         \x20 serve                     long-running HTTP/JSON experiment service\n\
          \x20 check [NAMES | --all]     statically validate experiment models\n\
          \x20 bench                     time solver + memory suites, write BENCH_*.json\n\
          \x20 stats [FILE]              validate + render an observability snapshot\n\
@@ -81,6 +82,17 @@ fn usage() -> ExitCode {
          \x20                    report (default: target/stacksim-failures.json)\n\
          \x20 --retries N        transient-failure retries per experiment (default: 2)\n\
          \x20 --deadline S       per-experiment recovery deadline in seconds\n\
+         \n\
+         serve options:\n\
+         \x20 --addr A           listen address (default: 127.0.0.1:7878; port 0 = any)\n\
+         \x20 --pool N           connection worker threads (default: 4)\n\
+         \x20 --jobs N           worker threads per experiment batch (default: all CPUs)\n\
+         \x20 --no-cache         neither read nor write the memo cache\n\
+         \x20 --cache-dir D      cache directory (default: target/stacksim-cache)\n\
+         \x20 --cache-max-bytes B  bound the cache; oldest-LRU entries evicted\n\
+         \x20 --cache-shards N   spread cache entries over N subdirectories\n\
+         \x20 --test-scale       small traces (smoke/CI serving)\n\
+         \x20 --fault-plan FILE  plan requests may opt into with \"faults\": true\n\
          \n\
          check options:\n\
          \x20 --all            check every registered experiment + the digest audit\n\
@@ -110,6 +122,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "list" => list(),
         "run" => run(&args[1..]),
+        "serve" => serve(&args[1..]),
         "check" => check(&args[1..]),
         "bench" => bench(&args[1..]),
         "stats" => stats(&args[1..]),
@@ -301,16 +314,27 @@ fn run(args: &[String]) -> ExitCode {
         resilience.retries = retries;
     }
     resilience.deadline_s = run_args.deadline_s;
-    let runner = Runner::new(
-        Registry::standard(),
-        RunOptions {
-            params,
-            jobs: run_args.jobs,
-            cache,
-            preflight: true,
-            resilience,
-        },
-    );
+    // `run` is a thin in-process client of the same `Sim` session API the
+    // `serve` daemon speaks: submit everything while paused, resume so
+    // the whole selection lands in one batched runner invocation, then
+    // collect the classic batch-level outcome for rendering.
+    let sim = Sim::builder()
+        .params(params)
+        .jobs(run_args.jobs)
+        .cache(cache)
+        .preflight(true)
+        .resilience(resilience)
+        .start_paused(true)
+        .build();
+    let names: Vec<String> = if run_args.all {
+        sim.registry()
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect()
+    } else {
+        run_args.names.clone()
+    };
     let faults = match FaultSession::start(run_args.fault_plan.as_ref()) {
         Ok(f) => f,
         Err(e) => {
@@ -325,10 +349,26 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = if run_args.all {
-        runner.run_all()
+    let mut handles = Vec::with_capacity(names.len());
+    let mut submit_error = None;
+    for name in &names {
+        match sim.submit(&ExperimentRequest::new(name)) {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                submit_error = Some(e);
+                break;
+            }
+        }
+    }
+    let outcome = if let Some(e) = submit_error {
+        Err(e)
     } else {
-        runner.run(&run_args.names)
+        sim.resume();
+        for handle in &handles {
+            let _ = handle.wait();
+        }
+        sim.shutdown();
+        Ok(merge_outcomes(sim.drain_outcomes()))
     };
     if let Some(faults) = faults {
         println!(
@@ -442,6 +482,163 @@ fn run(args: &[String]) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Folds the session's batch-level outcomes into one — for a `run`
+/// invocation everything lands in a single batch, so this is the exact
+/// outcome the pre-session `Runner` path produced.
+fn merge_outcomes(outcomes: Vec<RunOutcome>) -> RunOutcome {
+    let mut it = outcomes.into_iter();
+    let Some(mut merged) = it.next() else {
+        return RunOutcome {
+            report: RunReport {
+                jobs: 0,
+                wall_s: 0.0,
+                entries: Vec::new(),
+            },
+            artifacts: std::collections::HashMap::new(),
+            errors: Vec::new(),
+        };
+    };
+    for outcome in it {
+        merged.report.wall_s += outcome.report.wall_s;
+        merged.report.entries.extend(outcome.report.entries);
+        merged.artifacts.extend(outcome.artifacts);
+        merged.errors.extend(outcome.errors);
+    }
+    merged
+}
+
+/// Set by the SIGTERM/SIGINT handler; the serve accept loop polls it.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Routes SIGTERM and SIGINT to the shutdown flag so `stacksim serve`
+/// drains instead of dying mid-experiment. Raw `signal(2)` keeps this
+/// dependency-free; an async-signal-safe store is all the handler does.
+#[cfg(unix)]
+fn install_shutdown_signals() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals() {}
+
+/// `stacksim serve`: the long-running HTTP/JSON experiment service —
+/// one warm `Sim` session (registry + shared cache + resilience policy)
+/// behind submit/status/artifact/metrics/healthz endpoints. SIGTERM or
+/// SIGINT drains in-flight experiments before exiting.
+fn serve(args: &[String]) -> ExitCode {
+    let mut options = stacksim::serve::ServeOptions::default();
+    let mut cache_dir = default_cache_dir();
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut cache_shards: usize = 16;
+    let mut no_cache = false;
+    let mut test_scale = false;
+    let mut fault_plan: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--no-cache" => no_cache = true,
+            "--test-scale" => test_scale = true,
+            "--addr" => match it.next() {
+                Some(a) => options.addr = a.clone(),
+                None => return usage(),
+            },
+            "--pool" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => options.pool = n,
+                _ => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.jobs = n,
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--cache-max-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cache_max_bytes = Some(n),
+                _ => return usage(),
+            },
+            "--cache-shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cache_shards = n,
+                _ => return usage(),
+            },
+            "--fault-plan" => match it.next() {
+                Some(p) => fault_plan = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    options.params = if test_scale {
+        WorkloadParams::test()
+    } else {
+        WorkloadParams::paper()
+    };
+    options.cache = if no_cache {
+        MemoCache::disabled()
+    } else {
+        MemoCache::builder()
+            .dir(&cache_dir)
+            .max_bytes(cache_max_bytes)
+            .shards(cache_shards)
+            .build()
+    };
+    if let Some(path) = &fault_plan {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("stacksim: cannot read fault plan {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match resilience::parse_fault_plan(&text) {
+            Ok(plan) => options.fault_plan = Some(plan),
+            Err(e) => {
+                eprintln!("stacksim: invalid fault plan {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let server = match stacksim::serve::Server::bind(options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stacksim: cannot bind serve address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("stacksim serve listening on http://{addr}"),
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    install_shutdown_signals();
+    match server.run(&SHUTDOWN) {
+        Ok(()) => {
+            println!("stacksim serve drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("stacksim: serve failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -19,6 +19,8 @@
 //! * [`faults`] — deterministic fault injection (the `--fault-plan`
 //!   chaos plane; zero-cost when no plan is armed)
 //! * [`core`] — study drivers reproducing every table and figure
+//! * [`serve`] — the `stacksim serve` HTTP/JSON daemon over the
+//!   embeddable [`Sim`](stacksim_core::harness::Sim) session API
 //! * [`bench`] — wall-clock benchmark harness (the `stacksim bench` suites)
 //!
 //! # Quickstart
@@ -45,6 +47,7 @@ pub use stacksim_mem as mem;
 pub use stacksim_obs as obs;
 pub use stacksim_ooo as ooo;
 pub use stacksim_power as power;
+pub use stacksim_serve as serve;
 pub use stacksim_thermal as thermal;
 pub use stacksim_trace as trace;
 pub use stacksim_workloads as workloads;

@@ -62,12 +62,11 @@ fn run_custom(exp: Arc<dyn Experiment>, cache: MemoCache, resilience: Resilience
     registry.add(exp);
     Runner::new(
         registry,
-        RunOptions {
-            jobs: 1,
-            cache,
-            resilience,
-            ..RunOptions::default()
-        },
+        RunOptions::builder()
+            .serial()
+            .cache(cache)
+            .resilience(resilience)
+            .build(),
     )
     .run(&[name])
     .expect("selection is valid")

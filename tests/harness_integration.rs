@@ -18,13 +18,12 @@ fn scratch_dir(tag: &str) -> PathBuf {
 fn runner(params: WorkloadParams, jobs: usize, cache: MemoCache) -> Runner {
     Runner::new(
         Registry::standard(),
-        RunOptions {
-            params,
-            jobs,
-            cache,
-            preflight: true,
-            ..RunOptions::default()
-        },
+        RunOptions::builder()
+            .params(params)
+            .jobs(jobs)
+            .cache(cache)
+            .preflight(true)
+            .build(),
     )
 }
 

@@ -31,13 +31,12 @@ fn run_with_observability_produces_valid_artifacts() {
 
     let runner = Runner::new(
         Registry::standard(),
-        RunOptions {
-            params: WorkloadParams::test(),
-            jobs: 1,
-            cache: MemoCache::at(dir.join("cache")),
-            preflight: true,
-            ..RunOptions::default()
-        },
+        RunOptions::builder()
+            .params(WorkloadParams::test())
+            .serial()
+            .cache(MemoCache::at(dir.join("cache")))
+            .preflight(true)
+            .build(),
     );
     let outcome = runner.run(&["fig5:gauss".to_string()]).unwrap();
     assert!(outcome.errors.is_empty(), "{:?}", outcome.errors);
@@ -95,12 +94,13 @@ fn cache_hit_shows_up_in_metrics() {
     let dir = std::env::temp_dir().join(format!("stacksim-obs-hit-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let options = || RunOptions {
-        params: WorkloadParams::test(),
-        jobs: 1,
-        cache: MemoCache::at(dir.join("cache")),
-        preflight: true,
-        ..RunOptions::default()
+    let options = || {
+        RunOptions::builder()
+            .params(WorkloadParams::test())
+            .serial()
+            .cache(MemoCache::at(dir.join("cache")))
+            .preflight(true)
+            .build()
     };
 
     // seed the cache without metrics

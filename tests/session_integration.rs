@@ -1,0 +1,167 @@
+//! Integration: the `Sim` session facade — request deduplication,
+//! parameterised variants, warm-cache serving and graceful shutdown —
+//! spanning `stacksim-core`'s session, runner and cache layers.
+
+use std::path::PathBuf;
+
+use stacksim::core::prelude::*;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-session-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// N identical in-flight requests coalesce onto one slot: same id, one
+/// execution, one artifact — the solver ran exactly once.
+#[test]
+fn identical_inflight_requests_run_exactly_once() {
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .start_paused(true)
+        .build();
+    let request = ExperimentRequest::new("fig5:gauss");
+    let handles: Vec<_> = (0..5).map(|_| sim.submit(&request).unwrap()).collect();
+
+    // all five share the first submission's slot
+    for h in &handles {
+        assert_eq!(h.id(), handles[0].id());
+        assert_eq!(h.digest(), handles[0].digest());
+        assert_eq!(h.status(), RequestStatus::Queued);
+    }
+    let stats = sim.stats();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.dedup_hits, 4, "four submissions deduplicated");
+    assert_eq!(stats.inflight, 1, "one slot of real work");
+
+    sim.resume();
+    let outcomes: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+    for o in &outcomes {
+        assert!(o.is_ok(), "{:?}", o.report.error);
+        // every handle sees the *same* outcome object, not a re-run
+        assert!(std::sync::Arc::ptr_eq(o, &outcomes[0]));
+    }
+    assert_eq!(outcomes[0].report.attempts, 1, "one clean execution");
+    // exactly one batch ran, containing exactly one experiment
+    let batches = sim.drain_outcomes();
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].report.entries.len(), 1);
+    assert_eq!(sim.stats().completed, 1);
+}
+
+/// Parameterised variants are first-class: an override folds into the
+/// digest, so variants neither deduplicate nor share cache entries.
+#[test]
+fn parameter_overrides_split_the_digest() {
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .start_paused(true)
+        .build();
+    let base = sim.submit(&ExperimentRequest::new("fig5:gauss")).unwrap();
+    let variant = sim
+        .submit(&ExperimentRequest::new("fig5:gauss").seed(0xdead_beef))
+        .unwrap();
+    assert_ne!(base.id(), variant.id(), "a variant is not a duplicate");
+    assert_ne!(
+        base.digest(),
+        variant.digest(),
+        "seed is part of the digest"
+    );
+    assert_eq!(sim.stats().dedup_hits, 0);
+
+    // resubmitting the same variant *does* deduplicate
+    let again = sim
+        .submit(&ExperimentRequest::new("fig5:gauss").seed(0xdead_beef))
+        .unwrap();
+    assert_eq!(again.id(), variant.id());
+    assert_eq!(sim.stats().dedup_hits, 1);
+
+    sim.resume();
+    let (b, v) = (base.wait(), variant.wait());
+    assert!(b.is_ok() && v.is_ok());
+    // distinct digests mean distinct executions: neither came from the
+    // other's work (no cache is configured here)
+    assert!(!b.report.cached && !v.report.cached);
+    assert_eq!(b.report.attempts, 1);
+    assert_eq!(v.report.attempts, 1);
+    // two parameter groups → two runner batches
+    assert_eq!(sim.drain_outcomes().len(), 2);
+}
+
+/// A second submission after the first completed is *not* a dedup hit —
+/// it is served from the session's warm cache with zero solver work.
+#[test]
+fn completed_request_resubmission_hits_the_cache() {
+    let dir = scratch_dir("warm");
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .cache(MemoCache::builder().dir(&dir).shards(4).build())
+        .build();
+    let first = sim.submit(&ExperimentRequest::new("fig8")).unwrap().wait();
+    assert!(first.is_ok(), "{:?}", first.report.error);
+    assert!(!first.report.cached, "cold cache actually runs");
+    assert!(first.report.telemetry.solver.iterations > 0);
+
+    let second = sim.submit(&ExperimentRequest::new("fig8")).unwrap().wait();
+    assert!(second.report.cached, "the warm cache serves the re-run");
+    assert_eq!(
+        second.report.telemetry.solver.iterations, 0,
+        "a cache hit does zero CG iterations"
+    );
+    assert_eq!(first.report.digest, second.report.digest);
+    // bit-identical artifact through the cache round-trip
+    assert_eq!(
+        first.artifact.as_ref().unwrap().encode(),
+        second.artifact.as_ref().unwrap().encode()
+    );
+    assert_eq!(sim.stats().dedup_hits, 0, "not a dedup: the first finished");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The embedded `Sim` path produces byte-for-byte the artifact the
+/// plain `run_one` path produces — the embed-or-serve split does not
+/// perturb results.
+#[test]
+fn sim_artifact_matches_run_one_bit_for_bit() {
+    let params = WorkloadParams::test();
+    let direct = run_one("fig5:conj", params).unwrap();
+
+    let sim = Sim::builder().params(params).build();
+    let outcome = sim
+        .submit(&ExperimentRequest::new("fig5:conj"))
+        .unwrap()
+        .wait();
+    let via_sim = outcome.artifact.as_ref().unwrap();
+    assert_eq!(direct.encode(), via_sim.encode());
+}
+
+/// Shutdown drains: requests submitted before (even to a paused session)
+/// still complete, and later submissions are refused.
+#[test]
+fn shutdown_drains_submitted_work() {
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .start_paused(true)
+        .build();
+    let handle = sim.submit(&ExperimentRequest::new("fig5:gauss")).unwrap();
+    assert_eq!(handle.status(), RequestStatus::Queued);
+    // never resumed: shutdown itself must release and finish the queue
+    sim.shutdown();
+    let outcome = handle.try_outcome().expect("drained on shutdown");
+    assert!(outcome.is_ok(), "{:?}", outcome.report.error);
+    assert!(sim.submit(&ExperimentRequest::new("fig3")).is_err());
+}
+
+/// Structural failures surface per-request: an unknown experiment is
+/// refused at submit time with a typed error.
+#[test]
+fn unknown_experiment_is_refused_at_submit() {
+    let sim = Sim::builder().params(WorkloadParams::test()).build();
+    let err = sim.submit(&ExperimentRequest::new("fig99")).unwrap_err();
+    assert_eq!(err.kind(), "unknown-experiment");
+    // invalid overrides are refused too
+    let err = sim
+        .submit(&ExperimentRequest::new("fig3").threads(0))
+        .unwrap_err();
+    assert!(err.to_string().contains("thread count"), "{err}");
+}
