@@ -1,0 +1,457 @@
+//! Shared semantic model used by the passes: per-function expression
+//! indexes, variable classification (map-typed, digest-typed, ordered),
+//! and a small intra-procedural taint engine.
+//!
+//! Everything here is a deliberate over/under-approximation tuned for the
+//! stacksim codebase: precise enough to catch the determinism hazards the
+//! passes exist for, conservative enough that a clean workspace audits
+//! clean without a wall of waivers.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::ast::{self, ForLoop, Func, LetBinding, MethodCall, PathCall, SourceFile};
+use crate::lex::{Tok, Token};
+
+/// The crate a repo-relative path belongs to (`core`, `serve`, …); files
+/// under the root package map to `stacksim`.
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("stacksim")
+}
+
+/// The file stem (`session` for `crates/core/src/harness/session.rs`).
+pub fn stem_of(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(path)
+}
+
+/// One parameter of a function: its name and the tokens of its type.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: Range<usize>,
+}
+
+/// Splits a parameter-list token range into (name, type) pairs. `self`
+/// receivers are recorded with an empty type range.
+pub fn params_of(toks: &[Token], params: Range<usize>) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut start = params.start;
+    let mut depth = 0i32;
+    let mut i = params.start;
+    while i <= params.end {
+        let split = i == params.end
+            || (depth == 0 && toks[i].kind.is_punct(',') && !angle_context(toks, i, start));
+        if split {
+            if let Some(p) = parse_param(toks, start..i) {
+                out.push(p);
+            }
+            start = i + 1;
+        } else {
+            match &toks.get(i).map(|t| &t.kind) {
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) | Some(Tok::Punct('<')) => depth += 1,
+                Some(Tok::Punct(')')) | Some(Tok::Punct(']')) | Some(Tok::Punct('>')) => depth -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the comma at `i` sits inside angle brackets opened after
+/// `start` (a generic argument separator, not a parameter separator).
+fn angle_context(toks: &[Token], i: usize, start: usize) -> bool {
+    let mut angle = 0i32;
+    for t in &toks[start..i] {
+        match &t.kind {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            _ => {}
+        }
+    }
+    angle > 0
+}
+
+/// Parses one `name: Type` (or `self`-ish) parameter slice.
+fn parse_param(toks: &[Token], r: Range<usize>) -> Option<Param> {
+    let name_idx = toks[r.clone()]
+        .iter()
+        .position(|t| matches!(&t.kind, Tok::Ident(s) if s != "mut" && s != "ref"))?;
+    let name = toks[r.start + name_idx].kind.ident()?.to_string();
+    let colon = toks[r.clone()]
+        .iter()
+        .position(|t| t.kind.is_punct(':'))
+        .map(|c| r.start + c);
+    let ty = match colon {
+        Some(c) => c + 1..r.end,
+        None => r.end..r.end,
+    };
+    Some(Param { name, ty })
+}
+
+/// All per-function expression indexes, computed once.
+pub struct FnCtx<'a> {
+    pub file: &'a SourceFile,
+    pub func: &'a Func,
+    pub calls: Vec<MethodCall>,
+    pub pcalls: Vec<PathCall>,
+    pub lets: Vec<LetBinding>,
+    pub fors: Vec<ForLoop>,
+    pub params: Vec<Param>,
+}
+
+impl<'a> FnCtx<'a> {
+    pub fn new(file: &'a SourceFile, func: &'a Func) -> Self {
+        let toks = file.tokens();
+        FnCtx {
+            calls: ast::method_calls(toks, func.body.clone()),
+            pcalls: ast::path_calls(toks, func.body.clone()),
+            lets: ast::lets(toks, func.body.clone()),
+            fors: ast::for_loops(toks, func.body.clone()),
+            params: params_of(toks, func.params.clone()),
+            file,
+            func,
+        }
+    }
+
+    pub fn toks(&self) -> &'a [Token] {
+        self.file.tokens()
+    }
+
+    pub fn idents(&self, r: Range<usize>) -> Vec<&'a str> {
+        ast::idents_in(self.toks(), r)
+    }
+}
+
+/// Whether any identifier in `ids` is a member of `set`.
+pub fn mentions_any(ids: &[&str], set: &BTreeSet<String>) -> bool {
+    ids.iter().any(|i| set.contains(*i))
+}
+
+/// Whether a token range mentions any of the given type names.
+fn range_mentions(toks: &[Token], r: Range<usize>, names: &[&str]) -> bool {
+    ast::idents_in(toks, r).iter().any(|i| names.contains(i))
+}
+
+const MAP_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Variables of map/set type visible in a function: parameters and `let`
+/// bindings whose annotation or initializer names `HashMap`/`HashSet`.
+/// (`self` map fields are matched at call sites via
+/// [`SourceFile::map_fields`].)
+pub fn map_vars(cx: &FnCtx) -> BTreeSet<String> {
+    let toks = cx.toks();
+    let mut out = BTreeSet::new();
+    for p in &cx.params {
+        if range_mentions(toks, p.ty.clone(), &MAP_TYPES) {
+            out.insert(p.name.clone());
+        }
+    }
+    for l in &cx.lets {
+        if range_mentions(toks, l.ty.clone(), &MAP_TYPES)
+            || range_mentions(toks, l.init.clone(), &MAP_TYPES)
+        {
+            out.extend(l.names.iter().cloned());
+        }
+    }
+    out
+}
+
+/// Iterator-producing methods whose order is arbitrary on hash maps/sets.
+pub const UNORDERED_ITER: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+/// Whether `call` iterates an unordered map/set: the receiver is a known
+/// map variable or a map-typed struct field.
+pub fn is_unordered_iter(cx: &FnCtx, call: &MethodCall, maps: &BTreeSet<String>) -> bool {
+    if !UNORDERED_ITER.contains(&call.name.as_str()) {
+        return false;
+    }
+    let toks = cx.toks();
+    let field = call.field(toks);
+    let root = call.root(toks);
+    field.is_some_and(|f| maps.contains(f) || cx.file.map_fields.contains(f))
+        || root.is_some_and(|r| maps.contains(r))
+}
+
+/// Whether a token range contains an unordered-iteration expression: a
+/// map-iterating method call, or a bare mention of a map variable with no
+/// method calls at all (`for k in &m`).
+pub fn range_has_unordered_iter(cx: &FnCtx, r: Range<usize>, maps: &BTreeSet<String>) -> bool {
+    let toks = cx.toks();
+    let calls = ast::method_calls(toks, r.clone());
+    if calls.iter().any(|c| is_unordered_iter(cx, c, maps)) {
+        return true;
+    }
+    let ids = ast::idents_in(toks, r);
+    calls.is_empty()
+        && (mentions_any(&ids, maps) || ids.iter().any(|i| cx.file.map_fields.contains(*i)))
+}
+
+/// Collect targets that restore a deterministic order.
+const ORDERED_COLLECT: [&str; 3] = ["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// Terminal operations whose result does not depend on iteration order.
+const ORDER_INSENSITIVE: [&str; 9] = [
+    "count", "len", "min", "max", "min_by", "max_by", "any", "all", "contains",
+];
+
+/// Whether an expression range launders iteration order away: it collects
+/// into an ordered container or ends in an order-insensitive terminal.
+pub fn launders(cx: &FnCtx, r: Range<usize>) -> bool {
+    let calls = ast::method_calls(cx.toks(), r);
+    calls.iter().any(|c| {
+        c.name == "collect"
+            && c.turbofish
+                .iter()
+                .any(|t| ORDERED_COLLECT.contains(&t.as_str()))
+    }) || calls
+        .last()
+        .is_some_and(|c| ORDER_INSENSITIVE.contains(&c.name.as_str()))
+}
+
+/// Collection-mutating methods that carry taint from arguments into the
+/// receiver (`out.push(k)` taints `out` when `k` is tainted).
+const MUTATORS: [&str; 4] = ["push", "insert", "extend", "push_str"];
+
+/// Computes the variables carrying taint, by fixpoint over `let` bindings
+/// and mutating calls. `initial` seeds the set (e.g. loop bindings over
+/// unordered iterations); `seeded` decides whether an initializer range
+/// introduces taint on its own. Variables later passed to a `sort*` call
+/// are considered cleansed.
+pub fn tainted_vars(
+    cx: &FnCtx,
+    initial: BTreeSet<String>,
+    seeded: impl Fn(&FnCtx, Range<usize>) -> bool,
+) -> BTreeSet<String> {
+    let toks = cx.toks();
+    let sorted_vars: BTreeSet<String> = cx
+        .calls
+        .iter()
+        .filter(|c| c.name.starts_with("sort"))
+        .filter_map(|c| c.root(toks).map(str::to_string))
+        .collect();
+    let mut tainted: BTreeSet<String> = initial
+        .into_iter()
+        .filter(|v| !sorted_vars.contains(v))
+        .collect();
+    loop {
+        let mut changed = false;
+        for l in &cx.lets {
+            if l.init.is_empty() {
+                continue;
+            }
+            let mentions = mentions_any(&cx.idents(l.init.clone()), &tainted);
+            if (mentions || seeded(cx, l.init.clone())) && !launders(cx, l.init.clone()) {
+                for n in &l.names {
+                    if !sorted_vars.contains(n) {
+                        changed |= tainted.insert(n.clone());
+                    }
+                }
+            }
+        }
+        for c in &cx.calls {
+            if MUTATORS.contains(&c.name.as_str())
+                && mentions_any(&cx.idents(c.args.clone()), &tainted)
+            {
+                if let Some(root) = c.root(toks) {
+                    if !sorted_vars.contains(root) {
+                        changed |= tainted.insert(root.to_string());
+                    }
+                }
+            }
+        }
+        if !changed {
+            return tainted;
+        }
+    }
+}
+
+/// Digest-typed local variables (`let mut d = Digest::new()` or an
+/// explicit `Digest` annotation), plus digest-typed parameters.
+pub fn digest_vars(cx: &FnCtx) -> BTreeSet<String> {
+    let toks = cx.toks();
+    let mut out = BTreeSet::new();
+    for p in &cx.params {
+        if range_mentions(toks, p.ty.clone(), &["Digest"]) {
+            out.insert(p.name.clone());
+        }
+    }
+    for l in &cx.lets {
+        if range_mentions(toks, l.ty.clone(), &["Digest"])
+            || range_mentions(toks, l.init.clone(), &["Digest"])
+        {
+            out.extend(l.names.iter().cloned());
+        }
+    }
+    out
+}
+
+/// Digest input methods (see `core/harness/digest.rs`).
+const DIGEST_METHODS: [&str; 6] = ["bytes", "str", "u64", "usize", "f64", "finish"];
+
+/// Free or associated functions whose arguments end up in digests, JSON
+/// artifacts, or obs snapshots.
+const SINK_FNS: [&str; 5] = [
+    "encode",
+    "to_json",
+    "render_json",
+    "json_str",
+    "params_digest",
+];
+
+/// One call site whose arguments must stay order-clean.
+pub struct Sink {
+    pub line: u32,
+    pub args: Range<usize>,
+    /// Token position of the call (for body-containment checks).
+    pub pos: usize,
+    pub what: &'static str,
+}
+
+/// The sink call sites of a function: digest inputs and JSON/artifact
+/// encoders.
+pub fn sinks(cx: &FnCtx) -> Vec<Sink> {
+    let toks = cx.toks();
+    let dv = digest_vars(cx);
+    let mut out = Vec::new();
+    for c in &cx.calls {
+        let digest_recv = c.root(toks).is_some_and(|r| dv.contains(r))
+            || c.field(toks).is_some_and(|f| dv.contains(f))
+            || c.recv_idents(toks)
+                .iter()
+                .any(|i| *i == "digest" || *i == "hasher");
+        if DIGEST_METHODS.contains(&c.name.as_str()) && digest_recv {
+            out.push(Sink {
+                line: c.line,
+                args: c.args.clone(),
+                pos: c.recv.start,
+                what: "digest input",
+            });
+        } else if SINK_FNS.contains(&c.name.as_str()) {
+            out.push(Sink {
+                line: c.line,
+                args: c.args.clone(),
+                pos: c.recv.start,
+                what: "JSON/artifact encoding",
+            });
+        }
+    }
+    for p in &cx.pcalls {
+        let last = p.path.last().map(String::as_str).unwrap_or("");
+        if p.path.first().map(String::as_str) == Some("Json") || SINK_FNS.contains(&last) {
+            out.push(Sink {
+                line: p.line,
+                args: p.args.clone(),
+                pos: p.args.start,
+                what: if p.path.first().map(String::as_str) == Some("Json") {
+                    "JSON value construction"
+                } else {
+                    "JSON/artifact encoding"
+                },
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lex::lex;
+
+    fn ctxed(src: &str, f: impl FnOnce(&FnCtx)) {
+        let sf = parse("t.rs", lex(src));
+        let func = &sf.functions[0];
+        f(&FnCtx::new(&sf, func));
+    }
+
+    #[test]
+    fn params_and_map_vars() {
+        ctxed(
+            "fn f(&self, m: &HashMap<String, u32>, v: Vec<u32>) {
+                let n: HashSet<u32> = HashSet::new();
+                let w = vec![1];
+            }",
+            |cx| {
+                let names: Vec<&str> = cx.params.iter().map(|p| p.name.as_str()).collect();
+                assert_eq!(names, vec!["self", "m", "v"]);
+                let maps = map_vars(cx);
+                assert!(maps.contains("m") && maps.contains("n"));
+                assert!(!maps.contains("v") && !maps.contains("w"));
+            },
+        );
+    }
+
+    #[test]
+    fn taint_flows_through_lets_and_push() {
+        ctxed(
+            "fn f(m: &HashMap<String, u32>) {
+                let ks = m.keys();
+                let joined = ks;
+                let mut out = Vec::new();
+                out.push(joined);
+                let n = m.len();
+            }",
+            |cx| {
+                let maps = map_vars(cx);
+                let t = tainted_vars(cx, BTreeSet::new(), |cx, r| {
+                    range_has_unordered_iter(cx, r, &maps)
+                });
+                assert!(t.contains("ks") && t.contains("joined") && t.contains("out"));
+                assert!(!t.contains("n"));
+            },
+        );
+    }
+
+    #[test]
+    fn sort_and_btree_collect_launder() {
+        ctxed(
+            "fn f(m: &HashMap<String, u32>) {
+                let mut names = m.keys().cloned().collect::<Vec<String>>();
+                names.sort_unstable();
+                let ordered = m.keys().collect::<BTreeSet<_>>();
+                let n = m.values().count();
+            }",
+            |cx| {
+                let maps = map_vars(cx);
+                let t = tainted_vars(cx, BTreeSet::new(), |cx, r| {
+                    range_has_unordered_iter(cx, r, &maps)
+                });
+                assert!(t.is_empty(), "unexpected taint: {t:?}");
+            },
+        );
+    }
+
+    #[test]
+    fn digest_sinks_are_found() {
+        ctxed(
+            "fn f(xs: &[u64]) {
+                let mut d = Digest::new();
+                for x in xs { d.u64(*x); }
+                let out = encode(&xs);
+            }",
+            |cx| {
+                let s = sinks(cx);
+                assert_eq!(s.len(), 2);
+                assert_eq!(s[0].what, "digest input");
+                assert_eq!(s[1].what, "JSON/artifact encoding");
+            },
+        );
+    }
+}

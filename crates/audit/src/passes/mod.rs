@@ -1,0 +1,45 @@
+//! The six audit passes. Each pass walks the parsed workspace and pushes
+//! `SA`-coded diagnostics into a shared [`Report`]; waivers
+//! (`// audit:allow(SAnnn)`) are honoured centrally in [`emit`].
+
+use stacksim_lint::{Report, Severity};
+
+use crate::ast::SourceFile;
+
+pub mod sa001_iteration;
+pub mod sa002_wallclock;
+pub mod sa003_reduction;
+pub mod sa004_lock_order;
+pub mod sa005_atomics;
+pub mod sa006_panic_path;
+
+/// Pushes one finding unless a waiver comment covers it.
+pub fn emit(
+    report: &mut Report,
+    file: &SourceFile,
+    code: &'static str,
+    severity: Severity,
+    line: u32,
+    message: String,
+) {
+    if file.lexed.is_waived(code, line) {
+        return;
+    }
+    let span = format!("{}:{line}", file.path);
+    match severity {
+        Severity::Error => report.error(code, span, message),
+        Severity::Warning => report.warn(code, span, message),
+    }
+}
+
+/// Runs every pass over the parsed workspace, in code order.
+pub fn run_all(files: &[SourceFile]) -> Report {
+    let mut report = Report::new();
+    sa001_iteration::run(files, &mut report);
+    sa002_wallclock::run(files, &mut report);
+    sa003_reduction::run(files, &mut report);
+    sa004_lock_order::run(files, &mut report);
+    sa005_atomics::run(files, &mut report);
+    sa006_panic_path::run(files, &mut report);
+    report
+}

@@ -1,0 +1,154 @@
+//! SA001 — nondeterministic iteration: `HashMap`/`HashSet` iteration
+//! whose values flow (intra-procedurally, through `let` bindings and
+//! collection mutations) into digest, JSON-artifact, or obs-snapshot
+//! sinks.
+//!
+//! Replaces the retired token-window heuristic that lived in
+//! `crates/xtask`: instead of "a map method within N lines of a digest
+//! call", this pass tracks which *variables* carry unordered iteration
+//! order and flags only sink calls actually fed by one. Ordering is
+//! considered laundered by collecting into a `BTreeMap`/`BTreeSet`, by an
+//! explicit `sort*` on the bound variable, or by an order-insensitive
+//! terminal (`count`, `min`, `max`, …).
+
+use std::collections::BTreeSet;
+
+use stacksim_lint::{Report, Severity};
+
+use crate::ast::SourceFile;
+use crate::model::{map_vars, mentions_any, range_has_unordered_iter, sinks, tainted_vars, FnCtx};
+use crate::passes::emit;
+
+pub const CODE: &str = "SA001";
+
+pub fn run(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        for func in files_funcs(file) {
+            let cx = FnCtx::new(file, func);
+            let maps = map_vars(&cx);
+            if maps.is_empty() && file.map_fields.is_empty() {
+                continue;
+            }
+
+            // seed taint with bindings of `for … in <unordered>` loops
+            let mut initial = BTreeSet::new();
+            let mut unordered_loops = Vec::new();
+            for fl in &cx.fors {
+                if range_has_unordered_iter(&cx, fl.iter.clone(), &maps) {
+                    initial.extend(fl.names.iter().cloned());
+                    unordered_loops.push(fl);
+                }
+            }
+            let tainted =
+                tainted_vars(&cx, initial, |cx, r| range_has_unordered_iter(cx, r, &maps));
+
+            for sink in sinks(&cx) {
+                let args = cx.idents(sink.args.clone());
+                let direct = range_has_unordered_iter(&cx, sink.args.clone(), &maps)
+                    && !crate::model::launders(&cx, sink.args.clone());
+                let via_var = mentions_any(&args, &tainted);
+                let in_unordered_loop =
+                    unordered_loops.iter().any(|fl| fl.body.contains(&sink.pos));
+                if direct || via_var || in_unordered_loop {
+                    emit(
+                        report,
+                        file,
+                        CODE,
+                        Severity::Error,
+                        sink.line,
+                        format!(
+                            "{} in fn `{}` is fed by HashMap/HashSet iteration order; \
+                             iterate a sorted view (collect + sort, or BTreeMap) instead",
+                            sink.what, cx.func.qual
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn files_funcs(file: &SourceFile) -> impl Iterator<Item = &crate::ast::Func> {
+    file.functions.iter().filter(|f| !f.is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lex::lex;
+
+    fn findings(src: &str) -> Vec<String> {
+        let sf = parse("crates/x/src/lib.rs", lex(src));
+        let mut r = Report::new();
+        run(&[sf], &mut r);
+        r.diagnostics().iter().map(|d| d.span.clone()).collect()
+    }
+
+    #[test]
+    fn map_iteration_into_digest_is_flagged() {
+        let found = findings(
+            "fn f(m: &HashMap<String, u64>) -> u64 {
+                let mut d = Digest::new();
+                for (k, v) in m.iter() {
+                    d.str(k);
+                    d.u64(*v);
+                }
+                d.finish()
+            }",
+        );
+        // the two digest inputs inside the loop; `finish()` outside is clean
+        assert_eq!(found.len(), 2, "{found:?}");
+    }
+
+    #[test]
+    fn taint_through_let_into_encoder_is_flagged() {
+        let found = findings(
+            "fn g(m: &HashMap<String, u64>) -> String {
+                let names: Vec<&String> = m.keys().collect();
+                encode(&names)
+            }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn sorted_and_btree_views_are_clean() {
+        let found = findings(
+            "fn f(m: &HashMap<String, u64>) -> String {
+                let mut names: Vec<&String> = m.keys().collect();
+                names.sort();
+                let ordered: BTreeSet<&String> = m.keys().collect::<BTreeSet<_>>();
+                encode(&names)
+            }
+            fn g(m: &HashMap<String, u64>) -> u64 {
+                let mut d = Digest::new();
+                d.usize(m.len());
+                d.finish()
+            }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let found = findings(
+            "fn f(m: &HashSet<u64>) -> String {
+                // audit:allow(SA001) order-insensitive joined set, checked upstream
+                encode(&m.iter().collect::<Vec<_>>())
+            }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn test_functions_are_ignored() {
+        let found = findings(
+            "#[cfg(test)]
+            mod tests {
+                fn helper(m: &HashMap<u32, u32>) { encode(&m.iter()); }
+            }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! SA002 — wall-clock and ambient nondeterminism: values from
+//! `Instant::now`, `SystemTime::now`, environment variables, or other
+//! process-ambient sources flowing into digest or artifact sinks.
+//!
+//! Telemetry is allowed to read the clock — the invariant is that clock
+//! values never feed anything digest- or artifact-shaped. Files in the
+//! allowlisted telemetry/tooling set (obs, bench, xtask, the auditor
+//! itself) are skipped entirely; everywhere else the pass taints
+//! source-derived variables and checks the same sink set as SA001.
+
+use std::collections::BTreeSet;
+
+use stacksim_lint::{Report, Severity};
+
+use crate::ast::{self, SourceFile};
+use crate::model::{mentions_any, sinks, tainted_vars, FnCtx};
+use crate::passes::emit;
+
+pub const CODE: &str = "SA002";
+
+/// Files whose whole business is timing/telemetry or repo tooling.
+fn allowlisted(path: &str) -> bool {
+    path.starts_with("crates/obs/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("crates/xtask/")
+        || path.starts_with("crates/audit/")
+        || path.ends_with("/obs.rs")
+        || path.ends_with("/obs_report.rs")
+}
+
+/// Whether a path call reads an ambient-nondeterministic source.
+fn is_source(path: &[String]) -> bool {
+    let last = path.last().map(String::as_str).unwrap_or("");
+    let prev = path
+        .len()
+        .checked_sub(2)
+        .map(|i| path[i].as_str())
+        .unwrap_or("");
+    matches!(
+        (prev, last),
+        ("Instant", "now")
+            | ("SystemTime", "now")
+            | ("env", "var")
+            | ("env", "vars")
+            | ("env", "var_os")
+            | ("env", "vars_os")
+            | ("process", "id")
+    ) || matches!(last, "temp_dir" | "available_parallelism")
+}
+
+/// Whether a token range contains a source call.
+fn range_has_source(cx: &FnCtx, r: std::ops::Range<usize>) -> bool {
+    ast::path_calls(cx.toks(), r)
+        .iter()
+        .any(|p| is_source(&p.path))
+}
+
+pub fn run(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        if allowlisted(&file.path) {
+            continue;
+        }
+        for func in file.functions.iter().filter(|f| !f.is_test) {
+            let cx = FnCtx::new(file, func);
+            if !range_has_source(&cx, func.body.clone()) {
+                continue;
+            }
+            let tainted = tainted_vars(&cx, BTreeSet::new(), range_has_source);
+            for sink in sinks(&cx) {
+                let direct = range_has_source(&cx, sink.args.clone());
+                let via_var = mentions_any(&cx.idents(sink.args.clone()), &tainted);
+                if direct || via_var {
+                    emit(
+                        report,
+                        file,
+                        CODE,
+                        Severity::Error,
+                        sink.line,
+                        format!(
+                            "{} in fn `{}` depends on wall-clock/environment state; \
+                             digests and artifacts must be pure functions of the config",
+                            sink.what, cx.func.qual
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lex::lex;
+
+    fn findings(path: &str, src: &str) -> usize {
+        let sf = parse(path, lex(src));
+        let mut r = Report::new();
+        run(&[sf], &mut r);
+        r.diagnostics().len()
+    }
+
+    #[test]
+    fn clock_into_digest_is_flagged() {
+        let src = "fn f() -> u64 {
+            let t = Instant::now();
+            let nanos = t;
+            let mut d = Digest::new();
+            d.u64(nanos);
+            d.finish()
+        }";
+        assert_eq!(findings("crates/core/src/x.rs", src), 1);
+    }
+
+    #[test]
+    fn env_var_into_json_is_flagged() {
+        let src = "fn f() -> String {
+            let host = std::env::var(\"HOST\").unwrap_or_default();
+            encode(&host)
+        }";
+        assert_eq!(findings("crates/core/src/x.rs", src), 1);
+    }
+
+    #[test]
+    fn timing_without_sink_is_clean_and_obs_is_allowlisted() {
+        let timed = "fn f() -> f64 {
+            let t = Instant::now();
+            run_things();
+            t.elapsed().as_secs_f64()
+        }";
+        assert_eq!(findings("crates/core/src/x.rs", timed), 0);
+        let obs = "fn f() -> String {
+            let t = Instant::now();
+            encode(&t)
+        }";
+        assert_eq!(findings("crates/obs/src/x.rs", obs), 0);
+    }
+}

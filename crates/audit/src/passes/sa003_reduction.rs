@@ -1,0 +1,155 @@
+//! SA003 — unordered float reductions in the thermal/mem kernels.
+//!
+//! Float addition is not associative, so a `.sum::<f64>()` or `fold` is
+//! only reproducible when its iteration order is fixed. Slice and `Vec`
+//! iteration is ordered by construction — the solver's partial-table
+//! sums (`dot_row`, per-row partial folds) are deterministic and not
+//! flagged. What this pass rejects is:
+//!
+//! * **error** — any `sum`/`product`/`fold` whose receiver chain is
+//!   rooted in `HashMap`/`HashSet` iteration (float or not for `fold`,
+//!   float-typed for `sum`/`product`; integer wrapping sums over maps are
+//!   order-insensitive and allowed);
+//! * **warning** — a float-typed reduction over a `keys`/`values`/`drain`
+//!   chain whose source container cannot be classified, outside the
+//!   fixed-order helper allowlist (`dot_row`, `*partial*` functions).
+
+use std::collections::BTreeSet;
+
+use stacksim_lint::{Report, Severity};
+
+use crate::ast::{MethodCall, SourceFile};
+use crate::lex::Tok;
+use crate::model::{map_vars, mentions_any, range_has_unordered_iter, tainted_vars, FnCtx};
+use crate::passes::emit;
+
+pub const CODE: &str = "SA003";
+
+const REDUCTIONS: [&str; 3] = ["sum", "product", "fold"];
+
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/thermal/src/") || path.starts_with("crates/mem/src/")
+}
+
+/// Fixed-order reduction helpers exempt from the warning tier.
+fn allowlisted_fn(name: &str) -> bool {
+    name == "dot_row" || name.contains("partial")
+}
+
+/// Whether the reduction is float-typed: `::<f64>` turbofish or a `fold`
+/// seeded with a float literal.
+fn is_float_reduction(cx: &FnCtx, call: &MethodCall) -> bool {
+    if call.turbofish.iter().any(|t| t == "f64" || t == "f32") {
+        return true;
+    }
+    call.name == "fold"
+        && cx.toks()[call.args.clone()]
+            .first()
+            .is_some_and(|t| matches!(&t.kind, Tok::Num(n) if n.contains('.')))
+}
+
+pub fn run(files: &[SourceFile], report: &mut Report) {
+    for file in files {
+        if !in_scope(&file.path) {
+            continue;
+        }
+        for func in file.functions.iter().filter(|f| !f.is_test) {
+            let cx = FnCtx::new(file, func);
+            let maps = map_vars(&cx);
+            let tainted = tainted_vars(&cx, BTreeSet::new(), |cx, r| {
+                range_has_unordered_iter(cx, r, &maps)
+            });
+            for call in &cx.calls {
+                if !REDUCTIONS.contains(&call.name.as_str()) {
+                    continue;
+                }
+                let toks = cx.toks();
+                let recv_ids = call.recv_idents(toks);
+                let float = is_float_reduction(&cx, call);
+                let map_rooted = mentions_any(&recv_ids, &maps)
+                    || recv_ids.iter().any(|i| cx.file.map_fields.contains(*i))
+                    || mentions_any(&recv_ids, &tainted);
+                if map_rooted && (float || call.name == "fold") {
+                    emit(
+                        report,
+                        file,
+                        CODE,
+                        Severity::Error,
+                        call.line,
+                        format!(
+                            "`.{}` in fn `{}` reduces over HashMap/HashSet iteration order; \
+                             accumulate over a sorted view or use a fixed-order partial fold",
+                            call.name, cx.func.qual
+                        ),
+                    );
+                } else if float
+                    && !allowlisted_fn(&cx.func.name)
+                    && recv_ids
+                        .iter()
+                        .any(|i| matches!(*i, "keys" | "values" | "drain"))
+                {
+                    emit(
+                        report,
+                        file,
+                        CODE,
+                        Severity::Warning,
+                        call.line,
+                        format!(
+                            "float `.{}` in fn `{}` over a keys/values chain of unknown order; \
+                             prove the source ordered or move into a fixed-order helper",
+                            call.name, cx.func.qual
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lex::lex;
+
+    fn severities(src: &str) -> Vec<Severity> {
+        let sf = parse("crates/thermal/src/x.rs", lex(src));
+        let mut r = Report::new();
+        run(&[sf], &mut r);
+        r.diagnostics().iter().map(|d| d.severity).collect()
+    }
+
+    #[test]
+    fn map_float_sum_errors_slice_sum_is_clean() {
+        let sev = severities(
+            "fn bad(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }
+             fn good(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }
+             fn dot_row(row: &[f64], x: &[f64]) -> f64 {
+                 row.iter().zip(x).map(|(a, b)| a * b).sum::<f64>()
+             }",
+        );
+        assert_eq!(sev, vec![Severity::Error]);
+    }
+
+    #[test]
+    fn map_fold_errors_int_map_sum_is_clean() {
+        let sev = severities(
+            "fn bad(m: &HashMap<u32, f64>) -> f64 {
+                 m.values().fold(0.0, |a, b| a + b)
+             }
+             fn ok(m: &HashMap<u32, u64>) -> u64 { m.values().sum() }",
+        );
+        assert_eq!(sev, vec![Severity::Error]);
+    }
+
+    #[test]
+    fn out_of_scope_files_are_skipped() {
+        let sf = parse(
+            "crates/core/src/x.rs",
+            lex("fn f(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }"),
+        );
+        let mut r = Report::new();
+        run(&[sf], &mut r);
+        assert!(r.is_clean());
+    }
+}

@@ -16,7 +16,7 @@ fn ablate_deps() {
     let trace = RmsBenchmark::Pcg.generate(&WorkloadParams::test());
     let run = |ignore: bool| {
         let mut e = Engine::new(
-            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             EngineConfig::builder().ignore_deps(ignore).build(),
         );
         e.run(&trace).cpma
@@ -40,7 +40,10 @@ fn ablate_page_policy() {
         if let StackedLevel::Dram { dram, .. } = &mut cfg.stacked {
             *dram = DramConfig { open_rows, ..*dram };
         }
-        let mut e = Engine::new(MemoryHierarchy::new(cfg), EngineConfig::default());
+        let mut e = Engine::new(
+            MemoryHierarchy::new(cfg).expect("valid preset"),
+            EngineConfig::default(),
+        );
         e.run(&trace).cpma
     };
     let cached = run(4);
@@ -81,7 +84,10 @@ fn ablate_fill_latency() {
     let run = |fill: bool| {
         let mut cfg = HierarchyConfig::core2_baseline();
         cfg.fill_latency = fill;
-        let mut e = Engine::new(MemoryHierarchy::new(cfg), EngineConfig::default());
+        let mut e = Engine::new(
+            MemoryHierarchy::new(cfg).expect("valid preset"),
+            EngineConfig::default(),
+        );
         e.run(&trace).cpma
     };
     let optimistic = run(false);

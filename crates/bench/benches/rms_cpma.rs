@@ -20,7 +20,10 @@ fn main() {
     println!("({} references per run)", trace.len());
     for (mb, cfg) in HierarchyConfig::fig7_options() {
         bench(&format!("hierarchy_simulation/{mb}MB"), || {
-            let mut e = Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
+            let mut e = Engine::new(
+                MemoryHierarchy::new(cfg.clone()).expect("valid preset"),
+                EngineConfig::default(),
+            );
             e.run(&trace)
         });
     }

@@ -32,7 +32,13 @@ fn main() {
             100.0 * path.ratio()
         );
     }
-    let folded = folded_p4();
+    let folded = match folded_p4() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fold failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let d0 = &folded.dies()[0];
     println!(
         "Fig. 10 3D: two dies of {:.1} x {:.1} mm ({:.0}% footprint), {:.1} W total \

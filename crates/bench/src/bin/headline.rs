@@ -67,12 +67,15 @@ fn main() {
         );
     }
     if let Some(Artifact::Table5(rows)) = outcome.artifacts.get("table5").map(|a| a.as_ref()) {
-        let st = rows.iter().find(|r| r.label == "Same Temp").expect("row");
-        println!(
-            "thermal-neutral scale : {:>6.0}% power, {:+.0}% perf  (paper: -34% power, +8% perf)",
-            st.power_pct - 100.0,
-            st.perf_pct - 100.0
-        );
+        if let Some(st) = rows.iter().find(|r| r.label == "Same Temp") {
+            println!(
+                "thermal-neutral scale : {:>6.0}% power, {:+.0}% perf  (paper: -34% power, +8% perf)",
+                st.power_pct - 100.0,
+                st.perf_pct - 100.0
+            );
+        } else {
+            eprintln!("table5 artifact is missing its 'Same Temp' row");
+        }
     }
     if !outcome.errors.is_empty() {
         std::process::exit(1);

@@ -175,8 +175,8 @@ fn bench_thermal(opts: &BenchOptions, samples: usize) -> Result<Json, String> {
         warm_start: true,
     };
 
-    let (stack, _) = fig3_stack(&base_cfg);
     let ny = (base_cfg.nx * 17 / 20).max(1);
+    let (stack, _) = fig3_stack(&base_cfg).map_err(|e| e.to_string())?;
     let cells = base_cfg.nx * ny * stack.layers().len();
     let ratio = |num: &ThermalLeg, den: &ThermalLeg| {
         if den.sample.median_s > 0.0 {
@@ -246,8 +246,17 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
     let records = trace.len() as f64;
 
     let cfg = HierarchyConfig::stacked_dram_32mb();
+    // Build (and thereby validate) the hierarchy once; each timed
+    // iteration starts from a clone of the cold prototype.
+    let proto = match MemoryHierarchy::new(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("stacked_dram_32mb preset rejected: {e}");
+            return Json::obj(vec![("error", Json::Str(e.to_string()))]);
+        }
+    };
     let engine_sample = bench_n("hierarchy_simulation/gauss_32mb", samples, || {
-        let mut e = Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
+        let mut e = Engine::new(proto.clone(), EngineConfig::default());
         e.run(&trace)
     });
 
@@ -257,7 +266,7 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
     // relaxed atomic load per call site.
     stacksim_obs::enable();
     let engine_obs_sample = bench_n("hierarchy_simulation/gauss_32mb_obs", samples, || {
-        let mut e = Engine::new(MemoryHierarchy::new(cfg.clone()), EngineConfig::default());
+        let mut e = Engine::new(proto.clone(), EngineConfig::default());
         e.run(&trace)
     });
     stacksim_obs::disable();

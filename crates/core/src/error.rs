@@ -17,6 +17,12 @@ use stacksim_thermal::SolveError;
 pub enum Error {
     /// The thermal solver failed (empty stack, bad power map, CG stall).
     Solve(SolveError),
+    /// A memory-system configuration was rejected by validation before a
+    /// hierarchy or engine could be built from it.
+    Config(stacksim_mem::ConfigError),
+    /// The logic+logic floorplan fold failed (a block could not be
+    /// packed onto either die at the configured slack).
+    Fold(stacksim_floorplan::FoldError),
     /// A filesystem operation of the memo cache or run report failed.
     Io {
         /// The path being read or written.
@@ -122,6 +128,8 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Solve(e) => write!(f, "thermal solve failed: {e}"),
+            Error::Config(e) => write!(f, "invalid memory configuration: {e}"),
+            Error::Fold(e) => write!(f, "floorplan fold failed: {e}"),
             Error::Io { path, source } => {
                 write!(f, "i/o error at {}: {source}", path.display())
             }
@@ -197,6 +205,8 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Solve(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Fold(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             _ => None,
         }
@@ -206,6 +216,18 @@ impl std::error::Error for Error {
 impl From<SolveError> for Error {
     fn from(e: SolveError) -> Self {
         Error::Solve(e)
+    }
+}
+
+impl From<stacksim_mem::ConfigError> for Error {
+    fn from(e: stacksim_mem::ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<stacksim_floorplan::FoldError> for Error {
+    fn from(e: stacksim_floorplan::FoldError) -> Self {
+        Error::Fold(e)
     }
 }
 
@@ -224,6 +246,8 @@ impl Error {
     pub fn kind(&self) -> &'static str {
         match self {
             Error::Solve(_) => "solve",
+            Error::Config(_) => "config",
+            Error::Fold(_) => "fold",
             Error::Io { .. } => "io",
             Error::CacheCorrupt { .. } => "cache-corrupt",
             Error::UnknownExperiment { .. } => "unknown-experiment",

@@ -127,9 +127,11 @@ fn thermal_model(options: &[StackOption]) -> Model {
 }
 
 /// The model of the logic+logic fold experiments (fig3/fig11/table5).
-fn fold_model(with_worst_case: bool, with_wires: bool) -> Model {
+/// `None` if the fold itself fails — the preflight then has no model to
+/// check and lets the experiment surface the fold error at run time.
+fn fold_model(with_worst_case: bool, with_wires: bool) -> Option<Model> {
     let planar = pentium4_147w();
-    let folded = folded_p4();
+    let folded = folded_p4().ok()?;
     let mut m = Model::new();
     m.thermal.push(ThermalDesc::from_stack(
         "folded.stack",
@@ -152,7 +154,7 @@ fn fold_model(with_worst_case: bool, with_wires: bool) -> Model {
         power_scale: FOLD_POWER_SCALE,
     });
     m.solvers.push(("solver".into(), SolverConfig::default()));
-    m
+    Some(m)
 }
 
 /// The model of the Table 4 pipeline study.
@@ -283,7 +285,7 @@ fn audit_registered_names(registered: &[String]) -> Report {
 /// preflight lets them through.
 pub fn model_for(name: &str, params: &WorkloadParams) -> Option<Model> {
     match name {
-        "fig3" => Some(fold_model(false, false)),
+        "fig3" => fold_model(false, false),
         "fig5" | "headline" => {
             let mut m = Model::new();
             m.workloads.push(("params".into(), *params));
@@ -291,9 +293,9 @@ pub fn model_for(name: &str, params: &WorkloadParams) -> Option<Model> {
         }
         "fig6" => Some(thermal_model(&[StackOption::Planar4M])),
         "fig8" => Some(thermal_model(&StackOption::all())),
-        "fig11" => Some(fold_model(true, true)),
+        "fig11" => fold_model(true, true),
         "table4" => Some(table4_model(params)),
-        "table5" => Some(fold_model(false, false)),
+        "table5" => fold_model(false, false),
         _ if name.starts_with("fig5:") => Some(memory_model(params)),
         _ => None,
     }

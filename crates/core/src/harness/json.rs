@@ -342,7 +342,9 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                _ => unreachable!("loop stops only on quote or backslash"),
+                // the fast-forward loop stops only on a quote or a
+                // backslash, but a structural error beats a worker panic
+                _ => return Err("unterminated string".into()),
             }
         }
     }
@@ -356,7 +358,8 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid utf-8 in number at byte {start}"))?;
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number '{text}' at byte {start}"))

@@ -165,6 +165,8 @@ pub(super) fn dispatch_fault(experiment: &str) -> Result<(), Error> {
         return Ok(());
     }
     match stacksim_faults::check(SITE_DISPATCH, experiment) {
+        // audit:allow(SA006) the injected panic is the product: the runner's
+        // catch_unwind must observe a real unwind to exercise recovery
         Some(Fault::Panic) => panic!("injected panic in experiment '{experiment}'"),
         Some(Fault::Stall { ms }) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));

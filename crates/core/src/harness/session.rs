@@ -563,11 +563,19 @@ impl Sim {
             });
         }
         if let Some(slot) = st.inflight.get(&key) {
-            self.inner.dedup_hits.fetch_add(1, Ordering::Relaxed);
-            if stacksim_obs::enabled() {
-                stacksim_obs::counter(super::obs::SERVE_DEDUP_HITS).add(1);
+            if matches!(&*slot.lock(), SlotState::Done(_)) {
+                // the batch finished this slot but the scheduler has not
+                // swept it out of the dedup table yet; a post-completion
+                // resubmission is new work (a cache hit at most), never a
+                // stale dedup hit
+                st.inflight.remove(&key);
+            } else {
+                self.inner.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                if stacksim_obs::enabled() {
+                    stacksim_obs::counter(super::obs::SERVE_DEDUP_HITS).add(1);
+                }
+                return Ok(RequestHandle { slot: slot.clone() });
             }
-            return Ok(RequestHandle { slot: slot.clone() });
         }
         let slot = Arc::new(Slot {
             id: st.next_id,
@@ -679,7 +687,9 @@ fn scheduler_loop(inner: &Inner) {
             // group the head request with every pending request sharing
             // its workload parameters and fault setting (submission order
             // is preserved for the rest)
-            let head = st.pending[0].clone();
+            let Some(head) = st.pending.first().cloned() else {
+                continue;
+            };
             let mut batch = Vec::new();
             let mut rest = Vec::new();
             for slot in std::mem::take(&mut st.pending) {
@@ -697,7 +707,31 @@ fn scheduler_loop(inner: &Inner) {
             batch
         };
 
-        run_batch(inner, &batch);
+        // a panic escaping the batch (a runner bug, a poisoned artifact)
+        // must not kill the scheduler thread: every handle into this batch
+        // would block in `wait()` forever, and every later submission
+        // would queue unserved. Contain it and fail the batch's slots.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(inner, &batch);
+        }));
+        if run.is_err() {
+            stacksim_faults::disarm();
+            for slot in &batch {
+                if matches!(&*slot.lock(), SlotState::Done(_)) {
+                    continue;
+                }
+                let mut report = missing_report(slot);
+                report.error = Some(format!(
+                    "scheduler batch panicked while running '{}'",
+                    slot.name
+                ));
+                report.error_kind = Some("worker-panic".to_string());
+                slot.finish(RequestOutcome {
+                    report,
+                    artifact: None,
+                });
+            }
+        }
 
         let mut st = inner.lock();
         st.running = 0;
@@ -745,18 +779,28 @@ fn run_batch(inner: &Inner, batch: &[Arc<Slot>]) {
 
     match result {
         Ok(outcome) => {
-            for slot in batch {
-                let report = outcome
-                    .report
-                    .entries
-                    .iter()
-                    .find(|e| e.name == slot.name)
-                    .cloned()
-                    .unwrap_or_else(|| missing_report(slot));
-                let artifact = outcome.artifacts.get(&slot.name).cloned();
-                slot.finish(RequestOutcome { report, artifact });
-            }
+            // extract every slot's view first, then record the batch
+            // outcome *before* finishing any slot: the instant `finish`
+            // wakes a waiter, the waiter may call `drain_outcomes` and
+            // must already see this batch there
+            let finished: Vec<RequestOutcome> = batch
+                .iter()
+                .map(|slot| {
+                    let report = outcome
+                        .report
+                        .entries
+                        .iter()
+                        .find(|e| e.name == slot.name)
+                        .cloned()
+                        .unwrap_or_else(|| missing_report(slot));
+                    let artifact = outcome.artifacts.get(&slot.name).cloned();
+                    RequestOutcome { report, artifact }
+                })
+                .collect();
             inner.lock().outcomes.push(outcome);
+            for (slot, out) in batch.iter().zip(finished) {
+                slot.finish(out);
+            }
         }
         Err(e) => {
             // a structural failure (unknown dep, cycle) fails every slot

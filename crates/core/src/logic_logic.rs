@@ -89,8 +89,14 @@ pub struct Fig11Point {
 }
 
 /// Builds the folded 3D floorplan used by Fig. 11 / Table 5.
-pub fn folded_p4() -> StackedFloorplan {
-    fold(&pentium4_147w(), FoldOptions::default()).expect("the P4 floorplan folds")
+///
+/// # Errors
+///
+/// Returns [`Error::Fold`] if the P4 floorplan cannot be packed onto
+/// two dies — impossible for the shipped floorplan (a unit test pins
+/// it), but propagated instead of panicking.
+pub fn folded_p4() -> Result<StackedFloorplan, Error> {
+    Ok(fold(&pentium4_147w(), FoldOptions::default())?)
 }
 
 fn solve_p4_stack(
@@ -158,7 +164,7 @@ pub fn fig11_with(cfg: SolverConfig) -> Result<(Vec<Fig11Point>, SolveStats), Er
     )?;
     stats.absorb(base.stats);
 
-    let folded = folded_p4();
+    let folded = folded_p4()?;
     let (folded_peak, s) = solve_p4_stack(&folded, 1.0, cfg)?;
     stats.absorb(s);
 
@@ -253,7 +259,7 @@ pub fn table5_with(cfg: SolverConfig) -> Result<(Vec<Table5Row>, SolveStats), Er
     stats.absorb(baseline.stats);
     let baseline_temp = baseline.field.peak();
 
-    let folded = folded_p4();
+    let folded = folded_p4()?;
     let model = ScalingModel::fig11_3d();
     // the folded floorplan already carries the 15% power saving; scale
     // factors below are relative to its 125 W nominal

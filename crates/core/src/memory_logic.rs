@@ -127,8 +127,8 @@ impl Headline {
 ///
 /// # Errors
 ///
-/// Currently infallible, but returns [`enum@Error`] like every other study
-/// entry point so the harness can treat all experiments uniformly.
+/// Returns [`Error::Config`] if an option's hierarchy preset fails
+/// validation; otherwise infallible.
 pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Result<Fig5Row, Error> {
     Ok(run_benchmark_instrumented(benchmark, params)?.0)
 }
@@ -139,7 +139,7 @@ pub fn run_benchmark(benchmark: RmsBenchmark, params: &WorkloadParams) -> Result
 ///
 /// # Errors
 ///
-/// Currently infallible; see [`run_benchmark`].
+/// See [`run_benchmark`].
 pub fn run_benchmark_instrumented(
     benchmark: RmsBenchmark,
     params: &WorkloadParams,
@@ -150,7 +150,7 @@ pub fn run_benchmark_instrumented(
     let mut telemetry = [MemTelemetry::default(); 4];
     for (i, option) in StackOption::all().into_iter().enumerate() {
         let mut engine = Engine::new(
-            MemoryHierarchy::new(option.hierarchy()),
+            MemoryHierarchy::new(option.hierarchy())?,
             EngineConfig::default(),
         );
         let result = engine.run_warmed(&trace, WARMUP_FRACTION);
@@ -173,7 +173,7 @@ pub fn run_benchmark_instrumented(
 ///
 /// # Errors
 ///
-/// Currently infallible; see [`run_benchmark`].
+/// See [`run_benchmark`].
 pub fn fig5(params: &WorkloadParams) -> Result<Fig5Data, Error> {
     Ok(Fig5Data {
         rows: RmsBenchmark::all()

@@ -64,7 +64,7 @@ pub fn fig3_instrumented() -> Result<(Fig3Data, SolveStats), Error> {
 ///
 /// Propagates the first solver failure.
 pub fn fig3_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
-    let (stack, bc) = fig3_stack(&cfg);
+    let (stack, bc) = fig3_stack(&cfg)?;
     let ks = fig3_conductivities();
     let mut stats = SolveStats::default();
     // "the traditional metal stack on the two die": both metal layers
@@ -86,7 +86,7 @@ pub fn fig3_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
 ///
 /// Propagates the first solver failure.
 pub fn fig3_reference(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
-    let (stack, bc) = fig3_stack(&cfg);
+    let (stack, bc) = fig3_stack(&cfg)?;
     let ks = fig3_conductivities();
     let mut stats = SolveStats::default();
     let mut sweep_ref = |layers: &[&str]| -> Result<Vec<SweepPoint>, Error> {
@@ -94,7 +94,9 @@ pub fn fig3_reference(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error
         for &k in &ks {
             let mut swept = stack.clone();
             for name in layers {
-                swept = swept.with_layer_conductivity(name, k);
+                swept = swept
+                    .with_layer_conductivity(name, k)
+                    .map_err(Error::from)?;
             }
             let sol = stacksim_thermal::reference::solve_with_stats(&swept, bc, cfg)?;
             stats.absorb(sol.stats);
@@ -120,7 +122,7 @@ pub fn fig3_reference(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error
 ///
 /// Propagates the first solver failure.
 pub fn fig3_cold_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error> {
-    let (stack, bc) = fig3_stack(&cfg);
+    let (stack, bc) = fig3_stack(&cfg)?;
     let ks = fig3_conductivities();
     let mut stats = SolveStats::default();
     let mut sweep_cold = |layers: &[&str]| -> Result<Vec<SweepPoint>, Error> {
@@ -128,7 +130,9 @@ pub fn fig3_cold_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error
         for &k in &ks {
             let mut swept = stack.clone();
             for name in layers {
-                swept = swept.with_layer_conductivity(name, k);
+                swept = swept
+                    .with_layer_conductivity(name, k)
+                    .map_err(Error::from)?;
             }
             let sol = stacksim_thermal::solve_with_stats(&swept, bc, cfg)?;
             stats.absorb(sol.stats);
@@ -147,8 +151,8 @@ pub fn fig3_cold_with(cfg: SolverConfig) -> Result<(Fig3Data, SolveStats), Error
 /// The two-die stack and boundary condition both Fig. 3 sweeps run over.
 /// Public so `stacksim bench` can report the grid it timed (layer count,
 /// cell count) without duplicating the construction.
-pub fn fig3_stack(cfg: &SolverConfig) -> (LayerStack, Boundary) {
-    let folded = folded_p4();
+pub fn fig3_stack(cfg: &SolverConfig) -> Result<(LayerStack, Boundary), Error> {
+    let folded = folded_p4()?;
     let d0 = &folded.dies()[0];
     let d1 = &folded.dies()[1];
     let ny = (cfg.nx * 17 / 20).max(1);
@@ -161,7 +165,7 @@ pub fn fig3_stack(cfg: &SolverConfig) -> (LayerStack, Boundary) {
         d1.power_grid(cfg.nx, ny),
         false,
     );
-    (stack, bc)
+    Ok((stack, bc))
 }
 
 #[cfg(test)]

@@ -107,7 +107,7 @@ pub fn fold(planar: &Floorplan, opts: FoldOptions) -> Result<StackedFloorplan, F
         }
     }
     // place largest blocks first (the worklist pops from the back)
-    pending.sort_by(|a, b| a.rect().area().partial_cmp(&b.rect().area()).unwrap());
+    pending.sort_by(|a, b| a.rect().area().total_cmp(&b.rect().area()));
 
     let mut dies = [
         Placer::new(die_w, die_h, opts),
@@ -324,7 +324,7 @@ impl Placer {
 
     fn place(&mut self, b: &Block, (x, y): (f64, f64)) -> &Block {
         self.blocks.push(b.placed_at(x, y));
-        self.blocks.last().expect("just pushed")
+        &self.blocks[self.blocks.len() - 1]
     }
 
     fn block_at(&self, x: f64, y: f64) -> Option<usize> {

@@ -96,14 +96,15 @@ impl StackedFloorplan {
     }
 
     /// The element-wise sum of all dies' power grids: the vertical heat
-    /// column each footprint cell must dissipate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stack is empty.
+    /// column each footprint cell must dissipate. An empty stack (which
+    /// [`StackedFloorplan::validate`] rejects) yields an all-zero grid
+    /// with a degenerate footprint.
     pub fn combined_power_grid(&self, nx: usize, ny: usize) -> PowerGrid {
         let mut it = self.dies.iter();
-        let first = it.next().expect("non-empty stack").power_grid(nx, ny);
+        let Some(first) = it.next() else {
+            return PowerGrid::zero(nx, ny, 0.0, 0.0);
+        };
+        let first = first.power_grid(nx, ny);
         it.fold(first, |acc, d| acc.stacked_with(&d.power_grid(nx, ny)))
     }
 

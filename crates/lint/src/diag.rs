@@ -10,6 +10,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// Schema tag stamped on every JSON diagnostic report, shared by
+/// `stacksim check --format json` and `cargo xtask audit --format json`
+/// so one consumer parses both.
+pub const DIAG_SCHEMA: &str = "stacksim-diag/1";
+
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -164,11 +169,12 @@ impl Report {
         out
     }
 
-    /// Machine-readable JSON rendering: a single object with a
-    /// `diagnostics` array plus `errors`/`warnings` counts. Output order is
-    /// the recording order, so it is deterministic for a fixed model.
+    /// Machine-readable JSON rendering: a single object tagged with the
+    /// [`DIAG_SCHEMA`] version, a `diagnostics` array and
+    /// `errors`/`warnings` counts. Output order is the recording order,
+    /// so it is deterministic for a fixed model.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"diagnostics\":[");
+        let mut out = format!("{{\"schema\":{},\"diagnostics\":[", json_str(DIAG_SCHEMA));
         for (i, d) in self.diags.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -241,6 +247,7 @@ mod tests {
         let mut r = Report::new();
         r.warn("SL010", "stack.layer \"tim\"", "odd\norder");
         let json = r.render_json();
+        assert!(json.starts_with("{\"schema\":\"stacksim-diag/1\","));
         assert!(json.contains("\\\"tim\\\""));
         assert!(json.contains("\\n"));
         assert!(json.contains("\"errors\":0"));

@@ -38,7 +38,7 @@ pub mod model;
 pub mod pass;
 pub mod passes;
 
-pub use diag::{Diagnostic, Report, Severity};
+pub use diag::{Diagnostic, Report, Severity, DIAG_SCHEMA};
 pub use model::{
     BlockDesc, DieDesc, FaultSiteDesc, FoldDesc, LayerDesc, Model, ObsTableDesc, PowerDesc,
     StackDesc, ThermalDesc, WireDesc, WirePairDesc,

@@ -1,7 +1,7 @@
 //! A set-associative, write-back, write-allocate cache model with optional
 //! sectored lines and true-LRU replacement.
 
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, ConfigError};
 
 /// A line evicted by an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,24 +57,24 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Builds a cache from a validated configuration.
+    /// Builds a cache from a configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration does not pass
-    /// [`CacheConfig::validate`].
-    pub fn new(cfg: CacheConfig) -> Self {
-        cfg.validate().expect("invalid cache configuration");
+    /// Returns the [`ConfigError`] from [`CacheConfig::validate`] if the
+    /// configuration is rejected.
+    pub fn new(cfg: CacheConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let sets = cfg.num_sets();
         let ways = cfg.ways as usize;
-        Cache {
+        Ok(Cache {
             lines: vec![None; sets as usize * ways],
             recency: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
             set_mask: sets - 1,
             line_shift: cfg.line_size.trailing_zeros(),
             sector_shift: cfg.sector_size().trailing_zeros(),
             cfg,
-        }
+        })
     }
 
     /// The configuration this cache was built from.
@@ -105,12 +105,11 @@ impl Cache {
     }
 
     fn touch(&mut self, set: usize, way: u8) {
+        // Every set's stack permanently holds all way indices, so the
+        // retain is always a single removal; written this way there is
+        // no panic path if that invariant ever broke.
         let stack = &mut self.recency[set];
-        let pos = stack
-            .iter()
-            .position(|&w| w == way)
-            .expect("way in recency stack");
-        stack.remove(pos);
+        stack.retain(|&w| w != way);
         stack.insert(0, way);
     }
 
@@ -144,8 +143,10 @@ impl Cache {
                 }
             }
         }
-        // miss: pick LRU victim
-        let victim_way = *self.recency[set].last().expect("non-empty recency stack");
+        // miss: pick LRU victim. The stack always holds all ways (ways
+        // >= 1 is validated), so the fallback to way 0 is dead code kept
+        // only to avoid a panic path.
+        let victim_way = self.recency[set].last().copied().unwrap_or(0);
         let idx = set * ways + victim_way as usize;
         let evicted = self.lines[idx].map(|line| Evicted {
             line_addr: self.line_addr(set, line.tag),
@@ -188,9 +189,8 @@ impl Cache {
                     self.lines[idx] = None;
                     // demote to LRU so the slot is reused first
                     let stack = &mut self.recency[set];
-                    let pos = stack.iter().position(|&x| x == w as u8).unwrap();
-                    let way = stack.remove(pos);
-                    stack.push(way);
+                    stack.retain(|&x| x != w as u8);
+                    stack.push(w as u8);
                     return Some(dirty);
                 }
             }
@@ -217,6 +217,7 @@ mod tests {
             latency: 1,
             sectors: 1,
         })
+        .expect("valid test config")
     }
 
     #[test]
@@ -304,7 +305,8 @@ mod tests {
             ways: 1,
             latency: 1,
             sectors: 8,
-        });
+        })
+        .expect("valid test config");
         assert!(matches!(c.access(0x1000, false), Lookup::Miss(None)));
         assert!(c.access(0x1000, false).is_hit(), "sector 0 valid");
         assert!(

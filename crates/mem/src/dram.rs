@@ -4,7 +4,7 @@
 //! and the DDR main memory (4 KB pages, 16 banks). Timing follows Table 3:
 //! page open 50, precharge 54, read 50 cycles.
 
-use crate::config::{Cycles, DramConfig};
+use crate::config::{ConfigError, Cycles, DramConfig};
 
 /// Which page-state case a DRAM access hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,18 +55,19 @@ pub struct DramArray {
 }
 
 impl DramArray {
-    /// Builds the array from a validated configuration.
+    /// Builds the array from a configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration does not pass [`DramConfig::validate`].
-    pub fn new(cfg: DramConfig) -> Self {
-        cfg.validate().expect("invalid DRAM configuration");
-        DramArray {
+    /// Returns the [`ConfigError`] from [`DramConfig::validate`] if the
+    /// configuration is rejected.
+    pub fn new(cfg: DramConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(DramArray {
             banks: vec![Bank::default(); cfg.banks as usize],
             cfg,
             outcomes: [0; 3],
-        }
+        })
     }
 
     /// The configuration of this array.
@@ -151,6 +152,7 @@ mod tests {
             timing: DramTiming::table3(),
             open_rows: 1,
         })
+        .expect("valid test config")
     }
 
     #[test]

@@ -416,7 +416,7 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::new(
-            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             EngineConfig::default(),
         )
     }
@@ -507,7 +507,7 @@ mod tests {
         }
         let t = b.build();
         let mut e = Engine::new(
-            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             EngineConfig {
                 ignore_deps: true,
                 ..EngineConfig::default()
@@ -515,7 +515,7 @@ mod tests {
         );
         let overlapped = e.run(&t).cpma;
         let mut e = Engine::new(
-            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             EngineConfig::default(),
         );
         let serial = e.run(&t).cpma;
@@ -534,7 +534,7 @@ mod tests {
         }
         let t = b.build();
         let mut e = Engine::new(
-            MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             EngineConfig {
                 window: 1,
                 ..EngineConfig::default()
@@ -653,11 +653,15 @@ mod tests {
     }
 
     fn assert_stream_matches_run(cfg: EngineConfig, t: &Trace, dep_window: usize) {
-        let mut batch_engine =
-            Engine::new(MemoryHierarchy::new(HierarchyConfig::core2_baseline()), cfg);
+        let mut batch_engine = Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
+            cfg,
+        );
         let batch = batch_engine.run(t);
-        let mut stream_engine =
-            Engine::new(MemoryHierarchy::new(HierarchyConfig::core2_baseline()), cfg);
+        let mut stream_engine = Engine::new(
+            MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
+            cfg,
+        );
         let stream = stream_engine.run_stream(t.iter().copied(), dep_window);
         assert_eq!(batch.total_cycles, stream.total_cycles, "cfg {cfg:?}");
         assert_eq!(batch.offdie_bytes, stream.offdie_bytes, "cfg {cfg:?}");

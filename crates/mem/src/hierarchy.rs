@@ -11,7 +11,7 @@ use stacksim_trace::{CpuId, MemOp};
 
 use crate::bus::Bus;
 use crate::cache::{Cache, Evicted, Lookup};
-use crate::config::{Cycles, HierarchyConfig, StackedLevel};
+use crate::config::{ConfigError, Cycles, HierarchyConfig, StackedLevel};
 use crate::dram::DramArray;
 use crate::obs::HierObs;
 use crate::stats::HierarchyStats;
@@ -65,33 +65,37 @@ pub struct MemoryHierarchy {
 }
 
 impl MemoryHierarchy {
-    /// Builds the hierarchy from a validated configuration.
+    /// Builds the hierarchy from a configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration does not pass
-    /// [`HierarchyConfig::validate`].
-    pub fn new(cfg: HierarchyConfig) -> Self {
-        cfg.validate().expect("invalid hierarchy configuration");
+    /// Returns the [`ConfigError`] from [`HierarchyConfig::validate`]
+    /// if any level's configuration is rejected.
+    pub fn new(cfg: HierarchyConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let stacked = match &cfg.stacked {
             StackedLevel::None => None,
             StackedLevel::Dram { cache, dram } => Some(StackedDram {
-                tags: Cache::new(*cache),
-                data: DramArray::new(*dram),
+                tags: Cache::new(*cache)?,
+                data: DramArray::new(*dram)?,
             }),
         };
-        MemoryHierarchy {
-            l1i: (0..cfg.cpus).map(|_| Cache::new(cfg.l1i)).collect(),
-            l1d: (0..cfg.cpus).map(|_| Cache::new(cfg.l1d)).collect(),
-            l2: cfg.l2.map(Cache::new),
+        Ok(MemoryHierarchy {
+            l1i: (0..cfg.cpus)
+                .map(|_| Cache::new(cfg.l1i))
+                .collect::<Result<_, _>>()?,
+            l1d: (0..cfg.cpus)
+                .map(|_| Cache::new(cfg.l1d))
+                .collect::<Result<_, _>>()?,
+            l2: cfg.l2.map(Cache::new).transpose()?,
             stacked,
             bus: Bus::new(cfg.bus),
-            memory: DramArray::new(cfg.memory.dram),
+            memory: DramArray::new(cfg.memory.dram)?,
             inflight: HashMap::new(),
             stats: HierarchyStats::default(),
             obs: HierObs::new(),
             cfg,
-        }
+        })
     }
 
     /// The configuration this hierarchy was built from.
@@ -158,8 +162,7 @@ impl MemoryHierarchy {
 
         // ---- L2 ----
         let mut t = t;
-        if self.l2.is_some() {
-            let l2 = self.l2.as_mut().expect("l2 present");
+        if let Some(l2) = self.l2.as_mut() {
             t += l2.config().latency;
             // L1 is write-back, so a store miss *fills* L2 clean; the
             // line only becomes dirty in L2 when the L1 copy is written
@@ -185,23 +188,11 @@ impl MemoryHierarchy {
         }
 
         // ---- stacked cache ----
-        if self.stacked.is_some() {
-            let tag_latency = self
-                .stacked
-                .as_ref()
-                .map(|s| s.tags.config().latency)
-                .expect("stacked present");
-            t += tag_latency;
-            let lookup = self
-                .stacked
-                .as_mut()
-                .expect("stacked present")
-                .tags
-                .access(addr, false);
-            match lookup {
+        if let Some(s) = self.stacked.as_mut() {
+            t += s.tags.config().latency;
+            match s.tags.access(addr, false) {
                 Lookup::Hit => {
                     // data access on the top die
-                    let s = self.stacked.as_mut().expect("stacked present");
                     let acc = s.data.access(addr, t);
                     self.stats.stacked_hits += 1;
                     self.obs.stacked_hits.inc();
@@ -302,13 +293,8 @@ impl MemoryHierarchy {
                 Lookup::Miss(Some(victim)) => self.handle_l2_eviction(victim, at),
                 Lookup::Miss(None) => {}
             }
-        } else if self.stacked.is_some() {
-            let lookup = self
-                .stacked
-                .as_mut()
-                .expect("stacked present")
-                .tags
-                .access(ev.line_addr, true);
+        } else if let Some(s) = self.stacked.as_mut() {
+            let lookup = s.tags.access(ev.line_addr, true);
             match lookup {
                 // the write lands via the write buffer; no bank occupancy
                 Lookup::Hit | Lookup::SectorMiss => {}
@@ -333,13 +319,8 @@ impl MemoryHierarchy {
         if !dirty {
             return;
         }
-        if self.stacked.is_some() {
-            let lookup = self
-                .stacked
-                .as_mut()
-                .expect("stacked present")
-                .tags
-                .access(ev.line_addr, true);
+        if let Some(s) = self.stacked.as_mut() {
+            let lookup = s.tags.access(ev.line_addr, true);
             match lookup {
                 // the write lands via the write buffer; no bank occupancy
                 Lookup::Hit | Lookup::SectorMiss => {}
@@ -354,10 +335,13 @@ impl MemoryHierarchy {
     /// A stacked-cache victim: back-invalidate every covered L1/L2 line;
     /// dirty data leaves the die (only the valid sectors are transferred).
     fn handle_stacked_eviction(&mut self, ev: Evicted, at: Cycles) {
-        let (line, sector) = {
-            let s = self.stacked.as_ref().expect("stacked present");
-            (s.tags.config().line_size, s.tags.config().sector_size())
+        // Only ever called while a stacked level exists; the early
+        // return (instead of a panic) makes the invariant harmless if a
+        // future refactor breaks it.
+        let Some(s) = self.stacked.as_ref() else {
+            return;
         };
+        let (line, sector) = (s.tags.config().line_size, s.tags.config().sector_size());
         let mut dirty = ev.dirty;
         let mut sub = ev.line_addr;
         while sub < ev.line_addr + line {
@@ -414,7 +398,7 @@ mod tests {
     use crate::config::{CacheConfig, HierarchyConfig};
 
     fn baseline() -> MemoryHierarchy {
-        MemoryHierarchy::new(HierarchyConfig::core2_baseline())
+        MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset")
     }
 
     #[test]
@@ -459,7 +443,8 @@ mod tests {
 
     #[test]
     fn stacked_dram_hit_uses_bank_timing() {
-        let mut h = MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb());
+        let mut h =
+            MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()).expect("valid preset");
         // miss fills tag + sector (fill also opens the DRAM page)
         let r1 = h.access(CpuId::new(0), MemOp::Load, 0x20_0000, 0);
         assert_eq!(r1.level, ServiceLevel::Memory);
@@ -487,7 +472,8 @@ mod tests {
 
     #[test]
     fn stacked_sector_miss_fetches_only_missing_sector() {
-        let mut h = MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb());
+        let mut h =
+            MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()).expect("valid preset");
         let r1 = h.access(CpuId::new(0), MemOp::Load, 0x20_0000, 0);
         // adjacent 64 B sector in the same 512 B stacked line, not in L1
         let r2 = h.access(CpuId::new(0), MemOp::Load, 0x20_0040, r1.done);
@@ -571,7 +557,7 @@ mod tests {
     fn fill_latency_gates_reuse_of_inflight_lines() {
         let mut cfg = HierarchyConfig::core2_baseline();
         cfg.fill_latency = true;
-        let mut h = MemoryHierarchy::new(cfg);
+        let mut h = MemoryHierarchy::new(cfg).expect("valid test config");
         // the miss departs at t=0 and completes off-die (~262)
         let miss = h.access(CpuId::new(0), MemOp::Load, 0x50_0000, 0);
         assert_eq!(miss.level, ServiceLevel::Memory);
@@ -608,7 +594,7 @@ mod tests {
             sectors: 1,
         };
         cfg.l1i = cfg.l1d;
-        let mut h = MemoryHierarchy::new(cfg);
+        let mut h = MemoryHierarchy::new(cfg).expect("valid test config");
         h.access(CpuId::new(0), MemOp::Store, 0x0, 0);
         h.access(CpuId::new(0), MemOp::Load, 0x1000, 1000); // conflicts, evicts dirty
         assert_eq!(h.stats().offdie_writebacks, 1);

@@ -33,10 +33,11 @@
 //! }
 //! let trace = b.build();
 //!
-//! let hierarchy = MemoryHierarchy::new(HierarchyConfig::core2_baseline());
+//! let hierarchy = MemoryHierarchy::new(HierarchyConfig::core2_baseline())?;
 //! let mut engine = Engine::new(hierarchy, EngineConfig::default());
 //! let result = engine.run(&trace);
 //! assert!(result.cpma > 0.0);
+//! # Ok::<(), stacksim_mem::ConfigError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -1,0 +1,225 @@
+//! Interleaving model of `stacksim_thermal::pool::SpinBarrier`.
+//!
+//! The real barrier (crates/thermal/src/pool.rs) is a sense-reversing
+//! generation barrier: each waiter loads the current generation, the
+//! last arrival resets the `arrived` counter *before* bumping the
+//! generation, and everyone else spins until the generation moves. The
+//! reset-before-bump order is the load-bearing detail — the bump is the
+//! release point that lets waiters re-enter `wait()`, so the counter
+//! must already be zero by then. [`SpinBarrierModel`] translates each
+//! atomic access into one explorer step, and the buggy bump-then-reset
+//! variant is kept (gated by `reset_after_release`) so the test suite
+//! can prove the explorer actually finds the deadlock that ordering
+//! causes.
+
+use crate::explore::{Model, Step};
+
+/// Per-thread program counter inside `wait()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Pc {
+    /// `let generation = self.generation.load(Acquire);`
+    LoadGen,
+    /// `self.arrived.fetch_add(1, AcqRel)` and the `== workers - 1` test.
+    Arrive,
+    /// Last arrival: `self.arrived.store(0, Relaxed);`
+    Reset,
+    /// Last arrival: `self.generation.fetch_add(1, Release);`
+    Bump,
+    /// Everyone else: spin `while self.generation.load(Acquire) == generation`.
+    Spin,
+}
+
+/// One waiter's state: where it is in `wait()`, the generation it
+/// loaded on entry, and how many rounds it has completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Thread {
+    pc: Pc,
+    loaded_gen: u8,
+    round: u8,
+}
+
+/// Shared barrier state plus every waiter.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BarrierState {
+    arrived: u8,
+    generation: u8,
+    threads: Vec<Thread>,
+}
+
+/// `workers` threads calling `SpinBarrier::wait()` `rounds` times each.
+pub struct SpinBarrierModel {
+    pub workers: usize,
+    pub rounds: u8,
+    /// When true, models the bug of resetting `arrived` *after* the
+    /// generation bump. The explorer must report a deadlock.
+    pub reset_after_release: bool,
+}
+
+impl SpinBarrierModel {
+    pub fn correct(workers: usize, rounds: u8) -> Self {
+        Self {
+            workers,
+            rounds,
+            reset_after_release: false,
+        }
+    }
+}
+
+impl Model for SpinBarrierModel {
+    type State = BarrierState;
+
+    fn name(&self) -> &'static str {
+        "thermal::pool::SpinBarrier"
+    }
+
+    fn threads(&self) -> usize {
+        self.workers
+    }
+
+    fn init(&self) -> Self::State {
+        BarrierState {
+            arrived: 0,
+            generation: 0,
+            threads: vec![
+                Thread {
+                    pc: Pc::LoadGen,
+                    loaded_gen: 0,
+                    round: 0,
+                };
+                self.workers
+            ],
+        }
+    }
+
+    fn step(&self, st: &mut Self::State, tid: usize) -> Step {
+        let t = st.threads[tid];
+        if t.round >= self.rounds {
+            return Step::Done;
+        }
+        match t.pc {
+            Pc::LoadGen => {
+                st.threads[tid].loaded_gen = st.generation;
+                st.threads[tid].pc = Pc::Arrive;
+                Step::Ran
+            }
+            Pc::Arrive => {
+                let prior = st.arrived;
+                st.arrived += 1;
+                st.threads[tid].pc = if usize::from(prior) == self.workers - 1 {
+                    if self.reset_after_release {
+                        Pc::Bump
+                    } else {
+                        Pc::Reset
+                    }
+                } else {
+                    Pc::Spin
+                };
+                Step::Ran
+            }
+            Pc::Reset => {
+                st.arrived = 0;
+                if self.reset_after_release {
+                    // Buggy variant: the reset was the *second* action,
+                    // so this thread's round is now over.
+                    finish_round(&mut st.threads[tid]);
+                } else {
+                    st.threads[tid].pc = Pc::Bump;
+                }
+                Step::Ran
+            }
+            Pc::Bump => {
+                st.generation += 1;
+                if self.reset_after_release {
+                    st.threads[tid].pc = Pc::Reset;
+                } else {
+                    finish_round(&mut st.threads[tid]);
+                }
+                Step::Ran
+            }
+            Pc::Spin => {
+                if st.generation == t.loaded_gen {
+                    Step::Blocked
+                } else {
+                    finish_round(&mut st.threads[tid]);
+                    Step::Ran
+                }
+            }
+        }
+    }
+
+    fn invariant(&self, st: &Self::State) -> Result<(), String> {
+        // With reset-before-bump, the counter can never exceed the
+        // worker count: a new round's arrivals only start after the
+        // bump, and the reset happens before it.
+        if !self.reset_after_release && usize::from(st.arrived) > self.workers {
+            return Err(format!(
+                "arrived counter reached {} with only {} workers",
+                st.arrived, self.workers
+            ));
+        }
+        // No thread may be more than one round ahead of any other: the
+        // whole point of the barrier.
+        let min = st.threads.iter().map(|t| t.round).min().unwrap_or(0);
+        let max = st.threads.iter().map(|t| t.round).max().unwrap_or(0);
+        if max > min + 1 {
+            return Err(format!(
+                "thread finished round {max} while another is still in round {min}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_final(&self, st: &Self::State) -> Result<(), String> {
+        for (i, t) in st.threads.iter().enumerate() {
+            if t.round != self.rounds {
+                return Err(format!(
+                    "thread {i} completed {} of {} rounds",
+                    t.round, self.rounds
+                ));
+            }
+        }
+        if st.arrived != 0 {
+            return Err(format!("arrived counter left at {}", st.arrived));
+        }
+        Ok(())
+    }
+}
+
+/// Advances a waiter to the next `wait()` call (or completion).
+fn finish_round(t: &mut Thread) {
+    t.round += 1;
+    t.pc = Pc::LoadGen;
+    t.loaded_gen = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn two_workers_two_rounds_are_clean() {
+        let stats = explore(&SpinBarrierModel::correct(2, 2)).expect("clean");
+        assert!(stats.terminals >= 1);
+    }
+
+    #[test]
+    fn three_workers_two_rounds_are_clean() {
+        explore(&SpinBarrierModel::correct(3, 2)).expect("clean");
+    }
+
+    #[test]
+    fn reset_after_release_deadlocks() {
+        // Bump-then-reset lets a fast waiter re-enter and arrive before
+        // the counter is cleared; the stale count then never reaches
+        // workers-1 again and everyone spins forever. The explorer must
+        // find that schedule.
+        let err = explore(&SpinBarrierModel {
+            workers: 2,
+            rounds: 2,
+            reset_after_release: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("deadlock"), "{err}");
+    }
+}

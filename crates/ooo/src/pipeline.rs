@@ -146,7 +146,7 @@ impl Simulator {
                 if c > now {
                     break;
                 }
-                let e = rob.pop_front().expect("head exists");
+                let Some(e) = rob.pop_front() else { break };
                 // the ROB slot and the result register recycle after the
                 // retire-to-dealloc lag
                 rob_pending_free.push_back(now + u64::from(cfg.wire.retire_dealloc));

@@ -276,6 +276,11 @@ pub enum SolveError {
         /// Final relative residual.
         residual: f64,
     },
+    /// A conductivity sweep named a layer the stack does not have.
+    UnknownLayer {
+        /// The requested layer name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -293,6 +298,9 @@ impl fmt::Display for SolveError {
                     f,
                     "CG did not converge after {iters} iterations (residual {residual:.2e})"
                 )
+            }
+            SolveError::UnknownLayer { name } => {
+                write!(f, "no layer named '{name}' in the stack")
             }
         }
     }

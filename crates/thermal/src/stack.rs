@@ -3,6 +3,7 @@
 use stacksim_floorplan::PowerGrid;
 
 use crate::materials::{self, thickness, Conductivity, Metres};
+use crate::solver::SolveError;
 
 /// One layer of the thermal stack.
 #[derive(Debug, Clone, PartialEq)]
@@ -253,14 +254,20 @@ impl LayerStack {
 
     /// A copy with one layer's conductivity replaced (Fig. 3 sweeps).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no layer has that name.
-    pub fn with_layer_conductivity(&self, name: &str, k: Conductivity) -> LayerStack {
-        let idx = self.layer_index(name).expect("unknown layer name");
+    /// Returns [`SolveError::UnknownLayer`] if no layer has that name.
+    pub fn with_layer_conductivity(
+        &self,
+        name: &str,
+        k: Conductivity,
+    ) -> Result<LayerStack, SolveError> {
+        let idx = self
+            .layer_index(name)
+            .ok_or_else(|| SolveError::UnknownLayer { name: name.into() })?;
         let mut s = self.clone();
         s.layers[idx] = s.layers[idx].with_conductivity(k);
-        s
+        Ok(s)
     }
 
     /// The standard planar (single-die) desktop stack of Fig. 2: heat sink,
@@ -450,16 +457,16 @@ mod tests {
     #[test]
     fn conductivity_sweep_replaces_one_layer() {
         let s = LayerStack::planar(13.0, 11.0, grid(10.0));
-        let swept = s.with_layer_conductivity("cu metal 1", 3.0);
+        let swept = s.with_layer_conductivity("cu metal 1", 3.0).unwrap();
         let idx = swept.layer_index("cu metal 1").unwrap();
         assert_eq!(swept.layers()[idx].conductivity(), 3.0);
         assert_eq!(s.layers()[idx].conductivity(), 12.0, "original untouched");
     }
 
     #[test]
-    #[should_panic(expected = "unknown layer")]
-    fn sweeping_missing_layer_panics() {
+    fn sweeping_missing_layer_is_a_typed_error() {
         let s = LayerStack::planar(13.0, 11.0, grid(1.0));
-        let _ = s.with_layer_conductivity("nope", 1.0);
+        let err = s.with_layer_conductivity("nope", 1.0).unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
     }
 }

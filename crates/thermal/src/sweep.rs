@@ -103,11 +103,8 @@ pub fn conductivity_sweep(
 ///
 /// # Errors
 ///
-/// Propagates the first solver failure.
-///
-/// # Panics
-///
-/// Panics if `layer` names no layer in the stack.
+/// Propagates the first solver failure, including
+/// [`SolveError::UnknownLayer`] for a bad layer name.
 pub fn conductivity_sweep_stats(
     stack: &LayerStack,
     layer: &str,
@@ -119,7 +116,7 @@ pub fn conductivity_sweep_stats(
     let mut stats = SolveStats::default();
     let mut hist: Vec<(f64, TemperatureField)> = Vec::new();
     for &k in ks {
-        let swept = stack.with_layer_conductivity(layer, k);
+        let swept = stack.with_layer_conductivity(layer, k)?;
         let guess = warm_guess(&hist, k);
         let sol = solve_point(&swept, bc, cfg, guess.as_ref())?;
         stats.absorb(sol.stats);
@@ -175,7 +172,7 @@ pub fn conductivity_sweep_multi_stats(
     for &k in ks {
         let mut swept = stack.clone();
         for name in layers {
-            swept = swept.with_layer_conductivity(name, k);
+            swept = swept.with_layer_conductivity(name, k)?;
         }
         let guess = warm_guess(&hist, k);
         let sol = solve_point(&swept, bc, cfg, guess.as_ref())?;
@@ -248,7 +245,7 @@ mod tests {
         let (_, warm) = conductivity_sweep_stats(&stack(), "metal", &ks, bc, cfg).unwrap();
         let mut cold = SolveStats::default();
         for &k in &ks {
-            let swept = stack().with_layer_conductivity("metal", k);
+            let swept = stack().with_layer_conductivity("metal", k).unwrap();
             cold.absorb(
                 crate::solver::solve_with_stats(&swept, bc, cfg)
                     .unwrap()

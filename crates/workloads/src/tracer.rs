@@ -156,7 +156,9 @@ impl KernelTracer {
         let id = self
             .builder
             .record_dep(CpuId::new(0), MemOp::Load, addr, ip, cold.last);
-        self.cold.as_mut().expect("cold present").last = Some(id);
+        if let Some(cold) = self.cold.as_mut() {
+            cold.last = Some(id);
+        }
     }
 
     fn emit_stack_refs(&mut self) {

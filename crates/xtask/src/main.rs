@@ -1,27 +1,29 @@
 //! Repository automation (`cargo xtask <task>`).
 //!
-//! The one task so far is `lint`: source-level checks that `clippy` does
-//! not cover because they are policy, not correctness:
-//!
-//! * **unwrap ratchet** — no *new* `unwrap`/`expect` calls outside
-//!   `#[cfg(test)]` blocks. Existing calls are recorded in
+//! * **`lint`** — the unwrap ratchet: no *new* `unwrap`/`expect` calls
+//!   outside `#[cfg(test)]` blocks. Existing calls are recorded in
 //!   `lint-baseline.txt` at the repo root; the count per file may only go
 //!   down. Shrink it with `cargo xtask lint --update-baseline` after
-//!   converting call sites to `Result`.
-//! * **map-iteration lint** — functions that feed a digest or serialized
-//!   artifact must not iterate a `HashMap`/`HashSet`, whose order is
-//!   nondeterministic and would break memo-cache keys and golden outputs.
-//!   Waive a deliberate use with a `// lint:allow(map-iteration)` comment
-//!   inside the function.
-//!
-//! The scanner is deliberately textual (no syn, no new dependencies): it
-//! strips `//` comments, tracks brace depth to skip `#[cfg(test)]`
-//! modules, and never matches the `_or`/`_or_else`/`_or_default` and
-//! `_err` variants, which are fine.
+//!   converting call sites to `Result`. The scanner is deliberately
+//!   textual (no syn, no new dependencies): it strips `//` comments,
+//!   tracks brace depth to skip `#[cfg(test)]` modules, and never matches
+//!   the `_or`/`_or_else`/`_or_default` and `_err` variants, which are
+//!   fine.
+//! * **`audit`** — the six SA-coded determinism & concurrency passes from
+//!   `stacksim-audit` (map-iteration order into digests, wall-clock
+//!   taint, unordered float reductions, lock-order cycles, relaxed
+//!   atomics, panic paths), ratcheted against `audit-baseline.txt`. The
+//!   old textual map-iteration heuristic that used to live here was
+//!   replaced by the audit's intra-procedural SA001 pass.
+//! * **`loom`** — the exhaustive interleaving models from
+//!   `stacksim-modelcheck` (spin barrier, session dedup slots), which are
+//!   too slow for the default `cargo test` profile.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use stacksim_lint::Severity;
 
 /// One ratchet finding: an `unwrap`/`expect` call outside tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,14 +31,6 @@ struct Finding {
     line: usize,
     kind: &'static str,
     text: String,
-}
-
-/// One map-iteration finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct MapFinding {
-    line: usize,
-    function: String,
-    receiver: String,
 }
 
 /// The needles are assembled at runtime so the scanner never matches its
@@ -157,141 +151,6 @@ fn scan_ratchet(source: &str) -> Vec<Finding> {
     out
 }
 
-/// The identifier immediately preceding byte offset `end` of `line`.
-fn receiver_before(line: &str, end: usize) -> String {
-    let bytes = line.as_bytes();
-    let mut start = end;
-    while start > 0 {
-        let c = bytes[start - 1];
-        if c.is_ascii_alphanumeric() || c == b'_' {
-            start -= 1;
-        } else {
-            break;
-        }
-    }
-    line[start..end].to_string()
-}
-
-/// Identifiers bound to a `HashMap`/`HashSet` in a function (params and
-/// `let` bindings), textually.
-fn map_bindings(body: &[&str]) -> Vec<String> {
-    let mut names = Vec::new();
-    for raw in body {
-        let line = strip_comment(raw);
-        if !line.contains("HashMap") && !line.contains("HashSet") {
-            continue;
-        }
-        // `let [mut] name: HashMap<...>` or `let [mut] name = HashMap::...`
-        if let Some(rest) = line.trim_start().strip_prefix("let ") {
-            let rest = rest.trim_start().trim_start_matches("mut ");
-            let name: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if !name.is_empty() {
-                names.push(name);
-            }
-        }
-        // `name: &HashMap<...>` parameter style
-        for (idx, _) in line.match_indices(": ") {
-            let after = &line[idx + 2..];
-            let after = after.trim_start_matches('&');
-            if after.starts_with("HashMap") || after.starts_with("HashSet") {
-                let name = receiver_before(line, idx);
-                if !name.is_empty() {
-                    names.push(name);
-                }
-            }
-        }
-    }
-    names
-}
-
-/// Whether a function body feeds order-sensitive sinks: digests or
-/// serialized artifacts.
-fn has_digest_sink(body: &[&str]) -> bool {
-    let sinks = [
-        ["dig", "est"].concat(),
-        ["abs", "orb"].concat(),
-        ["render_", "json"].concat(),
-        [".enc", "ode("].concat(),
-    ];
-    body.iter().any(|raw| {
-        let line = strip_comment(raw);
-        sinks.iter().any(|s| line.contains(s.as_str()))
-    })
-}
-
-/// Scans one file for HashMap/HashSet iteration inside digest-feeding
-/// functions.
-fn scan_map_iteration(source: &str) -> Vec<MapFinding> {
-    let lines: Vec<&str> = source.lines().collect();
-    let mask = test_mask(&lines);
-    let iter_methods = [".keys()", ".values()", ".iter()", ".iter_mut()", ".drain("];
-    let mut out = Vec::new();
-
-    // function extents, by brace depth
-    let mut depth: i64 = 0;
-    let mut open: Vec<(usize, i64, String)> = Vec::new(); // (start line, entry depth, name)
-    let mut extents: Vec<(usize, usize, String)> = Vec::new();
-    for (i, raw) in lines.iter().enumerate() {
-        let line = strip_comment(raw);
-        let before = depth;
-        depth += brace_delta(line);
-        if let Some(pos) = line.find("fn ") {
-            let is_decl = pos == 0
-                || line[..pos].ends_with(' ')
-                || line[..pos].ends_with('(')
-                || line[..pos].ends_with('>');
-            if is_decl && !line.trim_end().ends_with(';') {
-                let name: String = line[pos + 3..]
-                    .chars()
-                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                    .collect();
-                open.push((i, before, name));
-            }
-        }
-        while let Some((start, entry, name)) = open.last().cloned() {
-            if depth <= entry && i > start {
-                extents.push((start, i, name));
-                open.pop();
-            } else {
-                break;
-            }
-        }
-    }
-
-    for (start, end, name) in extents {
-        let body: Vec<&str> = lines[start..=end].to_vec();
-        if body.iter().any(|l| l.contains("lint:allow(map-iteration)")) {
-            continue;
-        }
-        if mask[start] || !has_digest_sink(&body) {
-            continue;
-        }
-        let bindings = map_bindings(&body);
-        if bindings.is_empty() {
-            continue;
-        }
-        for (j, raw) in body.iter().enumerate() {
-            let line = strip_comment(raw);
-            for m in iter_methods {
-                for (idx, _) in line.match_indices(m) {
-                    let recv = receiver_before(line, idx);
-                    if bindings.contains(&recv) {
-                        out.push(MapFinding {
-                            line: start + j + 1,
-                            function: name.clone(),
-                            receiver: recv,
-                        });
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
 /// Collects the non-test source trees to scan: `src/` and every
 /// `crates/*/src/` except `crates/xtask` (this tool's own source holds the
 /// needle fragments as data).
@@ -398,7 +257,6 @@ fn lint(update_baseline: bool) -> Result<bool, String> {
     let files = collect_sources(&root).map_err(|e| format!("walking sources: {e}"))?;
 
     let mut current: Vec<(String, Vec<Finding>)> = Vec::new();
-    let mut map_findings: Vec<(String, Vec<MapFinding>)> = Vec::new();
     for file in &files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
         let rel = file
@@ -408,11 +266,7 @@ fn lint(update_baseline: bool) -> Result<bool, String> {
             .replace('\\', "/");
         let findings = scan_ratchet(&text);
         if !findings.is_empty() {
-            current.push((rel.clone(), findings));
-        }
-        let maps = scan_map_iteration(&text);
-        if !maps.is_empty() {
-            map_findings.push((rel, maps));
+            current.push((rel, findings));
         }
     }
 
@@ -443,24 +297,59 @@ fn lint(update_baseline: bool) -> Result<bool, String> {
         eprintln!("ratchet: {problem}");
         ok = false;
     }
-    for (path, findings) in &map_findings {
-        for f in findings {
-            eprintln!(
-                "map-iteration: {path}:{}: fn {} iterates '{}' (a HashMap/HashSet) while \
-                 feeding a digest or serialized artifact; iterate a sorted or \
-                 registration-ordered collection instead, or waive with \
-                 `// lint:allow(map-iteration)`",
-                f.line, f.function, f.receiver
-            );
-            ok = false;
-        }
-    }
 
     if ok {
         let total: usize = current.iter().map(|(_, f)| f.len()).sum();
         println!(
             "lint clean: {} source file(s), ratchet at {total} grandfathered call(s)",
             files.len()
+        );
+    }
+    Ok(ok)
+}
+
+/// Runs the six SA-coded audit passes and ratchets the error-severity
+/// findings against `audit-baseline.txt`.
+fn audit(update_baseline: bool, json: bool) -> Result<bool, String> {
+    let root = repo_root();
+    let audit =
+        stacksim_audit::run(&root, update_baseline).map_err(|e| format!("audit scan: {e}"))?;
+    if json {
+        println!("{}", audit.report.render_json());
+    } else {
+        print!("{}", audit.report.render_pretty());
+    }
+    if update_baseline {
+        eprintln!("audit baseline updated ({})", stacksim_audit::BASELINE_FILE);
+        return Ok(true);
+    }
+    let mut ok = true;
+    for d in &audit.verdict.new_errors {
+        eprintln!(
+            "audit: new {} error at {} not in the baseline: {}",
+            d.code, d.span, d.message
+        );
+        ok = false;
+    }
+    for key in &audit.verdict.stale {
+        eprintln!(
+            "audit: baseline entry `{key}` no longer matches; \
+             run `cargo xtask audit --update-baseline` to ratchet down"
+        );
+        ok = false;
+    }
+    if ok && !json {
+        let warnings = audit
+            .report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        eprintln!(
+            "audit clean: {} file(s) scanned across {} passes, {} warning(s)",
+            audit.files_scanned,
+            stacksim_audit::PASS_CODES.len(),
+            warnings
         );
     }
     Ok(ok)
@@ -489,8 +378,61 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "audit" => {
+            let update = rest.iter().any(|a| a == "--update-baseline");
+            let mut json = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--update-baseline" => {}
+                    "--format" => {
+                        i += 1;
+                        match rest.get(i).map(String::as_str) {
+                            Some("json") => json = true,
+                            Some("pretty") => json = false,
+                            other => {
+                                eprintln!("xtask audit: bad --format {other:?}");
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    other => {
+                        eprintln!("xtask audit: unknown option `{other}`");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 1;
+            }
+            match audit(update, json) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("xtask: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "loom" => {
+            if !rest.is_empty() {
+                eprintln!("xtask loom: unknown option(s) {rest:?}");
+                return ExitCode::from(2);
+            }
+            match stacksim_modelcheck::run_all() {
+                Ok(summary) => {
+                    println!("{summary}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("xtask loom: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            eprintln!(
+                "usage: cargo xtask <lint|audit> [--update-baseline] [--format json|pretty]\n\
+                 \x20      cargo xtask loom"
+            );
             ExitCode::from(2)
         }
     }
@@ -567,58 +509,5 @@ mod tests {
     fn baseline_round_trips() {
         let counts = vec![("a.rs".to_string(), 3), ("b/c.rs".to_string(), 1)];
         assert_eq!(parse_baseline(&render_baseline(&counts)), counts);
-    }
-
-    #[test]
-    fn map_iteration_feeding_a_digest_is_flagged() {
-        let src = "\
-fn digest_of(things: &HashMap<String, u32>) -> String {
-    let mut d = Digest::new();
-    for (k, v) in things.iter() {
-        d.absorb(k).absorb(v);
-    }
-    d.finish()
-}
-";
-        let found = scan_map_iteration(src);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].function, "digest_of");
-        assert_eq!(found[0].receiver, "things");
-    }
-
-    #[test]
-    fn ordered_collections_and_waivers_are_fine() {
-        let ordered = "\
-fn digest_of(things: &[u32]) -> String {
-    let mut d = Digest::new();
-    for v in things.iter() {
-        d.absorb(v);
-    }
-    d.finish()
-}
-";
-        assert!(scan_map_iteration(ordered).is_empty());
-
-        let waived = "\
-fn digest_of(things: &HashMap<String, u32>) -> String {
-    // lint:allow(map-iteration) keys are absorbed into an order-free sum
-    let mut d = Digest::new();
-    for (k, _) in things.iter() {
-        d.absorb(k);
-    }
-    d.finish()
-}
-";
-        assert!(scan_map_iteration(waived).is_empty());
-    }
-
-    #[test]
-    fn map_iteration_without_a_sink_is_fine() {
-        let src = "\
-fn count(things: &HashMap<String, u32>) -> usize {
-    things.iter().count()
-}
-";
-        assert!(scan_map_iteration(src).is_empty());
     }
 }

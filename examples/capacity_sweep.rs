@@ -48,7 +48,7 @@ fn main() {
         print!("{:>8}", b.name());
         for mb in capacities {
             let mut e = Engine::new(
-                MemoryHierarchy::new(dram_hierarchy(mb)),
+                MemoryHierarchy::new(dram_hierarchy(mb)).expect("valid sweep config"),
                 EngineConfig::default(),
             );
             let r = e.run_warmed(&trace, 0.4);

@@ -26,14 +26,14 @@ fn main() {
     // 2. drive the baseline Core 2 Duo–class hierarchy (Table 3 of the
     //    paper) with it
     let mut baseline = Engine::new(
-        MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+        MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
         EngineConfig::default(),
     );
     let base = baseline.run_warmed(&trace, 0.4);
 
     // 3. swap the 4 MB SRAM L2 for a 32 MB stacked DRAM cache (Fig. 7c)
     let mut stacked = Engine::new(
-        MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()),
+        MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()).expect("valid preset"),
         EngineConfig::default(),
     );
     let dram = stacked.run_warmed(&trace, 0.4);

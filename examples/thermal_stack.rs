@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", field.ascii_map(active));
 
     // what if the bond layer were much worse? (the Fig. 3 question)
-    let degraded = stack.with_layer_conductivity("bond", 3.0);
+    let degraded = stack
+        .with_layer_conductivity("bond", 3.0)
+        .expect("bond layer exists");
     let worse = solve(&degraded, Boundary::desktop(), cfg)?;
     println!(
         "bond layer at 3 W/mK instead of 60: peak {:.2} C ({:+.2} C)",

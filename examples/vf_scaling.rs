@@ -14,7 +14,7 @@ use stacksim::thermal::{solve, Boundary, LayerStack, SolverConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ScalingModel::fig11_3d();
-    let folded = folded_p4();
+    let folded = folded_p4().expect("the P4 floorplan folds");
     let planar = pentium4_147w();
     let cfg = SolverConfig::builder().nx(24).ny(20).build();
     let d0 = &folded.dies()[0];

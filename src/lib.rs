@@ -31,11 +31,12 @@
 //!
 //! let trace = RmsBenchmark::Conj.generate(&WorkloadParams::test());
 //! let mut engine = Engine::new(
-//!     MemoryHierarchy::new(HierarchyConfig::core2_baseline()),
+//!     MemoryHierarchy::new(HierarchyConfig::core2_baseline())?,
 //!     EngineConfig::default(),
 //! );
 //! let result = engine.run(&trace);
 //! println!("CPMA = {:.2}", result.cpma);
+//! # Ok::<(), stacksim::mem::ConfigError>(())
 //! ```
 
 pub use stacksim_bench as bench;

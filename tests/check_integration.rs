@@ -60,6 +60,10 @@ fn cli_check_json_is_machine_readable() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{'));
+    assert!(
+        stdout.contains("\"schema\":\"stacksim-diag/1\""),
+        "check JSON carries the shared diag schema tag: {stdout}"
+    );
     assert!(stdout.contains("\"errors\":0"));
 }
 

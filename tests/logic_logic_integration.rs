@@ -53,7 +53,7 @@ fn table4_gains_are_all_non_negative_and_fp_dominates() {
 fn fold_and_power_model_agree_on_the_15_percent_saving() {
     // the floorplan fold and the power breakdown both implement the §4
     // 15% claim; they must agree
-    let folded = folded_p4();
+    let folded = folded_p4().expect("the P4 floorplan folds");
     let from_floorplan = 1.0 - folded.total_power() / 147.0;
     let breakdown = PowerBreakdown::p4_147w();
     let from_breakdown = 1.0 - breakdown.fold_3d().total() / breakdown.total();

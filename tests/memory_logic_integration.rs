@@ -45,7 +45,7 @@ fn engine_results_are_deterministic_across_runs() {
     let trace = RmsBenchmark::Pcg.generate(&params);
     let run = || {
         let mut e = Engine::new(
-            MemoryHierarchy::new(StackOption::Dram32M.hierarchy()),
+            MemoryHierarchy::new(StackOption::Dram32M.hierarchy()).expect("valid preset"),
             EngineConfig::default(),
         );
         e.run(&trace)
@@ -73,7 +73,7 @@ fn trace_statistics_survive_the_interleave() {
 fn stacked_hierarchy_serves_from_the_stacked_level() {
     // walk a working set bigger than L2 but smaller than the stacked DRAM,
     // twice: the second pass must hit the stacked level, not memory
-    let mut h = MemoryHierarchy::new(StackOption::Dram32M.hierarchy());
+    let mut h = MemoryHierarchy::new(StackOption::Dram32M.hierarchy()).expect("valid preset");
     let lines: u64 = 8192; // 512 KB at 64 B
     let mut t = 0;
     for pass in 0..2 {

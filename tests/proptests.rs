@@ -23,6 +23,7 @@ fn small_cache() -> Cache {
         latency: 1,
         sectors: 1,
     })
+    .expect("valid test config")
 }
 
 /// A cache never holds more lines than its capacity, and a line reported
@@ -65,7 +66,8 @@ fn dram_bank_state_machine_is_legal() {
             page_size: 512,
             timing: DramTiming::table3(),
             open_rows: 2,
-        });
+        })
+        .expect("valid test config");
         let mut clock = 0u64;
         let mut bank_free = [0u64; 4];
         for _ in 0..n {
@@ -203,7 +205,7 @@ fn engine_is_deterministic() {
         let cfg = EngineConfig::builder().window(window).build();
         let run = || {
             let mut e = Engine::new(
-                MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()),
+                MemoryHierarchy::new(HierarchyConfig::stacked_dram_32mb()).expect("valid preset"),
                 cfg,
             );
             e.run(&t)
