@@ -17,6 +17,9 @@
 //!   observability disabled (the shipping default) and enabled, and the
 //!   artefact records the enabled/disabled wall-time ratio as
 //!   `obs_overhead` — the live cost of the metrics layer (DESIGN.md §10).
+//!   A `streamed` leg times the generate-while-simulate pipeline (kernels
+//!   feeding the engine through bounded block channels, DESIGN.md §14) and
+//!   `pipeline_speedup` compares it against serial generation + simulation.
 //!
 //! Both files are re-parsed after writing, so a malformed artefact fails
 //! the run — CI's bench-smoke job relies on that.
@@ -56,6 +59,9 @@ impl Default for BenchOptions {
 
 /// Timed samples per benchmark in a full (non-quick) run.
 pub const SAMPLES: usize = 5;
+
+/// Records per block in the streamed generate-while-simulate leg.
+const STREAM_BLOCK_LEN: usize = 4096;
 
 /// Runs both benchmark suites and writes the two JSON artefacts.
 /// Returns the paths written, thermal first.
@@ -260,6 +266,16 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
         e.run(&trace)
     });
 
+    // Generate-while-simulate: kernels stream packed blocks through
+    // bounded channels while the engine consumes them, so one wall-clock
+    // interval covers both generation and simulation (DESIGN.md §14).
+    let streamed_sample = bench_n("streamed_pipeline/gauss_32mb", samples, || {
+        let stream = benchmark.stream(&params, STREAM_BLOCK_LEN);
+        let window = stream.dep_window();
+        let mut e = Engine::new(proto.clone(), EngineConfig::default());
+        e.run_blocks(stream, window)
+    });
+
     // The same leg with live metrics: counters resolve and count, no
     // event sink. The ratio against the disabled leg is the price of
     // turning observability on; disabled, the instruments cost one
@@ -277,6 +293,13 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
         0.0
     };
     println!("obs overhead: {obs_overhead:.3}x (enabled vs disabled engine leg)");
+    // what overlap buys: serial generate-then-simulate vs the pipeline
+    let pipeline_speedup = if streamed_sample.median_s > 0.0 {
+        (gen_sample.median_s + engine_sample.median_s) / streamed_sample.median_s
+    } else {
+        0.0
+    };
+    println!("pipeline speedup: {pipeline_speedup:.2}x (serial gen+sim vs streamed)");
 
     let per_sec = |s: Sample| {
         if s.median_s > 0.0 {
@@ -315,6 +338,18 @@ fn bench_mem(opts: &BenchOptions, samples: usize) -> Json {
                 ("records_per_sec", Json::Num(per_sec(engine_obs_sample))),
             ]),
         ),
+        (
+            "streamed",
+            Json::obj(vec![
+                (
+                    "wall_ns",
+                    Json::Num((streamed_sample.median_s * 1e9).round()),
+                ),
+                ("records_per_sec", Json::Num(per_sec(streamed_sample))),
+                ("block_len", Json::Num(STREAM_BLOCK_LEN as f64)),
+            ]),
+        ),
+        ("pipeline_speedup", Json::Num(pipeline_speedup)),
         ("obs_overhead", Json::Num(obs_overhead)),
     ])
 }
@@ -370,11 +405,18 @@ mod tests {
             "trace_generation",
             "engine",
             "engine_obs",
+            "streamed",
+            "pipeline_speedup",
             "obs_overhead",
             "records",
         ] {
             assert!(mem.get(key).is_some(), "BENCH_mem.json lacks {key}");
         }
         assert!(mem.get("obs_overhead").unwrap().as_f64().unwrap() > 0.0);
+        let streamed = mem.get("streamed").unwrap();
+        assert!(
+            streamed.get("records_per_sec").unwrap().as_f64().unwrap() > 0.0,
+            "streamed leg must process records"
+        );
     }
 }

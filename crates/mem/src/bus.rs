@@ -5,6 +5,8 @@
 //! queueing latency, and accumulates the byte counts behind the off-die
 //! bandwidth numbers of Fig. 5 and the bus-power estimate (§3: 20 mW/Gb/s).
 
+use stacksim_obs::HistogramBatch;
+
 use crate::config::{BusConfig, Cycles};
 
 /// Timing of one bus transfer.
@@ -25,6 +27,11 @@ pub struct Bus {
     transfers: u64,
     busy_cycles: Cycles,
     queue_cycles: Cycles,
+    /// Queueing delay of the most recent transfer (the backlog gauge).
+    last_backlog: Cycles,
+    /// Per-transfer queueing delays accumulated since the last obs flush
+    /// (plain integer adds; drained by the hierarchy's flush point).
+    queue_batch: HistogramBatch,
 }
 
 impl Bus {
@@ -37,6 +44,8 @@ impl Bus {
             transfers: 0,
             busy_cycles: 0,
             queue_cycles: 0,
+            last_backlog: 0,
+            queue_batch: HistogramBatch::new(),
         }
     }
 
@@ -57,7 +66,23 @@ impl Bus {
         self.transfers += 1;
         self.busy_cycles += cycles;
         self.queue_cycles += start - at;
+        if stacksim_obs::enabled() {
+            self.last_backlog = start - at;
+            self.queue_batch.record(start - at);
+        }
         BusTransfer { start, done }
+    }
+
+    /// Queueing delay of the most recent transfer (only tracked while
+    /// observability is enabled).
+    pub(crate) fn last_backlog(&self) -> Cycles {
+        self.last_backlog
+    }
+
+    /// Drains the per-transfer queue-delay samples accumulated since the
+    /// last flush.
+    pub(crate) fn take_queue_batch(&mut self) -> HistogramBatch {
+        self.queue_batch.take()
     }
 
     /// Total bytes moved (including command overhead).

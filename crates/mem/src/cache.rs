@@ -33,26 +33,78 @@ impl Lookup {
     }
 }
 
+/// Per-way line metadata, kept apart from the tag words so the hot tag
+/// scan stays inside one cache line per set. Written only for the way
+/// that hits or is (re)allocated. Exactly 16 bytes (the dirty bit lives
+/// in the key word), so an 8-way set's metadata spans two cache lines.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    dirty: bool,
-    /// Bitmap of valid sectors (bit i = sector i). For non-sectored caches
-    /// all used bits are set on allocation.
+struct Meta {
+    /// Bitmap of valid sectors (bit i = sector i); meaningful only while
+    /// the way's key is non-zero.
     valid: u64,
+    /// Monotonic last-use time, drawn from the cache-wide clock. Victim
+    /// selection takes the minimum over the set, which reproduces
+    /// true-LRU stack order exactly: present lines carry distinct
+    /// positive stamps, and empty ways (stamp 0) are always claimed
+    /// first.
+    stamp: u64,
 }
+
+const EMPTY_META: Meta = Meta { valid: 0, stamp: 0 };
+
+/// Dirty flag inside a key word (bit 0 is the presence flag).
+const KEY_DIRTY: u64 = 0b10;
+/// Mask clearing the dirty bit for tag comparisons.
+const KEY_TAG: u64 = !KEY_DIRTY;
 
 /// The cache model. One instance per cache level (tags + metadata only; no
 /// data payloads are stored — this is a timing/behaviour simulator).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `sets * ways` lines; within a set, recency order is kept separately.
-    lines: Vec<Option<Line>>,
-    /// Recency stacks: for each set, way indices ordered MRU-first.
-    recency: Vec<Vec<u8>>,
+    /// `(tag << 2) | dirty << 1 | 1` per way, 0 = empty — one u64 per
+    /// way, so a whole 8-way set's tags fit in a single cache line for
+    /// the scan the hit path runs on every access. Carrying the dirty
+    /// bit here (masked off when comparing) keeps [`Meta`] at 16 bytes.
+    keys: Vec<u64>,
+    /// `sets * ways` per-way metadata, parallel to `keys`.
+    meta: Vec<Meta>,
+    /// MRU filter, entry 0: the line id (`addr >> line_shift`, biased by
+    /// +1 so 0 means "none") of the previous slow-path access, with a
+    /// copy of that line's sector bitmap and dirty bit. A repeat access
+    /// to a filtered line is a guaranteed hit, and skipping its LRU
+    /// re-stamp is a relative no-op — so a repeat whose sector is already
+    /// valid can return without touching the arrays at all. Writes fall
+    /// through until the line is dirty, and absent sectors fall through,
+    /// so no state transition is ever skipped.
+    ///
+    /// The skipped re-stamp is sound because every filter entry is the
+    /// maximum-stamp line of its set: restamping the maximum with a newer
+    /// clock value never changes the relative stamp order victim
+    /// selection runs on. The invariant holds by construction — entries
+    /// are installed only on the slow path (where the line just received
+    /// the globally largest stamp), and any later slow-path access to the
+    /// same set demotes or drops them (see the tail of `access_inner`).
+    last_line: u64,
+    last_valid: u64,
+    last_dirty: bool,
+    /// MRU filter, entry 1: the previous entry 0, kept alive so a
+    /// workload ping-ponging between two lines stays on the filter.
+    /// Always in a different set than entry 0 (a same-set install evicts
+    /// it), which is what lets both entries keep the max-stamp invariant.
+    last_line2: u64,
+    last_valid2: u64,
+    last_dirty2: bool,
+    /// Cache-wide access clock feeding the LRU stamps.
+    clock: u64,
+    /// Number of valid lines; lets `invalidate` skip the set scan while
+    /// the cache is empty (an L1i never sees a fill in data-only traces
+    /// yet takes every back-invalidation sweep).
+    occupied: u32,
     set_mask: u64,
     line_shift: u32,
+    /// `set_mask.count_ones()`, hoisted for tag/address reconstruction.
+    set_shift: u32,
     sector_shift: u32,
 }
 
@@ -68,10 +120,19 @@ impl Cache {
         let sets = cfg.num_sets();
         let ways = cfg.ways as usize;
         Ok(Cache {
-            lines: vec![None; sets as usize * ways],
-            recency: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
+            keys: vec![0; sets as usize * ways],
+            meta: vec![EMPTY_META; sets as usize * ways],
+            last_line: 0,
+            last_valid: 0,
+            last_dirty: false,
+            last_line2: 0,
+            last_valid2: 0,
+            last_dirty2: false,
+            clock: 0,
+            occupied: 0,
             set_mask: sets - 1,
             line_shift: cfg.line_size.trailing_zeros(),
+            set_shift: (sets - 1).count_ones(),
             sector_shift: cfg.sector_size().trailing_zeros(),
             cfg,
         })
@@ -87,7 +148,7 @@ impl Cache {
     }
 
     fn tag_of(&self, addr: u64) -> u64 {
-        addr >> self.line_shift >> self.set_mask.count_ones()
+        addr >> self.line_shift >> self.set_shift
     }
 
     fn sector_bit(&self, addr: u64) -> u64 {
@@ -99,18 +160,39 @@ impl Cache {
         }
     }
 
-    /// Reconstructs a line's base address from set and tag.
-    fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        ((tag << self.set_mask.count_ones()) | set as u64) << self.line_shift
+    /// Whether this access would be swallowed by the MRU line filter: a
+    /// repeat of one of the two most recent distinct lines whose sector
+    /// is already valid and (for writes) already dirty. Such an access
+    /// is a guaranteed hit and a guaranteed no-op on the arrays, so
+    /// callers on a hot path may handle it without entering
+    /// [`Cache::access`] at all.
+    #[inline(always)]
+    pub(crate) fn filter_hit(&self, addr: u64, is_write: bool) -> bool {
+        let line_id = (addr >> self.line_shift) + 1;
+        let sector = self.sector_bit(addr);
+        (line_id == self.last_line
+            && self.last_valid & sector != 0
+            && (!is_write || self.last_dirty))
+            || (line_id == self.last_line2
+                && self.last_valid2 & sector != 0
+                && (!is_write || self.last_dirty2))
     }
 
-    fn touch(&mut self, set: usize, way: u8) {
-        // Every set's stack permanently holds all way indices, so the
-        // retain is always a single removal; written this way there is
-        // no panic path if that invariant ever broke.
-        let stack = &mut self.recency[set];
-        stack.retain(|&w| w != way);
-        stack.insert(0, way);
+    /// Filter-invariant bookkeeping run by every slow-path access before
+    /// it installs `line_id` (which lives in `set`) as filter entry 0:
+    /// entry 0 moves to the entry-1 slot unless this access just stamped
+    /// a line in *its* set (ending its max-stamp reign), and a
+    /// same-set entry 1 is dropped for the same reason — which also
+    /// keeps the two entries in distinct sets.
+    #[inline(always)]
+    fn demote_filter(&mut self, set: usize) {
+        if self.last_line.wrapping_sub(1) & self.set_mask != set as u64 {
+            self.last_line2 = self.last_line;
+            self.last_valid2 = self.last_valid;
+            self.last_dirty2 = self.last_dirty;
+        } else if self.last_line2.wrapping_sub(1) & self.set_mask == set as u64 {
+            self.last_line2 = 0;
+        }
     }
 
     /// Performs an access: looks the address up, allocates on miss (with LRU
@@ -119,80 +201,168 @@ impl Cache {
     ///
     /// On a miss only the referenced sector becomes valid; further sectors
     /// fault in individually (`Lookup::SectorMiss`).
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> Lookup {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
+        if self.filter_hit(addr, is_write) {
+            return Lookup::Hit;
+        }
+        self.access_past_filter(addr, is_write)
+    }
+
+    /// [`Cache::access`] for a caller that has already seen
+    /// [`Cache::filter_hit`] return false for this exact access, so the
+    /// filter is not consulted again. Calling it without that check is
+    /// still correct — the filter only ever short-circuits no-ops — just
+    /// slower for streaky workloads.
+    #[inline]
+    pub(crate) fn access_past_filter(&mut self, addr: u64, is_write: bool) -> Lookup {
+        let line_id = (addr >> self.line_shift) + 1;
         let sector = self.sector_bit(addr);
-        let ways = self.cfg.ways as usize;
-        // look for a tag match
-        for w in 0..ways {
-            let idx = set * ways + w;
-            if let Some(line) = &mut self.lines[idx] {
-                if line.tag == tag {
-                    let had_sector = line.valid & sector != 0;
-                    line.valid |= sector;
-                    if is_write {
-                        line.dirty = true;
-                    }
-                    self.touch(set, w as u8);
-                    return if had_sector {
-                        Lookup::Hit
-                    } else {
-                        Lookup::SectorMiss
-                    };
+        // Dispatch on the way count once: every cache in the paper's
+        // configurations except the 16/24-way SRAM L2s is 8-way, and the
+        // always-inlined body below const-folds `ways` at each call site —
+        // the 8-way copy gets shift indexing, fully unrolled scans and no
+        // slice-length fallbacks.
+        if self.cfg.ways == 8 {
+            self.access_inner(addr, is_write, line_id, sector, 8)
+        } else {
+            self.access_inner(addr, is_write, line_id, sector, self.cfg.ways as usize)
+        }
+    }
+
+    /// The post-filter access path; `ways` is passed by value so the
+    /// dispatch above can pin it to a literal.
+    #[inline(always)]
+    fn access_inner(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        line_id: u64,
+        sector: u64,
+        ways: usize,
+    ) -> Lookup {
+        let set = self.set_of(addr);
+        let base = set * ways;
+        self.clock += 1;
+        let key = (self.tag_of(addr) << 2) | 1;
+        // tag scan — the one loop every access runs. The whole set is
+        // compared into a bitmask with no early exit: the loop body is
+        // branch-free, leaving a single highly-predictable hit/miss branch
+        // instead of a data-dependent exit position. The 8-way case (every
+        // cache in the paper's configurations) goes through a fixed-length
+        // array so the loop fully unrolls and vectorises; a runtime `ways`
+        // trip count would keep it a scalar loop.
+        let keys = &self.keys[base..base + ways];
+        let mut mask = 0u32;
+        if let Ok(k8) = <&[u64; 8]>::try_from(keys) {
+            for (w, &k) in k8.iter().enumerate() {
+                mask |= u32::from(k & KEY_TAG == key) << w;
+            }
+        } else {
+            for (w, &k) in keys.iter().enumerate() {
+                mask |= u32::from(k & KEY_TAG == key) << w;
+            }
+        }
+        if mask != 0 {
+            let way = base + mask.trailing_zeros() as usize;
+            self.keys[way] |= u64::from(is_write) << 1;
+            let dirty = self.keys[way] & KEY_DIRTY != 0;
+            let m = &mut self.meta[way];
+            let had_sector = m.valid & sector != 0;
+            m.valid |= sector;
+            m.stamp = self.clock;
+            let valid = m.valid;
+            self.demote_filter(set);
+            self.last_line = line_id;
+            self.last_valid = valid;
+            self.last_dirty = dirty;
+            return if had_sector {
+                Lookup::Hit
+            } else {
+                Lookup::SectorMiss
+            };
+        }
+        // miss: the victim is the minimum-stamp way — the true-LRU line,
+        // or an empty way (stamp 0) while any remain. Same 8-way
+        // specialisation as the tag scan, for an unrolled branch-free min.
+        let metas = &self.meta[base..base + ways];
+        let mut victim = base;
+        if let Ok(m8) = <&[Meta; 8]>::try_from(metas) {
+            let mut best = m8[0].stamp;
+            for (w, m) in m8.iter().enumerate().skip(1) {
+                if m.stamp < best {
+                    best = m.stamp;
+                    victim = base + w;
+                }
+            }
+        } else {
+            for (w, m) in metas.iter().enumerate().skip(1) {
+                if m.stamp < self.meta[victim].stamp {
+                    victim = base + w;
                 }
             }
         }
-        // miss: pick LRU victim. The stack always holds all ways (ways
-        // >= 1 is validated), so the fallback to way 0 is dead code kept
-        // only to avoid a panic path.
-        let victim_way = self.recency[set].last().copied().unwrap_or(0);
-        let idx = set * ways + victim_way as usize;
-        let evicted = self.lines[idx].map(|line| Evicted {
-            line_addr: self.line_addr(set, line.tag),
-            dirty: line.dirty,
-            valid_sectors: line.valid.count_ones(),
+        let m = self.meta[victim];
+        let old_key = self.keys[victim];
+        if old_key == 0 {
+            self.occupied += 1;
+        }
+        let evicted = (old_key != 0).then(|| Evicted {
+            line_addr: (((old_key >> 2) << self.set_shift) | set as u64) << self.line_shift,
+            dirty: old_key & KEY_DIRTY != 0,
+            valid_sectors: m.valid.count_ones(),
         });
-        self.lines[idx] = Some(Line {
-            tag,
-            dirty: is_write,
+        self.keys[victim] = key | u64::from(is_write) << 1;
+        self.meta[victim] = Meta {
             valid: sector,
-        });
-        self.touch(set, victim_way);
+            stamp: self.clock,
+        };
+        self.demote_filter(set);
+        self.last_line = line_id;
+        self.last_valid = sector;
+        self.last_dirty = is_write;
         Lookup::Miss(evicted)
     }
 
     /// Non-mutating lookup: whether the address (and its sector) is present.
     pub fn probe(&self, addr: u64) -> bool {
         let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
         let sector = self.sector_bit(addr);
         let ways = self.cfg.ways as usize;
-        (0..ways).any(|w| {
-            self.lines[set * ways + w]
-                .as_ref()
-                .is_some_and(|l| l.tag == tag && l.valid & sector != 0)
-        })
+        let base = set * ways;
+        let key = (self.tag_of(addr) << 2) | 1;
+        self.keys[base..base + ways]
+            .iter()
+            .enumerate()
+            .any(|(w, &k)| k & KEY_TAG == key && self.meta[base + w].valid & sector != 0)
     }
 
     /// Invalidates a line if present, returning whether it was dirty.
     /// Used for back-invalidation when an outer level evicts.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        if self.occupied == 0 {
+            return None;
+        }
         let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
         let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let key = (self.tag_of(addr) << 2) | 1;
         for w in 0..ways {
-            let idx = set * ways + w;
-            if let Some(line) = &self.lines[idx] {
-                if line.tag == tag {
-                    let dirty = line.dirty;
-                    self.lines[idx] = None;
-                    // demote to LRU so the slot is reused first
-                    let stack = &mut self.recency[set];
-                    stack.retain(|&x| x != w as u8);
-                    stack.push(w as u8);
-                    return Some(dirty);
+            if self.keys[base + w] & KEY_TAG == key {
+                let dirty = self.keys[base + w] & KEY_DIRTY != 0;
+                // empty the way (stamp 0 makes it the next victim) and
+                // drop any MRU filter entry that pointed at this line
+                self.keys[base + w] = 0;
+                self.meta[base + w] = EMPTY_META;
+                self.occupied -= 1;
+                let line_id = (addr >> self.line_shift) + 1;
+                if self.last_line == line_id {
+                    self.last_line = 0;
                 }
+                if self.last_line2 == line_id {
+                    self.last_line2 = 0;
+                }
+                return Some(dirty);
             }
         }
         None
@@ -200,7 +370,11 @@ impl Cache {
 
     /// Number of currently valid lines (diagnostics/tests).
     pub fn occupied_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.is_some()).count()
+        debug_assert_eq!(
+            self.occupied as usize,
+            self.keys.iter().filter(|&&k| k != 0).count()
+        );
+        self.occupied as usize
     }
 }
 

@@ -52,6 +52,12 @@ pub struct DramArray {
     banks: Vec<Bank>,
     /// Counters per page-state case: `[hit, empty, conflict]`.
     outcomes: [u64; 3],
+    /// `page_size.trailing_zeros()` — validation guarantees a power of two.
+    page_shift: u32,
+    /// `banks - 1` as a mask — validation guarantees a power of two.
+    bank_mask: u64,
+    /// `banks.trailing_zeros()`.
+    bank_shift: u32,
 }
 
 impl DramArray {
@@ -65,6 +71,9 @@ impl DramArray {
         cfg.validate()?;
         Ok(DramArray {
             banks: vec![Bank::default(); cfg.banks as usize],
+            page_shift: cfg.page_size.trailing_zeros(),
+            bank_mask: u64::from(cfg.banks - 1),
+            bank_shift: cfg.banks.trailing_zeros(),
             cfg,
             outcomes: [0; 3],
         })
@@ -79,9 +88,9 @@ impl DramArray {
     /// banks ("16 address interleaved banks", Table 3): consecutive pages go
     /// to consecutive banks.
     pub fn map(&self, addr: u64) -> (u32, u64) {
-        let page = addr / self.cfg.page_size;
-        let bank = (page % u64::from(self.cfg.banks)) as u32;
-        let row = page / u64::from(self.cfg.banks);
+        let page = addr >> self.page_shift;
+        let bank = (page & self.bank_mask) as u32;
+        let row = page >> self.bank_shift;
         (bank, row)
     }
 

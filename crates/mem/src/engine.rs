@@ -7,7 +7,7 @@
 //! configurable outstanding-miss window, which bounds memory-level
 //! parallelism like a set of MSHRs would).
 
-use stacksim_trace::{Trace, TraceRecord};
+use stacksim_trace::{CpuId, MemOp, RecordBlock, Trace, TraceRecord};
 
 use crate::config::{ConfigError, Cycles};
 use crate::hierarchy::MemoryHierarchy;
@@ -144,19 +144,41 @@ struct CpuState {
     /// only, while younger independent records keep issuing (out-of-order
     /// issue, as in the paper's tool where only the dependent record waits).
     cursor: Cycles,
-    /// Completion times of outstanding references, kept as a sorted
-    /// insertion min-first vector (window sizes are small).
+    /// Completion times of outstanding references, sorted *descending* so
+    /// both hot operations — draining completed references and claiming
+    /// the earliest completion when the window is full — are pops off the
+    /// tail instead of head removals or whole-vector scans.
     outstanding: Vec<Cycles>,
 }
 
 impl CpuState {
+    #[inline(always)]
     fn drain_before(&mut self, t: Cycles) {
-        self.outstanding.retain(|&c| c > t);
+        while self.outstanding.last().is_some_and(|&c| c <= t) {
+            self.outstanding.pop();
+        }
     }
 
+    #[inline(always)]
     fn insert(&mut self, done: Cycles) {
-        let pos = self.outstanding.partition_point(|&c| c < done);
-        self.outstanding.insert(pos, done);
+        // Linear scan from the tail (the *small*, recently-completing
+        // entries) instead of a binary search: completions cluster, so
+        // the scan stops after a couple of well-predicted probes, while
+        // `partition_point` eats branch mispredicts on every level.
+        // Ties may land on either side of existing equal entries — both
+        // drain/pop paths treat equal times identically.
+        // Open-coded as push-then-shift: `Vec::insert` costs a capacity
+        // check and an out-of-line memmove even when nothing moves, while
+        // this loop compiles to a couple of in-register moves for the
+        // typical 0–4 displaced entries.
+        let v = &mut self.outstanding;
+        v.push(done);
+        let mut pos = v.len() - 1;
+        while pos > 0 && v[pos - 1] < done {
+            v[pos] = v[pos - 1];
+            pos -= 1;
+        }
+        v[pos] = done;
     }
 }
 
@@ -227,27 +249,48 @@ impl Engine {
              empty measurement window",
             trace.len()
         );
-        let mut completion: Vec<Cycles> = vec![0; trace.len()];
+        // Completion times live in a power-of-two ring sized to the
+        // largest dependency distance in the trace, not a full-length
+        // table: the dependency offset is bounded, so by the time slot
+        // `i & mask` is overwritten no later record can reference index
+        // `i` any more (a distance of exactly `ring_len` is legal — the
+        // slot is read before this record's own write clobbers it).
+        let packed = trace.packed();
+        let ring_len = (trace.max_dep_offset().max(1) as usize).next_power_of_two();
+        let mask = ring_len - 1;
+        let mut ring: Vec<Cycles> = vec![0; ring_len];
         let mut cpus: Vec<CpuState> = vec![CpuState::default(); trace.cpu_count().max(1)];
 
         let mut stats_at_warmup = HierarchyStats::default();
         let mut bus_bytes_at_warmup = 0u64;
-        // Earliest issue / latest completion over the *measured* records.
-        let mut measured_from: Option<Cycles> = None;
+        // Earliest issue / latest completion over the *measured* records
+        // (`MAX` = none measured yet; min-tracking stays branchless).
+        let mut measured_from: Cycles = Cycles::MAX;
         let mut measured_last: Cycles = 0;
 
-        for (i, r) in trace.iter().enumerate() {
-            if i == warm_records && i > 0 {
-                stats_at_warmup = *self.hierarchy.stats();
-                bus_bytes_at_warmup = self.hierarchy.bus().bytes();
-            }
-            let issued = self.step(r, &mut cpus, &completion);
-            completion[r.id.index()] = issued.done;
-            if i >= warm_records {
-                measured_from = Some(measured_from.map_or(issued.at, |m| m.min(issued.at)));
-                measured_last = measured_last.max(issued.done);
-            }
+        let (warm, measured) = packed.split_at(warm_records);
+        for (i, p) in warm.iter().enumerate() {
+            let d = p.dep_offset() as usize;
+            let dep_done = if d == 0 { 0 } else { ring[(i - d) & mask] };
+            let cpu = p.cpu();
+            let issued = self.issue(cpu, p.op(), p.addr, &mut cpus[cpu.index()], dep_done);
+            ring[i & mask] = issued.done;
         }
+        if warm_records > 0 {
+            stats_at_warmup = *self.hierarchy.stats();
+            bus_bytes_at_warmup = self.hierarchy.bus().bytes();
+        }
+        for (j, p) in measured.iter().enumerate() {
+            let i = warm_records + j;
+            let d = p.dep_offset() as usize;
+            let dep_done = if d == 0 { 0 } else { ring[(i - d) & mask] };
+            let cpu = p.cpu();
+            let issued = self.issue(cpu, p.op(), p.addr, &mut cpus[cpu.index()], dep_done);
+            ring[i & mask] = issued.done;
+            measured_from = measured_from.min(issued.at);
+            measured_last = measured_last.max(issued.done);
+        }
+        self.hierarchy.obs_flush();
         if stacksim_obs::enabled() {
             stacksim_obs::counter(crate::obs::ENGINE_RECORDS).add(trace.len() as u64);
         }
@@ -255,7 +298,11 @@ impl Engine {
         let end_stats = *self.hierarchy.stats();
         let stats = diff_stats(end_stats, stats_at_warmup);
         let bytes = self.hierarchy.bus().bytes() - bus_bytes_at_warmup;
-        let total_cycles = measured_last.saturating_sub(measured_from.unwrap_or(0));
+        let total_cycles = measured_last.saturating_sub(if measured_from == Cycles::MAX {
+            0
+        } else {
+            measured_from
+        });
         let references = stats.accesses;
         debug_assert!(
             references > 0 || trace.is_empty(),
@@ -322,14 +369,73 @@ impl Engine {
                 cpus.resize_with(r.cpu.index() + 1, CpuState::default);
             }
             let dep_done = r.dep.map_or(0, |dep| ring[dep.index() % dep_window]);
-            let issued = self.issue(&r, &mut cpus[r.cpu.index()], dep_done);
+            let issued = self.issue(r.cpu, r.op, r.addr, &mut cpus[r.cpu.index()], dep_done);
             ring[r.id.index() % dep_window] = issued.done;
             last_done = last_done.max(issued.done);
             n += 1;
         }
+        self.hierarchy.obs_flush();
         if stacksim_obs::enabled() {
             stacksim_obs::counter(crate::obs::ENGINE_RECORDS).add(n);
         }
+        self.stream_result(last_done, n)
+    }
+
+    /// Runs a stream of packed-record blocks — the generate-while-simulate
+    /// pipeline. Blocks typically arrive through a bounded channel fed by a
+    /// producer thread (see `stacksim-workloads`), so the whole trace is
+    /// never materialised. Dependencies must point at most `dep_window`
+    /// records back; the engine keeps only a power-of-two ring of recent
+    /// completion times. Batched observability counters flush once per
+    /// block rather than per reference.
+    ///
+    /// Simulation results are bit-identical to [`Engine::run`] on the
+    /// materialised concatenation of the blocks, for any block
+    /// partitioning — the channel carries data, never ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dep_window` is zero or a record's dependency reaches
+    /// further back than `dep_window`.
+    pub fn run_blocks<I>(&mut self, blocks: I, dep_window: usize) -> RunResult
+    where
+        I: IntoIterator<Item = RecordBlock>,
+    {
+        assert!(dep_window > 0, "dependency window must be positive");
+        let ring_len = dep_window.next_power_of_two();
+        let mask = ring_len - 1;
+        let mut ring: Vec<Cycles> = vec![0; ring_len];
+        let mut cpus: Vec<CpuState> = Vec::new();
+        let mut last_done: Cycles = 0;
+        let mut n: usize = 0;
+        for block in blocks {
+            for p in &block {
+                let d = p.dep_offset() as usize;
+                assert!(
+                    d <= dep_window,
+                    "dependency distance {d} exceeds the window {dep_window}"
+                );
+                let cpu = p.cpu();
+                if cpu.index() >= cpus.len() {
+                    cpus.resize_with(cpu.index() + 1, CpuState::default);
+                }
+                let dep_done = if d == 0 { 0 } else { ring[(n - d) & mask] };
+                let issued = self.issue(cpu, p.op(), p.addr, &mut cpus[cpu.index()], dep_done);
+                ring[n & mask] = issued.done;
+                last_done = last_done.max(issued.done);
+                n += 1;
+            }
+            self.hierarchy.obs_flush();
+        }
+        if stacksim_obs::enabled() {
+            stacksim_obs::counter(crate::obs::ENGINE_RECORDS).add(n as u64);
+        }
+        self.stream_result(last_done, n as u64)
+    }
+
+    /// Whole-stream accounting shared by [`Engine::run_stream`] and
+    /// [`Engine::run_blocks`]: the measured interval opens at cycle 0.
+    fn stream_result(&self, last_done: Cycles, n: u64) -> RunResult {
         let stats = *self.hierarchy.stats();
         let bytes = self.hierarchy.bus().bytes();
         let cpma = if n == 0 {
@@ -353,31 +459,34 @@ impl Engine {
         }
     }
 
-    /// Materialised-trace step: resolves the dependency against the full
-    /// completion table, then delegates to the shared [`Engine::issue`]
-    /// core.
-    fn step(&mut self, r: &TraceRecord, cpus: &mut [CpuState], completion: &[Cycles]) -> Issued {
-        let dep_done = r.dep.map_or(0, |dep| completion[dep.index()]);
-        self.issue(r, &mut cpus[r.cpu.index()], dep_done)
-    }
-
-    /// The one issue/drain/access/cursor sequence shared by the
-    /// materialised ([`Engine::run_warmed`]) and streaming
-    /// ([`Engine::run_stream`]) paths, which previously duplicated it and
-    /// could drift. `dep_done` is the completion time of the record's
-    /// dependency (0 when it has none); it is ignored under the
-    /// `ignore_deps` ablation.
-    fn issue(&mut self, r: &TraceRecord, cpu: &mut CpuState, dep_done: Cycles) -> Issued {
+    /// The one issue/drain/access/cursor sequence shared by every run
+    /// path. `dep_done` is the completion time of the record's dependency
+    /// (0 when it has none); it is ignored under the `ignore_deps`
+    /// ablation. Force-inlined: with four call sites this loses the
+    /// inliner's cost model, but each replay loop wants the whole
+    /// issue/access/insert chain flattened so the per-cpu state stays in
+    /// registers across records.
+    #[inline(always)]
+    fn issue(
+        &mut self,
+        cpu_id: CpuId,
+        op: MemOp,
+        addr: u64,
+        cpu: &mut CpuState,
+        dep_done: Cycles,
+    ) -> Issued {
         let mut t = cpu.cursor;
         if !self.cfg.ignore_deps {
             t = t.max(dep_done);
         }
         cpu.drain_before(t);
         while cpu.outstanding.len() >= self.cfg.window {
-            let earliest = cpu.outstanding.remove(0);
-            t = t.max(earliest);
+            match cpu.outstanding.pop() {
+                Some(earliest) => t = t.max(earliest),
+                None => break, // unreachable: len >= window >= 1
+            }
         }
-        let res = self.hierarchy.access(r.cpu, r.op, r.addr, t);
+        let res = self.hierarchy.access(cpu_id, op, addr, t);
         cpu.insert(res.done);
         // the cursor advances at issue bandwidth, but may not lag the newest
         // issue by more than the lookahead — younger records overlap a stall
@@ -662,7 +771,7 @@ mod tests {
             MemoryHierarchy::new(HierarchyConfig::core2_baseline()).expect("valid preset"),
             cfg,
         );
-        let stream = stream_engine.run_stream(t.iter().copied(), dep_window);
+        let stream = stream_engine.run_stream(t.iter(), dep_window);
         assert_eq!(batch.total_cycles, stream.total_cycles, "cfg {cfg:?}");
         assert_eq!(batch.offdie_bytes, stream.offdie_bytes, "cfg {cfg:?}");
         assert_eq!(batch.references, stream.references, "cfg {cfg:?}");
@@ -731,7 +840,7 @@ mod tests {
         // id == dep_window + 1, dep id == 0
         b.record_dep(CpuId::new(0), MemOp::Load, 64, 0, Some(first));
         let t = b.build();
-        let _ = engine().run_stream(t.iter().copied(), dep_window);
+        let _ = engine().run_stream(t.iter(), dep_window);
     }
 
     #[test]
@@ -744,7 +853,41 @@ mod tests {
         }
         b.record_dep(CpuId::new(0), MemOp::Load, 128, 0, Some(first));
         let t = b.build();
-        let _ = engine().run_stream(t.iter().copied(), 16);
+        let _ = engine().run_stream(t.iter(), 16);
+    }
+
+    #[test]
+    fn run_blocks_matches_run_at_any_block_size() {
+        let t = mixed_trace(5_000);
+        let batch = engine().run(&t);
+        for block_len in [1usize, 64, 4096] {
+            let blocks: Vec<_> = t.packed().chunks(block_len).map(<[_]>::to_vec).collect();
+            let mut e = engine();
+            let streamed = e.run_blocks(blocks, 64);
+            assert_eq!(
+                batch.total_cycles, streamed.total_cycles,
+                "block {block_len}"
+            );
+            assert_eq!(
+                batch.offdie_bytes, streamed.offdie_bytes,
+                "block {block_len}"
+            );
+            assert_eq!(batch.references, streamed.references, "block {block_len}");
+            assert_eq!(batch.stats, streamed.stats, "block {block_len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the window")]
+    fn run_blocks_rejects_distant_dependencies() {
+        let mut b = TraceBuilder::new();
+        let first = b.record(CpuId::new(0), MemOp::Load, 0, 0);
+        for _ in 0..100 {
+            b.record(CpuId::new(0), MemOp::Load, 64, 0);
+        }
+        b.record_dep(CpuId::new(0), MemOp::Load, 128, 0, Some(first));
+        let t = b.build();
+        let _ = engine().run_blocks([t.packed().to_vec()], 16);
     }
 
     #[test]

@@ -45,6 +45,25 @@ struct StackedDram {
     data: DramArray,
 }
 
+/// Counter values at the last observability flush. The hot path only
+/// bumps plain [`HierarchyStats`] fields and bus aggregates; deltas
+/// against this baseline are published to the process-global
+/// instruments at flush points, so the per-access cost of the obs layer
+/// is zero rather than a dozen atomic RMWs.
+#[derive(Debug, Clone, Copy, Default)]
+struct ObsBaseline {
+    stats: HierarchyStats,
+    bus_bytes: u64,
+    bus_transfers: u64,
+    bus_busy: Cycles,
+    dram_outcomes: (u64, u64, u64),
+    stacked_outcomes: (u64, u64, u64),
+}
+
+fn sub3(a: (u64, u64, u64), b: (u64, u64, u64)) -> (u64, u64, u64) {
+    (a.0 - b.0, a.1 - b.1, a.2 - b.2)
+}
+
 /// The simulated memory hierarchy.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
@@ -59,9 +78,14 @@ pub struct MemoryHierarchy {
     /// (consulted only when `fill_latency` is enabled).
     inflight: HashMap<u64, Cycles>,
     stats: HierarchyStats,
-    /// Observability handles (process-global cells; recording is a
-    /// no-op branch while `stacksim_obs` is disabled).
+    /// `!(l1 line size - 1)`, hoisted out of the per-access path (the
+    /// configuration validated the size as a power of two once).
+    line_mask: u64,
+    /// Observability handles (process-global cells; only touched at
+    /// [`MemoryHierarchy::obs_flush`], never per access).
     obs: HierObs,
+    /// Counter values already published to the obs instruments.
+    base: ObsBaseline,
 }
 
 impl MemoryHierarchy {
@@ -93,7 +117,9 @@ impl MemoryHierarchy {
             memory: DramArray::new(cfg.memory.dram)?,
             inflight: HashMap::new(),
             stats: HierarchyStats::default(),
+            line_mask: !(cfg.l1d.line_size - 1),
             obs: HierObs::new(),
+            base: ObsBaseline::default(),
             cfg,
         })
     }
@@ -126,11 +152,49 @@ impl MemoryHierarchy {
     /// # Panics
     ///
     /// Panics if `cpu` is out of range for the configured CPU count.
+    #[inline]
     pub fn access(&mut self, cpu: CpuId, op: MemOp, addr: u64, at: Cycles) -> AccessResult {
         assert!(cpu.index() < self.cfg.cpus, "cpu {cpu} out of range");
+        // Fast path, inlined into the replay loops: an access the L1's MRU
+        // line filter swallows touches nothing but the statistics. The
+        // filter only fires when the hit is a guaranteed array no-op, so
+        // falling through to the full path below yields identical state.
         let is_write = op.is_write();
+        let l1 = if op == MemOp::IFetch {
+            &self.l1i[cpu.index()]
+        } else {
+            &self.l1d[cpu.index()]
+        };
+        if l1.filter_hit(addr, is_write) {
+            self.stats.accesses += 1;
+            self.stats.l1_hits += 1;
+            let t = at + l1.config().latency;
+            let done = if self.cfg.fill_latency {
+                self.fill_gate(addr, t)
+            } else {
+                t
+            };
+            self.stats.latency_sum += done - at;
+            self.stats.last_completion = self.stats.last_completion.max(done);
+            return AccessResult {
+                done,
+                level: ServiceLevel::L1,
+            };
+        }
+        self.access_full(cpu, op, addr, at, is_write)
+    }
+
+    /// The full lookup chain; everything the fast path above does not
+    /// handle inline.
+    fn access_full(
+        &mut self,
+        cpu: CpuId,
+        op: MemOp,
+        addr: u64,
+        at: Cycles,
+        is_write: bool,
+    ) -> AccessResult {
         self.stats.accesses += 1;
-        self.obs.accesses.inc();
 
         // ---- L1 ----
         let l1 = if op == MemOp::IFetch {
@@ -139,10 +203,10 @@ impl MemoryHierarchy {
             &mut self.l1d[cpu.index()]
         };
         let t = at + l1.config().latency;
-        match l1.access(addr, is_write) {
+        // the fast path in `access` already saw this L1's filter miss
+        match l1.access_past_filter(addr, is_write) {
             Lookup::Hit | Lookup::SectorMiss => {
                 self.stats.l1_hits += 1;
-                self.obs.l1_hits.inc();
                 let done = self.fill_gate(addr, t);
                 let result = AccessResult {
                     done,
@@ -170,7 +234,6 @@ impl MemoryHierarchy {
             match l2.access(addr, false) {
                 Lookup::Hit | Lookup::SectorMiss => {
                     self.stats.l2_hits += 1;
-                    self.obs.l2_hits.inc();
                     let done = self.fill_gate(addr, t);
                     let result = AccessResult {
                         done,
@@ -195,8 +258,6 @@ impl MemoryHierarchy {
                     // data access on the top die
                     let acc = s.data.access(addr, t);
                     self.stats.stacked_hits += 1;
-                    self.obs.stacked_hits.inc();
-                    self.obs.stacked_pages.record(acc.outcome);
                     let result = AccessResult {
                         done: acc.done,
                         level: ServiceLevel::Stacked,
@@ -207,7 +268,6 @@ impl MemoryHierarchy {
                 Lookup::SectorMiss => {
                     // tag match, sector absent: fetch just this sector off-die
                     self.stats.stacked_sector_misses += 1;
-                    self.obs.stacked_sector_misses.inc();
                     let line = self.cfg.l1d.line_size;
                     let done = self.fetch_from_memory(addr, line, t);
                     // the returning sector is written into the DRAM array by
@@ -246,17 +306,13 @@ impl MemoryHierarchy {
     /// the fixed transport latency. `bytes` is the payload size.
     fn fetch_from_memory(&mut self, addr: u64, bytes: u64, at: Cycles) -> Cycles {
         let xfer = self.bus.transfer(bytes, at);
-        self.obs
-            .record_bus(bytes + self.cfg.bus.overhead_bytes, at, xfer);
         let mem = self
             .memory
             .access(addr, xfer.start + self.cfg.memory.transport);
         self.stats.memory_accesses += 1;
-        self.obs.memory_accesses.inc();
-        self.obs.dram_pages.record(mem.outcome);
         let done = mem.done.max(xfer.done);
         if self.cfg.fill_latency {
-            let line = addr & !(self.cfg.l1d.line_size - 1);
+            let line = addr & self.line_mask;
             self.inflight.insert(line, done);
             if self.inflight.len() > 8192 {
                 self.inflight.retain(|_, d| *d + 100_000 > at);
@@ -271,11 +327,10 @@ impl MemoryHierarchy {
         if !self.cfg.fill_latency {
             return done;
         }
-        let line = addr & !(self.cfg.l1d.line_size - 1);
+        let line = addr & self.line_mask;
         match self.inflight.get(&line) {
             Some(&fill) if fill > done => {
                 self.stats.fill_waits += 1;
-                self.obs.fill_waits.inc();
                 fill
             }
             _ => done,
@@ -286,7 +341,6 @@ impl MemoryHierarchy {
     /// update; write-backs are posted and do not delay the triggering access.
     fn writeback_below_l1(&mut self, ev: Evicted, at: Cycles) {
         self.stats.l1_writebacks += 1;
-        self.obs.l1_writebacks.inc();
         if let Some(l2) = self.l2.as_mut() {
             match l2.access(ev.line_addr, true) {
                 Lookup::Hit | Lookup::SectorMiss => {}
@@ -371,23 +425,71 @@ impl MemoryHierarchy {
     fn offdie_writeback(&mut self, bytes: u64, addr: u64, at: Cycles) {
         let _ = addr;
         self.stats.offdie_writebacks += 1;
-        self.obs.offdie_writebacks.inc();
-        let xfer = self.bus.transfer(bytes, at);
-        self.obs
-            .record_bus(bytes + self.cfg.bus.overhead_bytes, at, xfer);
+        let _ = self.bus.transfer(bytes, at);
+    }
+
+    /// Publishes everything accumulated since the last flush to the
+    /// process-global obs instruments.
+    ///
+    /// The access path only bumps plain struct fields; this is the one
+    /// place atomics are touched, so the obs-enabled overhead amortises
+    /// over a whole run (or one streamed block) instead of costing a
+    /// dozen atomic RMWs per reference. While `stacksim_obs` is
+    /// disabled the flush still advances the baseline, so intervals
+    /// simulated with recording off are never retroactively published.
+    pub fn obs_flush(&mut self) {
+        let batch = self.bus.take_queue_batch();
+        let bus = (
+            self.bus.bytes(),
+            self.bus.transfers(),
+            self.bus.busy_cycles(),
+        );
+        let dram = self.memory.outcome_counts();
+        let stacked = self
+            .stacked
+            .as_ref()
+            .map(|s| s.data.outcome_counts())
+            .unwrap_or_default();
+        if stacksim_obs::enabled() {
+            let s = &self.stats;
+            let b = &self.base.stats;
+            let o = &self.obs;
+            o.accesses.add(s.accesses - b.accesses);
+            o.l1_hits.add(s.l1_hits - b.l1_hits);
+            o.l2_hits.add(s.l2_hits - b.l2_hits);
+            o.stacked_hits.add(s.stacked_hits - b.stacked_hits);
+            o.stacked_sector_misses
+                .add(s.stacked_sector_misses - b.stacked_sector_misses);
+            o.memory_accesses.add(s.memory_accesses - b.memory_accesses);
+            o.memory_served.add(s.memory_served - b.memory_served);
+            o.l1_writebacks.add(s.l1_writebacks - b.l1_writebacks);
+            o.offdie_writebacks
+                .add(s.offdie_writebacks - b.offdie_writebacks);
+            o.fill_waits.add(s.fill_waits - b.fill_waits);
+            o.bus_bytes.add(bus.0 - self.base.bus_bytes);
+            o.bus_transfers.add(bus.1 - self.base.bus_transfers);
+            o.bus_busy_cycles.add(bus.2 - self.base.bus_busy);
+            if bus.1 > self.base.bus_transfers {
+                o.bus_backlog_cycles.set(self.bus.last_backlog() as f64);
+            }
+            o.bus_queue_cycles.merge_batch(&batch);
+            o.dram_pages.add(sub3(dram, self.base.dram_outcomes));
+            o.stacked_pages
+                .add(sub3(stacked, self.base.stacked_outcomes));
+        }
+        self.base = ObsBaseline {
+            stats: self.stats,
+            bus_bytes: bus.0,
+            bus_transfers: bus.1,
+            bus_busy: bus.2,
+            dram_outcomes: dram,
+            stacked_outcomes: stacked,
+        };
     }
 
     fn finish(&mut self, issued: Cycles, result: AccessResult) {
         self.stats.latency_sum += result.done - issued;
-        match result.level {
-            ServiceLevel::L1 => {}
-            ServiceLevel::L2 => {}
-            ServiceLevel::Stacked => {}
-            ServiceLevel::Memory => {
-                self.stats.memory_served += 1;
-                self.obs.memory_served.inc();
-            }
-        }
+        self.stats.memory_served += u64::from(result.level == ServiceLevel::Memory);
         self.stats.last_completion = self.stats.last_completion.max(result.done);
     }
 }

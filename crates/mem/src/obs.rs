@@ -7,8 +7,6 @@
 
 use stacksim_obs::{Counter, Gauge, Histogram};
 
-use crate::dram::PageOutcome;
-
 /// Component tag of every instrument this crate owns.
 pub const COMPONENT: &str = "mem";
 
@@ -126,13 +124,13 @@ impl PageObs {
         }
     }
 
-    #[inline]
-    pub fn record(&self, outcome: PageOutcome) {
-        match outcome {
-            PageOutcome::Hit => self.hits.inc(),
-            PageOutcome::Empty => self.empty.inc(),
-            PageOutcome::Conflict => self.conflicts.inc(),
-        }
+    /// Add page-outcome deltas (`(hits, empties, conflicts)`, the layout
+    /// of [`DramArray::outcome_counts`](crate::dram::DramArray::outcome_counts))
+    /// accumulated since the last flush.
+    pub fn add(&self, (hits, empty, conflicts): (u64, u64, u64)) {
+        self.hits.add(hits);
+        self.empty.add(empty);
+        self.conflicts.add(conflicts);
     }
 }
 
@@ -161,21 +159,6 @@ impl HierObs {
                 STACKED_PAGE_CONFLICTS,
             ),
         }
-    }
-
-    /// Record one bus transfer: `total` bytes (incl. overhead) arriving
-    /// at `at`, occupying the wire from `start` to `done`. One enabled
-    /// check up front so the disabled cost stays a single branch.
-    #[inline]
-    pub fn record_bus(&self, total: u64, at: crate::config::Cycles, xfer: crate::bus::BusTransfer) {
-        if !stacksim_obs::enabled() {
-            return;
-        }
-        self.bus_bytes.add(total);
-        self.bus_transfers.inc();
-        self.bus_busy_cycles.add(xfer.done - xfer.start);
-        self.bus_backlog_cycles.set((xfer.start - at) as f64);
-        self.bus_queue_cycles.record(xfer.start - at);
     }
 }
 

@@ -39,7 +39,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 pub use event::{event, set_sink, span, EventSink, FieldValue, JsonlSink, Span};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramBatch, HistogramSnapshot, Registry, Snapshot,
+};
 
 /// Version tag written into every metrics snapshot; bump on any change
 /// to the snapshot layout.

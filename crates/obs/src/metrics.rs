@@ -130,6 +130,88 @@ impl Histogram {
     }
 }
 
+/// A plain, non-atomic histogram accumulator for batched recording.
+///
+/// Hot loops that would otherwise hammer a shared [`Histogram`] with
+/// per-event atomics accumulate into one of these (plain integer adds,
+/// no contention, no `enabled()` branch per event) and merge the whole
+/// batch into the global instrument at a flush point via
+/// [`Histogram::merge_batch`].
+#[derive(Debug, Clone)]
+pub struct HistogramBatch {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramBatch {
+    fn default() -> Self {
+        HistogramBatch {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        HistogramBatch::default()
+    }
+
+    /// Record one sample into the batch.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        // wraps like the atomic `fetch_add` in `Histogram::record`
+        self.sum = self.sum.wrapping_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Empties the batch, returning what was accumulated.
+    pub fn take(&mut self) -> HistogramBatch {
+        std::mem::take(self)
+    }
+}
+
+impl Histogram {
+    /// Merge a pre-aggregated batch of samples, equivalent to having
+    /// called [`Histogram::record`] for each of them. One `enabled()`
+    /// branch for the whole batch; empty batches are free.
+    pub fn merge_batch(&self, batch: &HistogramBatch) {
+        if !crate::enabled() || batch.is_empty() {
+            return;
+        }
+        let c = &*self.cells;
+        c.count.fetch_add(batch.count, Ordering::Relaxed);
+        c.sum.fetch_add(batch.sum, Ordering::Relaxed);
+        c.min.fetch_min(batch.min, Ordering::Relaxed);
+        c.max.fetch_max(batch.max, Ordering::Relaxed);
+        for (cell, &n) in c.buckets.iter().zip(batch.buckets.iter()) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// Point-in-time values of one histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -326,6 +408,45 @@ mod tests {
         assert_eq!(bucket_index(7), 3);
         assert_eq!(bucket_index(8), 4);
         assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn batch_merge_equals_individual_records() {
+        let _g = crate::tests::global_lock();
+        crate::reset();
+        crate::enable();
+        let direct = crate::histogram("test.batch_direct");
+        let merged = crate::histogram("test.batch_merged");
+        let mut batch = HistogramBatch::new();
+        for v in [0u64, 1, 5, 5, 1024, u64::MAX] {
+            direct.record(v);
+            batch.record(v);
+        }
+        merged.merge_batch(&batch);
+        crate::disable();
+        let snap = crate::registry().snapshot();
+        let find = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|h| h.name == name)
+                .cloned()
+                .unwrap()
+        };
+        let (mut d, mut m) = (find("test.batch_direct"), find("test.batch_merged"));
+        d.name.clear();
+        m.name.clear();
+        assert_eq!(d, m);
+        assert_eq!(m.count, 6);
+    }
+
+    #[test]
+    fn empty_batch_take_and_merge_are_noops() {
+        let mut batch = HistogramBatch::new();
+        assert!(batch.is_empty());
+        batch.record(3);
+        let taken = batch.take();
+        assert!(batch.is_empty());
+        assert_eq!(taken.count(), 1);
     }
 
     #[test]

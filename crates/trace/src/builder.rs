@@ -1,13 +1,15 @@
 //! Incremental construction of valid traces.
 
-use crate::record::{Addr, CpuId, MemOp, RecordId, TraceRecord};
+use crate::packed::PackedRecord;
+use crate::record::{Addr, CpuId, MemOp, RecordId};
 use crate::stream::Trace;
 
 /// Builds a [`Trace`] while enforcing the id and dependency invariants.
 ///
 /// Ids are assigned densely in insertion order. Dependencies are checked at
 /// insertion time, so the resulting trace always passes
-/// [`Trace::validate`].
+/// [`Trace::validate`]. Records are packed into the trace's fixed-width
+/// storage as they are added — [`build`](TraceBuilder::build) is free.
 ///
 /// # Example
 ///
@@ -22,7 +24,7 @@ use crate::stream::Trace;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TraceBuilder {
-    records: Vec<TraceRecord>,
+    trace: Trace,
 }
 
 impl TraceBuilder {
@@ -34,23 +36,23 @@ impl TraceBuilder {
     /// Creates a builder with pre-allocated capacity for `n` records.
     pub fn with_capacity(n: usize) -> Self {
         TraceBuilder {
-            records: Vec::with_capacity(n),
+            trace: Trace::with_capacity(n),
         }
     }
 
     /// Number of records added so far.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.trace.len()
     }
 
     /// Whether no records have been added.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.trace.is_empty()
     }
 
     /// Id the next added record will receive.
     pub fn next_id(&self) -> RecordId {
-        RecordId::new(self.records.len() as u64)
+        RecordId::new(self.trace.len() as u64)
     }
 
     /// Appends an independent record and returns its id.
@@ -63,7 +65,8 @@ impl TraceBuilder {
     /// # Panics
     ///
     /// Panics if `dep` refers to a record that has not been added yet —
-    /// dependencies must point strictly backwards.
+    /// dependencies must point strictly backwards — or if the dependency
+    /// distance exceeds the packed-record range ([`u32::MAX`]).
     pub fn record_dep(
         &mut self,
         cpu: CpuId,
@@ -73,34 +76,39 @@ impl TraceBuilder {
         dep: Option<RecordId>,
     ) -> RecordId {
         let id = self.next_id();
-        if let Some(d) = dep {
-            assert!(
-                d < id,
-                "dependency {d} of record {id} must point to an earlier record"
-            );
-        }
-        self.records.push(TraceRecord {
-            id,
-            cpu,
-            op,
-            addr,
-            ip,
-            dep,
-        });
+        let dep_offset = match dep {
+            None => 0,
+            Some(d) => {
+                assert!(
+                    d < id,
+                    "dependency {d} of record {id} must point to an earlier record"
+                );
+                let dist = id.raw() - d.raw();
+                assert!(
+                    dist <= u64::from(u32::MAX),
+                    "dependency distance {dist} exceeds the packed-record range"
+                );
+                dist as u32
+            }
+        };
+        self.trace
+            .push(PackedRecord::new(cpu, op, addr, ip, dep_offset));
         id
     }
 
     /// Id of the most recently added record, if any. Convenient for chaining
     /// serially dependent accesses.
     pub fn last_id(&self) -> Option<RecordId> {
-        self.records.last().map(|r| r.id)
+        self.trace
+            .len()
+            .checked_sub(1)
+            .map(|i| RecordId::new(i as u64))
     }
 
     /// Finishes the builder, producing a validated [`Trace`].
     pub fn build(self) -> Trace {
-        let t = Trace::from_records(self.records);
-        debug_assert!(t.validate().is_ok());
-        t
+        debug_assert!(self.trace.validate().is_ok());
+        self.trace
     }
 }
 

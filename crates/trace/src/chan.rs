@@ -1,0 +1,238 @@
+//! A bounded SPSC channel carrying blocks of packed records.
+//!
+//! This is the coupling between trace *generation* and trace *consumption*
+//! in the generate-while-simulate pipeline: a kernel thread pushes
+//! fixed-size `Vec<PackedRecord>` blocks while the simulator drains them,
+//! so the two overlap instead of serialising. The bound keeps the
+//! in-flight working set to a few blocks regardless of trace length.
+//!
+//! Determinism note: the channel carries *data*, never *ordering*. Block
+//! contents are fully determined by the producer, and the consumer
+//! interleaves streams in a fixed round-robin that only depends on those
+//! contents — timing, buffering, and the capacity chosen here cannot
+//! change the merged trace (see `DESIGN.md` §14).
+//!
+//! The implementation is a mutex + two condvars; there are no atomics and
+//! no lock-free cleverness, so its correctness is the platform mutex's
+//! correctness.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::packed::PackedRecord;
+
+/// A block of packed records in flight between producer and consumer.
+pub type RecordBlock = Vec<PackedRecord>;
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a block is enqueued or the sender goes away.
+    not_empty: Condvar,
+    /// Signalled when a block is dequeued or the receiver goes away.
+    not_full: Condvar,
+}
+
+struct State {
+    queue: VecDeque<RecordBlock>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+/// Creates a bounded block channel with room for `capacity` blocks.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn block_channel(capacity: usize) -> (BlockSender, BlockReceiver) {
+    assert!(capacity > 0, "block channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        BlockSender {
+            shared: Arc::clone(&shared),
+            capacity,
+        },
+        BlockReceiver { shared },
+    )
+}
+
+/// Producer half of a [`block_channel`].
+pub struct BlockSender {
+    shared: Arc<Shared>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for BlockSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockSender")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BlockSender {
+    /// Enqueues a block, waiting while the channel is full. Returns `false`
+    /// (discarding the block) if the receiver is gone, so an abandoned
+    /// consumer lets the producer wind down instead of deadlocking.
+    pub fn send(&self, block: RecordBlock) -> bool {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if !state.receiver_alive {
+                return false;
+            }
+            if state.queue.len() < self.capacity {
+                state.queue.push_back(block);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return true;
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl Drop for BlockSender {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state.sender_alive = false;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+/// Consumer half of a [`block_channel`].
+pub struct BlockReceiver {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for BlockReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockReceiver").finish_non_exhaustive()
+    }
+}
+
+impl BlockReceiver {
+    /// Dequeues the next block, waiting while the channel is empty.
+    /// Returns `None` once the sender is gone and the queue is drained.
+    pub fn recv(&self) -> Option<RecordBlock> {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(block) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(block);
+            }
+            if !state.sender_alive {
+                return None;
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+impl Drop for BlockReceiver {
+    fn drop(&mut self) {
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        state.receiver_alive = false;
+        // let a blocked producer observe the hangup and bail out
+        state.queue.clear();
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CpuId, MemOp};
+    use std::thread;
+
+    fn block(n: usize, base: u64) -> RecordBlock {
+        (0..n)
+            .map(|i| PackedRecord::new(CpuId::new(0), MemOp::Load, base + i as u64, 0, 0))
+            .collect()
+    }
+
+    #[test]
+    fn blocks_arrive_in_order() {
+        let (tx, rx) = block_channel(2);
+        let producer = thread::spawn(move || {
+            for i in 0..10u64 {
+                assert!(tx.send(block(3, i * 100)));
+            }
+        });
+        let mut seen = Vec::new();
+        while let Some(b) = rx.recv() {
+            seen.push(b[0].addr);
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..10u64).map(|i| i * 100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_the_producer_not_the_data() {
+        // capacity 1 forces strict alternation; everything still arrives
+        let (tx, rx) = block_channel(1);
+        let producer = thread::spawn(move || {
+            for i in 0..100u64 {
+                assert!(tx.send(block(1, i)));
+            }
+        });
+        let mut n = 0u64;
+        while let Some(b) = rx.recv() {
+            assert_eq!(b[0].addr, n);
+            n += 1;
+        }
+        producer.join().unwrap();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_the_sender() {
+        let (tx, rx) = block_channel(1);
+        assert!(tx.send(block(1, 0)));
+        drop(rx);
+        // channel is "full" but the hangup must still let the send return
+        assert!(!tx.send(block(1, 1)));
+    }
+
+    #[test]
+    fn recv_drains_queue_after_sender_drops() {
+        let (tx, rx) = block_channel(4);
+        assert!(tx.send(block(1, 7)));
+        drop(tx);
+        assert_eq!(rx.recv().unwrap()[0].addr, 7);
+        assert!(rx.recv().is_none());
+    }
+}

@@ -1,6 +1,7 @@
 //! Merging per-thread traces into one multi-processor trace.
 
-use crate::record::{CpuId, RecordId, TraceRecord};
+use crate::packed::PackedRecord;
+use crate::record::CpuId;
 use crate::stream::Trace;
 
 /// Interleaves several per-thread traces round-robin into one SMP trace.
@@ -11,9 +12,15 @@ use crate::stream::Trace;
 /// records, modelling threads making roughly even forward progress, as in the
 /// paper's two-threaded RMS traces.
 ///
+/// The merge runs entirely on packed storage: per-thread dependency offsets
+/// are rewritten to merged-order offsets through a per-thread position map,
+/// no wide records are materialised.
+///
 /// # Panics
 ///
-/// Panics if `chunk` is 0 or more than 256 threads are supplied.
+/// Panics if `chunk` is 0, more than 256 threads are supplied, or the
+/// merged trace would reach [`u32::MAX`] records (beyond the packed
+/// dependency-offset range).
 ///
 /// # Example
 ///
@@ -32,9 +39,13 @@ pub fn interleave(threads: &[Trace], chunk: usize) -> Trace {
     assert!(chunk > 0, "interleave chunk must be positive");
     assert!(threads.len() <= 256, "at most 256 threads supported");
     let total: usize = threads.iter().map(Trace::len).sum();
-    let mut out: Vec<TraceRecord> = Vec::with_capacity(total);
-    // new id of each source record, per thread
-    let mut maps: Vec<Vec<RecordId>> = threads
+    assert!(
+        total < u32::MAX as usize,
+        "merged trace would exceed the packed dependency-offset range"
+    );
+    let mut out = Trace::with_capacity(total);
+    // merged position of each source record, per thread
+    let mut maps: Vec<Vec<u32>> = threads
         .iter()
         .map(|t| Vec::with_capacity(t.len()))
         .collect();
@@ -44,16 +55,22 @@ pub fn interleave(threads: &[Trace], chunk: usize) -> Trace {
         for (ti, t) in threads.iter().enumerate() {
             let start = cursors[ti];
             let end = (start + chunk).min(t.len());
-            for src in &t.records()[start..end] {
-                let new_id = RecordId::new(out.len() as u64);
-                maps[ti].push(new_id);
-                let dep = src.dep.map(|d| maps[ti][d.index()]);
-                out.push(TraceRecord {
-                    id: new_id,
-                    cpu: CpuId::new(ti as u8),
-                    dep,
-                    ..*src
-                });
+            for (src, p) in t.packed()[start..end].iter().enumerate() {
+                let src = start + src;
+                let new_pos = out.len() as u32;
+                maps[ti].push(new_pos);
+                let dep_offset = if p.has_dep() {
+                    new_pos - maps[ti][src - p.dep_offset() as usize]
+                } else {
+                    0
+                };
+                out.push(PackedRecord::new(
+                    CpuId::new(ti as u8),
+                    p.op(),
+                    p.addr,
+                    p.ip,
+                    dep_offset,
+                ));
             }
             if end > start {
                 progressed = true;
@@ -64,9 +81,8 @@ pub fn interleave(threads: &[Trace], chunk: usize) -> Trace {
             break;
         }
     }
-    let t = Trace::from_records(out);
-    debug_assert!(t.validate().is_ok());
-    t
+    debug_assert!(out.validate().is_ok());
+    out
 }
 
 #[cfg(test)]

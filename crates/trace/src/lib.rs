@@ -33,17 +33,23 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+mod chan;
 mod codec;
 mod error;
 mod interleave;
+mod packed;
 mod record;
+mod sink;
 mod stats;
 mod stream;
 
 pub use builder::TraceBuilder;
+pub use chan::{block_channel, BlockReceiver, BlockSender, RecordBlock};
 pub use codec::{read_trace, write_trace};
 pub use error::TraceError;
 pub use interleave::interleave;
+pub use packed::PackedRecord;
 pub use record::{Addr, CpuId, MemOp, RecordId, TraceRecord};
+pub use sink::{RecordSink, StreamBuilder};
 pub use stats::{DepStats, FootprintStats, TraceStats};
-pub use stream::{Trace, TraceIter};
+pub use stream::{Trace, TraceIntoIter, TraceIter};

@@ -1,0 +1,203 @@
+//! The fixed-width packed record the hot paths run on.
+//!
+//! [`TraceRecord`] is ergonomic but wide: a 16-byte `Option<RecordId>` for
+//! the dependency, a niche-less enum for the op, and an explicit id that is
+//! always equal to the record's position. [`PackedRecord`] is the same
+//! information in 24 bytes of plain-old-data:
+//!
+//! ```text
+//!  bytes 0..8   addr  (u64)
+//!  bytes 8..16  ip    (u64)
+//!  bytes 16..20 dep   (u32)  backward distance to the dependency; 0 = none
+//!  bytes 20..24 tag   (u32)  bits 0..2 = op tag, bits 8..16 = cpu id
+//! ```
+//!
+//! The id is implicit (a record's position in its trace), the dependency is
+//! a bounded backward offset, and decoding any field is shift-and-mask work
+//! with no `Option` or enum matching — the engine's issue loop reads
+//! `addr`, `op`, `cpu` and `dep_offset` straight out of the word.
+
+use crate::record::{Addr, CpuId, MemOp, RecordId, TraceRecord};
+
+/// One memory reference in the fixed-width packed layout.
+///
+/// Constructed via [`PackedRecord::new`] (which encodes the tag word) or by
+/// packing a [`TraceRecord`]; the op bits are therefore always a valid
+/// [`MemOp`] tag.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedRecord {
+    /// Memory access address (byte granularity).
+    pub addr: Addr,
+    /// Instruction pointer of the accessing instruction.
+    pub ip: Addr,
+    dep: u32,
+    tag: u32,
+}
+
+impl PackedRecord {
+    /// Packs one record. `dep_offset` is the backward distance to the
+    /// dependency (`id - dep_id`), or 0 for an independent record.
+    #[inline]
+    pub fn new(cpu: CpuId, op: MemOp, addr: Addr, ip: Addr, dep_offset: u32) -> Self {
+        PackedRecord {
+            addr,
+            ip,
+            dep: dep_offset,
+            tag: u32::from(op.tag()) | (u32::from(cpu.raw()) << 8),
+        }
+    }
+
+    /// The memory operation kind.
+    #[inline]
+    pub fn op(self) -> MemOp {
+        // Constructed only through `new`, so the two op bits always carry a
+        // valid tag; map the impossible fourth pattern to IFetch instead of
+        // branching into a panic path.
+        match self.tag & 0x3 {
+            0 => MemOp::Load,
+            1 => MemOp::Store,
+            _ => MemOp::IFetch,
+        }
+    }
+
+    /// The CPU that executed the access.
+    #[inline]
+    pub fn cpu(self) -> CpuId {
+        CpuId::new((self.tag >> 8) as u8)
+    }
+
+    /// Backward distance to the dependency; 0 means the record is
+    /// independent.
+    #[inline]
+    pub fn dep_offset(self) -> u32 {
+        self.dep
+    }
+
+    /// Whether the record carries a dependency edge.
+    #[inline]
+    pub fn has_dep(self) -> bool {
+        self.dep != 0
+    }
+
+    /// Expands into a [`TraceRecord`], given the record's position `id` in
+    /// its stream.
+    #[inline]
+    pub fn unpack(self, id: u64) -> TraceRecord {
+        TraceRecord {
+            id: RecordId::new(id),
+            cpu: self.cpu(),
+            op: self.op(),
+            addr: self.addr,
+            ip: self.ip,
+            dep: if self.dep == 0 {
+                None
+            } else {
+                Some(RecordId::new(id - u64::from(self.dep)))
+            },
+        }
+    }
+
+    /// Packs a [`TraceRecord`] sitting at position `index` of its stream.
+    /// The record's own `id` field is ignored; the caller is responsible
+    /// for checking it (see `Trace::from_records`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dependency does not point strictly backwards or its
+    /// distance exceeds [`u32::MAX`] (traces beyond that dependency span
+    /// cannot use the packed layout).
+    #[inline]
+    pub fn pack_at(index: u64, r: &TraceRecord) -> Self {
+        let dep_offset = match r.dep {
+            None => 0,
+            Some(d) => {
+                assert!(
+                    d.raw() < index,
+                    "dependency {d} of the record at position {index} must point backwards"
+                );
+                let dist = index - d.raw();
+                assert!(
+                    dist <= u64::from(u32::MAX),
+                    "dependency distance {dist} exceeds the packed-record range"
+                );
+                dist as u32
+            }
+        };
+        PackedRecord::new(r.cpu, r.op, r.addr, r.ip, dep_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_record_is_24_bytes() {
+        assert_eq!(std::mem::size_of::<PackedRecord>(), 24);
+    }
+
+    #[test]
+    fn roundtrips_all_ops_and_cpus() {
+        for op in [MemOp::Load, MemOp::Store, MemOp::IFetch] {
+            for cpu in [0u8, 1, 31, 255] {
+                let r = TraceRecord {
+                    id: RecordId::new(10),
+                    cpu: CpuId::new(cpu),
+                    op,
+                    addr: 0xdead_beef_1234,
+                    ip: 0x40_0000,
+                    dep: Some(RecordId::new(3)),
+                };
+                let p = PackedRecord::pack_at(10, &r);
+                assert_eq!(p.unpack(10), r);
+            }
+        }
+    }
+
+    #[test]
+    fn independent_record_has_zero_offset() {
+        let r = TraceRecord {
+            id: RecordId::new(5),
+            cpu: CpuId::new(0),
+            op: MemOp::Load,
+            addr: 0,
+            ip: 0,
+            dep: None,
+        };
+        let p = PackedRecord::pack_at(5, &r);
+        assert!(!p.has_dep());
+        assert_eq!(p.dep_offset(), 0);
+        assert_eq!(p.unpack(5).dep, None);
+    }
+
+    #[test]
+    fn max_range_offset_roundtrips() {
+        let id = u64::from(u32::MAX) + 7;
+        let r = TraceRecord {
+            id: RecordId::new(id),
+            cpu: CpuId::new(1),
+            op: MemOp::Store,
+            addr: 1,
+            ip: 2,
+            dep: Some(RecordId::new(7)),
+        };
+        let p = PackedRecord::pack_at(id, &r);
+        assert_eq!(p.dep_offset(), u32::MAX);
+        assert_eq!(p.unpack(id), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "point backwards")]
+    fn forward_dep_panics() {
+        let r = TraceRecord {
+            id: RecordId::new(5),
+            cpu: CpuId::new(0),
+            op: MemOp::Load,
+            addr: 0,
+            ip: 0,
+            dep: Some(RecordId::new(5)),
+        };
+        let _ = PackedRecord::pack_at(5, &r);
+    }
+}

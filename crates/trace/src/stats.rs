@@ -81,6 +81,8 @@ impl TraceStats {
             },
             ..Default::default()
         };
+        // hoisted once: the per-record path below is a plain `addr & mask`
+        let line_mask = !(line_size - 1);
         let mut lines: HashMap<u64, ()> = HashMap::new();
         // chain depth per record id (length of the longest chain ending here)
         let mut depth: Vec<u32> = vec![0; trace.len()];
@@ -92,7 +94,7 @@ impl TraceStats {
                 MemOp::IFetch => s.ifetches += 1,
             }
             s.per_cpu[r.cpu.index()] += 1;
-            lines.entry(r.line_addr(line_size)).or_insert(());
+            lines.entry(r.addr & line_mask).or_insert(());
             if let Some(dep) = r.dep {
                 s.deps.dependent_records += 1;
                 s.deps.total_distance += r.id.raw() - dep.raw();

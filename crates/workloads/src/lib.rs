@@ -29,10 +29,12 @@ mod layout;
 mod params;
 mod rms;
 mod sparse;
+mod stream;
 mod tracer;
 
 pub use layout::{AddressSpace, Region};
 pub use params::{ParamsError, Scale, WorkloadParams, WorkloadParamsBuilder};
 pub use rms::RmsBenchmark;
 pub use sparse::SparsePattern;
+pub use stream::TraceStream;
 pub use tracer::{KernelTracer, ReduceChain};

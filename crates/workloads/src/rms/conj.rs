@@ -5,7 +5,7 @@
 //! extra stacked capacity does not help. Each iteration performs one SpMV
 //! (`q = A·p`), two dot products and three axpy updates.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
@@ -13,7 +13,7 @@ use crate::rms::split_range;
 use crate::sparse::SparsePattern;
 use crate::tracer::{KernelTracer, ReduceChain};
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let rows = p.pick(400, 24_000) as u64;
     let nnz = p.pick(4, 7) as u64;
     let iters = p.pick(2, 6);
@@ -29,7 +29,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let q = space.alloc_f64(rows);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(512);
+    let mut t = KernelTracer::with_sink(sink, 512);
     t.attach_stack(stacks[tid], 2.0);
     let my_rows = split_range(rows, p.threads, tid);
 
@@ -64,17 +64,18 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
             t.store(pvec.addr(i), Some(lr));
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_fits_baseline_l2() {
-        let t = thread_trace(&WorkloadParams::paper(), 0);
+        let t = collect(thread_trace, &WorkloadParams::paper(), 0);
         let s = TraceStats::measure(&t);
         // thread 0 sees roughly half the vectors but the whole matrix band
         assert!(
@@ -87,7 +88,7 @@ mod tests {
 
     #[test]
     fn has_indirection_dependencies() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         // the stack-model records are independent; the algorithmic records
         // (1 / (1 + ratio) of the trace) are almost all dependent
@@ -100,8 +101,8 @@ mod tests {
     #[test]
     fn threads_partition_the_rows() {
         let p = WorkloadParams::test();
-        let t0 = thread_trace(&p, 0);
-        let t1 = thread_trace(&p, 1);
+        let t0 = collect(thread_trace, &p, 0);
+        let t1 = collect(thread_trace, &p, 1);
         // both threads emit, and their store targets differ (different rows)
         assert!(!t0.is_empty() && !t1.is_empty());
         let stores0: std::collections::HashSet<u64> = t0

@@ -4,14 +4,14 @@
 //! the 4 MB L2, so dSym shows the lowest, flattest CPMA of the suite in
 //! Fig. 5 — streaming SIMD loads with no pointer chasing.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
 use crate::rms::split_range;
 use crate::tracer::KernelTracer;
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(48, 288) as u64;
     let block = p.pick(16, 48) as u64;
     debug_assert_eq!(n % block, 0);
@@ -25,7 +25,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let c = space.alloc_f64(n * n);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(256);
+    let mut t = KernelTracer::with_sink(sink, 256);
     t.attach_stack(stacks[tid], 1.2);
     // threads split the ii block-row loop
     let my_blocks = split_range(blocks, p.threads, tid);
@@ -53,17 +53,18 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
             }
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_fits_baseline_l2() {
-        let t = thread_trace(&WorkloadParams::paper(), 0);
+        let t = collect(thread_trace, &WorkloadParams::paper(), 0);
         let s = TraceStats::measure(&t);
         assert!(
             s.footprint_mib() < 4.0,
@@ -74,7 +75,7 @@ mod tests {
 
     #[test]
     fn loads_dominate_stores() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         // stack traffic adds ~1/3 stores at ratio 1.2; the algorithmic part
         // is almost all loads
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn trace_size_is_cubic_in_blocks() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         // n=48, block=16: 3 block rows, thread 0 of 2 gets 2 of them
         // per block triple: block^2 A loads + block^2*block/8 B loads
         assert!(t.len() > 10_000, "got {}", t.len());

@@ -6,14 +6,14 @@
 //! store updated element). The working set exceeds 4 and 12 MB but fits the
 //! stacked 32/64 MB DRAM caches, so gauss is one of the big Fig. 5 winners.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
 use crate::rms::split_range;
 use crate::tracer::KernelTracer;
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(96, 1600) as u64;
     let pivots = p.pick(2, 3) as u64;
     let vw = 8u64; // SIMD elements per 64 B line
@@ -23,7 +23,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let rhs = space.alloc_f64(n);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(256);
+    let mut t = KernelTracer::with_sink(sink, 256);
     t.attach_stack(stacks[tid], 4.0);
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
     t.attach_cold_stream(colds[tid], 50);
@@ -49,17 +49,18 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
             t.store(rhs.addr(i), Some(lb));
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_exceeds_12mb_but_fits_32mb() {
-        let t = thread_trace(&WorkloadParams::paper(), 0);
+        let t = collect(thread_trace, &WorkloadParams::paper(), 0);
         let s = TraceStats::measure(&t);
         // each thread touches the full matrix (pivot row) plus its own half
         // of the updated rows; the merged two-thread footprint is ~20 MB
@@ -69,7 +70,7 @@ mod tests {
 
     #[test]
     fn stores_are_about_a_third_of_references() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         let frac = s.store_fraction();
         assert!(frac > 0.2 && frac < 0.45, "store fraction {frac}");
@@ -78,7 +79,7 @@ mod tests {
     #[test]
     fn matrix_is_reswept_each_pivot() {
         // the same line must be touched once per pivot step
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         let touches_per_line = s.records as f64 / s.footprint.unique_lines as f64;
         assert!(

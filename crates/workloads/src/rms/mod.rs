@@ -22,9 +22,10 @@ mod spmv;
 mod svd;
 mod svm;
 
-use stacksim_trace::{interleave, Trace};
+use stacksim_trace::{interleave, RecordSink, Trace, TraceBuilder};
 
 use crate::params::WorkloadParams;
+use crate::stream::TraceStream;
 
 /// One of the RMS workloads of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,20 +132,46 @@ impl RmsBenchmark {
         interleave(&threads, params.chunk)
     }
 
+    /// Starts generating this benchmark's two-threaded SMP trace in the
+    /// background and returns a stream of fixed-size packed-record blocks.
+    /// Concatenated, the blocks are bit-identical to
+    /// [`generate`](RmsBenchmark::generate) — generation merely overlaps
+    /// with whatever consumes the blocks (see `DESIGN.md` §14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.threads` is zero or `block_len` is zero.
+    pub fn stream(&self, params: &WorkloadParams, block_len: usize) -> TraceStream {
+        TraceStream::spawn(*self, *params, block_len)
+    }
+
     fn thread_trace(&self, params: &WorkloadParams, tid: usize) -> Trace {
+        self.emit_thread(TraceBuilder::new(), params, tid).build()
+    }
+
+    /// Runs the benchmark's per-thread kernel, emitting its records into
+    /// `sink`. The record sequence only depends on `(self, params, tid)`,
+    /// never on the sink — that is what makes streamed generation
+    /// bit-identical to batch generation.
+    pub(crate) fn emit_thread<S: RecordSink>(
+        &self,
+        sink: S,
+        params: &WorkloadParams,
+        tid: usize,
+    ) -> S {
         match self {
-            RmsBenchmark::Conj => conj::thread_trace(params, tid),
-            RmsBenchmark::DSym => dsym::thread_trace(params, tid),
-            RmsBenchmark::Gauss => gauss::thread_trace(params, tid),
-            RmsBenchmark::Pcg => pcg::thread_trace(params, tid),
-            RmsBenchmark::SMvm => spmv::smvm_thread(params, tid),
-            RmsBenchmark::SSym => spmv::ssym_thread(params, tid),
-            RmsBenchmark::STrans => spmv::strans_thread(params, tid),
-            RmsBenchmark::SAvdf => rigidity::avdf_thread(params, tid),
-            RmsBenchmark::SAvif => rigidity::avif_thread(params, tid),
-            RmsBenchmark::SUs => rigidity::us_thread(params, tid),
-            RmsBenchmark::Svd => svd::thread_trace(params, tid),
-            RmsBenchmark::Svm => svm::thread_trace(params, tid),
+            RmsBenchmark::Conj => conj::thread_trace(sink, params, tid),
+            RmsBenchmark::DSym => dsym::thread_trace(sink, params, tid),
+            RmsBenchmark::Gauss => gauss::thread_trace(sink, params, tid),
+            RmsBenchmark::Pcg => pcg::thread_trace(sink, params, tid),
+            RmsBenchmark::SMvm => spmv::smvm_thread(sink, params, tid),
+            RmsBenchmark::SSym => spmv::ssym_thread(sink, params, tid),
+            RmsBenchmark::STrans => spmv::strans_thread(sink, params, tid),
+            RmsBenchmark::SAvdf => rigidity::avdf_thread(sink, params, tid),
+            RmsBenchmark::SAvif => rigidity::avif_thread(sink, params, tid),
+            RmsBenchmark::SUs => rigidity::us_thread(sink, params, tid),
+            RmsBenchmark::Svd => svd::thread_trace(sink, params, tid),
+            RmsBenchmark::Svm => svm::thread_trace(sink, params, tid),
         }
     }
 }
@@ -165,6 +192,16 @@ pub(crate) fn split_range(n: u64, threads: usize, tid: usize) -> std::ops::Range
     let start = tid * per + tid.min(extra);
     let len = per + u64::from(tid < extra);
     start..start + len
+}
+
+/// A per-thread kernel, monomorphised to the batch sink (test helper).
+#[cfg(test)]
+pub(crate) type ThreadFn = fn(TraceBuilder, &WorkloadParams, usize) -> TraceBuilder;
+
+/// Materialises one kernel thread as a [`Trace`] (test helper).
+#[cfg(test)]
+pub(crate) fn collect(f: ThreadFn, params: &WorkloadParams, tid: usize) -> Trace {
+    f(TraceBuilder::new(), params, tid).build()
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! vector updates — ~20 MB total working set, a strong Fig. 5 improver at
 //! 32 MB and beyond.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
@@ -14,7 +14,7 @@ use crate::rms::split_range;
 use crate::sparse::SparsePattern;
 use crate::tracer::{KernelTracer, ReduceChain};
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let rows = p.pick(500, 120_000) as u64;
     let nnz = p.pick(4, 10) as u64;
     let iters = p.pick(2, 3);
@@ -33,7 +33,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let q = space.alloc_f64(rows);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(768);
+    let mut t = KernelTracer::with_sink(sink, 768);
     t.attach_stack(stacks[tid], 2.5);
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
     t.attach_cold_stream(colds[tid], 50);
@@ -91,24 +91,25 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
             t.store(pvec.addr(i), Some(lz));
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_exceeds_12mb() {
-        let t = thread_trace(&WorkloadParams::paper(), 0);
+        let t = collect(thread_trace, &WorkloadParams::paper(), 0);
         let s = TraceStats::measure(&t);
         assert!(s.footprint_mib() > 7.0, "got {:.2} MiB", s.footprint_mib());
     }
 
     #[test]
     fn red_black_sweeps_emit_both_colours() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         // stores to z exist for both even and odd rows: count distinct
         // store addresses; they must be more than half the rows
         let stores: std::collections::HashSet<u64> = t
@@ -121,7 +122,7 @@ mod tests {
 
     #[test]
     fn indirection_creates_dependence() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         assert!(s.deps.dependent_records * 6 > s.records);
         assert!(s.deps.max_chain >= 2, "gather chains are present");

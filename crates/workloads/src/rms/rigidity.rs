@@ -4,7 +4,7 @@
 //! AVDF and AVIF use grids that fit the 4 MB baseline L2 (flat in Fig. 5);
 //! US sweeps a ~10 MB grid and starts improving at the 12 MB stacked SRAM.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
@@ -14,14 +14,21 @@ use crate::tracer::{KernelTracer, ReduceChain};
 /// One relaxation sweep over an `n³` grid. For every interior node a
 /// 7-point stencil is evaluated: neighbour loads feed a reduction chain,
 /// then the node is stored. Threads split the outer `z` planes.
-fn stencil_sweeps(p: &WorkloadParams, tid: usize, n: u64, sweeps: u64, seed_salt: u64) -> Trace {
+fn stencil_sweeps<S: RecordSink>(
+    sink: S,
+    p: &WorkloadParams,
+    tid: usize,
+    n: u64,
+    sweeps: u64,
+    seed_salt: u64,
+) -> S {
     let _ = seed_salt; // stencils are fully structured; no randomness needed
     let mut space = AddressSpace::new();
     let grid = space.alloc_f64(n * n * n);
     let stiff = space.alloc_f64(n * n); // per-column stiffness coefficients
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(512);
+    let mut t = KernelTracer::with_sink(sink, 512);
     t.attach_stack(stacks[tid], 1.5);
     let my_planes = split_range(n.saturating_sub(2), p.threads, tid);
 
@@ -46,27 +53,27 @@ fn stencil_sweeps(p: &WorkloadParams, tid: usize, n: u64, sweeps: u64, seed_salt
             }
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 /// `sAVDF`: 48³ grid (~0.9 MB), three sweeps — fits the baseline L2.
-pub(crate) fn avdf_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn avdf_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(8, 44) as u64;
     let sweeps = p.pick(2, 3) as u64;
-    stencil_sweeps(p, tid, n, sweeps, 0xA7DF)
+    stencil_sweeps(sink, p, tid, n, sweeps, 0xA7DF)
 }
 
 /// `sAVIF`: 56³ grid (~1.4 MB), two sweeps — fits the baseline L2.
-pub(crate) fn avif_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn avif_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(10, 56) as u64;
     let sweeps = p.pick(2, 2) as u64;
-    stencil_sweeps(p, tid, n, sweeps, 0xA71F)
+    stencil_sweeps(sink, p, tid, n, sweeps, 0xA71F)
 }
 
 /// `sUS`: a ~10 MB grid swept at cache-line granularity (vectorised
 /// line-by-line updates) so the larger footprint stays within the trace
 /// budget; improves already at the 12 MB stacked SRAM.
-pub(crate) fn us_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn us_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(16, 108) as u64;
     let sweeps = p.pick(2, 3) as u64;
     let vw = 8u64;
@@ -76,7 +83,7 @@ pub(crate) fn us_thread(p: &WorkloadParams, tid: usize) -> Trace {
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
-    let mut t = KernelTracer::new(512);
+    let mut t = KernelTracer::with_sink(sink, 512);
     t.attach_stack(stacks[tid], 2.5);
     t.attach_cold_stream(colds[tid], 50);
     let my_planes = split_range(n.saturating_sub(2), p.threads, tid);
@@ -96,25 +103,27 @@ pub(crate) fn us_thread(p: &WorkloadParams, tid: usize) -> Trace {
             }
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::{collect, ThreadFn};
     use stacksim_trace::TraceStats;
 
     #[test]
     fn avdf_and_avif_fit_baseline_l2() {
-        for f in [avdf_thread, avif_thread] {
-            let s = TraceStats::measure(&f(&WorkloadParams::paper(), 0));
+        let kernels: [ThreadFn; 2] = [avdf_thread, avif_thread];
+        for f in kernels {
+            let s = TraceStats::measure(&collect(f, &WorkloadParams::paper(), 0));
             assert!(s.footprint_mib() < 4.0, "{:.2} MiB", s.footprint_mib());
         }
     }
 
     #[test]
     fn us_footprint_is_around_10mb() {
-        let s = TraceStats::measure(&us_thread(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(us_thread, &WorkloadParams::paper(), 0));
         assert!(
             s.footprint_mib() > 4.0 && s.footprint_mib() < 12.0,
             "{:.2}",
@@ -124,7 +133,7 @@ mod tests {
 
     #[test]
     fn stencil_has_bounded_dep_chains() {
-        let t = avdf_thread(&WorkloadParams::test(), 0);
+        let t = collect(avdf_thread, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         assert!(s.deps.dependent_records > 0);
         // chains are per-node; they must not serialise the whole sweep
@@ -133,7 +142,7 @@ mod tests {
 
     #[test]
     fn sweeps_revisit_the_grid() {
-        let s = TraceStats::measure(&us_thread(&WorkloadParams::test(), 0));
+        let s = TraceStats::measure(&collect(us_thread, &WorkloadParams::test(), 0));
         let touches = s.records as f64 / s.footprint.unique_lines as f64;
         assert!(touches > 1.5, "touches/line {touches}");
     }

@@ -2,7 +2,7 @@
 //! `sMVM` (plain), `sSym` (symmetric, half storage, small) and `sTrans`
 //! (transposed, scatter into a wide result vector).
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
@@ -12,7 +12,7 @@ use crate::tracer::{KernelTracer, ReduceChain};
 
 /// `sMVM`: y = A·x over ~11 MB of CSR data, iterated so the matrix is
 /// re-streamed; improves at 12/32 MB.
-pub(crate) fn smvm_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn smvm_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let rows = p.pick(400, 80_000) as u64;
     let nnz = p.pick(4, 9) as u64;
     let iters = p.pick(2, 4);
@@ -26,7 +26,7 @@ pub(crate) fn smvm_thread(p: &WorkloadParams, tid: usize) -> Trace {
     let y = space.alloc_f64(rows);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(384);
+    let mut t = KernelTracer::with_sink(sink, 384);
     t.attach_stack(stacks[tid], 2.5);
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
     t.attach_cold_stream(colds[tid], 50);
@@ -45,14 +45,14 @@ pub(crate) fn smvm_thread(p: &WorkloadParams, tid: usize) -> Trace {
             t.store(y.addr(i), chain.tail());
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 /// `sSym`: symmetric SpMV storing only the upper triangle — about half the
 /// non-zeros of an equivalent full matrix and a ~2 MB footprint that fits
 /// the baseline L2 (flat in Fig. 5). Each visited non-zero updates both
 /// `y[i]` and `y[col]`.
-pub(crate) fn ssym_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn ssym_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let rows = p.pick(300, 30_000) as u64;
     let nnz = p.pick(4, 6) as u64;
     let iters = p.pick(2, 6);
@@ -66,7 +66,7 @@ pub(crate) fn ssym_thread(p: &WorkloadParams, tid: usize) -> Trace {
     let y = space.alloc_f64(rows);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(384);
+    let mut t = KernelTracer::with_sink(sink, 384);
     t.attach_stack(stacks[tid], 2.0);
     let my_rows = split_range(rows, p.threads, tid);
     for _ in 0..iters {
@@ -87,13 +87,13 @@ pub(crate) fn ssym_thread(p: &WorkloadParams, tid: usize) -> Trace {
             t.store(y.addr(i), chain.tail());
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 /// `sTrans`: y = Aᵀ·x walked in row order of A — every non-zero scatters a
 /// read-modify-write into a wide `y`, giving poor locality over ~25 MB and
 /// the biggest relative gains from stacked DRAM capacity.
-pub(crate) fn strans_thread(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn strans_thread<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let rows = p.pick(300, 60_000) as u64;
     let width = p.pick(2_000, 2_000_000) as u64; // y is 16 MB at paper scale
     let nnz = p.pick(4, 9) as u64;
@@ -108,7 +108,7 @@ pub(crate) fn strans_thread(p: &WorkloadParams, tid: usize) -> Trace {
     let y = space.alloc_f64(width);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(384);
+    let mut t = KernelTracer::with_sink(sink, 384);
     t.attach_stack(stacks[tid], 3.5);
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
     t.attach_cold_stream(colds[tid], 50);
@@ -130,17 +130,18 @@ pub(crate) fn strans_thread(p: &WorkloadParams, tid: usize) -> Trace {
             }
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::{collect, ThreadFn};
     use stacksim_trace::TraceStats;
 
     #[test]
     fn smvm_footprint_is_mid_sized() {
-        let s = TraceStats::measure(&smvm_thread(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(smvm_thread, &WorkloadParams::paper(), 0));
         assert!(
             s.footprint_mib() > 5.0 && s.footprint_mib() < 14.0,
             "{:.2}",
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn ssym_footprint_fits_baseline() {
-        let s = TraceStats::measure(&ssym_thread(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(ssym_thread, &WorkloadParams::paper(), 0));
         assert!(s.footprint_mib() < 4.0, "{:.2}", s.footprint_mib());
     }
 
@@ -158,21 +159,21 @@ mod tests {
     fn strans_footprint_is_large() {
         // per-thread footprint; the merged two-thread trace roughly doubles
         // the matrix half while sharing the scattered y
-        let s = TraceStats::measure(&strans_thread(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(strans_thread, &WorkloadParams::paper(), 0));
         assert!(s.footprint_mib() > 12.0, "{:.2}", s.footprint_mib());
     }
 
     #[test]
     fn strans_scatter_is_store_heavy_compared_to_smvm() {
         let p = WorkloadParams::test();
-        let sm = TraceStats::measure(&smvm_thread(&p, 0));
-        let st = TraceStats::measure(&strans_thread(&p, 0));
+        let sm = TraceStats::measure(&collect(smvm_thread, &p, 0));
+        let st = TraceStats::measure(&collect(strans_thread, &p, 0));
         assert!(st.store_fraction() > 1.05 * sm.store_fraction());
     }
 
     #[test]
     fn ssym_updates_both_triangles() {
-        let t = ssym_thread(&WorkloadParams::test(), 0);
+        let t = collect(ssym_thread, &WorkloadParams::test(), 0);
         let s = TraceStats::measure(&t);
         // one y[i] store per row plus one y[col] store per nnz
         assert!(s.stores as f64 > 1.5 * 300.0, "stores: {}", s.stores);
@@ -181,8 +182,9 @@ mod tests {
     #[test]
     fn all_three_traces_validate() {
         let p = WorkloadParams::test();
-        for f in [smvm_thread, ssym_thread, strans_thread] {
-            assert!(f(&p, 0).validate().is_ok());
+        let kernels: [ThreadFn; 3] = [smvm_thread, ssym_thread, strans_thread];
+        for f in kernels {
+            assert!(collect(f, &p, 0).validate().is_ok());
         }
     }
 }

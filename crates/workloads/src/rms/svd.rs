@@ -6,14 +6,14 @@
 //! column-contiguous, so column walks are sequential; the whole matrix
 //! fits the baseline L2 — flat in Fig. 5.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
 use crate::rms::split_range;
 use crate::tracer::{KernelTracer, ReduceChain};
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let n = p.pick(64, 480) as u64;
     let rounds = p.pick(2, 5);
 
@@ -21,7 +21,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let a = space.alloc_f64(n * n);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(512);
+    let mut t = KernelTracer::with_sink(sink, 512);
     t.attach_stack(stacks[tid], 1.5);
     // a Jacobi round pairs column i with column (i + round) mod n; threads
     // split the pair list
@@ -47,23 +47,24 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
             }
         }
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_fits_baseline_l2() {
-        let s = TraceStats::measure(&thread_trace(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(thread_trace, &WorkloadParams::paper(), 0));
         assert!(s.footprint_mib() < 4.0, "{:.2} MiB", s.footprint_mib());
     }
 
     #[test]
     fn rotation_pass_balances_loads_and_stores() {
-        let s = TraceStats::measure(&thread_trace(&WorkloadParams::test(), 0));
+        let s = TraceStats::measure(&collect(thread_trace, &WorkloadParams::test(), 0));
         // pass 1: 2n loads; pass 2: 2n loads + 2n stores => stores are 1/3
         let frac = s.store_fraction();
         assert!(frac > 0.25 && frac < 0.4, "store fraction {frac}");
@@ -71,7 +72,7 @@ mod tests {
 
     #[test]
     fn gram_reduction_gates_the_rotation() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         // find a store and walk its dependency chain — it must reach a load
         // skip stack-model stores (no dependency); an algorithmic store
         // must chain back through the Gram reduction
@@ -79,10 +80,10 @@ mod tests {
             .iter()
             .find(|r| r.op.is_write() && r.dep.is_some())
             .expect("has dependent stores");
-        let mut cur = *store;
+        let mut cur = store;
         let mut depth = 0;
         while let Some(dep) = cur.dep {
-            cur = *t.get(dep).unwrap();
+            cur = t.get(dep).unwrap();
             depth += 1;
             if depth > 10_000 {
                 panic!("dependency chain does not terminate");

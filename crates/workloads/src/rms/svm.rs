@@ -7,14 +7,14 @@
 //! captured almost entirely by the 32/64 MB stacked DRAM, making svm the
 //! biggest Fig. 5 winner.
 
-use stacksim_trace::Trace;
+use stacksim_trace::RecordSink;
 
 use crate::layout::AddressSpace;
 use crate::params::WorkloadParams;
 use crate::rms::split_range;
 use crate::tracer::{KernelTracer, ReduceChain};
 
-pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
+pub(crate) fn thread_trace<S: RecordSink>(sink: S, p: &WorkloadParams, tid: usize) -> S {
     let svs = p.pick(200, 25_000) as u64;
     let feats = p.pick(32, 144) as u64; // feature floats per vector
     let queries = p.pick(2, 3);
@@ -27,7 +27,7 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
     let scores = space.alloc_f64(64);
 
     let stacks: Vec<_> = (0..p.threads).map(|_| space.alloc_f64(256)).collect();
-    let mut t = KernelTracer::new(256);
+    let mut t = KernelTracer::with_sink(sink, 256);
     t.attach_stack(stacks[tid], 4.0);
     let colds: Vec<_> = (0..p.threads).map(|_| space.alloc(4 << 20, 64)).collect();
     t.attach_cold_stream(colds[tid], 50);
@@ -51,17 +51,18 @@ pub(crate) fn thread_trace(p: &WorkloadParams, tid: usize) -> Trace {
         }
         t.store(scores.addr(q as u64 % 64), score_chain.tail());
     }
-    t.finish()
+    t.into_sink()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rms::collect;
     use stacksim_trace::TraceStats;
 
     #[test]
     fn footprint_is_between_12_and_32_mb() {
-        let s = TraceStats::measure(&thread_trace(&WorkloadParams::paper(), 0));
+        let s = TraceStats::measure(&collect(thread_trace, &WorkloadParams::paper(), 0));
         // each thread streams half the SVs (~14.4 MB); merged: ~29 MB
         assert!(s.footprint_mib() > 10.0, "{:.2} MiB", s.footprint_mib());
         assert!(s.footprint_mib() < 32.0, "{:.2} MiB", s.footprint_mib());
@@ -69,7 +70,7 @@ mod tests {
 
     #[test]
     fn scoring_itself_is_read_only() {
-        let t = thread_trace(&WorkloadParams::test(), 0);
+        let t = collect(thread_trace, &WorkloadParams::test(), 0);
         // every store in the trace comes from the stack model (independent)
         // or the per-query score write (dependent); SV scoring never writes
         let algorithmic_stores = t
@@ -86,7 +87,7 @@ mod tests {
 
     #[test]
     fn svs_are_restreamed_per_query() {
-        let s = TraceStats::measure(&thread_trace(&WorkloadParams::test(), 0));
+        let s = TraceStats::measure(&collect(thread_trace, &WorkloadParams::test(), 0));
         let touches = s.records as f64 / s.footprint.unique_lines as f64;
         assert!(touches > 1.5, "touches/line {touches}");
     }

@@ -1,0 +1,297 @@
+//! Generate-while-simulate: background trace generation as a block stream.
+//!
+//! [`TraceStream`] runs one producer thread per workload thread, each
+//! emitting its kernel's records through a bounded
+//! [`block_channel`](stacksim_trace::block_channel), and interleaves the
+//! per-thread streams on the consumer side with exactly the round-robin
+//! merge [`interleave`](stacksim_trace::interleave) performs on whole
+//! traces. Concatenating the yielded blocks therefore reproduces
+//! [`RmsBenchmark::generate`](crate::RmsBenchmark::generate) bit for bit —
+//! the channels carry *data*, never *ordering*, so timing and buffering
+//! cannot change the merged trace (see `DESIGN.md` §14).
+
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+
+use stacksim_trace::StreamBuilder;
+use stacksim_trace::{block_channel, BlockReceiver, CpuId, PackedRecord, RecordBlock};
+
+use crate::params::WorkloadParams;
+use crate::rms::RmsBenchmark;
+
+/// Per-thread window of remembered merged positions. Dependency edges
+/// reach at most this many records back *within one thread*; every RMS
+/// kernel stays far below it (reduction chains are tens of records deep).
+const POSITION_WINDOW: usize = 1 << 20;
+
+/// Blocks buffered per producer channel before the producer blocks.
+const CHANNEL_BLOCKS: usize = 8;
+
+/// A live generate-while-simulate pipeline: per-thread producer threads
+/// plus the consumer-side round-robin interleaver, exposed as an iterator
+/// of fixed-size [`RecordBlock`]s (the final block may be shorter).
+///
+/// Dropping the stream early hangs up the channels, which lets the
+/// producers wind down instead of blocking forever.
+#[derive(Debug)]
+pub struct TraceStream {
+    threads: Vec<ThreadState>,
+    handles: Vec<JoinHandle<()>>,
+    block_len: usize,
+    chunk: usize,
+    /// Thread the round-robin is currently drawing from.
+    cur_thread: usize,
+    /// Records taken from `cur_thread` in its current chunk.
+    taken_in_chunk: usize,
+    /// Records merged so far (the next record's merged position).
+    merged: u64,
+}
+
+/// Consumer-side state of one producer thread.
+#[derive(Debug)]
+struct ThreadState {
+    rx: BlockReceiver,
+    /// Received records not yet consumed.
+    buf: VecDeque<PackedRecord>,
+    /// The producer has hung up and `buf` is drained.
+    exhausted: bool,
+    /// Records consumed from this thread (the next record's own position).
+    src: u64,
+    /// Merged position of the last `POSITION_WINDOW` own records, indexed
+    /// by own position modulo the window.
+    map: Vec<u64>,
+}
+
+impl ThreadState {
+    /// Takes the thread's next record, waiting on the channel if a block
+    /// is still in flight. `None` once the producer is done.
+    fn pop(&mut self) -> Option<PackedRecord> {
+        if self.exhausted {
+            return None;
+        }
+        while self.buf.is_empty() {
+            match self.rx.recv() {
+                Some(block) => self.buf.extend(block),
+                None => {
+                    self.exhausted = true;
+                    return None;
+                }
+            }
+        }
+        self.buf.pop_front()
+    }
+}
+
+impl TraceStream {
+    /// Starts generating `bench` with `params.threads` producer threads and
+    /// returns the merged stream in blocks of `block_len` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.threads` is zero (or above 256), `params.chunk`
+    /// is zero, or `block_len` is zero.
+    pub fn spawn(bench: RmsBenchmark, params: WorkloadParams, block_len: usize) -> TraceStream {
+        assert!(params.threads > 0, "need at least one thread");
+        assert!(params.threads <= 256, "at most 256 threads supported");
+        assert!(params.chunk > 0, "interleave chunk must be positive");
+        assert!(block_len > 0, "stream block length must be positive");
+        let mut threads = Vec::with_capacity(params.threads);
+        let mut handles = Vec::with_capacity(params.threads);
+        for tid in 0..params.threads {
+            let (tx, rx) = block_channel(CHANNEL_BLOCKS);
+            handles.push(std::thread::spawn(move || {
+                bench
+                    .emit_thread(StreamBuilder::new(tx, block_len), &params, tid)
+                    .finish();
+            }));
+            threads.push(ThreadState {
+                rx,
+                buf: VecDeque::new(),
+                exhausted: false,
+                src: 0,
+                map: vec![0; POSITION_WINDOW],
+            });
+        }
+        TraceStream {
+            threads,
+            handles,
+            block_len,
+            chunk: params.chunk,
+            cur_thread: 0,
+            taken_in_chunk: 0,
+            merged: 0,
+        }
+    }
+
+    /// Record count of the blocks this stream yields (the final block may
+    /// be shorter).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// An upper bound on the merged backward dependency distance: within
+    /// one thread an edge spans at most `POSITION_WINDOW` own records, and
+    /// while those drain every other thread interposes at most the same
+    /// span plus two partial chunks. Suitable as the `dep_window` argument
+    /// of the engine's block-streaming run.
+    pub fn dep_window(&self) -> usize {
+        self.threads.len() * (POSITION_WINDOW + 2 * self.chunk)
+    }
+
+    /// Takes the next record in merged order, replicating the round-robin
+    /// of [`interleave`](stacksim_trace::interleave): `chunk` records per
+    /// thread visit, threads in index order, exhausted threads skipped.
+    fn next_record(&mut self) -> Option<PackedRecord> {
+        loop {
+            if self.threads.iter().all(|t| t.exhausted) {
+                self.join_producers();
+                return None;
+            }
+            if self.taken_in_chunk < self.chunk {
+                let ti = self.cur_thread;
+                if let Some(p) = self.threads[ti].pop() {
+                    self.taken_in_chunk += 1;
+                    return Some(self.remap(ti, p));
+                }
+            }
+            self.cur_thread = (self.cur_thread + 1) % self.threads.len();
+            self.taken_in_chunk = 0;
+        }
+    }
+
+    /// Re-labels one record with its thread's cpu id and rewrites its
+    /// dependency offset from thread-local to merged positions — the
+    /// per-record body of the batch merge loop.
+    fn remap(&mut self, ti: usize, p: PackedRecord) -> PackedRecord {
+        let st = &mut self.threads[ti];
+        let dep_offset = if p.has_dep() {
+            let d = p.dep_offset() as u64;
+            assert!(
+                d <= POSITION_WINDOW as u64,
+                "dependency distance {d} exceeds the streaming position window"
+            );
+            let producer = st.map[((st.src - d) as usize) % POSITION_WINDOW];
+            let dist = self.merged - producer;
+            assert!(
+                dist <= u64::from(u32::MAX),
+                "merged dependency distance {dist} exceeds the packed-record range"
+            );
+            dist as u32
+        } else {
+            0
+        };
+        st.map[(st.src as usize) % POSITION_WINDOW] = self.merged;
+        st.src += 1;
+        self.merged += 1;
+        PackedRecord::new(CpuId::new(ti as u8), p.op(), p.addr, p.ip, dep_offset)
+    }
+
+    /// Joins finished producers, propagating any kernel panic.
+    fn join_producers(&mut self) {
+        for h in self.handles.drain(..) {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = RecordBlock;
+
+    fn next(&mut self) -> Option<RecordBlock> {
+        let mut out = Vec::with_capacity(self.block_len);
+        while out.len() < self.block_len {
+            match self.next_record() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+}
+
+impl Drop for TraceStream {
+    fn drop(&mut self) {
+        // hang up the channels first so blocked producers bail out
+        self.threads.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_trace::Trace;
+
+    #[test]
+    fn streamed_blocks_concatenate_to_the_batch_trace() {
+        let p = WorkloadParams::test();
+        let batch = RmsBenchmark::SMvm.generate(&p);
+        for block_len in [1usize, 64, 4096] {
+            let stream = RmsBenchmark::SMvm.stream(&p, block_len);
+            let mut packed = Vec::new();
+            for block in stream {
+                assert!(block.len() <= block_len);
+                packed.extend(block);
+            }
+            assert_eq!(
+                Trace::from_packed(packed),
+                batch,
+                "block_len {block_len} must reproduce the batch trace"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_for_every_benchmark() {
+        let p = WorkloadParams::test();
+        for b in RmsBenchmark::all() {
+            let batch = b.generate(&p);
+            let packed: Vec<PackedRecord> = b.stream(&p, 1024).flatten().collect();
+            assert_eq!(Trace::from_packed(packed), batch, "{b}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_at_other_thread_counts() {
+        for threads in [1usize, 4] {
+            let p = WorkloadParams::builder()
+                .scale(crate::Scale::Test)
+                .threads(threads)
+                .build();
+            let batch = RmsBenchmark::Gauss.generate(&p);
+            let packed: Vec<PackedRecord> = RmsBenchmark::Gauss.stream(&p, 256).flatten().collect();
+            assert_eq!(Trace::from_packed(packed), batch, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn early_drop_does_not_hang_the_producers() {
+        let p = WorkloadParams::test();
+        let mut stream = RmsBenchmark::Pcg.stream(&p, 64);
+        let first = stream.next();
+        assert!(first.is_some());
+        drop(stream); // must hang up and join without deadlocking
+    }
+
+    #[test]
+    fn dep_window_bounds_every_merged_edge() {
+        let p = WorkloadParams::test();
+        let stream = RmsBenchmark::Svm.stream(&p, 512);
+        let window = stream.dep_window();
+        let mut pos = 0u64;
+        for block in stream {
+            for r in block {
+                assert!(u64::from(r.dep_offset()) <= window as u64, "at {pos}");
+                pos += 1;
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Per-thread trace emission helper for workload kernels.
 
-use stacksim_trace::{CpuId, MemOp, RecordId, Trace, TraceBuilder};
+use stacksim_trace::{CpuId, MemOp, RecordId, RecordSink, Trace, TraceBuilder};
 
 use crate::layout::Region;
 
@@ -12,9 +12,15 @@ use crate::layout::Region;
 /// load through a just-loaded index). Instruction pointers advance through a
 /// small synthetic code region, wrapping per "loop", so the IP field looks
 /// like a real inner loop.
+///
+/// Generic over the [`RecordSink`] the records land in: a [`TraceBuilder`]
+/// materialises the thread trace (the default), a
+/// [`StreamBuilder`](stacksim_trace::StreamBuilder) pushes fixed-size
+/// packed blocks through a channel so generation overlaps simulation. The
+/// emitted record sequence is identical either way.
 #[derive(Debug)]
-pub struct KernelTracer {
-    builder: TraceBuilder,
+pub struct KernelTracer<S: RecordSink = TraceBuilder> {
+    sink: S,
     ip_base: u64,
     ip: u64,
     ip_span: u64,
@@ -53,11 +59,28 @@ struct StackModel {
 }
 
 impl KernelTracer {
-    /// Creates a tracer for one thread. `code_bytes` is the size of the
-    /// synthetic inner-loop code region its IPs cycle through.
+    /// Creates a materialising tracer for one thread. `code_bytes` is the
+    /// size of the synthetic inner-loop code region its IPs cycle through.
     pub fn new(code_bytes: u64) -> Self {
+        Self::with_sink(TraceBuilder::new(), code_bytes)
+    }
+
+    /// Creates a tracer with a default 256-byte inner loop.
+    pub fn with_default_loop() -> Self {
+        Self::new(256)
+    }
+
+    /// Finishes the thread stream.
+    pub fn finish(self) -> Trace {
+        self.sink.build()
+    }
+}
+
+impl<S: RecordSink> KernelTracer<S> {
+    /// Creates a tracer emitting into an explicit sink.
+    pub fn with_sink(sink: S, code_bytes: u64) -> Self {
         KernelTracer {
-            builder: TraceBuilder::new(),
+            sink,
             ip_base: 0x40_0000,
             ip: 0,
             ip_span: code_bytes.max(4),
@@ -106,11 +129,6 @@ impl KernelTracer {
         });
     }
 
-    /// Creates a tracer with a default 256-byte inner loop.
-    pub fn with_default_loop() -> Self {
-        Self::new(256)
-    }
-
     fn next_ip(&mut self) -> u64 {
         let ip = self.ip_base + self.ip;
         self.ip = (self.ip + 4) % self.ip_span;
@@ -121,7 +139,7 @@ impl KernelTracer {
     pub fn load(&mut self, addr: u64, dep: Option<RecordId>) -> RecordId {
         let ip = self.next_ip();
         let id = self
-            .builder
+            .sink
             .record_dep(CpuId::new(0), MemOp::Load, addr, ip, dep);
         self.emit_cold_ref();
         self.emit_stack_refs();
@@ -132,7 +150,7 @@ impl KernelTracer {
     pub fn store(&mut self, addr: u64, dep: Option<RecordId>) -> RecordId {
         let ip = self.next_ip();
         let id = self
-            .builder
+            .sink
             .record_dep(CpuId::new(0), MemOp::Store, addr, ip, dep);
         self.emit_cold_ref();
         self.emit_stack_refs();
@@ -154,7 +172,7 @@ impl KernelTracer {
         cold.offset = (cold.offset + 64 * 1031) % cold.region.len();
         let ip = self.ip_base + self.ip_span + 128;
         let id = self
-            .builder
+            .sink
             .record_dep(CpuId::new(0), MemOp::Load, addr, ip, cold.last);
         if let Some(cold) = self.cold.as_mut() {
             cold.last = Some(id);
@@ -177,7 +195,7 @@ impl KernelTracer {
             };
             stack.count += 1;
             let ip = self.ip_base + self.ip_span + (stack.count % 16) * 4;
-            self.builder.record_dep(CpuId::new(0), op, addr, ip, None);
+            self.sink.record_dep(CpuId::new(0), op, addr, ip, None);
         }
     }
 
@@ -207,17 +225,18 @@ impl KernelTracer {
 
     /// Records emitted so far.
     pub fn len(&self) -> usize {
-        self.builder.len()
+        self.sink.len()
     }
 
     /// Whether nothing has been emitted.
     pub fn is_empty(&self) -> bool {
-        self.builder.is_empty()
+        self.sink.is_empty()
     }
 
-    /// Finishes the thread stream.
-    pub fn finish(self) -> Trace {
-        self.builder.build()
+    /// Hands the sink back (for sinks with their own completion step,
+    /// e.g. flushing a final partial block).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 }
 
@@ -260,10 +279,10 @@ mod tests {
         let a = t.load(0x1000, None);
         let b = t.store(0x2000, Some(a));
         assert_eq!(t.len(), 2);
-        let trace = t.finish();
-        assert_eq!(trace.records()[0].op, MemOp::Load);
-        assert_eq!(trace.records()[1].op, MemOp::Store);
-        assert_eq!(trace.records()[1].dep, Some(a));
+        let records = t.finish().to_records();
+        assert_eq!(records[0].op, MemOp::Load);
+        assert_eq!(records[1].op, MemOp::Store);
+        assert_eq!(records[1].dep, Some(a));
         assert!(b > a);
     }
 
@@ -273,9 +292,9 @@ mod tests {
         t.load(0, None);
         t.load(0, None);
         t.load(0, None);
-        let trace = t.finish();
-        assert_eq!(trace.records()[0].ip, trace.records()[2].ip);
-        assert_ne!(trace.records()[0].ip, trace.records()[1].ip);
+        let records = t.finish().to_records();
+        assert_eq!(records[0].ip, records[2].ip);
+        assert_ne!(records[0].ip, records[1].ip);
     }
 
     #[test]
