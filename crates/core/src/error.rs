@@ -37,6 +37,13 @@ pub enum Error {
         /// What failed to parse.
         detail: String,
     },
+    /// An experiment digest handed to the memo cache was not the
+    /// lowercase-hex shape `Digest::hex` produces, so no shard (and no
+    /// cache path) can be derived for it.
+    MalformedDigest {
+        /// The offending digest string.
+        digest: String,
+    },
     /// A requested experiment name is not in the registry.
     UnknownExperiment {
         /// The requested name.
@@ -135,6 +142,12 @@ impl fmt::Display for Error {
             }
             Error::CacheCorrupt { path, detail } => {
                 write!(f, "corrupt cache entry {}: {detail}", path.display())
+            }
+            Error::MalformedDigest { digest } => {
+                write!(
+                    f,
+                    "malformed experiment digest '{digest}': expected lowercase hex"
+                )
             }
             Error::UnknownExperiment { name } => {
                 write!(f, "no experiment named '{name}' is registered")
@@ -250,6 +263,7 @@ impl Error {
             Error::Fold(_) => "fold",
             Error::Io { .. } => "io",
             Error::CacheCorrupt { .. } => "cache-corrupt",
+            Error::MalformedDigest { .. } => "malformed-digest",
             Error::UnknownExperiment { .. } => "unknown-experiment",
             Error::MissingDependency { .. } => "missing-dependency",
             Error::DependencyCycle { .. } => "dependency-cycle",

@@ -44,6 +44,12 @@ pub enum Artifact {
     Table5(Vec<Table5Row>),
     /// The §3 headline numbers.
     Headline(Headline),
+    /// One design-space sub-experiment result: an ordered list of named
+    /// scalar metrics, generic enough for any `stacksim explore` axis.
+    ExplorePoint {
+        /// `(metric, value)` pairs in a fixed, digest-stable order.
+        metrics: Vec<(String, f64)>,
+    },
 }
 
 impl Artifact {
@@ -59,6 +65,7 @@ impl Artifact {
             Artifact::Table4(_) => "table4",
             Artifact::Table5(_) => "table5",
             Artifact::Headline(_) => "headline",
+            Artifact::ExplorePoint { .. } => "explore_point",
         }
     }
 
@@ -158,6 +165,17 @@ impl Artifact {
                 ("bus_power_saving_w", Json::Num(h.bus_power_saving_w)),
                 ("baseline_bus_power_w", Json::Num(h.baseline_bus_power_w)),
             ]),
+            Artifact::ExplorePoint { metrics } => Json::Arr(
+                metrics
+                    .iter()
+                    .map(|(name, value)| {
+                        Json::obj(vec![
+                            ("name", Json::Str(name.clone())),
+                            ("value", Json::Num(*value)),
+                        ])
+                    })
+                    .collect(),
+            ),
         };
         Json::obj(vec![
             ("kind", Json::Str(self.kind().into())),
@@ -270,6 +288,12 @@ impl Artifact {
                 bus_power_saving_w: num_field(data, "bus_power_saving_w")?,
                 baseline_bus_power_w: num_field(data, "baseline_bus_power_w")?,
             })),
+            "explore_point" => Ok(Artifact::ExplorePoint {
+                metrics: arr(data)?
+                    .iter()
+                    .map(|m| Ok((str_field(m, "name")?.to_string(), num_field(m, "value")?)))
+                    .collect::<Result<_, String>>()?,
+            }),
             other => Err(format!("unknown artifact kind '{other}'")),
         }
     }
@@ -506,6 +530,28 @@ mod tests {
             }
             other => return Err(wrong_kind("fig6", &other)),
         }
+        Ok(())
+    }
+
+    #[test]
+    fn explore_point_round_trips_exactly() -> Result<(), crate::error::Error> {
+        let a = Artifact::ExplorePoint {
+            metrics: vec![
+                ("cpma".to_string(), 1.0 / 3.0),
+                ("offdie_gb_per_sec".to_string(), 12.0625),
+            ],
+        };
+        let text = a.encode();
+        match Artifact::decode(&text).unwrap() {
+            Artifact::ExplorePoint { metrics } => {
+                assert_eq!(metrics.len(), 2);
+                assert_eq!(metrics[0].0, "cpma");
+                assert_eq!(metrics[0].1.to_bits(), (1.0f64 / 3.0).to_bits());
+                assert_eq!(metrics[1].0, "offdie_gb_per_sec");
+            }
+            other => return Err(wrong_kind("explore_point", &other)),
+        }
+        assert_eq!(Artifact::decode(&text).unwrap().encode(), text);
         Ok(())
     }
 

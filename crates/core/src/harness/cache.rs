@@ -10,8 +10,9 @@
 //! session and `stacksim serve` share:
 //!
 //! * **Sharding** — entries spread across `s00/`..`sNN/` subdirectories
-//!   keyed by the digest's first byte, so a hot cache never funnels every
-//!   store through one directory.
+//!   keyed by a hash over the whole digest, so a hot cache never funnels
+//!   every store through one directory and every configured shard
+//!   receives traffic.
 //! * **Size bound + LRU eviction** — with `max_bytes` set, every store
 //!   re-checks the cache footprint and evicts oldest-LRU entries (by file
 //!   mtime; hits refresh their entry's mtime) until the budget holds.
@@ -189,14 +190,33 @@ impl MemoCache {
 
     /// The shard subdirectory an entry digest lands in (`None` for the
     /// flat single-shard layout).
-    fn shard_for(&self, digest: &str) -> Option<String> {
-        if self.shards <= 1 {
-            return None;
+    ///
+    /// Every digest byte is folded into the shard index (FNV-1a), so
+    /// close digests spread evenly and any shard count in `1..=256`
+    /// receives traffic — not just the shards a single leading byte can
+    /// reach.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedDigest`] when `digest` is empty or carries a
+    /// non-hex character: such a string cannot have come from
+    /// `Digest::hex`, and silently routing it to an arbitrary shard
+    /// would alias unrelated entries onto one file name space.
+    fn shard_for(&self, digest: &str) -> Result<Option<String>, Error> {
+        if digest.is_empty() || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(Error::MalformedDigest {
+                digest: digest.to_string(),
+            });
         }
-        // first hex byte of the digest picks the shard; non-hex digests
-        // (impossible for Digest::hex output) fall back to shard 0
-        let byte = u8::from_str_radix(digest.get(0..2).unwrap_or("00"), 16).unwrap_or(0);
-        Some(format!("s{:02x}", (byte as usize) % self.shards))
+        if self.shards <= 1 {
+            return Ok(None);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in digest.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(Some(format!("s{:02x}", h % self.shards as u64)))
     }
 
     /// Every directory entries may live in (existing or not).
@@ -213,18 +233,28 @@ impl MemoCache {
         }
     }
 
-    /// The file a given experiment point lives at, if caching is enabled.
-    pub fn path_for(&self, name: &str, digest: &str) -> Option<PathBuf> {
-        let dir = self.dir.as_ref()?;
+    /// The file a given experiment point lives at (`Ok(None)` when
+    /// caching is disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedDigest`] when `digest` is not the hex shape
+    /// `Digest::hex` produces (rejected even on a disabled cache, so
+    /// the bug surfaces regardless of configuration).
+    pub fn path_for(&self, name: &str, digest: &str) -> Result<Option<PathBuf>, Error> {
+        let shard = self.shard_for(digest)?;
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(None);
+        };
         let safe: String = name
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
         let file = format!("{safe}-{digest}.json");
-        Some(match self.shard_for(digest) {
+        Ok(Some(match shard {
             Some(shard) => dir.join(shard).join(file),
             None => dir.join(file),
-        })
+        }))
     }
 
     /// Loads a memoized artifact, if one exists.
@@ -243,7 +273,7 @@ impl MemoCache {
     /// [`Error::Io`] on filesystem failure other than "not found";
     /// [`Error::CacheCorrupt`] if the file exists but does not parse.
     pub fn load(&self, name: &str, digest: &str) -> Result<Option<Artifact>, Error> {
-        let Some(path) = self.path_for(name, digest) else {
+        let Some(path) = self.path_for(name, digest)? else {
             return Ok(None);
         };
         let mut text = match fs::read_to_string(&path) {
@@ -292,7 +322,7 @@ impl MemoCache {
     ///
     /// [`Error::Io`] on filesystem failure.
     pub fn quarantine(&self, name: &str, digest: &str) -> Result<Option<PathBuf>, Error> {
-        let (Some(root), Some(path)) = (self.dir.as_ref(), self.path_for(name, digest)) else {
+        let (Some(root), Some(path)) = (self.dir.as_ref(), self.path_for(name, digest)?) else {
             return Ok(None);
         };
         let Some(file_name) = path.file_name() else {
@@ -327,7 +357,7 @@ impl MemoCache {
     /// [`Error::Io`] on filesystem failure. A disabled cache stores
     /// nothing and succeeds.
     pub fn store(&self, name: &str, digest: &str, artifact: &Artifact) -> Result<(), Error> {
-        let Some(path) = self.path_for(name, digest) else {
+        let Some(path) = self.path_for(name, digest)? else {
             return Ok(());
         };
         if stacksim_faults::armed() {
@@ -384,7 +414,7 @@ impl MemoCache {
             return Ok(0);
         }
         // oldest first; ties break on path so concurrent processes agree
-        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        entries.sort_by(eviction_order);
         let mut evicted = 0;
         for entry in entries {
             if total <= budget {
@@ -427,8 +457,21 @@ impl MemoCache {
                 let Ok(md) = entry.metadata() else {
                     continue; // raced with a concurrent eviction
                 };
+                let mtime = match md.modified() {
+                    Ok(t) => Some(t),
+                    Err(_) => {
+                        // metadata exists but carries no readable mtime
+                        // (exotic FS or transient error): record it so
+                        // operators can see the cache flying blind, and
+                        // let `eviction_order` keep the entry warm
+                        if stacksim_obs::enabled() {
+                            stacksim_obs::counter(super::obs::CACHE_MTIME_UNREADABLE).add(1);
+                        }
+                        None
+                    }
+                };
                 out.push(EntryMeta {
-                    mtime: md.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    mtime,
                     len: md.len(),
                     path,
                 });
@@ -463,11 +506,26 @@ impl MemoCache {
     }
 }
 
-/// One live entry's eviction-relevant metadata.
+/// One live entry's eviction-relevant metadata. `mtime` is `None` when
+/// the filesystem could not report a modification time.
 struct EntryMeta {
-    mtime: SystemTime,
+    mtime: Option<SystemTime>,
     len: u64,
     path: PathBuf,
+}
+
+/// LRU eviction order: oldest known mtime first; entries whose mtime is
+/// unreadable sort *last* — an unknown age must never be mistaken for
+/// "ancient", or FS metadata errors would evict the warmest entries
+/// first. Ties break on path so concurrent processes agree.
+fn eviction_order(a: &EntryMeta, b: &EntryMeta) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.mtime, b.mtime) {
+        (Some(x), Some(y)) => x.cmp(&y).then_with(|| a.path.cmp(&b.path)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.path.cmp(&b.path),
+    }
 }
 
 /// Writes `text` to `path` atomically: full write to a pid-unique tmp
@@ -580,7 +638,7 @@ mod tests {
         // a different digest misses
         assert!(c.load("fig5:gauss", "0012").unwrap().is_none());
         // corrupt entries are reported, not silently treated as misses
-        let path = c.path_for("fig5:gauss", "0013").unwrap();
+        let path = c.path_for("fig5:gauss", "0013").unwrap().unwrap();
         fs::write(&path, "{not json").unwrap();
         assert!(matches!(
             c.load("fig5:gauss", "0013"),
@@ -598,7 +656,7 @@ mod tests {
         let dir = scratch("zero");
         let c = MemoCache::at(&dir);
         c.store("fig3", "aa", &sample()).unwrap();
-        let path = c.path_for("fig3", "aa").unwrap();
+        let path = c.path_for("fig3", "aa").unwrap().unwrap();
         fs::write(&path, "").unwrap();
         assert!(c.load("fig3", "aa").unwrap().is_none(), "reads as a miss");
         assert!(!path.exists(), "the empty file is deleted");
@@ -617,7 +675,7 @@ mod tests {
             "no entry, nothing to quarantine"
         );
         c.store("fig3", "aa", &sample()).unwrap();
-        let original = c.path_for("fig3", "aa").unwrap();
+        let original = c.path_for("fig3", "aa").unwrap().unwrap();
         let dest = c.quarantine("fig3", "aa").unwrap().expect("moved");
         assert!(!original.exists());
         assert!(dest.exists());
@@ -646,12 +704,22 @@ mod tests {
         let c = MemoCache::builder().dir(&dir).shards(16).build();
         c.store("fig5:gauss", "0a11", &sample()).unwrap();
         c.store("fig5:conj", "ff22", &sample2()).unwrap();
-        let p = c.path_for("fig5:gauss", "0a11").unwrap();
+        let p = c.path_for("fig5:gauss", "0a11").unwrap().unwrap();
+        let shard_name = p
+            .parent()
+            .unwrap()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
         assert!(
-            p.parent().unwrap().file_name().unwrap() == "s0a",
-            "entry lands in its digest shard: {}",
+            shard_name.starts_with('s') && shard_name.len() == 3,
+            "entry lands in a shard subdirectory: {}",
             p.display()
         );
+        // the mapping is stable: the same digest always picks the same shard
+        assert_eq!(p, c.path_for("fig5:gauss", "0a11").unwrap().unwrap());
         assert_eq!(c.load("fig5:gauss", "0a11").unwrap(), Some(sample()));
         assert_eq!(c.load("fig5:conj", "ff22").unwrap(), Some(sample2()));
         // quarantine still lands at the cache root
@@ -769,5 +837,98 @@ mod tests {
         }
         assert!(c.usage_bytes().unwrap() <= entry_len * 10);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression (shard routing): a malformed digest is a typed error
+    /// on every entry operation — never a silent route to shard `s00`.
+    #[test]
+    fn malformed_digest_is_a_typed_error() {
+        let dir = scratch("baddigest");
+        let c = MemoCache::builder().dir(&dir).shards(16).build();
+        for bad in ["", "zz11", "0a1g", "dead-beef"] {
+            assert!(
+                matches!(c.path_for("fig3", bad), Err(Error::MalformedDigest { .. })),
+                "digest {bad:?} must be rejected"
+            );
+            assert!(matches!(
+                c.store("fig3", bad, &sample()),
+                Err(Error::MalformedDigest { .. })
+            ));
+            assert!(matches!(
+                c.load("fig3", bad),
+                Err(Error::MalformedDigest { .. })
+            ));
+            assert!(matches!(
+                c.quarantine("fig3", bad),
+                Err(Error::MalformedDigest { .. })
+            ));
+        }
+        // nothing was silently written anywhere
+        assert_eq!(c.usage_bytes().unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Regression (shard routing): digests sharing a first byte spread
+    /// across shards — the old first-byte-only mapping funneled every
+    /// one of them into a single directory.
+    #[test]
+    fn shard_index_mixes_more_than_the_first_digest_byte() {
+        let c = MemoCache::builder().dir("unused").shards(256).build();
+        let mut shards = std::collections::BTreeSet::new();
+        for i in 0..64u32 {
+            let digest = format!("00{i:014x}");
+            let p = c.path_for("fig3", &digest).unwrap().unwrap();
+            shards.insert(p.parent().unwrap().file_name().unwrap().to_os_string());
+        }
+        assert!(
+            shards.len() > 1,
+            "64 digests with a shared first byte must not all land in one shard"
+        );
+    }
+
+    /// The builder clamps the shard count into `1..=256`: `s{:02x}`
+    /// directory names only exist for that range, so a larger request
+    /// must not configure permanently unreachable shards.
+    #[test]
+    fn builder_clamps_shard_count() {
+        let c = MemoCache::builder().dir("unused").shards(4096).build();
+        assert_eq!(c.entry_dirs().len(), 256);
+        let c = MemoCache::builder().dir("unused").shards(0).build();
+        assert_eq!(c.entry_dirs().len(), 1);
+    }
+
+    /// Regression (LRU ordering): an entry whose mtime is unreadable
+    /// sorts *last* in eviction order — the old `UNIX_EPOCH` fallback
+    /// made it the first victim regardless of real recency.
+    #[test]
+    fn unreadable_mtime_orders_last_not_first() {
+        let meta = |mtime, name: &str| EntryMeta {
+            mtime,
+            len: 1,
+            path: PathBuf::from(name),
+        };
+        let old = meta(Some(SystemTime::UNIX_EPOCH), "a.json");
+        let recent = meta(
+            Some(SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000)),
+            "b.json",
+        );
+        let unknown = meta(None, "d.json");
+        let unknown2 = meta(None, "c.json");
+        assert_eq!(
+            eviction_order(&unknown, &old),
+            std::cmp::Ordering::Greater,
+            "an unknown age is never treated as ancient"
+        );
+        let mut entries = [unknown, recent, old, unknown2];
+        entries.sort_by(eviction_order);
+        let order: Vec<_> = entries
+            .iter()
+            .map(|e| e.path.to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            order,
+            ["a.json", "b.json", "c.json", "d.json"],
+            "known mtimes oldest-first, unknowns last by path"
+        );
     }
 }

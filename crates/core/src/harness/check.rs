@@ -212,6 +212,11 @@ pub fn obs_model() -> Model {
             super::obs::SERVE_COMPONENT,
             super::obs::SERVE_NAMES,
         ),
+        (
+            "obs.explore",
+            super::obs::EXPLORE_COMPONENT,
+            super::obs::EXPLORE_NAMES,
+        ),
     ] {
         m.obs_tables.push(ObsTableDesc {
             path: path.to_string(),

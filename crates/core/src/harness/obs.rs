@@ -42,8 +42,11 @@ pub const CACHE_COMPONENT: &str = "cache";
 pub const CACHE_QUARANTINED: &str = "cache.quarantined";
 /// Entries removed by LRU eviction on a size-bounded cache.
 pub const CACHE_EVICTIONS: &str = "cache.evictions";
+/// Entries whose mtime the filesystem could not report during an
+/// eviction scan (such entries are ordered last, never evicted first).
+pub const CACHE_MTIME_UNREADABLE: &str = "cache.mtime_unreadable";
 /// Every instrument name of the `cache` component.
-pub const CACHE_NAMES: &[&str] = &[CACHE_QUARANTINED, CACHE_EVICTIONS];
+pub const CACHE_NAMES: &[&str] = &[CACHE_QUARANTINED, CACHE_EVICTIONS, CACHE_MTIME_UNREADABLE];
 
 /// Component tag of the `Sim` session / `stacksim serve` instruments.
 pub const SERVE_COMPONENT: &str = "serve";
@@ -55,6 +58,31 @@ pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
 pub const SERVE_INFLIGHT: &str = "serve.inflight";
 /// Every instrument name of the `serve` component.
 pub const SERVE_NAMES: &[&str] = &[SERVE_REQUESTS, SERVE_DEDUP_HITS, SERVE_INFLIGHT];
+
+/// Component tag of the `stacksim explore` design-space instruments.
+///
+/// The constants live here (like the `serve` table) because the SL060
+/// contract audits declared names against core's obs model; the
+/// `stacksim-explore` crate registers them at runtime.
+pub const EXPLORE_COMPONENT: &str = "explore";
+/// Design points evaluated (assembled from sub-experiment artifacts).
+pub const EXPLORE_POINTS: &str = "explore.points";
+/// Sub-experiment requests submitted to the session by the explorer.
+pub const EXPLORE_REQUESTS: &str = "explore.requests";
+/// Sub-experiment requests served from the memo cache.
+pub const EXPLORE_CACHE_HITS: &str = "explore.cache_hits";
+/// Sub-experiment requests coalesced onto an identical in-flight one.
+pub const EXPLORE_DEDUP_HITS: &str = "explore.dedup_hits";
+/// Size of the final Pareto frontier (gauge).
+pub const EXPLORE_FRONTIER_SIZE: &str = "explore.frontier_size";
+/// Every instrument name of the `explore` component.
+pub const EXPLORE_NAMES: &[&str] = &[
+    EXPLORE_POINTS,
+    EXPLORE_REQUESTS,
+    EXPLORE_CACHE_HITS,
+    EXPLORE_DEDUP_HITS,
+    EXPLORE_FRONTIER_SIZE,
+];
 
 /// Component tag of the solver degradation instruments.
 pub const SOLVER_COMPONENT: &str = "solver";
@@ -83,6 +111,7 @@ mod tests {
             (CACHE_COMPONENT, CACHE_NAMES),
             (SOLVER_COMPONENT, SOLVER_NAMES),
             (SERVE_COMPONENT, SERVE_NAMES),
+            (EXPLORE_COMPONENT, EXPLORE_NAMES),
         ] {
             for name in names {
                 assert!(seen.insert(name), "duplicate declared name {name}");

@@ -146,6 +146,13 @@ pub fn render(artifact: &Artifact) -> String {
             );
             out
         }
+        Artifact::ExplorePoint { metrics } => {
+            let mut t = TextTable::new(["metric", "value"]);
+            for (name, value) in metrics {
+                t.row([name.clone(), fmt_f(*value, 4)]);
+            }
+            t.render()
+        }
     }
 }
 

@@ -214,6 +214,26 @@ pub fn thermal_stack(option: StackOption, grid: usize) -> LayerStack {
     }
 }
 
+/// [`thermal_stack`] with every power grid scaled by `power_factor` —
+/// the V/f axis of `stacksim explore`: dynamic power scales as V²·f
+/// while the floorplan geometry is unchanged.
+pub fn thermal_stack_scaled(option: StackOption, grid: usize, power_factor: f64) -> LayerStack {
+    let cpu = option.cpu_floorplan();
+    let (w, h) = (cpu.width(), cpu.height());
+    let ny = (grid * 17 / 20).max(1);
+    let power = cpu.power_grid(grid, ny).scaled(power_factor);
+    match option.stacked_floorplan() {
+        None => LayerStack::planar(w, h, power),
+        Some(top) => LayerStack::two_die(
+            w,
+            h,
+            power,
+            top.power_grid(grid, ny).scaled(power_factor),
+            option.stacked_die_is_dram(),
+        ),
+    }
+}
+
 /// Solves the Fig. 8 thermal comparison across all four options.
 ///
 /// # Errors

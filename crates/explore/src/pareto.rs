@@ -1,0 +1,199 @@
+//! Pareto dominance, frontier extraction and per-axis sensitivity.
+
+use crate::space::{PointIdx, SpaceSpec};
+
+/// The three objectives of one evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Relative performance (frequency-scaled inverse CPMA) — maximized.
+    pub perf: f64,
+    /// Peak die temperature in °C — minimized.
+    pub peak_c: f64,
+    /// Total power in W (scaled die power + off-die bus power) —
+    /// minimized.
+    pub power_w: f64,
+}
+
+/// Whether `a` Pareto-dominates `b`: at least as good on every
+/// objective, strictly better on at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let geq = a.perf >= b.perf && a.peak_c <= b.peak_c && a.power_w <= b.power_w;
+    let strict = a.perf > b.perf || a.peak_c < b.peak_c || a.power_w < b.power_w;
+    geq && strict
+}
+
+/// Marks each point's frontier membership: `true` where no other point
+/// dominates it. O(n²), which is fine at exploration budgets.
+pub fn frontier(points: &[Objectives]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|p| !points.iter().any(|q| dominates(q, p)))
+        .collect()
+}
+
+/// How strongly one axis drives the objectives: for each objective, the
+/// range of per-value group means, normalized by the objective's overall
+/// range (0 when the objective does not vary at all). `score` is the
+/// mean of the three normalized ranges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AxisSensitivity {
+    /// Axis name: `option`, `benchmark`, `boundary` or `vf`.
+    pub axis: &'static str,
+    /// Mean of the three per-objective normalized ranges.
+    pub score: f64,
+    /// Normalized range of per-value mean performance.
+    pub perf: f64,
+    /// Normalized range of per-value mean peak temperature.
+    pub peak_c: f64,
+    /// Normalized range of per-value mean power.
+    pub power_w: f64,
+}
+
+/// Axis names in their fixed declaration order (the ranking tie-break).
+const AXES: [&str; 4] = ["option", "benchmark", "boundary", "vf"];
+
+/// Per-axis sensitivity over the evaluated points, ranked by descending
+/// score; ties keep the fixed axis order. Deterministic: pure
+/// arithmetic over the inputs in a fixed order.
+pub fn sensitivities(points: &[(PointIdx, Objectives)], spec: &SpaceSpec) -> Vec<AxisSensitivity> {
+    let axis_len = [
+        spec.options.len(),
+        spec.benchmarks.len(),
+        spec.boundaries.len(),
+        spec.vf.len(),
+    ];
+    let axis_index = |p: &PointIdx, axis: usize| match axis {
+        0 => p.oi,
+        1 => p.bi,
+        2 => p.di,
+        _ => p.vi,
+    };
+    let objective = |o: &Objectives, k: usize| match k {
+        0 => o.perf,
+        1 => o.peak_c,
+        _ => o.power_w,
+    };
+    let mut ranked: Vec<AxisSensitivity> = AXES
+        .iter()
+        .enumerate()
+        .map(|(axis, name)| {
+            let mut per_objective = [0.0; 3];
+            for (k, slot) in per_objective.iter_mut().enumerate() {
+                let overall = value_range(points.iter().map(|(_, o)| objective(o, k)));
+                if overall <= 0.0 {
+                    continue; // the objective does not vary: no signal
+                }
+                // mean objective per axis value, range across values
+                let mut sums = vec![(0.0f64, 0usize); axis_len[axis]];
+                for (p, o) in points {
+                    let slot = &mut sums[axis_index(p, axis)];
+                    slot.0 += objective(o, k);
+                    slot.1 += 1;
+                }
+                let means = sums
+                    .iter()
+                    .filter(|(_, n)| *n > 0)
+                    .map(|(sum, n)| sum / *n as f64);
+                *slot = value_range(means) / overall;
+            }
+            AxisSensitivity {
+                axis: name,
+                score: per_objective.iter().sum::<f64>() / 3.0,
+                perf: per_objective[0],
+                peak_c: per_objective[1],
+                power_w: per_objective[2],
+            }
+        })
+        .collect();
+    // stable sort: equal scores keep the fixed axis order
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ranked
+}
+
+/// `max - min` over an iterator of values (0 for empty input).
+fn value_range(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if hi > lo {
+        hi - lo
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(perf: f64, peak_c: f64, power_w: f64) -> Objectives {
+        Objectives {
+            perf,
+            peak_c,
+            power_w,
+        }
+    }
+
+    #[test]
+    fn dominance_needs_a_strict_edge() {
+        assert!(dominates(&o(2.0, 80.0, 100.0), &o(1.0, 90.0, 110.0)));
+        assert!(dominates(&o(1.0, 80.0, 100.0), &o(1.0, 90.0, 100.0)));
+        // identical points do not dominate each other
+        assert!(!dominates(&o(1.0, 80.0, 100.0), &o(1.0, 80.0, 100.0)));
+        // trade-offs in both directions: neither dominates
+        assert!(!dominates(&o(2.0, 95.0, 100.0), &o(1.0, 80.0, 100.0)));
+        assert!(!dominates(&o(1.0, 80.0, 100.0), &o(2.0, 95.0, 100.0)));
+    }
+
+    #[test]
+    fn frontier_keeps_exactly_the_nondominated() {
+        let points = [
+            o(2.0, 80.0, 100.0), // frontier: best perf at best temp
+            o(1.0, 90.0, 110.0), // dominated by the first
+            o(1.5, 75.0, 120.0), // frontier: coolest
+            o(2.0, 80.0, 90.0),  // dominates the first on power
+        ];
+        assert_eq!(frontier(&points), vec![false, false, true, true]);
+        // identical duplicates survive together
+        let twins = [o(1.0, 1.0, 1.0), o(1.0, 1.0, 1.0)];
+        assert_eq!(frontier(&twins), vec![true, true]);
+    }
+
+    #[test]
+    fn sensitivity_ranks_the_driving_axis_first() {
+        let spec = crate::space::SpaceSpec::default_space();
+        // perf varies only with oi; temperature only (and more weakly,
+        // relative to nothing else moving) with vi
+        let points: Vec<(PointIdx, Objectives)> = (0..4)
+            .flat_map(|oi| {
+                (0..6).map(move |vi| {
+                    (
+                        PointIdx {
+                            oi,
+                            bi: 0,
+                            di: 0,
+                            vi,
+                        },
+                        o(oi as f64, 80.0 + vi as f64, 100.0),
+                    )
+                })
+            })
+            .collect();
+        let ranked = sensitivities(&points, &spec);
+        assert_eq!(ranked.len(), 4);
+        assert_eq!(ranked[0].axis, "option");
+        assert_eq!(ranked[1].axis, "vf");
+        // power never varies: it contributes no score anywhere
+        assert!(ranked.iter().all(|s| s.power_w == 0.0));
+        // untouched axes score zero and keep declaration order
+        assert_eq!(ranked[2].axis, "benchmark");
+        assert_eq!(ranked[3].axis, "boundary");
+        assert!((ranked[0].perf - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Human-readable rendering of a `stacksim-explore/1` artifact — the
+//! `--report` view of the frontier and the sensitivity ranking.
+
+use stacksim_core::harness::json::Json;
+use stacksim_core::{fmt_f, TextTable};
+
+use crate::engine::EXPLORE_SCHEMA;
+
+/// Renders the frontier table and sensitivity ranking of an artifact.
+///
+/// # Errors
+///
+/// A description of why `artifact_json` is not a valid
+/// `stacksim-explore/1` document.
+pub fn render_report(artifact_json: &str) -> Result<String, String> {
+    let doc = Json::parse(artifact_json).map_err(|e| format!("invalid artifact JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != EXPLORE_SCHEMA {
+        return Err(format!(
+            "expected schema '{EXPLORE_SCHEMA}', got '{schema}'"
+        ));
+    }
+    let num = |j: &Json, key: &str| {
+        j.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("artifact misses numeric '{key}'"))
+    };
+    let text = |j: &Json, key: &str| {
+        j.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("artifact misses string '{key}'"))
+    };
+    let arr = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("artifact misses array '{key}'"))
+    };
+
+    let mut frontier = TextTable::new([
+        "option", "bench", "boundary", "vf", "perf", "peak C", "power W",
+    ]);
+    let mut on_frontier = 0usize;
+    let points = arr("points")?;
+    for p in points {
+        if p.get("frontier").and_then(Json::as_bool) != Some(true) {
+            continue;
+        }
+        on_frontier += 1;
+        frontier.row([
+            text(p, "option")?,
+            text(p, "benchmark")?,
+            text(p, "boundary")?,
+            fmt_f(num(p, "vf")?, 2),
+            fmt_f(num(p, "perf")?, 4),
+            fmt_f(num(p, "peak_c")?, 2),
+            fmt_f(num(p, "power_w")?, 2),
+        ]);
+    }
+
+    let mut ranking = TextTable::new(["axis", "score", "perf", "peak C", "power W"]);
+    for s in arr("sensitivity")? {
+        ranking.row([
+            text(s, "axis")?,
+            fmt_f(num(s, "score")?, 3),
+            fmt_f(num(s, "perf")?, 3),
+            fmt_f(num(s, "peak_c")?, 3),
+            fmt_f(num(s, "power_w")?, 3),
+        ]);
+    }
+
+    Ok(format!(
+        "Pareto frontier ({on_frontier} of {} evaluated, mode {}, seed {}):\n{}\n\
+         sensitivity ranking (normalized objective range per axis):\n{}",
+        num(&doc, "evaluated")?,
+        text(&doc, "mode")?,
+        num(&doc, "seed")?,
+        frontier.render(),
+        ranking.render(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_schemas_and_garbage() {
+        assert!(render_report("{").is_err());
+        assert!(render_report("{\"schema\":\"stacksim-obs/1\"}").is_err());
+        assert!(render_report("{\"schema\":\"stacksim-explore/1\"}").is_err());
+    }
+}

@@ -73,7 +73,23 @@ impl std::fmt::Display for ParseError {
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    parse_request(stream)
+}
 
+/// Parses one request from any byte source — the transport-free core of
+/// [`read_request`], directly unit-testable against in-memory bytes.
+///
+/// Framing rules beyond the obvious: at most one `Content-Length`
+/// header is accepted (duplicates are rejected even when they agree —
+/// request-smuggling shapes are not worth disambiguating), and a
+/// declared length over [`MAX_BODY`] is rejected *before* any body byte
+/// is read, so an oversized upload costs the server nothing.
+///
+/// # Errors
+///
+/// [`ParseError`] on read failure, malformed framing, or a request
+/// exceeding the size caps.
+fn parse_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
     // read until the blank line separating head from body
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -106,17 +122,23 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         .ok_or(ParseError::Malformed("request line has no target"))?
         .to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+                if content_length.is_some() {
+                    return Err(ParseError::Malformed("duplicate content-length"));
+                }
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::Malformed("bad content-length"))?,
+                );
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(ParseError::TooLarge);
     }
@@ -186,6 +208,86 @@ pub fn reject(stream: &mut TcpStream, err: &ParseError) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn well_formed_request_round_trips() {
+        let r = parse("POST /v1/explore HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\":1}\r\n")
+            .expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path(), "/v1/explore");
+        assert_eq!(r.body, "{\"a\":1}\r\n");
+        // no content-length means an empty body
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(r.body, "");
+    }
+
+    /// Regression: a second `Content-Length` used to silently overwrite
+    /// the first (last-one-wins), the classic request-smuggling shape.
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(
+            matches!(parse(raw), Err(ParseError::Malformed(m)) if m.contains("duplicate")),
+            "duplicate headers are rejected even when they agree"
+        );
+    }
+
+    /// Regression: conflicting lengths used to take the *last* value, so
+    /// a large declared body could sneak under the cap check.
+    #[test]
+    fn conflicting_content_length_is_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 999999\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(matches!(
+            parse(raw),
+            Err(ParseError::Malformed("duplicate content-length"))
+        ));
+    }
+
+    /// An over-cap declared length is rejected before any body byte is
+    /// read: the request below carries no body at all, so reaching the
+    /// body loop would fail with "closed mid-body", not `TooLarge`.
+    #[test]
+    fn oversized_content_length_is_rejected_before_the_body() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(parse(&raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn unparseable_content_length_is_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: over9000\r\n\r\n";
+        assert!(matches!(
+            parse(raw),
+            Err(ParseError::Malformed("bad content-length"))
+        ));
+        // negative lengths are not lengths
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: -5\r\n\r\n";
+        assert!(matches!(parse(raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        assert!(matches!(
+            parse("\r\n\r\n"),
+            Err(ParseError::Malformed("empty request line"))
+        ));
+        assert!(matches!(
+            parse("GET\r\n\r\n"),
+            Err(ParseError::Malformed("request line has no target"))
+        ));
+        // EOF before the head terminator
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\n"),
+            Err(ParseError::Malformed("connection closed mid-head"))
+        ));
+    }
 
     #[test]
     fn query_flags_parse() {

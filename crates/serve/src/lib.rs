@@ -17,12 +17,20 @@
 //! | `POST /v1/experiments` | submit; body `{"experiment":"fig3", ...}` |
 //! | `GET /v1/experiments/<id>` | status + report; `?wait=1` blocks until done |
 //! | `GET /v1/experiments/<id>/artifact` | the artifact's canonical JSON, verbatim |
+//! | `POST /v1/explore` | synchronous design-space search; returns the frontier artifact |
 //!
 //! Submission bodies accept the same parameter overrides as
 //! [`ExperimentRequest`]: `seed`, `scale` (`"test"`/`"paper"`),
 //! `threads`, `chunk`, `solver_threads`, and `faults` (opt this request
 //! into the server's armed fault plan). Identical in-flight submissions
 //! deduplicate onto one execution and return the same `id`.
+//!
+//! `POST /v1/explore` accepts `{"spec": {..}, "mode": "grid", "budget":
+//! N, "seed": N}` (every field optional) and runs the search in a
+//! short-lived session sharing the server's memo cache, parameters and
+//! job count — so repeated or overlapping explorations are served from
+//! the same cache entries as everything else. The response is the
+//! canonical `stacksim-explore/1` artifact.
 //!
 //! The accept loop runs on the caller's thread ([`Server::run`]) with a
 //! small worker pool for connections, and drains gracefully: when the
@@ -46,6 +54,7 @@ use stacksim_core::harness::json::Json;
 use stacksim_core::harness::{
     ExperimentRequest, MemoCache, RequestHandle, RequestStatus, Resilience, Sim,
 };
+use stacksim_explore::{ExploreConfig, ExploreError, SearchMode, SpaceSpec};
 use stacksim_faults::FaultPlan;
 use stacksim_workloads::{Scale, WorkloadParams};
 
@@ -91,6 +100,16 @@ impl Default for ServeOptions {
 /// workers. A `BTreeMap` keeps iteration order deterministic.
 type RequestMap = Arc<Mutex<BTreeMap<u64, RequestHandle>>>;
 
+/// What `POST /v1/explore` builds its short-lived sessions from: the
+/// server's own cache, base parameters and job count, so explorations
+/// hit the same memo entries as every other request.
+#[derive(Debug, Clone)]
+struct ExploreEnv {
+    params: WorkloadParams,
+    jobs: usize,
+    cache: MemoCache,
+}
+
 /// A bound (but not yet serving) daemon. Call [`Server::run`] to serve.
 #[derive(Debug)]
 pub struct Server {
@@ -98,6 +117,7 @@ pub struct Server {
     sim: Arc<Sim>,
     requests: RequestMap,
     pool: usize,
+    explore_env: Arc<ExploreEnv>,
 }
 
 impl Server {
@@ -111,6 +131,11 @@ impl Server {
         let listener = TcpListener::bind(&options.addr)?;
         listener.set_nonblocking(true)?;
         stacksim_obs::enable();
+        let explore_env = Arc::new(ExploreEnv {
+            params: options.params,
+            jobs: options.jobs,
+            cache: options.cache.clone(),
+        });
         let sim = Sim::builder()
             .params(options.params)
             .jobs(options.jobs)
@@ -123,6 +148,7 @@ impl Server {
             sim: Arc::new(sim),
             requests: Arc::new(Mutex::new(BTreeMap::new())),
             pool: options.pool.clamp(1, 64),
+            explore_env,
         })
     }
 
@@ -156,6 +182,7 @@ impl Server {
             let rx = rx.clone();
             let sim = self.sim.clone();
             let requests = self.requests.clone();
+            let explore_env = self.explore_env.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("serve-conn-{i}"))
                 .spawn(move || loop {
@@ -164,7 +191,9 @@ impl Server {
                         guard.recv()
                     };
                     match next {
-                        Ok(mut stream) => handle_connection(&mut stream, &sim, &requests),
+                        Ok(mut stream) => {
+                            handle_connection(&mut stream, &sim, &requests, &explore_env)
+                        }
                         Err(_) => return, // channel closed: drain complete
                     }
                 });
@@ -201,7 +230,12 @@ impl Server {
 }
 
 /// Routes one connection's request and writes its response.
-fn handle_connection(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap) {
+fn handle_connection(
+    stream: &mut TcpStream,
+    sim: &Sim,
+    requests: &RequestMap,
+    explore_env: &ExploreEnv,
+) {
     let request = match read_request(stream) {
         Ok(r) => r,
         Err(e) => {
@@ -216,6 +250,7 @@ fn handle_connection(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap) {
             respond(stream, 200, "application/json", &snapshot);
         }
         ("POST", "/v1/experiments") => submit(stream, sim, requests, &request),
+        ("POST", "/v1/explore") => explore(stream, explore_env, &request),
         ("GET", path) if path.starts_with("/v1/experiments/") => {
             let rest = &path["/v1/experiments/".len()..];
             if let Some(id_text) = rest.strip_suffix("/artifact") {
@@ -262,6 +297,50 @@ fn submit(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap, request: &Re
         ("status", Json::Str(handle.status().label().to_string())),
     ]);
     respond(stream, 200, "application/json", &body.encode());
+}
+
+/// `POST /v1/explore`: run one synchronous design-space search in a
+/// short-lived session sharing the server's cache, parameters and job
+/// count, and answer with the canonical `stacksim-explore/1` artifact.
+fn explore(stream: &mut TcpStream, env: &ExploreEnv, request: &Request) {
+    let cfg = match parse_explore(&request.body) {
+        Ok(cfg) => cfg,
+        Err(detail) => {
+            error_response(stream, 400, &detail);
+            return;
+        }
+    };
+    match stacksim_explore::run_exploration(&cfg, env.params, env.jobs, env.cache.clone()) {
+        Ok(outcome) => respond(stream, 200, "application/json", &outcome.artifact_json),
+        Err(e @ ExploreError::Spec(_)) => error_response(stream, 400, &e.to_string()),
+        Err(e) => error_response(stream, 500, &e.to_string()),
+    }
+}
+
+/// Decodes an explore body (`spec`, `mode`, `budget`, `seed`, each
+/// optional) into an [`ExploreConfig`].
+fn parse_explore(body: &str) -> Result<ExploreConfig, String> {
+    let mut cfg = ExploreConfig::grid(SpaceSpec::default_space());
+    if body.trim().is_empty() {
+        return Ok(cfg);
+    }
+    let doc = Json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    if let Some(spec) = doc.get("spec") {
+        cfg.spec = SpaceSpec::parse(&spec.encode())?;
+    }
+    if let Some(v) = doc.get("mode") {
+        cfg.mode = v
+            .as_str()
+            .and_then(SearchMode::parse)
+            .ok_or("'mode' must be \"grid\", \"random\" or \"evolve\"")?;
+    }
+    if let Some(v) = doc.get("budget") {
+        cfg.budget = v.as_u64().ok_or("'budget' must be an unsigned integer")? as usize;
+    }
+    if let Some(v) = doc.get("seed") {
+        cfg.seed = v.as_u64().ok_or("'seed' must be an unsigned integer")?;
+    }
+    Ok(cfg)
 }
 
 /// Decodes a submission body into an [`ExperimentRequest`].

@@ -9,6 +9,11 @@
 //!              [--fault-plan FILE] [--keep-going] [--failures FILE]
 //!              [--retries N] [--deadline S]
 //! stacksim run fig5 table4 ...
+//! stacksim explore [--mode grid|random|evolve] [--budget N] [--seed N]
+//!                  [--spec FILE] [--out FILE] [--report] [--jobs N]
+//!                  [--test-scale] [--no-cache] [--cache-dir D]
+//!                  [--cache-max-bytes B] [--cache-shards N]
+//!                  [--metrics-out FILE] [--events FILE]
 //! stacksim check --all [--format json] [--test-scale]
 //! stacksim check fig8 table4 ...
 //! stacksim bench [--quick] [--threads N] [--out-dir D]
@@ -56,6 +61,7 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 list                      list registered experiments and dependencies\n\
          \x20 run [NAMES | --all]       run experiments (deps included automatically)\n\
+         \x20 explore                   Pareto design-space search over the session API\n\
          \x20 serve                     long-running HTTP/JSON experiment service\n\
          \x20 check [NAMES | --all]     statically validate experiment models\n\
          \x20 bench                     time solver + memory suites, write BENCH_*.json\n\
@@ -82,6 +88,16 @@ fn usage() -> ExitCode {
          \x20                    report (default: target/stacksim-failures.json)\n\
          \x20 --retries N        transient-failure retries per experiment (default: 2)\n\
          \x20 --deadline S       per-experiment recovery deadline in seconds\n\
+         \n\
+         explore options:\n\
+         \x20 --mode M           search mode: grid (default), random or evolve\n\
+         \x20 --budget N         max design points to evaluate (default: the whole space)\n\
+         \x20 --seed N           search seed; same seed + space = bit-identical frontier\n\
+         \x20 --spec FILE        JSON space spec (default: the built-in 576-point space)\n\
+         \x20 --out FILE         write the stacksim-explore/1 artifact to FILE\n\
+         \x20 --report           print the rendered frontier + sensitivity tables\n\
+         \x20 --jobs / --test-scale / --no-cache / --cache-dir / --cache-max-bytes /\n\
+         \x20 --cache-shards / --metrics-out / --events  as for run and serve\n\
          \n\
          serve options:\n\
          \x20 --addr A           listen address (default: 127.0.0.1:7878; port 0 = any)\n\
@@ -122,6 +138,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "list" => list(),
         "run" => run(&args[1..]),
+        "explore" => explore(&args[1..]),
         "serve" => serve(&args[1..]),
         "check" => check(&args[1..]),
         "bench" => bench(&args[1..]),
@@ -510,6 +527,178 @@ fn merge_outcomes(outcomes: Vec<RunOutcome>) -> RunOutcome {
     merged
 }
 
+/// `stacksim explore`: search a declarative design space for its Pareto
+/// frontier over (performance, peak temperature, power), reusing the
+/// memo cache for every overlapping sub-experiment.
+fn explore(args: &[String]) -> ExitCode {
+    use stacksim::explore::{run_exploration, ExploreConfig, SearchMode, SpaceSpec};
+
+    let mut mode = SearchMode::Grid;
+    let mut budget = 0usize;
+    let mut seed = 0u64;
+    let mut spec_file: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut report = false;
+    let mut jobs = 0usize;
+    let mut test_scale = false;
+    let mut no_cache = false;
+    let mut cache_dir = default_cache_dir();
+    let mut cache_max_bytes: Option<u64> = None;
+    let mut cache_shards = 16usize;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut events: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report = true,
+            "--test-scale" => test_scale = true,
+            "--no-cache" => no_cache = true,
+            "--mode" => match it.next().map(String::as_str).and_then(SearchMode::parse) {
+                Some(m) => mode = m,
+                None => return usage(),
+            },
+            "--budget" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => budget = n,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--spec" => match it.next() {
+                Some(p) => spec_file = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--cache-max-bytes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cache_max_bytes = Some(n),
+                _ => return usage(),
+            },
+            "--cache-shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=256).contains(&n) => cache_shards = n,
+                _ => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--events" => match it.next() {
+                Some(p) => events = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let spec = match &spec_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("stacksim: cannot read spec {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match SpaceSpec::parse(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("stacksim: invalid spec {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => SpaceSpec::default_space(),
+    };
+    let params = if test_scale {
+        WorkloadParams::test()
+    } else {
+        WorkloadParams::paper()
+    };
+    let cache = if no_cache {
+        MemoCache::disabled()
+    } else {
+        MemoCache::builder()
+            .dir(&cache_dir)
+            .max_bytes(cache_max_bytes)
+            .shards(cache_shards)
+            .build()
+    };
+    let cfg = ExploreConfig {
+        spec,
+        mode,
+        budget,
+        seed,
+    };
+
+    let obs = match ObsSession::start(metrics_out.as_ref(), events.as_ref()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run_exploration(&cfg, params, jobs, cache);
+    if let Some(obs) = obs {
+        if let Err(e) = obs.finish() {
+            eprintln!("stacksim: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let outcome = match result {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim: explore failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "explored {} of {} design points ({} mode, seed {}): {} on the Pareto frontier",
+        outcome.evaluated,
+        cfg.spec.total_points(),
+        cfg.mode.label(),
+        cfg.seed,
+        outcome.frontier_size,
+    );
+    println!(
+        "{} sub-experiment requests, {} cache hits, {} dedup hits ({:.1}% hit rate), {} CG iterations",
+        outcome.requests,
+        outcome.cache_hits,
+        outcome.dedup_hits,
+        100.0 * outcome.hit_rate(),
+        outcome.cg_iterations,
+    );
+
+    if report {
+        match stacksim::explore::render_report(&outcome.artifact_json) {
+            Ok(rendered) => println!("{rendered}"),
+            Err(e) => {
+                eprintln!("stacksim: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", outcome.artifact_json)) {
+            eprintln!("stacksim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("frontier artifact written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
 /// Set by the SIGTERM/SIGINT handler; the serve accept loop polls it.
 static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
@@ -574,7 +763,9 @@ fn serve(args: &[String]) -> ExitCode {
                 _ => return usage(),
             },
             "--cache-shards" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n >= 1 => cache_shards = n,
+                // the cache clamps to 1..=256 internally; reject out-of-range
+                // values here so a typo'd shard count fails loudly
+                Some(n) if (1..=256).contains(&n) => cache_shards = n,
                 _ => return usage(),
             },
             "--fault-plan" => match it.next() {

@@ -19,6 +19,7 @@
 //! * [`faults`] — deterministic fault injection (the `--fault-plan`
 //!   chaos plane; zero-cost when no plan is armed)
 //! * [`core`] — study drivers reproducing every table and figure
+//! * [`explore`] — Pareto design-space search (`stacksim explore`)
 //! * [`serve`] — the `stacksim serve` HTTP/JSON daemon over the
 //!   embeddable [`Sim`](stacksim_core::harness::Sim) session API
 //! * [`bench`] — wall-clock benchmark harness (the `stacksim bench` suites)
@@ -41,6 +42,7 @@
 
 pub use stacksim_bench as bench;
 pub use stacksim_core as core;
+pub use stacksim_explore as explore;
 pub use stacksim_faults as faults;
 pub use stacksim_floorplan as floorplan;
 pub use stacksim_lint as lint;

@@ -1,0 +1,115 @@
+//! Integration: `stacksim explore`'s determinism and cache-reuse
+//! contracts — bit-identical frontier artifacts at any `--jobs` and for
+//! repeated seeds, and near-free overlapping re-runs through the shared
+//! memo cache.
+
+use std::path::PathBuf;
+
+use stacksim::core::harness::MemoCache;
+use stacksim::explore::{run_exploration, ExploreConfig, SearchMode, SpaceSpec};
+use stacksim::workloads::WorkloadParams;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-explore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small space whose full grid is 8 points, needing only 2 memory
+/// runs and 4 thermal solves.
+fn tiny_spec() -> SpaceSpec {
+    SpaceSpec::parse(
+        r#"{"options": ["2D 4MB", "3D 32MB"],
+            "benchmarks": ["conj", "gauss"],
+            "boundaries": ["desktop"],
+            "vf": [1.0, 1.1]}"#,
+    )
+    .expect("valid spec")
+}
+
+/// Same seed, same space, same budget ⇒ byte-identical frontier
+/// artifacts, regardless of worker-thread count.
+#[test]
+fn frontier_is_bit_identical_across_jobs() {
+    let cfg = ExploreConfig::grid(tiny_spec());
+    let serial = run_exploration(&cfg, WorkloadParams::test(), 1, MemoCache::disabled())
+        .expect("serial exploration succeeds");
+    let parallel = run_exploration(&cfg, WorkloadParams::test(), 8, MemoCache::disabled())
+        .expect("parallel exploration succeeds");
+    assert_eq!(
+        serial.artifact_json, parallel.artifact_json,
+        "the artifact is independent of --jobs"
+    );
+    assert_eq!(serial.evaluated, 8);
+    assert!(serial.frontier_size >= 1);
+    assert!(
+        serial
+            .artifact_json
+            .contains("\"schema\":\"stacksim-explore/1\""),
+        "canonical schema tag present"
+    );
+    // 8 points decompose into 2 mem + 4 thermal sub-experiments; the
+    // other 10 needs are intra-run dedup hits
+    assert_eq!(serial.requests, 6);
+    assert_eq!(serial.dedup_hits, 10);
+    assert!(serial.cg_iterations > 0, "cold run did solver work");
+}
+
+/// Random and evolve searches are pure functions of the seed too.
+#[test]
+fn seeded_searches_are_deterministic() {
+    let dir = scratch_dir("seeded");
+    let cache = MemoCache::at(&dir);
+    for mode in [SearchMode::Random, SearchMode::Evolve] {
+        let cfg = ExploreConfig {
+            spec: tiny_spec(),
+            mode,
+            budget: 5,
+            seed: 42,
+        };
+        let a = run_exploration(&cfg, WorkloadParams::test(), 2, cache.clone())
+            .expect("exploration succeeds");
+        let b = run_exploration(&cfg, WorkloadParams::test(), 2, cache.clone())
+            .expect("exploration succeeds");
+        assert_eq!(a.artifact_json, b.artifact_json, "{} mode", mode.label());
+        assert_eq!(a.evaluated, 5);
+        let other_seed = ExploreConfig { seed: 43, ..cfg };
+        let c = run_exploration(&other_seed, WorkloadParams::test(), 2, cache.clone())
+            .expect("exploration succeeds");
+        assert_ne!(
+            a.artifact_json,
+            c.artifact_json,
+            "{} selection follows the seed",
+            mode.label()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An overlapping re-run is nearly free: every sub-experiment comes
+/// from the memo cache (zero CG iterations), the hit rate clears 90%,
+/// and the artifact is byte-identical to the cold run's.
+#[test]
+fn overlapping_rerun_is_served_from_cache() {
+    let dir = scratch_dir("overlap");
+    let cache = MemoCache::at(&dir);
+    let cfg = ExploreConfig::grid(tiny_spec());
+    let cold = run_exploration(&cfg, WorkloadParams::test(), 2, cache.clone())
+        .expect("cold exploration succeeds");
+    assert!(cold.cg_iterations > 0, "cold run did solver work");
+
+    let warm = run_exploration(&cfg, WorkloadParams::test(), 2, cache.clone())
+        .expect("warm exploration succeeds");
+    assert_eq!(
+        warm.artifact_json, cold.artifact_json,
+        "cache state never changes the artifact"
+    );
+    assert_eq!(warm.cg_iterations, 0, "everything came from cache");
+    assert_eq!(warm.cache_hits, warm.requests, "every submission was a hit");
+    assert!(
+        warm.hit_rate() >= 0.9,
+        "hit rate {} below the 90% contract",
+        warm.hit_rate()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
