@@ -115,6 +115,16 @@ pub enum Error {
         /// What the run actually used.
         used: u64,
     },
+    /// The session's admission control shed this submission: the number
+    /// of queued-or-running requests already sits at the configured
+    /// bound. Retryable by the *caller* (after backoff) — nothing was
+    /// enqueued.
+    Overloaded {
+        /// Requests queued or running when the submission arrived.
+        pending: u64,
+        /// The configured admission bound.
+        limit: u64,
+    },
     /// Static validation rejected an experiment's machine description
     /// before dispatch (the `stacksim check` preflight).
     InvalidModel {
@@ -202,6 +212,10 @@ impl fmt::Display for Error {
                 f,
                 "experiment '{experiment}' exceeded its {what} budget: used {used} of {limit}"
             ),
+            Error::Overloaded { pending, limit } => write!(
+                f,
+                "session overloaded: {pending} requests in flight at the limit of {limit}"
+            ),
             Error::InvalidModel { experiment, report } => write!(
                 f,
                 "experiment '{experiment}' failed model validation:\n{}",
@@ -273,6 +287,7 @@ impl Error {
             Error::ArtifactKind { .. } => "artifact-kind",
             Error::DeadlineExceeded { .. } => "deadline",
             Error::BudgetExceeded { .. } => "budget",
+            Error::Overloaded { .. } => "overloaded",
             Error::InvalidModel { .. } => "invalid-model",
             Error::Internal { .. } => "internal",
         }

@@ -213,6 +213,11 @@ pub fn obs_model() -> Model {
             super::obs::SERVE_NAMES,
         ),
         (
+            "obs.journal",
+            super::obs::JOURNAL_COMPONENT,
+            super::obs::JOURNAL_NAMES,
+        ),
+        (
             "obs.explore",
             super::obs::EXPLORE_COMPONENT,
             super::obs::EXPLORE_NAMES,
@@ -249,6 +254,19 @@ pub fn fault_model() -> Model {
             super::resilience::SITE_DISPATCH,
         ),
         ("thermal.system.cg()", stacksim_thermal::faults::SITE_CG),
+        (
+            "serve.server.accept()",
+            super::resilience::SITE_SERVE_ACCEPT,
+        ),
+        (
+            "serve.http.read_request()",
+            super::resilience::SITE_SERVE_READ,
+        ),
+        ("serve.http.respond()", super::resilience::SITE_SERVE_WRITE),
+        (
+            "harness.journal.append()",
+            super::resilience::SITE_SESSION_JOURNAL,
+        ),
     ] {
         m.fault_refs.push((path.to_string(), site.to_string()));
     }

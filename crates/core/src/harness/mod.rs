@@ -39,6 +39,7 @@ mod cache;
 pub mod check;
 mod digest;
 mod experiment;
+mod journal;
 pub mod json;
 pub mod obs;
 pub mod obs_report;
@@ -57,6 +58,7 @@ pub use check::{
 };
 pub use digest::Digest;
 pub use experiment::{Ctx, Experiment, MemRun, ParamSensitivity, Telemetry};
+pub use journal::{JournalRecovery, RequestJournal, JOURNAL_SCHEMA};
 pub use registry::Registry;
 pub use resilience::{FailureEntry, FailureReport, Resilience, SolverDegrade};
 pub use runner::{

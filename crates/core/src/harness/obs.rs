@@ -56,8 +56,40 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
 /// Requests currently queued or running in the session (gauge).
 pub const SERVE_INFLIGHT: &str = "serve.inflight";
+/// Submissions shed by admission control (the `--max-pending` bound).
+pub const SERVE_SHED: &str = "serve.shed";
+/// Requests that failed with a `deadline` error (their `deadline_ms`
+/// budget ran out before the experiment recovered).
+pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+/// Connections rejected at accept by the `--max-conns` cap.
+pub const SERVE_CONNS_REJECTED: &str = "serve.conns_rejected";
+/// Whether the daemon is draining after SIGTERM (gauge, 0/1).
+pub const SERVE_DRAINING: &str = "serve.draining";
 /// Every instrument name of the `serve` component.
-pub const SERVE_NAMES: &[&str] = &[SERVE_REQUESTS, SERVE_DEDUP_HITS, SERVE_INFLIGHT];
+pub const SERVE_NAMES: &[&str] = &[
+    SERVE_REQUESTS,
+    SERVE_DEDUP_HITS,
+    SERVE_INFLIGHT,
+    SERVE_SHED,
+    SERVE_DEADLINE_EXCEEDED,
+    SERVE_CONNS_REJECTED,
+    SERVE_DRAINING,
+];
+
+/// Component tag of the session request journal's instruments.
+///
+/// Like the `serve` table, the constants live here because the SL060
+/// contract audits declared names against core's obs model.
+pub const JOURNAL_COMPONENT: &str = "journal";
+/// Records appended to the request journal (accepted + terminal).
+pub const JOURNAL_APPENDED: &str = "journal.appended";
+/// Unfinished journal entries resubmitted on daemon boot.
+pub const JOURNAL_REPLAYED: &str = "journal.replayed";
+/// Journal lines skipped during recovery (unparseable, wrong schema, or
+/// truncated by a crash mid-append).
+pub const JOURNAL_CORRUPT_SKIPPED: &str = "journal.corrupt_skipped";
+/// Every instrument name of the `journal` component.
+pub const JOURNAL_NAMES: &[&str] = &[JOURNAL_APPENDED, JOURNAL_REPLAYED, JOURNAL_CORRUPT_SKIPPED];
 
 /// Component tag of the `stacksim explore` design-space instruments.
 ///
@@ -111,6 +143,7 @@ mod tests {
             (CACHE_COMPONENT, CACHE_NAMES),
             (SOLVER_COMPONENT, SOLVER_NAMES),
             (SERVE_COMPONENT, SERVE_NAMES),
+            (JOURNAL_COMPONENT, JOURNAL_NAMES),
             (EXPLORE_COMPONENT, EXPLORE_NAMES),
         ] {
             for name in names {

@@ -32,6 +32,37 @@ pub const SITE_DISPATCH: &str = "harness.dispatch";
 /// Every fault site the harness may check.
 pub const SITES: &[&str] = &[SITE_CACHE_LOAD, SITE_CACHE_STORE, SITE_DISPATCH];
 
+/// Component tag of the network fault sites checked by `stacksim-serve`.
+///
+/// The constants live here (like the `serve` obs table) because the
+/// SL070 contract and the plan loader consume
+/// [`declared_fault_sites`], and core cannot depend on the serve crate.
+pub const SERVE_COMPONENT: &str = "serve";
+/// The daemon's accept loop, just after a connection is accepted: keyed
+/// by `"conn"`, supports `io-transient` (drop the connection on the
+/// floor) and `stall`.
+pub const SITE_SERVE_ACCEPT: &str = "serve.accept";
+/// The request read path (`http::read_request`): keyed by `"conn"`,
+/// supports `io-transient`, `truncate` (connection closed mid-head) and
+/// `stall`.
+pub const SITE_SERVE_READ: &str = "serve.read";
+/// The response write path (`http::respond`): keyed by the status code,
+/// supports `io-transient` (response never written), `truncate` (half
+/// the body) and `stall`.
+pub const SITE_SERVE_WRITE: &str = "serve.write";
+/// Every network fault site the serve crate may check.
+pub const SERVE_SITES: &[&str] = &[SITE_SERVE_ACCEPT, SITE_SERVE_READ, SITE_SERVE_WRITE];
+
+/// Component tag of the session plane's own fault sites.
+pub const SESSION_COMPONENT: &str = "session";
+/// The request-journal append (`RequestJournal`): keyed by the record's
+/// `ev` tag (`accepted` / `done`), supports `io-transient` (append
+/// fails, durability degrades), `corrupt` and `truncate` (the line is
+/// mangled on disk and skipped at the next recovery) and `stall`.
+pub const SITE_SESSION_JOURNAL: &str = "session.journal";
+/// Every session-plane fault site.
+pub const SESSION_SITES: &[&str] = &[SITE_SESSION_JOURNAL];
+
 /// The solver degradation ladder. On `NoConvergence` the runner retries
 /// the experiment one rung further down; each rung is strictly more
 /// conservative than the last. The rung that finally succeeded is
@@ -188,6 +219,8 @@ pub fn declared_fault_sites() -> Vec<(&'static str, &'static str, &'static [&'st
             stacksim_thermal::faults::COMPONENT,
             stacksim_thermal::faults::SITES,
         ),
+        ("faults.serve", SERVE_COMPONENT, SERVE_SITES),
+        ("faults.session", SESSION_COMPONENT, SESSION_SITES),
     ]
 }
 

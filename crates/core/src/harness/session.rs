@@ -64,6 +64,7 @@ pub struct ExperimentRequest {
     chunk: Option<usize>,
     solver_threads: Option<usize>,
     faults: bool,
+    deadline_ms: Option<u64>,
 }
 
 impl ExperimentRequest {
@@ -78,6 +79,7 @@ impl ExperimentRequest {
             chunk: None,
             solver_threads: None,
             faults: false,
+            deadline_ms: None,
         }
     }
 
@@ -128,6 +130,86 @@ impl ExperimentRequest {
     pub fn faults(mut self, faults: bool) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// A per-request wall-clock budget in milliseconds, fed into the
+    /// batch's [`Resilience::deadline_s`] recovery budget: once it runs
+    /// out no further retries or ladder rungs are tried and the request
+    /// fails with [`Error::DeadlineExceeded`](crate::Error), releasing
+    /// its scheduler slot. Execution policy only — it never splits the
+    /// memo-cache digest, but requests with different deadlines do not
+    /// deduplicate onto each other.
+    #[must_use]
+    pub fn deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The canonical journal encoding of this request (every set field,
+    /// in fixed order) — also the identity key recovery deduplicates by.
+    pub(crate) fn to_journal_json(&self) -> super::json::Json {
+        use super::json::Json;
+        let mut fields = vec![("experiment", Json::Str(self.name.clone()))];
+        if let Some(scale) = self.scale {
+            let label = match scale {
+                Scale::Test => "test",
+                Scale::Paper => "paper",
+            };
+            fields.push(("scale", Json::Str(label.to_string())));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(("seed", Json::Num(seed as f64)));
+        }
+        if let Some(threads) = self.threads {
+            fields.push(("threads", Json::Num(threads as f64)));
+        }
+        if let Some(chunk) = self.chunk {
+            fields.push(("chunk", Json::Num(chunk as f64)));
+        }
+        if let Some(solver_threads) = self.solver_threads {
+            fields.push(("solver_threads", Json::Num(solver_threads as f64)));
+        }
+        if self.faults {
+            fields.push(("faults", Json::Bool(true)));
+        }
+        if let Some(deadline_ms) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::Num(deadline_ms as f64)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Decodes a journal `request` object back into a request. `None`
+    /// when required fields are missing or mistyped (the recovery path
+    /// treats that as a corrupt record, never an error).
+    pub(crate) fn from_journal_json(doc: &super::json::Json) -> Option<ExperimentRequest> {
+        use super::json::Json;
+        let mut req = ExperimentRequest::new(doc.get("experiment").and_then(Json::as_str)?);
+        if let Some(scale) = doc.get("scale") {
+            req.scale = Some(match scale.as_str()? {
+                "test" => Scale::Test,
+                "paper" => Scale::Paper,
+                _ => return None,
+            });
+        }
+        if let Some(v) = doc.get("seed") {
+            req.seed = Some(v.as_u64()?);
+        }
+        if let Some(v) = doc.get("threads") {
+            req.threads = Some(v.as_u64()? as usize);
+        }
+        if let Some(v) = doc.get("chunk") {
+            req.chunk = Some(v.as_u64()? as usize);
+        }
+        if let Some(v) = doc.get("solver_threads") {
+            req.solver_threads = Some(v.as_u64()? as usize);
+        }
+        if let Some(v) = doc.get("faults") {
+            req.faults = v.as_bool()?;
+        }
+        if let Some(v) = doc.get("deadline_ms") {
+            req.deadline_ms = Some(v.as_u64()?);
+        }
+        Some(req)
     }
 
     /// The request's effective workload parameters over a session base.
@@ -208,8 +290,26 @@ struct Slot {
     digest: String,
     params: WorkloadParams,
     faults: bool,
+    deadline_ms: Option<u64>,
     status: Mutex<SlotState>,
     done: Condvar,
+}
+
+/// The dedup key: requests are identical when the experiment, digest,
+/// fault opt-in *and deadline* all match (a deadline is execution
+/// policy, so it must not silently widen or narrow someone else's
+/// budget).
+type DedupKey = (String, String, bool, Option<u64>);
+
+impl Slot {
+    fn dedup_key(&self) -> DedupKey {
+        (
+            self.name.clone(),
+            self.digest.clone(),
+            self.faults,
+            self.deadline_ms,
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -297,6 +397,30 @@ impl RequestHandle {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
+
+    /// Blocks until the request finishes *or* `timeout` elapses — the
+    /// bounded long-poll the HTTP status endpoint is built on, so a slow
+    /// experiment can never pin a connection worker indefinitely.
+    /// Returns `None` on timeout; the request keeps running.
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Arc<RequestOutcome>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.slot.lock();
+        loop {
+            if let SlotState::Done(outcome) = &*st {
+                return Some(outcome.clone());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            st = self
+                .slot
+                .done
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
 }
 
 /// A point-in-time snapshot of the session's request accounting.
@@ -316,8 +440,8 @@ pub struct SimStats {
 struct SchedState {
     /// Submitted slots the scheduler has not picked up yet, in order.
     pending: Vec<Arc<Slot>>,
-    /// Queued *or running* slots by dedup key `(name, digest, faults)`.
-    inflight: HashMap<(String, String, bool), Arc<Slot>>,
+    /// Queued *or running* slots by [`DedupKey`].
+    inflight: HashMap<DedupKey, Arc<Slot>>,
     /// Raw runner outcomes of every batch, for callers that want the
     /// batch-level report (the CLI).
     outcomes: Vec<RunOutcome>,
@@ -336,6 +460,14 @@ struct Inner {
     preflight: bool,
     resilience: Resilience,
     fault_plan: Option<FaultPlan>,
+    /// A plan the *caller* armed process-wide (network chaos) that must
+    /// be restored — not disarmed — after an opted-in batch.
+    ambient_plan: Option<FaultPlan>,
+    /// Admission bound: submissions that would push the queued+running
+    /// count past this are shed with [`Error::Overloaded`].
+    max_pending: Option<usize>,
+    /// The crash-recovery journal, when the session is durable.
+    journal: Option<Arc<super::journal::RequestJournal>>,
     state: Mutex<SchedState>,
     /// Wakes the scheduler on submit / resume / shutdown.
     work: Condvar,
@@ -374,6 +506,9 @@ pub struct SimBuilder {
     preflight: bool,
     resilience: Resilience,
     fault_plan: Option<FaultPlan>,
+    ambient_plan: Option<FaultPlan>,
+    max_pending: Option<usize>,
+    journal: Option<Arc<super::journal::RequestJournal>>,
     start_paused: bool,
 }
 
@@ -387,6 +522,9 @@ impl Default for SimBuilder {
             preflight: true,
             resilience: Resilience::default(),
             fault_plan: None,
+            ambient_plan: None,
+            max_pending: None,
+            journal: None,
             start_paused: false,
         }
     }
@@ -444,6 +582,43 @@ impl SimBuilder {
         self
     }
 
+    /// A plan the caller armed process-wide *before* building the
+    /// session (network-level chaos: `serve.*` / `session.*` rules).
+    /// After an opted-in batch the scheduler re-arms this plan instead
+    /// of disarming the fault plane, so ambient rules stay live for the
+    /// session's whole lifetime. Rule evaluation counters reset at each
+    /// re-arm; ambient plans should use `prob` or unlimited-`times`
+    /// rules, which are insensitive to that.
+    #[must_use]
+    pub fn ambient_fault_plan(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.ambient_plan = plan.into();
+        self
+    }
+
+    /// Bound the admission queue: a submission that would push the
+    /// queued+running request count past `max_pending` is shed with
+    /// [`Error::Overloaded`] (and counted in `serve.shed`) instead of
+    /// enqueued. Dedup hits are always admitted — they add no work.
+    /// `None` (the default) admits everything.
+    #[must_use]
+    pub fn max_pending(mut self, max_pending: impl Into<Option<usize>>) -> Self {
+        self.max_pending = max_pending.into();
+        self
+    }
+
+    /// Journal accepted requests and terminal outcomes to this
+    /// crash-recovery journal (see
+    /// [`RequestJournal`](super::journal::RequestJournal)). Append
+    /// failures degrade durability but never fail a request.
+    #[must_use]
+    pub fn journal(
+        mut self,
+        journal: impl Into<Option<Arc<super::journal::RequestJournal>>>,
+    ) -> Self {
+        self.journal = journal.into();
+        self
+    }
+
     /// Start with the scheduler paused: submissions queue (and
     /// deduplicate) but nothing runs until [`Sim::resume`]. This is how a
     /// caller batches a known set of requests into one runner invocation.
@@ -464,6 +639,9 @@ impl SimBuilder {
             preflight: self.preflight,
             resilience: self.resilience,
             fault_plan: self.fault_plan,
+            ambient_plan: self.ambient_plan,
+            max_pending: self.max_pending,
+            journal: self.journal,
             state: Mutex::new(SchedState {
                 pending: Vec::new(),
                 inflight: HashMap::new(),
@@ -538,6 +716,9 @@ impl Sim {
     /// # Errors
     ///
     /// [`Error::UnknownExperiment`] for names not in the registry;
+    /// [`Error::Overloaded`] when admission control sheds the request
+    /// (the queued+running count sits at the session's `max_pending`
+    /// bound — nothing was enqueued, the caller may retry later);
     /// [`Error::Internal`] for invalid parameter overrides or a session
     /// already shut down.
     pub fn submit(&self, request: &ExperimentRequest) -> Result<RequestHandle, Error> {
@@ -555,7 +736,12 @@ impl Sim {
             stacksim_obs::counter(super::obs::SERVE_REQUESTS).add(1);
         }
 
-        let key = (request.name().to_string(), digest.clone(), request.faults);
+        let key = (
+            request.name().to_string(),
+            digest.clone(),
+            request.faults,
+            request.deadline_ms,
+        );
         let mut st = self.inner.lock();
         if st.shutdown {
             return Err(Error::Internal {
@@ -577,12 +763,27 @@ impl Sim {
                 return Ok(RequestHandle { slot: slot.clone() });
             }
         }
+        // admission control, atomic with enqueue under the session lock:
+        // a shed request allocates nothing and releases nothing
+        if let Some(limit) = self.inner.max_pending {
+            let inflight = Inner::inflight_of(&st);
+            if inflight >= limit as u64 {
+                if stacksim_obs::enabled() {
+                    stacksim_obs::counter(super::obs::SERVE_SHED).add(1);
+                }
+                return Err(Error::Overloaded {
+                    pending: inflight,
+                    limit: limit as u64,
+                });
+            }
+        }
         let slot = Arc::new(Slot {
             id: st.next_id,
             name: request.name().to_string(),
             digest,
             params,
             faults: request.faults,
+            deadline_ms: request.deadline_ms,
             status: Mutex::new(SlotState::Queued),
             done: Condvar::new(),
         });
@@ -590,7 +791,13 @@ impl Sim {
         st.pending.push(slot.clone());
         st.inflight.insert(key, slot.clone());
         Inner::publish_inflight(&st);
+        let id = slot.id;
         drop(st);
+        // durability is best-effort: a failed append (disk gone, or the
+        // session.journal fault site) degrades recovery, not the request
+        if let Some(journal) = &self.inner.journal {
+            let _ = journal.record_accepted(id, request);
+        }
         self.inner.work.notify_all();
         Ok(RequestHandle { slot })
     }
@@ -693,7 +900,10 @@ fn scheduler_loop(inner: &Inner) {
             let mut batch = Vec::new();
             let mut rest = Vec::new();
             for slot in std::mem::take(&mut st.pending) {
-                if slot.params == head.params && slot.faults == head.faults {
+                if slot.params == head.params
+                    && slot.faults == head.faults
+                    && slot.deadline_ms == head.deadline_ms
+                {
                     batch.push(slot);
                 } else {
                     rest.push(slot);
@@ -715,7 +925,7 @@ fn scheduler_loop(inner: &Inner) {
             run_batch(inner, &batch);
         }));
         if run.is_err() {
-            stacksim_faults::disarm();
+            restore_fault_plane(inner);
             for slot in &batch {
                 if matches!(&*slot.lock(), SlotState::Done(_)) {
                     continue;
@@ -726,18 +936,21 @@ fn scheduler_loop(inner: &Inner) {
                     slot.name
                 ));
                 report.error_kind = Some("worker-panic".to_string());
-                slot.finish(RequestOutcome {
-                    report,
-                    artifact: None,
-                });
+                finish_slot(
+                    inner,
+                    slot,
+                    RequestOutcome {
+                        report,
+                        artifact: None,
+                    },
+                );
             }
         }
 
         let mut st = inner.lock();
         st.running = 0;
         for slot in &batch {
-            st.inflight
-                .remove(&(slot.name.clone(), slot.digest.clone(), slot.faults));
+            st.inflight.remove(&slot.dedup_key());
         }
         inner
             .completed
@@ -755,26 +968,42 @@ fn run_batch(inner: &Inner, batch: &[Arc<Slot>]) {
         return;
     };
     let names: Vec<String> = batch.iter().map(|s| s.name.clone()).collect();
+    let mut resilience = inner.resilience.clone();
+    if let Some(deadline_ms) = head.deadline_ms {
+        // the per-request budget propagates into the runner's existing
+        // deadline machinery; when the session policy already carries a
+        // deadline, the tighter one wins
+        let request_s = deadline_ms as f64 / 1000.0;
+        resilience.deadline_s = Some(match resilience.deadline_s {
+            Some(policy_s) => policy_s.min(request_s),
+            None => request_s,
+        });
+    }
     let options = RunOptions::builder()
         .params(head.params)
         .jobs(inner.jobs)
         .cache(inner.cache.clone())
         .preflight(inner.preflight)
-        .resilience(inner.resilience.clone())
+        .resilience(resilience)
         .build();
     let runner = Runner::new(inner.registry.clone(), options);
 
     // batches run serially on this one scheduler thread, so arming the
-    // process-global fault plane cannot leak into a clean batch
+    // process-global fault plane cannot leak into a clean batch. An
+    // opted-in batch sees the experiment plan *plus* any ambient
+    // (network-chaos) rules, and the ambient plan is restored after.
     let armed_here = head.faults && inner.fault_plan.is_some();
     if armed_here {
-        if let Some(plan) = inner.fault_plan.clone() {
+        if let Some(mut plan) = inner.fault_plan.clone() {
+            if let Some(ambient) = &inner.ambient_plan {
+                plan.rules.extend(ambient.rules.iter().cloned());
+            }
             stacksim_faults::arm(plan);
         }
     }
     let result = runner.run(&names);
     if armed_here {
-        stacksim_faults::disarm();
+        restore_fault_plane(inner);
     }
 
     match result {
@@ -799,7 +1028,7 @@ fn run_batch(inner: &Inner, batch: &[Arc<Slot>]) {
                 .collect();
             inner.lock().outcomes.push(outcome);
             for (slot, out) in batch.iter().zip(finished) {
-                slot.finish(out);
+                finish_slot(inner, slot, out);
             }
         }
         Err(e) => {
@@ -811,13 +1040,39 @@ fn run_batch(inner: &Inner, batch: &[Arc<Slot>]) {
                 let mut report = missing_report(slot);
                 report.error = Some(detail.clone());
                 report.error_kind = Some(kind.clone());
-                slot.finish(RequestOutcome {
-                    report,
-                    artifact: None,
-                });
+                finish_slot(
+                    inner,
+                    slot,
+                    RequestOutcome {
+                        report,
+                        artifact: None,
+                    },
+                );
             }
         }
     }
+}
+
+/// Restores the process-global fault plane after an opted-in batch: back
+/// to the caller's ambient (network-chaos) plan when one exists, clean
+/// otherwise.
+fn restore_fault_plane(inner: &Inner) {
+    match &inner.ambient_plan {
+        Some(ambient) => stacksim_faults::arm(ambient.clone()),
+        None => stacksim_faults::disarm(),
+    }
+}
+
+/// Publishes a slot's terminal outcome: journals it, counts expired
+/// deadlines, and wakes every waiter.
+fn finish_slot(inner: &Inner, slot: &Slot, outcome: RequestOutcome) {
+    if outcome.report.error_kind.as_deref() == Some("deadline") && stacksim_obs::enabled() {
+        stacksim_obs::counter(super::obs::SERVE_DEADLINE_EXCEEDED).add(1);
+    }
+    if let Some(journal) = &inner.journal {
+        let _ = journal.record_done(slot.id, outcome.is_ok());
+    }
+    slot.finish(outcome);
 }
 
 /// A report row for a slot the runner produced no entry for (structural

@@ -6,14 +6,18 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use stacksim_core::harness::resilience::{SITE_SERVE_READ, SITE_SERVE_WRITE};
+use stacksim_faults::Fault;
 
 /// Longest accepted request head (request line + headers), bytes.
 const MAX_HEAD: usize = 16 * 1024;
 /// Longest accepted request body, bytes.
 const MAX_BODY: usize = 256 * 1024;
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default per-connection socket timeout (see
+/// [`ServeOptions::io_timeout`](crate::ServeOptions)).
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One parsed request.
 #[derive(Debug)]
@@ -41,6 +45,16 @@ impl Request {
             .split('&')
             .any(|kv| kv == key || kv == format!("{key}=1") || kv == format!("{key}=true"))
     }
+
+    /// The value of `key=value` in the query string, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let query = self.target.split_once('?').map(|(_, q)| q)?;
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Why a request could not be parsed; [`reject`] maps this to a 4xx.
@@ -64,20 +78,40 @@ impl std::fmt::Display for ParseError {
     }
 }
 
-/// Reads one request from the stream.
+/// Reads one request from the stream, with two layered timeouts: a
+/// per-read socket timeout (a silent peer blocks at most one `timeout`)
+/// and an overall deadline of the same budget for the *whole* request
+/// (a drip-feeding slowloris peer cannot reset the clock byte by byte —
+/// the connection is shed once the total read time exceeds `timeout`).
 ///
 /// # Errors
 ///
-/// [`ParseError`] on socket failure, malformed framing, or a request
-/// exceeding the size caps.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    parse_request(stream)
+/// [`ParseError`] on socket failure or timeout, malformed framing, or a
+/// request exceeding the size caps.
+pub fn read_request(stream: &mut TcpStream, timeout: Duration) -> Result<Request, ParseError> {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    if stacksim_faults::armed() {
+        match stacksim_faults::check(SITE_SERVE_READ, "conn") {
+            Some(Fault::IoTransient) => {
+                return Err(ParseError::Io(std::io::Error::new(
+                    ErrorKind::ConnectionReset,
+                    "injected read fault",
+                )));
+            }
+            Some(Fault::Truncate) => {
+                return Err(ParseError::Malformed("connection closed mid-head"));
+            }
+            Some(Fault::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+    parse_request(stream, Some(Instant::now() + timeout))
 }
 
 /// Parses one request from any byte source — the transport-free core of
-/// [`read_request`], directly unit-testable against in-memory bytes.
+/// [`read_request`], directly unit-testable against in-memory bytes
+/// (pass `None` for the deadline).
 ///
 /// Framing rules beyond the obvious: at most one `Content-Length`
 /// header is accepted (duplicates are rejected even when they agree —
@@ -89,7 +123,16 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
 ///
 /// [`ParseError`] on read failure, malformed framing, or a request
 /// exceeding the size caps.
-fn parse_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+fn parse_request<R: Read>(
+    stream: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Request, ParseError> {
+    let overdue = || {
+        ParseError::Io(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "request read exceeded its deadline",
+        ))
+    };
     // read until the blank line separating head from body
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
@@ -99,6 +142,9 @@ fn parse_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
         }
         if buf.len() > MAX_HEAD {
             return Err(ParseError::TooLarge);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(overdue());
         }
         let n = match stream.read(&mut chunk) {
             Ok(0) => return Err(ParseError::Malformed("connection closed mid-head")),
@@ -146,6 +192,9 @@ fn parse_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
     // body bytes already buffered past the head, then the remainder
     let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(overdue());
+        }
         let n = match stream.read(&mut chunk) {
             Ok(0) => return Err(ParseError::Malformed("connection closed mid-body")),
             Ok(n) => n,
@@ -170,24 +219,62 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// Writes one response and flushes. Connections are close-after-response,
 /// so this is the terminal act on the stream.
 pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    respond_with(stream, status, content_type, &[], body);
+}
+
+/// [`respond`] with extra response headers (e.g. `Retry-After` on a
+/// load-shedding `503`/`429`).
+pub fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
     let reason = match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+
+    let mut truncate_body = false;
+    if stacksim_faults::armed() {
+        match stacksim_faults::check(SITE_SERVE_WRITE, &status.to_string()) {
+            // the peer sees a connection reset before any byte arrives
+            Some(Fault::IoTransient) => return,
+            Some(Fault::Truncate) => truncate_body = true,
+            Some(Fault::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
+
     // the peer may already be gone; a failed write only affects them
     let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
+    let payload = if truncate_body {
+        &body.as_bytes()[..body.len() / 2]
+    } else {
+        body.as_bytes()
+    };
+    let _ = stream.write_all(payload);
     let _ = stream.flush();
 }
 
@@ -211,7 +298,7 @@ mod tests {
     use std::io::Cursor;
 
     fn parse(raw: &str) -> Result<Request, ParseError> {
-        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+        parse_request(&mut Cursor::new(raw.as_bytes().to_vec()), None)
     }
 
     #[test]
@@ -305,5 +392,37 @@ mod tests {
             body: String::new(),
         };
         assert!(bare.query_flag("wait"));
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let r = Request {
+            method: "GET".into(),
+            target: "/v1/experiments/3?wait=1&timeout_ms=250".into(),
+            body: String::new(),
+        };
+        assert_eq!(r.query_param("timeout_ms"), Some("250"));
+        assert_eq!(r.query_param("wait"), Some("1"));
+        assert_eq!(r.query_param("nope"), None);
+        let bare = Request {
+            method: "GET".into(),
+            target: "/x".into(),
+            body: String::new(),
+        };
+        assert_eq!(bare.query_param("timeout_ms"), None);
+    }
+
+    /// An exceeded overall deadline is an I/O-class rejection even when
+    /// the source keeps producing bytes — the slowloris defence.
+    #[test]
+    fn an_expired_deadline_sheds_the_request() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        let already_past = Instant::now() - Duration::from_millis(1);
+        let err = parse_request(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            Some(already_past),
+        )
+        .expect_err("deadline in the past must shed");
+        assert!(matches!(err, ParseError::Io(_)), "{err}");
     }
 }

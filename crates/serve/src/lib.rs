@@ -15,15 +15,28 @@
 //! | `GET /healthz` | liveness: `{"status":"ok"}` |
 //! | `GET /metrics` | the `stacksim-obs/1` metrics snapshot |
 //! | `POST /v1/experiments` | submit; body `{"experiment":"fig3", ...}` |
-//! | `GET /v1/experiments/<id>` | status + report; `?wait=1` blocks until done |
+//! | `GET /v1/experiments/<id>` | status + report; `?wait=1` long-polls (bounded; `202` on timeout) |
 //! | `GET /v1/experiments/<id>/artifact` | the artifact's canonical JSON, verbatim |
 //! | `POST /v1/explore` | synchronous design-space search; returns the frontier artifact |
 //!
 //! Submission bodies accept the same parameter overrides as
 //! [`ExperimentRequest`]: `seed`, `scale` (`"test"`/`"paper"`),
-//! `threads`, `chunk`, `solver_threads`, and `faults` (opt this request
-//! into the server's armed fault plan). Identical in-flight submissions
-//! deduplicate onto one execution and return the same `id`.
+//! `threads`, `chunk`, `solver_threads`, `faults` (opt this request
+//! into the server's armed fault plan), and `deadline_ms` (a
+//! per-request execution deadline, tightened against the server's
+//! resilience policy). Identical in-flight submissions deduplicate onto
+//! one execution and return the same `id`.
+//!
+//! ## Overload protection and crash recovery
+//!
+//! With `--max-pending` the session sheds submissions beyond the bound
+//! with `503 + Retry-After`; with `--max-conns` excess concurrent
+//! connections are turned away at accept with `429`. During the SIGTERM
+//! drain the socket keeps answering — late clients get an immediate
+//! `503 + Retry-After` instead of a hung connect. When a journal is
+//! configured, every accepted request is durably appended before the
+//! submit response and replayed at boot after a crash; the memo cache
+//! makes replay idempotent, so recovered artifacts are bit-identical.
 //!
 //! `POST /v1/explore` accepts `{"spec": {..}, "mode": "grid", "budget":
 //! N, "seed": N}` (every field optional) and runs the search in a
@@ -46,19 +59,27 @@ pub mod http;
 use std::collections::BTreeMap;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use stacksim_core::harness::json::Json;
+use stacksim_core::harness::resilience::SITE_SERVE_ACCEPT;
 use stacksim_core::harness::{
-    ExperimentRequest, MemoCache, RequestHandle, RequestStatus, Resilience, Sim,
+    obs as harness_obs, ExperimentRequest, MemoCache, RequestHandle, RequestJournal, RequestStatus,
+    Resilience, Sim,
 };
 use stacksim_explore::{ExploreConfig, ExploreError, SearchMode, SpaceSpec};
-use stacksim_faults::FaultPlan;
+use stacksim_faults::{Fault, FaultPlan};
 use stacksim_workloads::{Scale, WorkloadParams};
 
-use http::{read_request, reject, respond, Request};
+use http::{read_request, reject, respond, respond_with, Request};
+
+/// The `Retry-After` hint (seconds) on load-shedding responses.
+const RETRY_AFTER_S: &str = "1";
+/// Longest bounded long-poll `GET /v1/experiments/<id>?wait=1` honours.
+const MAX_WAIT_MS: u64 = 30_000;
 
 /// How the daemon is configured; see field docs. `Default` gives a
 /// loopback server at paper scale with a disabled cache.
@@ -79,7 +100,22 @@ pub struct ServeOptions {
     /// The failure-handling policy.
     pub resilience: Resilience,
     /// The fault plan requests may opt into with `"faults": true`.
+    /// Rules targeting the network sites (`serve.*` / `session.*`) are
+    /// split out and armed *ambiently* for the daemon's whole lifetime —
+    /// network chaos is per-daemon, not per-request.
     pub fault_plan: Option<FaultPlan>,
+    /// Admission bound: queued+running experiment requests beyond this
+    /// are shed with `503 + Retry-After`. `0` admits everything.
+    pub max_pending: usize,
+    /// Concurrent-connection cap: connections beyond this are rejected
+    /// at accept with `429 + Retry-After`. `0` accepts everything.
+    pub max_conns: usize,
+    /// Per-socket I/O timeout, doubling as the whole-request read
+    /// deadline (the slowloris bound).
+    pub io_timeout: Duration,
+    /// Journal accepted requests here (`stacksim-journal/1`) and replay
+    /// unfinished ones at boot. `None` disables crash recovery.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +128,10 @@ impl Default for ServeOptions {
             cache: MemoCache::disabled(),
             resilience: Resilience::default(),
             fault_plan: None,
+            max_pending: 0,
+            max_conns: 0,
+            io_timeout: http::DEFAULT_IO_TIMEOUT,
+            journal: None,
         }
     }
 }
@@ -117,39 +157,134 @@ pub struct Server {
     sim: Arc<Sim>,
     requests: RequestMap,
     pool: usize,
+    max_conns: usize,
+    io_timeout: Duration,
     explore_env: Arc<ExploreEnv>,
 }
 
+/// Answers a connection that is turned away *before* its request was
+/// read (the 429 cap and the drain rejector): writes the rejection,
+/// half-closes, then drains whatever the client had already sent —
+/// closing with unread bytes queued would RST the response away.
+fn reject_conn(stream: &mut TcpStream, status: u16, body: &str) {
+    respond_with(
+        stream,
+        status,
+        "application/json",
+        &[("Retry-After", RETRY_AFTER_S)],
+        body,
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    while matches!(std::io::Read::read(stream, &mut sink), Ok(n) if n > 0) {}
+}
+
+/// Splits a plan into its ambient network-chaos rules (`serve.*` /
+/// `session.*` sites, armed for the daemon's lifetime) and the
+/// experiment rules requests opt into per-batch.
+fn partition_plan(plan: Option<FaultPlan>) -> (Option<FaultPlan>, Option<FaultPlan>) {
+    let Some(plan) = plan else {
+        return (None, None);
+    };
+    let (net, exp): (Vec<_>, Vec<_>) = plan
+        .rules
+        .into_iter()
+        .partition(|r| r.site.starts_with("serve.") || r.site.starts_with("session."));
+    let wrap = |rules: Vec<stacksim_faults::FaultRule>| {
+        (!rules.is_empty()).then_some(FaultPlan {
+            seed: plan.seed,
+            rules,
+        })
+    };
+    (wrap(net), wrap(exp))
+}
+
 impl Server {
-    /// Binds the listen socket, builds the [`Sim`] session, and enables
-    /// the process metrics registry (the `/metrics` source).
+    /// Binds the listen socket, builds the [`Sim`] session, enables the
+    /// process metrics registry (the `/metrics` source), arms any
+    /// ambient network-fault rules, and — when a journal is configured —
+    /// recovers it and resubmits every accepted-but-unfinished request
+    /// (idempotent through the memo cache; counted in
+    /// `journal.replayed`).
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] when the address cannot be bound.
+    /// [`std::io::Error`] when the address cannot be bound or the
+    /// journal cannot be recovered.
     pub fn bind(options: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&options.addr)?;
         listener.set_nonblocking(true)?;
         stacksim_obs::enable();
+        stacksim_obs::gauge(harness_obs::SERVE_DRAINING).set(0.0);
         let explore_env = Arc::new(ExploreEnv {
             params: options.params,
             jobs: options.jobs,
             cache: options.cache.clone(),
         });
+        let (ambient_plan, exp_plan) = partition_plan(options.fault_plan);
+        if let Some(ambient) = ambient_plan.clone() {
+            stacksim_faults::arm(ambient);
+        }
+        let (journal, unfinished) = match &options.journal {
+            Some(path) => {
+                let recovery = RequestJournal::recover(path).map_err(std::io::Error::other)?;
+                (Some(Arc::new(recovery.journal)), recovery.unfinished)
+            }
+            None => (None, Vec::new()),
+        };
         let sim = Sim::builder()
             .params(options.params)
             .jobs(options.jobs)
             .cache(options.cache)
             .resilience(options.resilience)
-            .fault_plan(options.fault_plan)
+            .fault_plan(exp_plan)
+            .ambient_fault_plan(ambient_plan)
+            .max_pending((options.max_pending > 0).then_some(options.max_pending))
+            .journal(journal.clone())
             .build();
-        Ok(Server {
+        let server = Server {
             listener,
             sim: Arc::new(sim),
             requests: Arc::new(Mutex::new(BTreeMap::new())),
             pool: options.pool.clamp(1, 64),
+            max_conns: options.max_conns,
+            io_timeout: options.io_timeout,
             explore_env,
-        })
+        };
+        server.replay(unfinished);
+        if let Some(journal) = &journal {
+            // every unfinished entry is re-appended under a fresh id by
+            // now, so the recovery side file has served its purpose
+            let _ = journal.discard_replay();
+        }
+        Ok(server)
+    }
+
+    /// Resubmits journal-recovered requests. Admission control applies
+    /// to live traffic, not recovery: a shed resubmission is retried
+    /// until the draining scheduler makes room.
+    fn replay(&self, unfinished: Vec<ExperimentRequest>) {
+        for request in unfinished {
+            loop {
+                match self.sim.submit(&request) {
+                    Ok(handle) => {
+                        self.requests
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(handle.id(), handle);
+                        stacksim_obs::counter(harness_obs::JOURNAL_REPLAYED).add(1);
+                        break;
+                    }
+                    Err(e) if e.kind() == "overloaded" => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    // an entry from an older registry (or a corrupted
+                    // request) cannot replay; recovery must not wedge boot
+                    Err(_) => break,
+                }
+            }
+        }
     }
 
     /// The bound address (the real port when `addr` asked for `:0`).
@@ -177,12 +312,15 @@ impl Server {
     pub fn run(self, shutdown: &AtomicBool) -> std::io::Result<()> {
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let active = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::with_capacity(self.pool);
         for i in 0..self.pool {
             let rx = rx.clone();
             let sim = self.sim.clone();
             let requests = self.requests.clone();
             let explore_env = self.explore_env.clone();
+            let active = active.clone();
+            let io_timeout = self.io_timeout;
             let worker = std::thread::Builder::new()
                 .name(format!("serve-conn-{i}"))
                 .spawn(move || loop {
@@ -192,7 +330,14 @@ impl Server {
                     };
                     match next {
                         Ok(mut stream) => {
-                            handle_connection(&mut stream, &sim, &requests, &explore_env)
+                            handle_connection(
+                                &mut stream,
+                                &sim,
+                                &requests,
+                                &explore_env,
+                                io_timeout,
+                            );
+                            active.fetch_sub(1, Ordering::SeqCst);
                         }
                         Err(_) => return, // channel closed: drain complete
                     }
@@ -204,7 +349,26 @@ impl Server {
 
         while !shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((mut stream, _)) => {
+                    if stacksim_faults::armed() {
+                        match stacksim_faults::check(SITE_SERVE_ACCEPT, "conn") {
+                            // the connection never happened, as far as the
+                            // client can tell: dropped without a response
+                            Some(Fault::IoTransient | Fault::Truncate) => continue,
+                            Some(Fault::Stall { ms }) => {
+                                std::thread::sleep(Duration::from_millis(ms));
+                            }
+                            _ => {}
+                        }
+                    }
+                    // queued-or-processing connections beyond the cap are
+                    // turned away before they can tie up a worker
+                    if self.max_conns > 0 && active.load(Ordering::SeqCst) >= self.max_conns {
+                        stacksim_obs::counter(harness_obs::SERVE_CONNS_REJECTED).add(1);
+                        reject_conn(&mut stream, 429, "{\"error\":\"too many connections\"}");
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
                     if tx.send(stream).is_err() {
                         break; // every worker died; nothing can serve
                     }
@@ -219,12 +383,40 @@ impl Server {
         }
 
         // graceful drain: close the funnel, finish connections, then let
-        // the session complete everything already submitted
+        // the session complete everything already submitted. A rejector
+        // keeps answering the socket meanwhile — late clients get an
+        // immediate `503 + Retry-After` instead of a hung connect.
+        stacksim_obs::gauge(harness_obs::SERVE_DRAINING).set(1.0);
+        let draining = Arc::new(AtomicBool::new(true));
+        let rejector = self.listener.try_clone().ok().and_then(|listener| {
+            let draining = draining.clone();
+            std::thread::Builder::new()
+                .name("serve-drain-reject".to_string())
+                .spawn(move || {
+                    while draining.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((mut stream, _)) => {
+                                reject_conn(&mut stream, 503, "{\"error\":\"server is draining\"}");
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(_) => return,
+                        }
+                    }
+                })
+                .ok()
+        });
         drop(tx);
         for worker in workers {
             let _ = worker.join();
         }
         self.sim.shutdown();
+        draining.store(false, Ordering::SeqCst);
+        if let Some(rejector) = rejector {
+            let _ = rejector.join();
+        }
+        stacksim_obs::gauge(harness_obs::SERVE_DRAINING).set(0.0);
         Ok(())
     }
 }
@@ -235,8 +427,9 @@ fn handle_connection(
     sim: &Sim,
     requests: &RequestMap,
     explore_env: &ExploreEnv,
+    io_timeout: Duration,
 ) {
-    let request = match read_request(stream) {
+    let request = match read_request(stream, io_timeout) {
         Ok(r) => r,
         Err(e) => {
             reject(stream, &e);
@@ -256,7 +449,7 @@ fn handle_connection(
             if let Some(id_text) = rest.strip_suffix("/artifact") {
                 artifact(stream, requests, id_text);
             } else {
-                status(stream, requests, rest, request.query_flag("wait"));
+                status(stream, requests, rest, &request);
             }
         }
         ("GET" | "POST", _) => error_response(stream, 404, "no such endpoint"),
@@ -277,6 +470,17 @@ fn submit(stream: &mut TcpStream, sim: &Sim, requests: &RequestMap, request: &Re
     };
     let handle = match sim.submit(&experiment_request) {
         Ok(h) => h,
+        Err(e) if e.kind() == "overloaded" => {
+            let body = Json::obj(vec![("error", Json::Str(e.to_string()))]);
+            respond_with(
+                stream,
+                503,
+                "application/json",
+                &[("Retry-After", RETRY_AFTER_S)],
+                &body.encode(),
+            );
+            return;
+        }
         Err(e) => {
             let code = match e.kind() {
                 "unknown-experiment" => 404,
@@ -378,18 +582,36 @@ fn parse_submission(body: &str) -> Result<ExperimentRequest, String> {
     if let Some(v) = doc.get("faults") {
         req = req.faults(v.as_bool().ok_or("'faults' must be a boolean")?);
     }
+    if let Some(v) = doc.get("deadline_ms") {
+        req = req.deadline_ms(
+            v.as_u64()
+                .filter(|&ms| ms > 0)
+                .ok_or("'deadline_ms' must be a positive integer")?,
+        );
+    }
     Ok(req)
 }
 
 /// `GET /v1/experiments/<id>`: the request's lifecycle state, with the
-/// full report row once done. `?wait=1` blocks until completion.
-fn status(stream: &mut TcpStream, requests: &RequestMap, id_text: &str, wait: bool) {
+/// full report row once done. `?wait=1` long-polls, *bounded*: it blocks
+/// until completion or `timeout_ms` (default and ceiling 30 s), then
+/// answers `202 Accepted` with the current status — a slow experiment
+/// can never pin a connection worker indefinitely.
+fn status(stream: &mut TcpStream, requests: &RequestMap, id_text: &str, request: &Request) {
     let Some(handle) = lookup(requests, id_text) else {
         error_response(stream, 404, "no such request id");
         return;
     };
-    if wait {
-        let _ = handle.wait();
+    let mut timed_out = false;
+    if request.query_flag("wait") {
+        let wait_ms = request
+            .query_param("timeout_ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(MAX_WAIT_MS)
+            .min(MAX_WAIT_MS);
+        timed_out = handle
+            .wait_timeout(Duration::from_millis(wait_ms))
+            .is_none();
     }
     let (status_label, report, ok) = match handle.try_outcome() {
         Some(outcome) => (
@@ -407,7 +629,8 @@ fn status(stream: &mut TcpStream, requests: &RequestMap, id_text: &str, wait: bo
         ("ok", ok),
         ("report", report),
     ]);
-    respond(stream, 200, "application/json", &body.encode());
+    let code = if timed_out { 202 } else { 200 };
+    respond(stream, code, "application/json", &body.encode());
 }
 
 /// `GET /v1/experiments/<id>/artifact`: the artifact's canonical JSON

@@ -108,7 +108,19 @@ fn usage() -> ExitCode {
          \x20 --cache-max-bytes B  bound the cache; oldest-LRU entries evicted\n\
          \x20 --cache-shards N   spread cache entries over N subdirectories\n\
          \x20 --test-scale       small traces (smoke/CI serving)\n\
-         \x20 --fault-plan FILE  plan requests may opt into with \"faults\": true\n\
+         \x20 --fault-plan FILE  plan requests may opt into with \"faults\": true;\n\
+         \x20                    serve.*/session.* rules arm ambiently for the\n\
+         \x20                    daemon's lifetime (network chaos)\n\
+         \x20 --max-pending N    shed submissions past N queued+running (503 +\n\
+         \x20                    Retry-After; default: 0 = unbounded)\n\
+         \x20 --max-conns N      reject connections past N concurrent (429;\n\
+         \x20                    default: 0 = unbounded)\n\
+         \x20 --io-timeout S     per-socket read/write timeout and whole-request\n\
+         \x20                    read deadline, seconds (default: 10)\n\
+         \x20 --journal FILE     append-only crash-recovery journal (default:\n\
+         \x20                    <cache-dir>/journal/requests.jsonl when the\n\
+         \x20                    cache is enabled)\n\
+         \x20 --no-journal       disable the journal\n\
          \n\
          check options:\n\
          \x20 --all            check every registered experiment + the digest audit\n\
@@ -737,11 +749,14 @@ fn serve(args: &[String]) -> ExitCode {
     let mut no_cache = false;
     let mut test_scale = false;
     let mut fault_plan: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut no_journal = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--no-cache" => no_cache = true,
             "--test-scale" => test_scale = true,
+            "--no-journal" => no_journal = true,
             "--addr" => match it.next() {
                 Some(a) => options.addr = a.clone(),
                 None => return usage(),
@@ -772,6 +787,22 @@ fn serve(args: &[String]) -> ExitCode {
                 Some(p) => fault_plan = Some(PathBuf::from(p)),
                 None => return usage(),
             },
+            "--max-pending" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.max_pending = n,
+                None => return usage(),
+            },
+            "--max-conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.max_conns = n,
+                None => return usage(),
+            },
+            "--io-timeout" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => options.io_timeout = std::time::Duration::from_secs(n),
+                _ => return usage(),
+            },
+            "--journal" => match it.next() {
+                Some(p) => journal = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -788,6 +819,13 @@ fn serve(args: &[String]) -> ExitCode {
             .max_bytes(cache_max_bytes)
             .shards(cache_shards)
             .build()
+    };
+    // crash recovery rides the cache by default: a journaled request is
+    // only cheap to replay when the artifact memoizes
+    options.journal = if no_journal {
+        None
+    } else {
+        journal.or_else(|| (!no_cache).then(|| cache_dir.join("journal").join("requests.jsonl")))
     };
     if let Some(path) = &fault_plan {
         let text = match std::fs::read_to_string(path) {

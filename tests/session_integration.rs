@@ -166,6 +166,116 @@ fn unknown_experiment_is_refused_at_submit() {
     assert!(err.to_string().contains("thread count"), "{err}");
 }
 
+/// Admission control: past `max_pending` queued+running requests, new
+/// distinct submissions are shed with a typed `overloaded` error — but
+/// duplicates of in-flight work still coalesce (a dedup costs nothing),
+/// and completions release slots for shed callers to retry into.
+#[test]
+fn admission_bound_sheds_and_releases() {
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .start_paused(true)
+        .max_pending(2)
+        .build();
+    let first = sim.submit(&ExperimentRequest::new("fig5:gauss")).unwrap();
+    let _second = sim.submit(&ExperimentRequest::new("fig5:pcg")).unwrap();
+    // at the bound: a distinct third submission is shed...
+    let err = sim
+        .submit(&ExperimentRequest::new("fig5:conj"))
+        .unwrap_err();
+    assert_eq!(err.kind(), "overloaded");
+    assert!(err.to_string().contains("limit of 2"), "{err}");
+    // ...but a duplicate of in-flight work is still admitted
+    let dup = sim.submit(&ExperimentRequest::new("fig5:gauss")).unwrap();
+    assert_eq!(dup.id(), first.id());
+
+    // completion releases slots: the shed request is admitted on retry
+    sim.resume();
+    sim.wait_idle();
+    let retried = sim.submit(&ExperimentRequest::new("fig5:conj")).unwrap();
+    assert!(retried.wait().is_ok());
+}
+
+/// A request's `deadline_ms` tightens the resilience policy for its own
+/// batch: recovery stops at the request's deadline instead of spending
+/// the retry budget, and the deadline is part of the dedup key.
+#[test]
+fn request_deadline_bounds_recovery() {
+    use stacksim::faults::{Fault, FaultPlan, FaultRule};
+    let plan = FaultPlan {
+        seed: 7,
+        rules: vec![FaultRule::always(
+            "harness.dispatch",
+            "fig5:gauss",
+            Fault::IoTransient,
+        )],
+    };
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .fault_plan(plan)
+        .resilience(Resilience {
+            backoff_ms: 1,
+            ..Resilience::default()
+        })
+        .start_paused(true)
+        .build();
+    let doomed = sim
+        .submit(
+            &ExperimentRequest::new("fig5:gauss")
+                .faults(true)
+                .deadline_ms(1),
+        )
+        .unwrap();
+    let relaxed = sim
+        .submit(
+            &ExperimentRequest::new("fig5:gauss")
+                .faults(true)
+                .deadline_ms(60_000),
+        )
+        .unwrap();
+    assert_ne!(doomed.id(), relaxed.id(), "deadline splits the dedup key");
+
+    sim.resume();
+    let d = doomed.wait();
+    assert!(!d.is_ok());
+    // the 1 ms deadline trips as soon as a failed attempt lands past it
+    assert_eq!(d.report.error_kind.as_deref(), Some("deadline"));
+    assert!(
+        d.report.attempts <= 2,
+        "the deadline pre-empts the full retry budget (attempts={})",
+        d.report.attempts
+    );
+    // a roomy deadline never fires: the always-on fault exhausts the
+    // retry budget instead and surfaces as the transient error it is
+    let r = relaxed.wait();
+    assert!(!r.is_ok());
+    assert_eq!(r.report.error_kind.as_deref(), Some("io"));
+    assert!(r.report.attempts > 1, "the retry budget was spent");
+}
+
+/// `wait_timeout` is a bounded wait: `None` while the work cannot
+/// finish, the outcome once it does — the serve long-poll building
+/// block.
+#[test]
+fn wait_timeout_is_bounded() {
+    let sim = Sim::builder()
+        .params(WorkloadParams::test())
+        .start_paused(true)
+        .build();
+    let handle = sim.submit(&ExperimentRequest::new("fig5:gauss")).unwrap();
+    assert!(
+        handle
+            .wait_timeout(std::time::Duration::from_millis(30))
+            .is_none(),
+        "paused work cannot finish inside the timeout"
+    );
+    sim.resume();
+    let outcome = handle
+        .wait_timeout(std::time::Duration::from_secs(60))
+        .expect("resumed work finishes");
+    assert!(outcome.is_ok(), "{:?}", outcome.report.error);
+}
+
 /// A fault-injected panic inside the runner's dispatch neither wedges
 /// the scheduler nor leaks into clean work: every queued handle
 /// resolves, the doomed request reports `worker-panic` after its full
